@@ -1,0 +1,128 @@
+//! E8 — checker scalability: CAL membership cost vs. history length and
+//! thread count, the `⊑CAL` agreement check on the logged witness, and
+//! the classical linearizability baseline on singleton specifications.
+//! Also times E1's Fig. 3 histories as micro cases.
+
+use cal_bench::{exchanger_history, exchanger_trace, ids};
+use cal_core::agree::agrees_bool;
+use cal_core::check::{check_cal, is_cal};
+use cal_core::gen::render;
+use cal_core::seqlin;
+use cal_core::spec::SeqAsCa;
+use cal_core::{Action, History, ThreadId, Value};
+use cal_specs::exchanger::ExchangerSpec;
+use cal_specs::register::{inc_op, CounterSpec};
+use cal_specs::vocab::EXCHANGE;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cal_vs_length(c: &mut Criterion) {
+    let spec = ExchangerSpec::new(ids::E0);
+    let mut group = c.benchmark_group("cal_check/elements");
+    group.sample_size(20);
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let h = exchanger_history(42, 3, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let outcome = check_cal(h, &spec).unwrap();
+                assert!(outcome.verdict.is_cal());
+                outcome.stats.nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cal_vs_threads(c: &mut Criterion) {
+    let spec = ExchangerSpec::new(ids::E0);
+    let mut group = c.benchmark_group("cal_check/threads");
+    group.sample_size(20);
+    for &t in &[2u32, 4, 8, 16] {
+        // More threads ⇒ more overlap under the same loosening budget.
+        let h = exchanger_history(7, t, 24, 48);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &h, |b, h| {
+            b.iter(|| assert!(is_cal(h, &spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_agreement_witness(c: &mut Criterion) {
+    // The modular fast path: validating the logged witness instead of
+    // searching for one.
+    let mut group = c.benchmark_group("agree/elements");
+    group.sample_size(30);
+    for &n in &[8usize, 32, 128, 512] {
+        let t = exchanger_trace(11, 4, n);
+        let h = render(&t);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(h, t), |b, (h, t)| {
+            b.iter(|| assert!(agrees_bool(h, t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seqlin_baseline(c: &mut Criterion) {
+    // Classical linearizability (Wing–Gong + memoization) vs. the CAL
+    // checker restricted to singletons, on identical counter histories.
+    let mut group = c.benchmark_group("seqlin_vs_singleton_cal");
+    group.sample_size(20);
+    for &n in &[4usize, 8, 16] {
+        // n concurrent increments, each overlapping the next.
+        let mut actions = Vec::new();
+        for i in 0..n {
+            actions.push(inc_op(ids::E0, ThreadId(i as u32), 0).invocation());
+        }
+        for i in 0..n {
+            actions.push(
+                inc_op(ids::E0, ThreadId(i as u32), i as i64).response(),
+            );
+        }
+        let h = History::from_actions(actions);
+        let spec = CounterSpec::new(ids::E0);
+        group.bench_with_input(BenchmarkId::new("seqlin", n), &h, |b, h| {
+            b.iter(|| assert!(seqlin::is_linearizable(h, &spec)))
+        });
+        let ca = SeqAsCa::new(CounterSpec::new(ids::E0));
+        group.bench_with_input(BenchmarkId::new("cal_singleton", n), &h, |b, h| {
+            b.iter(|| assert!(is_cal(h, &ca)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let spec = ExchangerSpec::new(ids::E0);
+    let inv = |t: u32, v: i64| Action::invoke(ThreadId(t), ids::E0, EXCHANGE, Value::Int(v));
+    let res =
+        |t: u32, ok: bool, v: i64| Action::response(ThreadId(t), ids::E0, EXCHANGE, Value::Pair(ok, v));
+    let h1 = History::from_actions(vec![
+        inv(1, 3),
+        inv(2, 4),
+        inv(3, 7),
+        res(1, true, 4),
+        res(2, true, 3),
+        res(3, false, 7),
+    ]);
+    let h3 = History::from_actions(vec![
+        inv(1, 3),
+        res(1, true, 4),
+        inv(2, 4),
+        res(2, true, 3),
+        inv(3, 7),
+        res(3, false, 7),
+    ]);
+    let mut group = c.benchmark_group("checker_fig3");
+    group.bench_function("h1_accept", |b| b.iter(|| assert!(is_cal(&h1, &spec))));
+    group.bench_function("h3_reject", |b| b.iter(|| assert!(!is_cal(&h3, &spec))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cal_vs_length,
+    bench_cal_vs_threads,
+    bench_agreement_witness,
+    bench_seqlin_baseline,
+    bench_fig3
+);
+criterion_main!(benches);

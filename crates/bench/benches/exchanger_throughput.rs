@@ -1,0 +1,114 @@
+//! E7 — the exchanger as a CA-object in the wild: throughput and pairing
+//! rate versus thread count and spin budget. At low concurrency failures
+//! dominate (the CA-trace is mostly singletons); pairing needs overlap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cal_objects::arena_exchanger::ArenaExchanger;
+use cal_objects::exchanger::Exchanger;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const OPS: i64 = 400;
+
+/// Runs the workload and returns the number of successful exchanges.
+fn run(threads: u32, spin: usize) -> u64 {
+    let e = Arc::new(Exchanger::new());
+    let successes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let e = Arc::clone(&e);
+            let successes = Arc::clone(&successes);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    if e.exchange((t as i64) * 1_000_000 + i, spin).0 {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    successes.load(Ordering::Relaxed)
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchanger_throughput/threads");
+    group.sample_size(10);
+    for &threads in &[1u32, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements(OPS as u64 * threads as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run(t, 64))
+        });
+        // Report the pairing rate once per configuration (shape data for
+        // EXPERIMENTS.md).
+        let paired = run(threads, 64);
+        eprintln!(
+            "exchanger pairing rate: threads={threads} spin=64 → {paired}/{} ops succeeded",
+            OPS * threads as i64
+        );
+    }
+    group.finish();
+}
+
+fn bench_spin_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchanger_throughput/spin");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64 * 4));
+    for &spin in &[0usize, 16, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(spin), &spin, |b, &s| {
+            b.iter(|| run(4, s))
+        });
+        let paired = run(4, spin);
+        eprintln!(
+            "exchanger pairing rate: threads=4 spin={spin} → {paired}/{} ops succeeded",
+            OPS * 4
+        );
+    }
+    group.finish();
+}
+
+/// Runs the arena workload and returns the number of successful exchanges.
+fn run_arena(threads: u32, slots: usize, spin: usize) -> u64 {
+    let a = Arc::new(ArenaExchanger::new(slots, spin));
+    let successes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let a = Arc::clone(&a);
+            let successes = Arc::clone(&successes);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    if a.exchange((t as i64) * 1_000_000 + i, 3).0 {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    successes.load(Ordering::Relaxed)
+}
+
+/// Single slot vs. the adaptive Scherer–Lea–Scott arena, under growing
+/// concurrency: the arena spreads rendezvous across slots, cutting
+/// contention on the single hot word.
+fn bench_arena_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchanger_throughput/arena_vs_single");
+    group.sample_size(10);
+    for &threads in &[2u32, 4, 8, 16] {
+        group.throughput(Throughput::Elements(OPS as u64 * threads as u64));
+        group.bench_with_input(BenchmarkId::new("single", threads), &threads, |b, &t| {
+            b.iter(|| run(t, 64))
+        });
+        group.bench_with_input(BenchmarkId::new("arena8", threads), &threads, |b, &t| {
+            b.iter(|| run_arena(t, 8, 64))
+        });
+        let paired = run_arena(threads, 8, 64);
+        eprintln!(
+            "arena pairing rate: threads={threads} slots=8 → {paired}/{} ops succeeded",
+            OPS * threads as i64
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_spin_budget, bench_arena_vs_single);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E2–E4 cost profile: how expensive the exhaustive verification of the
+//! paper's theorems is — schedules explored per second for the exchanger
+//! (CAL + rely/guarantee) and the elimination stack (modular check).
+
+use cal_core::{ObjectId, Value};
+use cal_rg::check_exchanger_rg;
+use cal_sim::models::elim_array::ElimArrayModel;
+use cal_sim::models::elim_stack::ElimStackModel;
+use cal_sim::models::exchanger::ExchangerModel;
+use cal_sim::{Explorer, OpRequest, Workload};
+use cal_specs::elim_array::FArMap;
+use cal_specs::elim_stack::{modular_stack_check, FEsMap};
+use cal_specs::vocab::{EXCHANGE, POP, PUSH};
+use cal_core::compose::TraceMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const E: ObjectId = ObjectId(0);
+
+fn exchange(v: i64) -> OpRequest {
+    OpRequest::new(EXCHANGE, Value::Int(v))
+}
+
+fn bench_exchanger_exploration(c: &mut Criterion) {
+    let model = ExchangerModel::new(E);
+    let mut group = c.benchmark_group("model_check/exchanger_cal");
+    group.sample_size(10);
+    for &threads in &[2u32, 3] {
+        let w = Workload::new((0..threads).map(|i| vec![exchange(i as i64)]).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &w, |b, w| {
+            b.iter(|| {
+                let stats = Explorer::new(&model, w.clone()).run(|_| {});
+                assert!(stats.paths > 0);
+                stats.paths
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchanger_rg(c: &mut Criterion) {
+    let model = ExchangerModel::new(E);
+    let w = Workload::new(vec![vec![exchange(1)], vec![exchange(2)]]);
+    let mut group = c.benchmark_group("model_check/exchanger_rg");
+    group.sample_size(10);
+    group.bench_function("2threads_full_obligations", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            Explorer::new(&model, w.clone())
+                .record_transitions(true)
+                .visit_duplicates()
+                .run(|e| {
+                    check_exchanger_rg(E, e).unwrap();
+                    n += 1;
+                });
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_elim_stack_exploration(c: &mut Criterion) {
+    const ES: ObjectId = ObjectId(0);
+    const S: ObjectId = ObjectId(1);
+    const AR: ObjectId = ObjectId(2);
+    const E0: ObjectId = ObjectId(10);
+    let model = ElimStackModel::new(ES, S, ElimArrayModel::new(AR, vec![E0]), 1);
+    let far = FArMap::new(AR, vec![E0]);
+    let fes = FEsMap::new(ES, S, AR);
+    let w = Workload::new(vec![
+        vec![OpRequest::new(PUSH, Value::Int(1))],
+        vec![OpRequest::new(POP, Value::Unit)],
+    ]);
+    let mut group = c.benchmark_group("model_check/elim_stack_modular");
+    group.sample_size(10);
+    group.bench_function("push_pop_exhaustive", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            Explorer::new(&model, w.clone()).run(|e| {
+                assert!(modular_stack_check(&fes, &far.apply(&e.trace)));
+                n += 1;
+            });
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exchanger_exploration,
+    bench_exchanger_rg,
+    bench_elim_stack_exploration
+);
+criterion_main!(benches);

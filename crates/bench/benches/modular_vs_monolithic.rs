@@ -1,0 +1,93 @@
+//! E5 — the paper's central claim, quantified: verifying the elimination
+//! stack *modularly* (per-subobject traces lifted through `F_AR`/`F_ES`
+//! and replayed against the sequential stack spec, plus witness agreement
+//! — all near-linear passes) versus *monolithically* (a Wing–Gong
+//! linearization search over the client-visible history).
+//!
+//! Two regimes:
+//! - **accept**: correct executions. The monolithic search can get lucky —
+//!   a greedy order often linearizes — so the two are comparable.
+//! - **reject**: a corrupted execution (a pop of a never-pushed value).
+//!   The monolithic search must exhaust its space before saying no, and
+//!   its cost grows superlinearly with history size; the modular path
+//!   fails fast during the linear replay. This is where compositionality
+//!   pays.
+
+use cal_bench::{elim_subobject_trace, fes, ids};
+use cal_core::agree::agrees_bool;
+use cal_core::compose::TraceMap;
+use cal_core::gen::render_windowed;
+use cal_core::{seqlin, CaElement, CaTrace, History, Operation, ThreadId, Value};
+use cal_specs::elim_stack::modular_stack_check;
+use cal_specs::stack::StackSpec;
+use cal_specs::vocab::POP;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SIZES: &[usize] = &[8, 16, 32, 64, 128, 256];
+const WINDOW: usize = 8;
+const THREADS: u32 = 16;
+
+fn corrupt(sub: &CaTrace) -> CaTrace {
+    let mut bad = sub.clone();
+    bad.push(CaElement::singleton(Operation::new(
+        ThreadId(THREADS - 1),
+        ids::S,
+        POP,
+        Value::Unit,
+        Value::Pair(true, 999_999),
+    )));
+    bad
+}
+
+fn windowed_history(sub: &CaTrace) -> History {
+    render_windowed(&fes().apply(sub), WINDOW)
+}
+
+fn bench_accept(c: &mut Criterion) {
+    let f = fes();
+    let spec = StackSpec::total(ids::ES);
+    let mut group = c.benchmark_group("verify_elim_stack/accept");
+    group.sample_size(15);
+    for &n in SIZES {
+        let sub = elim_subobject_trace(3, THREADS, n);
+        let history = windowed_history(&sub);
+        group.bench_with_input(
+            BenchmarkId::new("modular", n),
+            &(sub.clone(), history.clone()),
+            |b, (sub, history)| {
+                b.iter(|| {
+                    // The three linear passes of the compositional proof:
+                    // lift, replay, and witness agreement.
+                    let mapped = f.apply(sub);
+                    assert!(modular_stack_check(&f, sub));
+                    assert!(agrees_bool(history, &mapped));
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &history, |b, h| {
+            b.iter(|| assert!(seqlin::is_linearizable(h, &spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reject(c: &mut Criterion) {
+    let f = fes();
+    let spec = StackSpec::total(ids::ES);
+    let mut group = c.benchmark_group("verify_elim_stack/reject");
+    group.sample_size(10);
+    for &n in SIZES {
+        let bad = corrupt(&elim_subobject_trace(3, THREADS, n));
+        let history = windowed_history(&bad);
+        group.bench_with_input(BenchmarkId::new("modular", n), &bad, |b, bad| {
+            b.iter(|| assert!(!modular_stack_check(&f, bad)))
+        });
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &history, |b, h| {
+            b.iter(|| assert!(!seqlin::is_linearizable(h, &spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accept, bench_reject);
+criterion_main!(benches);

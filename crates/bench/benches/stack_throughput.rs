@@ -1,0 +1,87 @@
+//! E6 — the scalability claim the paper imports from Hendler et al. [10]:
+//! under contention, the elimination stack outperforms a plain retrying
+//! (Treiber) stack, because matching push/pop pairs cancel in the
+//! elimination array instead of serializing on `top`.
+//!
+//! Each measured iteration runs `threads` OS threads, each performing
+//! `OPS` push+pop pairs. Also sweeps the elimination-array width `K`.
+
+use std::sync::Arc;
+
+use cal_objects::elim_stack::EliminationStack;
+use cal_objects::stack::TreiberStack;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const OPS: i64 = 300;
+const THREADS: &[u32] = &[1, 2, 4, 8];
+
+fn run_treiber(threads: u32) {
+    let s = Arc::new(TreiberStack::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    s.push((t as i64) * 1_000_000 + i);
+                    let mut spins = 0u32;
+                    loop {
+                        if s.pop().0 {
+                            break;
+                        }
+                        spins += 1;
+                        if spins > 1_000_000 {
+                            panic!("pop starved");
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn run_elimination(threads: u32, k: usize) {
+    let s = Arc::new(EliminationStack::new(k, 128));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    s.push((t as i64) * 1_000_000 + i);
+                    s.pop_wait();
+                }
+            });
+        }
+    });
+}
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stack_throughput");
+    group.sample_size(10);
+    for &threads in THREADS {
+        group.throughput(Throughput::Elements(2 * OPS as u64 * threads as u64));
+        group.bench_with_input(BenchmarkId::new("treiber", threads), &threads, |b, &t| {
+            b.iter(|| run_treiber(t))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("elimination_k2", threads),
+            &threads,
+            |b, &t| b.iter(|| run_elimination(t, 2)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elimination_k_sweep/4threads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * OPS as u64 * 4));
+    for &k in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_elimination(4, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stacks, bench_k_sweep);
+criterion_main!(benches);

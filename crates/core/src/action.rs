@@ -1,0 +1,155 @@
+//! Object actions: invocations and responses (Def. 1 of the paper).
+
+use std::fmt;
+
+use crate::ids::{Method, ObjectId, ThreadId, Value};
+
+/// The direction of an [`Action`]: a method invocation carrying the argument,
+/// or a response carrying the return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// `(t, inv o.f(n))` — thread `t` started executing `f` on `o` with
+    /// argument `n`.
+    Invoke(Value),
+    /// `(t, res o.f ▷ n)` — the execution of `f` terminated returning `n`.
+    Response(Value),
+}
+
+/// An object action (Def. 1): either an invocation `(t, inv o.f(n))` or a
+/// response `(t, res o.f ▷ n')`.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::{Action, Method, ObjectId, ThreadId, Value};
+/// let inv = Action::invoke(ThreadId(1), ObjectId(0), Method("exchange"), Value::Int(3));
+/// let res = Action::response(ThreadId(1), ObjectId(0), Method("exchange"), Value::Pair(true, 4));
+/// assert!(inv.is_invoke());
+/// assert!(res.is_response());
+/// assert_eq!(inv.thread(), res.thread());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    thread: ThreadId,
+    object: ObjectId,
+    method: Method,
+    kind: ActionKind,
+}
+
+impl Action {
+    /// Creates an invocation action `(t, inv o.f(arg))`.
+    pub fn invoke(thread: ThreadId, object: ObjectId, method: Method, arg: Value) -> Self {
+        Action { thread, object, method, kind: ActionKind::Invoke(arg) }
+    }
+
+    /// Creates a response action `(t, res o.f ▷ ret)`.
+    pub fn response(thread: ThreadId, object: ObjectId, method: Method, ret: Value) -> Self {
+        Action { thread, object, method, kind: ActionKind::Response(ret) }
+    }
+
+    /// The thread of the action, `tid(ψ)` in the paper.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The object of the action, `oid(ψ)` in the paper.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The method of the action, `fid(ψ)` in the paper.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The direction (invoke or response) together with its payload.
+    pub fn kind(&self) -> ActionKind {
+        self.kind
+    }
+
+    /// Returns `true` if this is an invocation.
+    pub fn is_invoke(&self) -> bool {
+        matches!(self.kind, ActionKind::Invoke(_))
+    }
+
+    /// Returns `true` if this is a response.
+    pub fn is_response(&self) -> bool {
+        matches!(self.kind, ActionKind::Response(_))
+    }
+
+    /// The argument if this is an invocation.
+    pub fn arg(&self) -> Option<Value> {
+        match self.kind {
+            ActionKind::Invoke(v) => Some(v),
+            ActionKind::Response(_) => None,
+        }
+    }
+
+    /// The return value if this is a response.
+    pub fn ret(&self) -> Option<Value> {
+        match self.kind {
+            ActionKind::Invoke(_) => None,
+            ActionKind::Response(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ActionKind::Invoke(arg) => {
+                write!(f, "({}, inv {}.{}({}))", self.thread, self.object, self.method, arg)
+            }
+            ActionKind::Response(ret) => {
+                write!(f, "({}, res {}.{} ▷ {})", self.thread, self.object, self.method, ret)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> Action {
+        Action::invoke(ThreadId(2), ObjectId(1), Method("push"), Value::Int(9))
+    }
+
+    fn res() -> Action {
+        Action::response(ThreadId(2), ObjectId(1), Method("push"), Value::Bool(true))
+    }
+
+    #[test]
+    fn accessors() {
+        let a = inv();
+        assert_eq!(a.thread(), ThreadId(2));
+        assert_eq!(a.object(), ObjectId(1));
+        assert_eq!(a.method(), Method("push"));
+        assert!(a.is_invoke());
+        assert!(!a.is_response());
+        assert_eq!(a.arg(), Some(Value::Int(9)));
+        assert_eq!(a.ret(), None);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let a = res();
+        assert!(a.is_response());
+        assert_eq!(a.ret(), Some(Value::Bool(true)));
+        assert_eq!(a.arg(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(inv().to_string(), "(t2, inv o1.push(9))");
+        assert_eq!(res().to_string(), "(t2, res o1.push ▷ true)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(inv(), inv());
+        assert_ne!(inv(), res());
+        let other = Action::invoke(ThreadId(2), ObjectId(1), Method("push"), Value::Int(8));
+        assert_ne!(inv(), other);
+    }
+}

@@ -1,0 +1,149 @@
+//! A small fixed-capacity bitset used to memoize checker search states.
+
+use std::fmt;
+
+/// A compact set of indices `0..capacity`, hashable so it can key a memo
+/// table in the CAL and linearizability checkers.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::bitset::BitSet;
+/// let mut s = BitSet::new(10);
+/// s.insert(3);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity the set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns `true` if `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.capacity).filter(move |&i| self.contains(i))
+    }
+}
+
+impl fmt::Display for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(10);
+        s.insert(7);
+        s.insert(2);
+        s.insert(9);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(4);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn display() {
+        let mut s = BitSet::new(8);
+        s.insert(1);
+        s.insert(5);
+        assert_eq!(s.to_string(), "{1,5}");
+    }
+
+    #[test]
+    fn equality_and_hash_by_contents() {
+        use std::collections::HashSet;
+        let mut a = BitSet::new(8);
+        a.insert(3);
+        let mut b = BitSet::new(8);
+        b.insert(3);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

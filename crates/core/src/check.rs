@@ -1,0 +1,596 @@
+//! Concurrency-aware linearizability membership checking (Def. 6).
+//!
+//! An object system `OS` is CAL with respect to a trace set `𝒯` when every
+//! history `H ∈ OS` has a completion `Hᶜ` and a trace `T ∈ 𝒯` such that
+//! `Hᶜ ⊑CAL T`. Given one history and a [`CaSpec`], [`check_cal`] decides
+//! whether such a completion and trace exist, returning a witness trace.
+//!
+//! The search generalizes the classical Wing–Gong linearizability search:
+//! instead of repeatedly extracting one minimal operation, it extracts a
+//! *CA-element* — a set of pairwise-concurrent minimal operations on one
+//! object accepted by the specification. Pending invocations may join an
+//! element (completing them with a spec-proposed return value) or remain
+//! unassigned (dropping them, per Def. 2's completions). Failed search
+//! states are memoized on `(matched-set, spec-state)`.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::bitset::BitSet;
+use crate::history::{History, HistoryError, Span};
+use crate::op::Operation;
+use crate::spec::{CaSpec, Invocation};
+use crate::trace::{CaElement, CaTrace};
+
+/// Tuning knobs for the CAL search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Maximum number of search nodes to expand before giving up with
+    /// [`Verdict::ResourcesExhausted`].
+    pub max_nodes: u64,
+    /// Memoize failed `(matched-set, spec-state)` pairs (Lowe's
+    /// optimization of the Wing–Gong search). On by default; the ablation
+    /// benchmark turns it off to quantify its effect.
+    pub memoize: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { max_nodes: 4_000_000, memoize: true }
+    }
+}
+
+/// The outcome of a CAL membership check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is CA-linearizable; the witness trace is attached.
+    Cal(CaTrace),
+    /// No completion/trace pair exists: the history violates the
+    /// specification.
+    NotCal,
+    /// The node budget was exhausted before the search completed.
+    ResourcesExhausted,
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Cal`].
+    pub fn is_cal(&self) -> bool {
+        matches!(self, Verdict::Cal(_))
+    }
+
+    /// The witness trace, if the verdict is [`Verdict::Cal`].
+    pub fn witness(&self) -> Option<&CaTrace> {
+        match self {
+            Verdict::Cal(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Cal(t) => write!(f, "CAL (witness: {t})"),
+            Verdict::NotCal => f.write_str("not CAL"),
+            Verdict::ResourcesExhausted => f.write_str("undecided: node budget exhausted"),
+        }
+    }
+}
+
+/// Search statistics, for the checker-scalability experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// Candidate elements tried (spec `step` calls).
+    pub elements_tried: u64,
+    /// Failed states pruned via the memo table.
+    pub memo_hits: u64,
+}
+
+/// A verdict together with search statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Search statistics.
+    pub stats: CheckStats,
+}
+
+/// Errors reported by [`check_cal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The input history is not well-formed.
+    IllFormed(HistoryError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::IllFormed(e) => write!(f, "ill-formed history: {e}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::IllFormed(e) => Some(e),
+        }
+    }
+}
+
+impl From<HistoryError> for CheckError {
+    fn from(e: HistoryError) -> Self {
+        CheckError::IllFormed(e)
+    }
+}
+
+/// Decides whether `history` is concurrency-aware linearizable with respect
+/// to `spec` (Def. 6), with default options.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+///
+/// # Examples
+///
+/// ```
+/// # use cal_core::{check, Action, History, Method, ObjectId, ThreadId, Value};
+/// # use cal_core::spec::{CaSpec, Invocation};
+/// # use cal_core::trace::CaElement;
+/// #[derive(Debug)]
+/// struct AnySingleton;
+/// impl CaSpec for AnySingleton {
+///     type State = ();
+///     fn initial(&self) {}
+///     fn step(&self, _: &(), e: &CaElement) -> Option<()> { (e.len() == 1).then_some(()) }
+///     fn completions_of(&self, _: &Invocation) -> Vec<Value> { vec![] }
+/// }
+/// let o = ObjectId(0);
+/// let m = Method("noop");
+/// let h = History::from_actions(vec![
+///     Action::invoke(ThreadId(0), o, m, Value::Unit),
+///     Action::response(ThreadId(0), o, m, Value::Unit),
+/// ]);
+/// let outcome = check::check_cal(&h, &AnySingleton)?;
+/// assert!(outcome.verdict.is_cal());
+/// # Ok::<(), cal_core::check::CheckError>(())
+/// ```
+pub fn check_cal<S: CaSpec>(history: &History, spec: &S) -> Result<CheckOutcome, CheckError> {
+    check_cal_with(history, spec, &CheckOptions::default())
+}
+
+/// Like [`check_cal`], with explicit [`CheckOptions`].
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+pub fn check_cal_with<S: CaSpec>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome, CheckError> {
+    let spans = history.try_spans()?;
+    let n = spans.len();
+    // Precompute the real-time order once: succs[i] = spans that i
+    // precedes; pending_preds[i] = number of unmatched predecessors.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending_preds: Vec<usize> = vec![0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && History::spans_precede(&spans[i], &spans[j]) {
+                succs[i].push(j);
+                pending_preds[j] += 1;
+            }
+        }
+    }
+    let mut search = Search {
+        spans: &spans,
+        spec,
+        options,
+        stats: CheckStats::default(),
+        failed: HashSet::new(),
+        exhausted: false,
+        witness: Vec::new(),
+        succs,
+        pending_preds,
+    };
+    let mut matched = BitSet::new(spans.len().max(1));
+    let initial = spec.initial();
+    let found = search.dfs(&mut matched, &initial);
+    let verdict = if found {
+        Verdict::Cal(CaTrace::from_elements(std::mem::take(&mut search.witness)))
+    } else if search.exhausted {
+        Verdict::ResourcesExhausted
+    } else {
+        Verdict::NotCal
+    };
+    Ok(CheckOutcome { verdict, stats: search.stats })
+}
+
+/// Convenience predicate: `true` iff the history is CAL w.r.t. `spec`.
+///
+/// # Panics
+///
+/// Panics if the history is ill-formed or the default node budget is
+/// exhausted; use [`check_cal_with`] for graceful handling.
+pub fn is_cal<S: CaSpec>(history: &History, spec: &S) -> bool {
+    let outcome = check_cal(history, spec).expect("history must be well-formed");
+    match outcome.verdict {
+        Verdict::Cal(_) => true,
+        Verdict::NotCal => false,
+        Verdict::ResourcesExhausted => panic!("CAL check exhausted its node budget"),
+    }
+}
+
+struct Search<'a, S: CaSpec> {
+    spans: &'a [Span],
+    spec: &'a S,
+    options: &'a CheckOptions,
+    stats: CheckStats,
+    failed: HashSet<(BitSet, S::State)>,
+    exhausted: bool,
+    witness: Vec<CaElement>,
+    /// succs[i] = span indices that span i real-time-precedes.
+    succs: Vec<Vec<usize>>,
+    /// Number of yet-unmatched predecessors per span.
+    pending_preds: Vec<usize>,
+}
+
+impl<'a, S: CaSpec> Search<'a, S> {
+    fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
+        // Success: every *complete* operation explained; unmatched pending
+        // invocations are dropped by the chosen completion (Def. 2).
+        if (0..self.spans.len())
+            .all(|i| matched.contains(i) || !self.spans[i].is_complete())
+        {
+            return true;
+        }
+        if self.stats.nodes >= self.options.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.stats.nodes += 1;
+        if self.options.memoize && self.failed.contains(&(matched.clone(), state.clone())) {
+            self.stats.memo_hits += 1;
+            return false;
+        }
+
+        // Minimal operations: unmatched, with every ≺H-predecessor matched
+        // (tracked incrementally via predecessor counts).
+        let minimal: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| !matched.contains(i) && self.pending_preds[i] == 0)
+            .collect();
+
+        let max_size = self.spec.max_element_size().max(1);
+        // Enumerate candidate elements: subsets of minimal ops, one object,
+        // pairwise concurrent, size 1..=max_size, each pending member
+        // completed with each spec-proposed return value.
+        let mut subset: Vec<usize> = Vec::with_capacity(max_size);
+        if self.try_subsets(&minimal, 0, max_size, &mut subset, matched, state) {
+            return true;
+        }
+        if self.options.memoize {
+            self.failed.insert((matched.clone(), state.clone()));
+        }
+        false
+    }
+
+    /// Grows `subset` over `minimal[from..]` and attempts every non-empty
+    /// prefix-closed choice as a CA-element.
+    fn try_subsets(
+        &mut self,
+        minimal: &[usize],
+        from: usize,
+        max_size: usize,
+        subset: &mut Vec<usize>,
+        matched: &mut BitSet,
+        state: &S::State,
+    ) -> bool {
+        if !subset.is_empty() && self.try_element(subset, matched, state) {
+            return true;
+        }
+        if subset.len() == max_size {
+            return false;
+        }
+        for (k, &i) in minimal.iter().enumerate().skip(from) {
+            // Same object as the rest of the subset.
+            if let Some(&first) = subset.first() {
+                if self.spans[i].object != self.spans[first].object {
+                    continue;
+                }
+                // Pairwise concurrent with all members.
+                if !subset
+                    .iter()
+                    .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
+                {
+                    continue;
+                }
+            }
+            subset.push(i);
+            if self.try_subsets(minimal, k + 1, max_size, subset, matched, state) {
+                return true;
+            }
+            subset.pop();
+        }
+        false
+    }
+
+    /// Attempts `subset` as the next CA-element, enumerating completions
+    /// for pending members.
+    fn try_element(
+        &mut self,
+        subset: &[usize],
+        matched: &mut BitSet,
+        state: &S::State,
+    ) -> bool {
+        // Collect per-member candidate operations. Pending members are
+        // completed with values proposed by the spec, which may depend on
+        // the other members of the element (e.g. a successful exchange
+        // returns its partner's argument).
+        let invocations: Vec<Invocation> = subset
+            .iter()
+            .map(|&i| {
+                let s = &self.spans[i];
+                Invocation::new(s.thread, s.object, s.method, s.arg)
+            })
+            .collect();
+        let choices: Vec<Vec<Operation>> = subset
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let s = &self.spans[i];
+                match s.operation() {
+                    Some(op) => vec![op],
+                    None => {
+                        let peers: Vec<Invocation> = invocations
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != k)
+                            .map(|(_, inv)| *inv)
+                            .collect();
+                        self.spec
+                            .completions_among(&invocations[k], &peers)
+                            .into_iter()
+                            .map(|ret| s.operation_with_ret(ret))
+                            .collect()
+                    }
+                }
+            })
+            .collect();
+        if choices.iter().any(Vec::is_empty) {
+            return false;
+        }
+        let mut pick = vec![0usize; subset.len()];
+        loop {
+            let ops: Vec<Operation> =
+                pick.iter().zip(&choices).map(|(&c, opts)| opts[c]).collect();
+            let object = ops[0].object;
+            if let Ok(element) = CaElement::new(object, ops) {
+                self.stats.elements_tried += 1;
+                if let Some(next) = self.spec.step(state, &element) {
+                    for &i in subset {
+                        matched.insert(i);
+                        for s in 0..self.succs[i].len() {
+                            let j = self.succs[i][s];
+                            self.pending_preds[j] -= 1;
+                        }
+                    }
+                    self.witness.push(element);
+                    if self.dfs(matched, &next) {
+                        return true;
+                    }
+                    self.witness.pop();
+                    for &i in subset {
+                        matched.remove(i);
+                        for s in 0..self.succs[i].len() {
+                            let j = self.succs[i][s];
+                            self.pending_preds[j] += 1;
+                        }
+                    }
+                }
+            }
+            // Advance the mixed-radix counter over completion choices.
+            let mut d = 0;
+            loop {
+                if d == pick.len() {
+                    return false;
+                }
+                pick[d] += 1;
+                if pick[d] < choices[d].len() {
+                    break;
+                }
+                pick[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::{Method, ObjectId, ThreadId, Value};
+
+    const E: ObjectId = ObjectId(0);
+    const EX: Method = Method("exchange");
+
+    /// An exchanger-shaped spec, inlined to keep cal-core self-contained:
+    /// elements are either a pair swapping values or a singleton failure.
+    #[derive(Debug)]
+    struct MiniExchanger;
+
+    impl CaSpec for MiniExchanger {
+        type State = ();
+
+        fn initial(&self) {}
+
+        fn step(&self, _: &(), e: &CaElement) -> Option<()> {
+            match e.ops() {
+                [a] => {
+                    let (ok, v) = a.ret.as_pair()?;
+                    (!ok && Value::Int(v) == a.arg).then_some(())
+                }
+                [a, b] => {
+                    let (oka, va) = a.ret.as_pair()?;
+                    let (okb, vb) = b.ret.as_pair()?;
+                    (oka && okb && a.arg == Value::Int(vb) && b.arg == Value::Int(va))
+                        .then_some(())
+                }
+                _ => None,
+            }
+        }
+
+        fn max_element_size(&self) -> usize {
+            2
+        }
+
+        fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+            let v = inv.arg.as_int().unwrap_or(0);
+            vec![Value::Pair(false, v)]
+        }
+
+        fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+            let mut out = self.completions_of(inv);
+            // A successful exchange returns the partner's argument.
+            out.extend(peers.iter().filter_map(|p| Some(Value::Pair(true, p.arg.as_int()?))));
+            out
+        }
+    }
+
+    fn inv(t: u32, v: i64) -> Action {
+        Action::invoke(ThreadId(t), E, EX, Value::Int(v))
+    }
+
+    fn res(t: u32, ok: bool, v: i64) -> Action {
+        Action::response(ThreadId(t), E, EX, Value::Pair(ok, v))
+    }
+
+    #[test]
+    fn empty_history_is_cal() {
+        assert!(is_cal(&History::new(), &MiniExchanger));
+    }
+
+    #[test]
+    fn concurrent_swap_is_cal() {
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3)]);
+        let outcome = check_cal(&h, &MiniExchanger).unwrap();
+        let witness = outcome.verdict.witness().unwrap().clone();
+        assert_eq!(witness.len(), 1);
+        assert_eq!(witness.elements()[0].len(), 2);
+    }
+
+    #[test]
+    fn sequential_swap_is_not_cal() {
+        // The §3 argument: non-overlapping operations cannot swap.
+        let h = History::from_actions(vec![inv(1, 3), res(1, true, 4), inv(2, 4), res(2, true, 3)]);
+        assert!(!is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn failed_exchange_is_cal() {
+        let h = History::from_actions(vec![inv(1, 3), res(1, false, 3)]);
+        assert!(is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn failure_returning_wrong_value_is_not_cal() {
+        let h = History::from_actions(vec![inv(1, 3), res(1, false, 9)]);
+        assert!(!is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn lone_successful_exchange_is_not_cal() {
+        // Fig. 3's H3 prefix: one thread cannot succeed alone.
+        let h = History::from_actions(vec![inv(1, 3), res(1, true, 4)]);
+        assert!(!is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn pending_invocation_may_be_dropped() {
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 4)]);
+        // t2's response is missing; completing it as (true,3) explains t1.
+        // Even if it were dropped, t1 alone would fail — so the checker
+        // must find the completion.
+        assert!(is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn pending_invocation_dropped_when_unexplainable() {
+        let h = History::from_actions(vec![inv(1, 3)]);
+        assert!(is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn fig3_h1_is_cal() {
+        let h = History::from_actions(vec![
+            inv(1, 3),
+            inv(2, 4),
+            inv(3, 7),
+            res(1, true, 4),
+            res(2, true, 3),
+            res(3, false, 7),
+        ]);
+        let outcome = check_cal(&h, &MiniExchanger).unwrap();
+        assert!(outcome.verdict.is_cal());
+        assert!(outcome.stats.nodes > 0);
+    }
+
+    #[test]
+    fn mismatched_swap_values_not_cal() {
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 9), res(2, true, 3)]);
+        assert!(!is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn three_way_swap_not_cal() {
+        // a→b→c→a cyclic "swap" is not decomposable into legal elements.
+        let h = History::from_actions(vec![
+            inv(1, 1),
+            inv(2, 2),
+            inv(3, 3),
+            res(1, true, 2),
+            res(2, true, 3),
+            res(3, true, 1),
+        ]);
+        assert!(!is_cal(&h, &MiniExchanger));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3)]);
+        let outcome =
+            check_cal_with(&h, &MiniExchanger, &CheckOptions { max_nodes: 0, ..CheckOptions::default() }).unwrap();
+        assert_eq!(outcome.verdict, Verdict::ResourcesExhausted);
+    }
+
+    #[test]
+    fn ill_formed_history_is_an_error() {
+        let h = History::from_actions(vec![res(1, false, 3)]);
+        assert!(matches!(check_cal(&h, &MiniExchanger), Err(CheckError::IllFormed(_))));
+    }
+
+    #[test]
+    fn witness_agrees_with_history() {
+        let h = History::from_actions(vec![
+            inv(1, 3),
+            inv(2, 4),
+            res(1, true, 4),
+            res(2, true, 3),
+            inv(3, 7),
+            res(3, false, 7),
+        ]);
+        let outcome = check_cal(&h, &MiniExchanger).unwrap();
+        let witness = outcome.verdict.witness().unwrap();
+        assert!(crate::agree::agrees_bool(&h, witness));
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::NotCal.to_string(), "not CAL");
+        assert!(Verdict::ResourcesExhausted.to_string().contains("budget"));
+    }
+}

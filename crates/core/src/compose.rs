@@ -1,0 +1,283 @@
+//! The `F_o` view-function machinery for compositional verification (§4–5).
+//!
+//! Each object `o` that encapsulates subobjects provides a function `F_o`
+//! from CA-elements of its *immediate* subobjects to CA-traces containing
+//! only operations of `o`. Its total extension `F̂_o` maps elements where
+//! `F_o` is undefined to themselves; `F̂_o` is idempotent and commutes with
+//! `F̂_{o'}` for disjoint objects. The recursive composition
+//! `𝓕_o = F̂_o ∘ (𝓕_{o1} ∘ … ∘ 𝓕_{on})` applies the subobjects' view
+//! functions first; `T_o = 𝓕_o(𝒯)` is `o`'s view of the global trace.
+//!
+//! This is what makes client proofs modular: the elimination stack's
+//! correctness is checked on `F_ES(T)` without peeking into the elimination
+//! array's implementation.
+
+use crate::trace::{CaElement, CaTrace};
+
+/// A view function `F_o`: maps CA-elements of immediate subobjects to
+/// CA-traces of the containing object. Returning `None` means `F_o` is
+/// undefined on the element (the total extension leaves it unchanged).
+pub trait TraceMap {
+    /// Maps one subobject CA-element, or returns `None` if this element is
+    /// not translated by this view function.
+    fn map_element(&self, element: &CaElement) -> Option<CaTrace>;
+
+    /// The total extension `F̂_o`: defined elements are translated, all
+    /// others pass through unchanged.
+    fn total(&self, element: &CaElement) -> CaTrace {
+        match self.map_element(element) {
+            Some(t) => t,
+            None => CaTrace::from_elements(vec![element.clone()]),
+        }
+    }
+
+    /// Applies `F̂_o` elementwise to a trace, concatenating the images.
+    fn apply(&self, trace: &CaTrace) -> CaTrace {
+        let mut out = CaTrace::new();
+        for e in trace.elements() {
+            out = out.concat(self.total(e));
+        }
+        out
+    }
+}
+
+/// A view function that drops every element it is defined on. Useful for
+/// hiding internal bookkeeping operations from clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropAll;
+
+impl TraceMap for DropAll {
+    fn map_element(&self, _element: &CaElement) -> Option<CaTrace> {
+        Some(CaTrace::new())
+    }
+}
+
+/// The identity view function: `F_o` undefined everywhere, so `F̂_o` is the
+/// identity. This is the paper's choice for objects with no subobjects
+/// (e.g. the exchanger takes `F_E` completely undefined so `T_E = 𝒯|E`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl TraceMap for Identity {
+    fn map_element(&self, _element: &CaElement) -> Option<CaTrace> {
+        None
+    }
+}
+
+/// Function composition of two view functions: applies `inner` first (the
+/// subobjects' `𝓕`), then `outer` (the containing object's `F̂_o`). This is
+/// the paper's `𝓕_o = F̂_o ∘ (𝓕_{o1} ∘ … ∘ 𝓕_{on})`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Composed<Outer, Inner> {
+    outer: Outer,
+    inner: Inner,
+}
+
+impl<Outer, Inner> Composed<Outer, Inner> {
+    /// Composes `outer ∘ inner`.
+    pub fn new(outer: Outer, inner: Inner) -> Self {
+        Composed { outer, inner }
+    }
+}
+
+impl<Outer: TraceMap, Inner: TraceMap> TraceMap for Composed<Outer, Inner> {
+    fn map_element(&self, element: &CaElement) -> Option<CaTrace> {
+        // F̂_outer ∘ F̂_inner on a single element; report `Some` only when
+        // either stage actually translated something, so that `total`
+        // remains the total extension of the composition.
+        match self.inner.map_element(element) {
+            Some(mid) => Some(self.outer.apply(&mid)),
+            None => self.outer.map_element(element),
+        }
+    }
+}
+
+/// A closure-backed view function, convenient for defining `F_o` inline.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::compose::{FnTraceMap, TraceMap};
+/// use cal_core::{CaElement, CaTrace, Method, ObjectId, Operation, ThreadId, Value};
+/// let inner = ObjectId(1);
+/// let outer = ObjectId(0);
+/// // Rename elements of `inner` to `outer`, pass others through.
+/// let f = FnTraceMap::new(move |e: &CaElement| {
+///     if e.object() != inner {
+///         return None;
+///     }
+///     let renamed: Vec<Operation> = e
+///         .ops()
+///         .iter()
+///         .map(|op| Operation::new(op.thread, outer, op.method, op.arg, op.ret))
+///         .collect();
+///     Some(CaTrace::from_elements(vec![CaElement::new(outer, renamed).unwrap()]))
+/// });
+/// let op = Operation::new(ThreadId(0), inner, Method("m"), Value::Unit, Value::Unit);
+/// let t = CaTrace::from_elements(vec![CaElement::singleton(op)]);
+/// let mapped = f.apply(&t);
+/// assert_eq!(mapped.elements()[0].object(), outer);
+/// ```
+pub struct FnTraceMap<F> {
+    f: F,
+}
+
+impl<F> FnTraceMap<F>
+where
+    F: Fn(&CaElement) -> Option<CaTrace>,
+{
+    /// Wraps a closure as a view function.
+    pub fn new(f: F) -> Self {
+        FnTraceMap { f }
+    }
+}
+
+impl<F> TraceMap for FnTraceMap<F>
+where
+    F: Fn(&CaElement) -> Option<CaTrace>,
+{
+    fn map_element(&self, element: &CaElement) -> Option<CaTrace> {
+        (self.f)(element)
+    }
+}
+
+impl<F> std::fmt::Debug for FnTraceMap<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnTraceMap(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Method, ObjectId, ThreadId, Value};
+    use crate::op::Operation;
+
+    const A: ObjectId = ObjectId(1);
+    const B: ObjectId = ObjectId(2);
+    const TOP: ObjectId = ObjectId(0);
+
+    fn op(o: ObjectId, t: u32) -> Operation {
+        Operation::new(ThreadId(t), o, Method("m"), Value::Unit, Value::Unit)
+    }
+
+    fn rename(from: ObjectId, to: ObjectId) -> FnTraceMap<impl Fn(&CaElement) -> Option<CaTrace>> {
+        FnTraceMap::new(move |e: &CaElement| {
+            if e.object() != from {
+                return None;
+            }
+            let renamed: Vec<Operation> = e
+                .ops()
+                .iter()
+                .map(|p| Operation::new(p.thread, to, p.method, p.arg, p.ret))
+                .collect();
+            Some(CaTrace::from_elements(vec![CaElement::new(to, renamed).unwrap()]))
+        })
+    }
+
+    #[test]
+    fn identity_leaves_trace_unchanged() {
+        let t = CaTrace::from_elements(vec![CaElement::singleton(op(A, 1))]);
+        assert_eq!(Identity.apply(&t), t);
+    }
+
+    #[test]
+    fn drop_all_empties_trace() {
+        let t = CaTrace::from_elements(vec![CaElement::singleton(op(A, 1))]);
+        assert!(DropAll.apply(&t).is_empty());
+    }
+
+    #[test]
+    fn total_extension_passes_undefined_elements() {
+        let f = rename(A, TOP);
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(op(A, 1)),
+            CaElement::singleton(op(B, 2)),
+        ]);
+        let mapped = f.apply(&t);
+        assert_eq!(mapped.elements()[0].object(), TOP);
+        assert_eq!(mapped.elements()[1].object(), B);
+    }
+
+    #[test]
+    fn total_extension_is_idempotent() {
+        let f = rename(A, TOP);
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(op(A, 1)),
+            CaElement::singleton(op(B, 2)),
+        ]);
+        let once = f.apply(&t);
+        let twice = f.apply(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn disjoint_maps_commute() {
+        let f = rename(A, TOP);
+        let g = rename(B, TOP);
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(op(A, 1)),
+            CaElement::singleton(op(B, 2)),
+        ]);
+        let fg = f.apply(&g.apply(&t));
+        let gf = g.apply(&f.apply(&t));
+        assert_eq!(fg, gf);
+    }
+
+    #[test]
+    fn composition_applies_inner_then_outer() {
+        // inner: A → B, outer: B → TOP; composed maps A all the way to TOP.
+        let composed = Composed::new(rename(B, TOP), rename(A, B));
+        let t = CaTrace::from_elements(vec![CaElement::singleton(op(A, 1))]);
+        let mapped = composed.apply(&t);
+        assert_eq!(mapped.elements()[0].object(), TOP);
+    }
+
+    #[test]
+    fn composition_translates_outer_only_elements_too() {
+        let composed = Composed::new(rename(B, TOP), rename(A, B));
+        let t = CaTrace::from_elements(vec![CaElement::singleton(op(B, 1))]);
+        let mapped = composed.apply(&t);
+        assert_eq!(mapped.elements()[0].object(), TOP);
+    }
+
+    #[test]
+    fn map_can_expand_one_element_to_many() {
+        // Splits a pair element into two singletons on TOP — the shape of
+        // the paper's F_ES (push linearized before pop).
+        let split = FnTraceMap::new(move |e: &CaElement| {
+            if e.object() != A || e.len() != 2 {
+                return None;
+            }
+            Some(CaTrace::from_elements(
+                e.ops()
+                    .iter()
+                    .map(|p| {
+                        CaElement::singleton(Operation::new(
+                            p.thread, TOP, p.method, p.arg, p.ret,
+                        ))
+                    })
+                    .collect(),
+            ))
+        });
+        let pair = CaElement::pair(op(A, 1), op(A, 2)).unwrap();
+        let t = CaTrace::from_elements(vec![pair]);
+        let mapped = split.apply(&t);
+        assert_eq!(mapped.len(), 2);
+        assert!(mapped.elements().iter().all(|e| e.object() == TOP && e.len() == 1));
+    }
+
+    #[test]
+    fn map_can_drop_elements() {
+        let drop_a = FnTraceMap::new(move |e: &CaElement| {
+            (e.object() == A).then(CaTrace::new)
+        });
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(op(A, 1)),
+            CaElement::singleton(op(B, 2)),
+        ]);
+        let mapped = drop_a.apply(&t);
+        assert_eq!(mapped.len(), 1);
+        assert_eq!(mapped.elements()[0].object(), B);
+    }
+}

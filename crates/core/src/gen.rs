@@ -1,0 +1,317 @@
+//! Generation of histories from CA-traces, random interleavings and
+//! adversarial mutations.
+//!
+//! These helpers turn specification-level traces into concrete histories
+//! (sound inputs for the checkers), loosen them while preserving agreement,
+//! and inject mutations that are expected to break agreement — the raw
+//! material for checker validation tests and the scaling benchmarks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::action::Action;
+use crate::history::History;
+use crate::trace::CaTrace;
+
+/// Renders a CA-trace as a complete history that agrees with it: for each
+/// element in order, all invocations are emitted, then all responses.
+/// Operations within an element overlap pairwise; distinct elements do not
+/// overlap.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::{gen, CaElement, CaTrace, Method, ObjectId, Operation, ThreadId, Value};
+/// let e = ObjectId(0);
+/// let ex = Method("exchange");
+/// let swap = CaElement::pair(
+///     Operation::new(ThreadId(1), e, ex, Value::Int(3), Value::Pair(true, 4)),
+///     Operation::new(ThreadId(2), e, ex, Value::Int(4), Value::Pair(true, 3)),
+/// ).unwrap();
+/// let trace = CaTrace::from_elements(vec![swap]);
+/// let h = gen::render(&trace);
+/// assert!(h.is_complete());
+/// assert!(cal_core::agree::agrees_bool(&h, &trace));
+/// ```
+pub fn render(trace: &CaTrace) -> History {
+    let mut actions = Vec::with_capacity(trace.total_ops() * 2);
+    for element in trace.elements() {
+        for op in element.ops() {
+            actions.push(op.invocation());
+        }
+        for op in element.ops() {
+            actions.push(op.response());
+        }
+    }
+    History::from_actions(actions)
+}
+
+/// Renders a CA-trace as a history with extra overlap: starting from
+/// [`render`], invocation actions are repeatedly hoisted earlier past
+/// actions of other threads. Hoisting an invocation only *removes*
+/// real-time orderings, so the result still agrees with the trace — but it
+/// exercises the checkers on histories where many operations overlap.
+pub fn render_loose<R: Rng>(trace: &CaTrace, rng: &mut R, moves: usize) -> History {
+    let mut actions: Vec<Action> = render(trace).actions().to_vec();
+    for _ in 0..moves {
+        if actions.len() < 2 {
+            break;
+        }
+        let i = rng.gen_range(1..actions.len());
+        if actions[i].is_invoke() && actions[i - 1].thread() != actions[i].thread() {
+            actions.swap(i - 1, i);
+        }
+    }
+    History::from_actions(actions)
+}
+
+/// Renders a CA-trace as a history with *guaranteed* overlap: consecutive
+/// elements are grouped into windows of up to `window` elements (closing a
+/// window early when a thread would appear twice); all invocations of a
+/// window are emitted before any of its responses. Operations in one
+/// window are pairwise concurrent, so a checker that does not know the
+/// witness faces a branching factor of about `window` — the adversarial
+/// input for the modular-vs-monolithic experiment.
+///
+/// The result agrees with the trace: order across windows is preserved,
+/// and widening overlap only removes real-time constraints.
+pub fn render_windowed(trace: &CaTrace, window: usize) -> History {
+    let window = window.max(1);
+    let mut actions = Vec::with_capacity(trace.total_ops() * 2);
+    let mut pending: Vec<&crate::trace::CaElement> = Vec::new();
+    let flush = |pending: &mut Vec<&crate::trace::CaElement>,
+                     actions: &mut Vec<Action>| {
+        for e in pending.iter() {
+            for op in e.ops() {
+                actions.push(op.invocation());
+            }
+        }
+        for e in pending.iter() {
+            for op in e.ops() {
+                actions.push(op.response());
+            }
+        }
+        pending.clear();
+    };
+    for element in trace.elements() {
+        let thread_clash = pending.iter().any(|p| {
+            element.ops().iter().any(|op| p.mentions_thread(op.thread))
+        });
+        if thread_clash || pending.len() == window {
+            flush(&mut pending, &mut actions);
+        }
+        pending.push(element);
+    }
+    flush(&mut pending, &mut actions);
+    History::from_actions(actions)
+}
+
+/// Interleaves per-thread sequential action lists into one history,
+/// preserving each thread's order, choosing the next thread uniformly at
+/// random. The result is well-formed whenever each input list is a
+/// sequential history of a distinct thread.
+pub fn interleave<R: Rng>(per_thread: &[Vec<Action>], rng: &mut R) -> History {
+    let mut cursors = vec![0usize; per_thread.len()];
+    let mut actions = Vec::with_capacity(per_thread.iter().map(Vec::len).sum());
+    loop {
+        let live: Vec<usize> = cursors
+            .iter()
+            .enumerate()
+            .filter(|(t, &c)| c < per_thread[*t].len())
+            .map(|(t, _)| t)
+            .collect();
+        let Some(&t) = live.choose(rng) else { break };
+        actions.push(per_thread[t][cursors[t]]);
+        cursors[t] += 1;
+    }
+    History::from_actions(actions)
+}
+
+/// Mutations that corrupt a history in ways a sound checker must notice
+/// (when the mutated value is semantically illegal for the specification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Replace a response's return value.
+    CorruptReturn,
+    /// Delete a response, leaving its invocation pending.
+    DropResponse,
+    /// Swap two adjacent actions of different threads.
+    SwapAdjacent,
+}
+
+/// Applies `mutation` at a random applicable position, using `fresh_ret` to
+/// produce a replacement return value for [`Mutation::CorruptReturn`].
+/// Returns `None` when the history has no applicable position.
+pub fn mutate<R: Rng>(
+    history: &History,
+    mutation: Mutation,
+    rng: &mut R,
+    fresh_ret: impl Fn(&Action) -> crate::ids::Value,
+) -> Option<History> {
+    let actions = history.actions();
+    match mutation {
+        Mutation::CorruptReturn => {
+            let responses: Vec<usize> =
+                (0..actions.len()).filter(|&i| actions[i].is_response()).collect();
+            let &i = responses.as_slice().choose(rng)?;
+            let a = &actions[i];
+            let mut out = actions.to_vec();
+            out[i] = Action::response(a.thread(), a.object(), a.method(), fresh_ret(a));
+            Some(History::from_actions(out))
+        }
+        Mutation::DropResponse => {
+            // Only a thread's final response may be dropped: removing an
+            // earlier one would make its next invocation nested and the
+            // history ill-formed.
+            let responses: Vec<usize> = (0..actions.len())
+                .filter(|&i| {
+                    actions[i].is_response()
+                        && actions[i + 1..].iter().all(|a| a.thread() != actions[i].thread())
+                })
+                .collect();
+            let &i = responses.as_slice().choose(rng)?;
+            let mut out = actions.to_vec();
+            out.remove(i);
+            Some(History::from_actions(out))
+        }
+        Mutation::SwapAdjacent => {
+            let sites: Vec<usize> = (1..actions.len())
+                .filter(|&i| actions[i - 1].thread() != actions[i].thread())
+                .collect();
+            let &i = sites.as_slice().choose(rng)?;
+            let mut out = actions.to_vec();
+            out.swap(i - 1, i);
+            Some(History::from_actions(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agree::agrees_bool;
+    use crate::ids::{Method, ObjectId, ThreadId, Value};
+    use crate::op::Operation;
+    use crate::trace::CaElement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const E: ObjectId = ObjectId(0);
+    const EX: Method = Method("exchange");
+
+    fn op(t: u32, arg: i64, ok: bool, ret: i64) -> Operation {
+        Operation::new(ThreadId(t), E, EX, Value::Int(arg), Value::Pair(ok, ret))
+    }
+
+    fn sample_trace() -> CaTrace {
+        CaTrace::from_elements(vec![
+            CaElement::pair(op(1, 3, true, 4), op(2, 4, true, 3)).unwrap(),
+            CaElement::singleton(op(3, 7, false, 7)),
+            CaElement::pair(op(1, 5, true, 6), op(3, 6, true, 5)).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn render_is_complete_and_agrees() {
+        let t = sample_trace();
+        let h = render(&t);
+        assert!(h.is_complete());
+        assert!(agrees_bool(&h, &t));
+        assert_eq!(h.len(), t.total_ops() * 2);
+    }
+
+    #[test]
+    fn render_loose_stays_well_formed_and_agrees() {
+        let t = sample_trace();
+        let mut rng = StdRng::seed_from_u64(7);
+        for moves in [0, 1, 5, 50] {
+            let h = render_loose(&t, &mut rng, moves);
+            assert!(h.is_well_formed(), "loose render ill-formed at {moves} moves");
+            assert!(h.is_complete());
+            assert!(agrees_bool(&h, &t), "loose render disagrees at {moves} moves");
+        }
+    }
+
+    #[test]
+    fn render_windowed_agrees_and_overlaps() {
+        let t = sample_trace();
+        for window in [1, 2, 3, 8] {
+            let h = render_windowed(&t, window);
+            assert!(h.is_well_formed(), "window {window} ill-formed");
+            assert!(h.is_complete());
+            assert!(agrees_bool(&h, &t), "window {window} disagrees");
+        }
+        // window 1 coincides with the strict render.
+        assert_eq!(render_windowed(&t, 1), render(&t));
+    }
+
+    #[test]
+    fn render_windowed_closes_window_on_thread_clash() {
+        // Two consecutive elements of the same thread can never overlap.
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(op(1, 1, false, 1)),
+            CaElement::singleton(op(1, 2, false, 2)),
+        ]);
+        let h = render_windowed(&t, 4);
+        assert!(h.is_well_formed());
+        let spans = h.spans();
+        assert!(History::spans_precede(&spans[0], &spans[1]));
+    }
+
+    #[test]
+    fn interleave_preserves_thread_order() {
+        let t1 = vec![
+            Action::invoke(ThreadId(1), E, EX, Value::Int(1)),
+            Action::response(ThreadId(1), E, EX, Value::Pair(false, 1)),
+        ];
+        let t2 = vec![
+            Action::invoke(ThreadId(2), E, EX, Value::Int(2)),
+            Action::response(ThreadId(2), E, EX, Value::Pair(false, 2)),
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let h = interleave(&[t1.clone(), t2.clone()], &mut rng);
+            assert!(h.is_well_formed());
+            assert_eq!(h.len(), 4);
+        }
+    }
+
+    #[test]
+    fn corrupt_return_changes_a_response() {
+        let t = sample_trace();
+        let h = render(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bad =
+            mutate(&h, Mutation::CorruptReturn, &mut rng, |_| Value::Pair(true, 999)).unwrap();
+        assert_ne!(bad, h);
+        assert!(!agrees_bool(&bad, &t), "corrupted return should break agreement");
+    }
+
+    #[test]
+    fn drop_response_makes_history_incomplete() {
+        let t = sample_trace();
+        let h = render(&t);
+        let mut rng = StdRng::seed_from_u64(4);
+        let bad = mutate(&h, Mutation::DropResponse, &mut rng, |a| a.ret().unwrap()).unwrap();
+        assert!(bad.is_well_formed());
+        assert!(!bad.is_complete());
+    }
+
+    #[test]
+    fn swap_adjacent_keeps_thread_order() {
+        let t = sample_trace();
+        let h = render(&t);
+        let mut rng = StdRng::seed_from_u64(5);
+        let swapped = mutate(&h, Mutation::SwapAdjacent, &mut rng, |a| a.ret().unwrap()).unwrap();
+        assert!(swapped.is_well_formed());
+    }
+
+    #[test]
+    fn mutations_on_empty_history_return_none() {
+        let h = History::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(mutate(&h, Mutation::CorruptReturn, &mut rng, |a| a.ret().unwrap()).is_none());
+        assert!(mutate(&h, Mutation::DropResponse, &mut rng, |a| a.ret().unwrap()).is_none());
+        assert!(mutate(&h, Mutation::SwapAdjacent, &mut rng, |a| a.ret().unwrap()).is_none());
+    }
+}

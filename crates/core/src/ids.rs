@@ -1,0 +1,247 @@
+//! Identifiers for threads, objects and methods, and the value domain.
+//!
+//! The paper (Def. 1) assumes infinite sets of object names `o ∈ O`, method
+//! names `f ∈ F` and thread identifiers `t ∈ T`. We represent threads and
+//! objects as cheap `Copy` newtypes over `u32` and methods as interned
+//! `&'static str` (method names are static program text in every client).
+
+use std::fmt;
+
+/// Identifier of a thread, `t ∈ T` in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::ThreadId;
+/// let t = ThreadId(0);
+/// assert_eq!(t.to_string(), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+}
+
+/// Identifier of a concurrent object, `o ∈ O` in the paper.
+///
+/// Objects are allocated by clients; related objects (e.g. the exchangers
+/// `E[0..K]` inside an elimination array `AR`) are distinguished purely by
+/// their ids, and [`crate::compose::TraceMap`] implementations decide which
+/// ids count as subobjects of which.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::ObjectId;
+/// let exchanger = ObjectId(7);
+/// assert_eq!(exchanger.to_string(), "o7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(raw: u32) -> Self {
+        ObjectId(raw)
+    }
+}
+
+/// A method name, `f ∈ F` in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::Method;
+/// const EXCHANGE: Method = Method("exchange");
+/// assert_eq!(EXCHANGE.to_string(), "exchange");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Method(pub &'static str);
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The value domain for method arguments and return values.
+///
+/// The paper's examples only need integers, booleans and `(bool, int)`
+/// pairs (the return type of `exchange` and `pop`), so the domain is a
+/// small `Copy` enum rather than a recursive tree.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::Value;
+/// let ret = Value::Pair(true, 42);
+/// assert_eq!(ret.to_string(), "(true,42)");
+/// assert_eq!(Value::Unit.to_string(), "()");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// No value (e.g. the argument of `pop()`).
+    #[default]
+    Unit,
+    /// A boolean (e.g. the return of `push`).
+    Bool(bool),
+    /// An integer (e.g. the argument of `push` and `exchange`).
+    Int(i64),
+    /// A `(bool, int)` pair (e.g. the return of `exchange` and `pop`).
+    Pair(bool, i64),
+}
+
+impl Value {
+    /// Returns the integer payload if this is [`Value::Int`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cal_core::Value;
+    /// assert_eq!(Value::Int(3).as_int(), Some(3));
+    /// assert_eq!(Value::Unit.as_int(), None);
+    /// ```
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is [`Value::Bool`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cal_core::Value;
+    /// assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    /// assert_eq!(Value::Int(1).as_bool(), None);
+    /// ```
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the `(bool, int)` payload if this is [`Value::Pair`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cal_core::Value;
+    /// assert_eq!(Value::Pair(false, 7).as_pair(), Some((false, 7)));
+    /// assert_eq!(Value::Bool(false).as_pair(), None);
+    /// ```
+    pub fn as_pair(self) -> Option<(bool, i64)> {
+        match self {
+            Value::Pair(b, n) => Some((b, n)),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<(bool, i64)> for Value {
+    fn from((b, n): (bool, i64)) -> Self {
+        Value::Pair(b, n)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Pair(b, n) => write!(f, "({b},{n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_display_and_order() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert!(ThreadId(1) < ThreadId(2));
+        assert_eq!(ThreadId::from(5), ThreadId(5));
+    }
+
+    #[test]
+    fn object_id_display_and_order() {
+        assert_eq!(ObjectId(0).to_string(), "o0");
+        assert!(ObjectId(0) < ObjectId(9));
+        assert_eq!(ObjectId::from(5), ObjectId(5));
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method("push").to_string(), "push");
+        assert_eq!(Method("push"), Method("push"));
+        assert_ne!(Method("push"), Method("pop"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(-4).as_int(), Some(-4));
+        assert_eq!(Value::Pair(true, 1).as_pair(), Some((true, 1)));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::Int(0).as_pair(), None);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from((false, 2)), Value::Pair(false, 2));
+        assert_eq!(Value::from(()), Value::Unit);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Pair(false, 0).to_string(), "(false,0)");
+    }
+
+    #[test]
+    fn value_default_is_unit() {
+        assert_eq!(Value::default(), Value::Unit);
+    }
+}

@@ -1,0 +1,554 @@
+//! Interval-linearizability (Castañeda, Rajsbaum & Raynal, DISC 2015),
+//! the generalization of CAL discussed in the paper's related work (§6).
+//!
+//! CAL (equivalently, Neiger's set-linearizability) explains a history by
+//! mapping each operation to exactly **one** element of a trace. Some
+//! objects need more: in the *write-snapshot* task an operation may have
+//! to appear concurrent with two operations that are themselves ordered —
+//! its effect spans an **interval** of elements. Interval-linearizability
+//! maps every operation to a non-empty contiguous interval of trace
+//! points; at each point the specification sees which operations *open*,
+//! which are *active*, and which *close*.
+//!
+//! Formally, a complete history `H` is interval-linearizable w.r.t. an
+//! [`IntervalSpec`] if there is a sequence of points and a map
+//! `i ↦ [l_i, r_i]` such that (i) the spec accepts every point given its
+//! opening/active/closing sets, (ii) `i ≺H j ⟹ r_i < l_j`, and (iii)
+//! operations in one point are pairwise concurrent in `H`. CAL is the
+//! special case where every interval has length one.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::bitset::BitSet;
+use crate::check::{CheckError, CheckOptions};
+use crate::history::{History, Span};
+use crate::op::Operation;
+use crate::spec::Invocation;
+use crate::ids::Value;
+
+/// An interval-sequential specification: a stateful acceptor over interval
+/// points.
+pub trait IntervalSpec {
+    /// Acceptor state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Accepts one interval point, or rejects it.
+    ///
+    /// `active` lists every operation whose interval contains this point
+    /// (with its final return value); `opening` and `closing` are the
+    /// subsets of `active` whose intervals start / end here (an operation
+    /// may do both, for a singleton interval).
+    fn step(
+        &self,
+        state: &Self::State,
+        active: &[Operation],
+        opening: &[Operation],
+        closing: &[Operation],
+    ) -> Option<Self::State>;
+
+    /// Bound on the number of simultaneously active operations the
+    /// specification admits; limits the checker's branching.
+    fn max_active(&self) -> usize {
+        4
+    }
+
+    /// Candidate return values for completing a pending invocation.
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value>;
+}
+
+/// One point of an interval witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalPoint {
+    /// Operations whose interval contains this point.
+    pub active: Vec<Operation>,
+    /// The subset of `active` opening here.
+    pub opening: Vec<Operation>,
+    /// The subset of `active` closing here.
+    pub closing: Vec<Operation>,
+}
+
+/// The outcome of an interval-linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntervalVerdict {
+    /// Interval-linearizable, with the witness point sequence.
+    Linearizable(Vec<IntervalPoint>),
+    /// No witness exists.
+    NotLinearizable,
+    /// The node budget ran out first.
+    ResourcesExhausted,
+}
+
+impl IntervalVerdict {
+    /// Returns `true` for [`IntervalVerdict::Linearizable`].
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, IntervalVerdict::Linearizable(_))
+    }
+}
+
+/// Decides interval-linearizability of `history` w.r.t. `spec`.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+pub fn check_interval<S: IntervalSpec>(
+    history: &History,
+    spec: &S,
+) -> Result<IntervalVerdict, CheckError> {
+    check_interval_with(history, spec, &CheckOptions::default())
+}
+
+/// Like [`check_interval`], with explicit options.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+pub fn check_interval_with<S: IntervalSpec>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<IntervalVerdict, CheckError> {
+    let spans = history.try_spans()?;
+    let n = spans.len();
+    let mut search = IntervalSearch {
+        spans: &spans,
+        spec,
+        options,
+        nodes: 0,
+        exhausted: false,
+        failed: HashSet::new(),
+        witness: Vec::new(),
+    };
+    let mut done = BitSet::new(n.max(1));
+    let open: Vec<(usize, Operation)> = Vec::new();
+    let initial = spec.initial();
+    if search.dfs(&mut done, &open, &initial) {
+        Ok(IntervalVerdict::Linearizable(search.witness))
+    } else if search.exhausted {
+        Ok(IntervalVerdict::ResourcesExhausted)
+    } else {
+        Ok(IntervalVerdict::NotLinearizable)
+    }
+}
+
+/// Convenience predicate for [`check_interval`].
+///
+/// # Panics
+///
+/// Panics on ill-formed histories or an exhausted budget.
+pub fn is_interval_linearizable<S: IntervalSpec>(history: &History, spec: &S) -> bool {
+    match check_interval(history, spec).expect("history must be well-formed") {
+        IntervalVerdict::Linearizable(_) => true,
+        IntervalVerdict::NotLinearizable => false,
+        IntervalVerdict::ResourcesExhausted => panic!("interval check exhausted its budget"),
+    }
+}
+
+type MemoKey<St> = (BitSet, Vec<(usize, Operation)>, St);
+
+struct IntervalSearch<'a, S: IntervalSpec> {
+    spans: &'a [Span],
+    spec: &'a S,
+    options: &'a CheckOptions,
+    nodes: u64,
+    exhausted: bool,
+    failed: HashSet<MemoKey<S::State>>,
+    witness: Vec<IntervalPoint>,
+}
+
+impl<S: IntervalSpec> IntervalSearch<'_, S> {
+    /// `open` holds (span index, chosen operation) pairs, sorted by index.
+    fn dfs(
+        &mut self,
+        done: &mut BitSet,
+        open: &[(usize, Operation)],
+        state: &S::State,
+    ) -> bool {
+        if open.is_empty()
+            && (0..self.spans.len())
+                .all(|i| done.contains(i) || !self.spans[i].is_complete())
+        {
+            return true;
+        }
+        if self.nodes >= self.options.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes += 1;
+        let key = (done.clone(), open.to_vec(), state.clone());
+        if self.options.memoize && self.failed.contains(&key) {
+            return false;
+        }
+
+        // Operations that may open here: neither done nor open, and every
+        // ≺H-predecessor is already done (its interval closed earlier).
+        let openable: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| !done.contains(i) && open.iter().all(|&(j, _)| j != i))
+            .filter(|&i| {
+                (0..self.spans.len()).all(|j| {
+                    done.contains(j) || !History::spans_precede(&self.spans[j], &self.spans[i])
+                })
+            })
+            .collect();
+
+        let max_new = self.spec.max_active().saturating_sub(open.len());
+        // Enumerate opening subsets (including empty when something is
+        // already open), then closing subsets (non-trivial points only).
+        let mut opening: Vec<usize> = Vec::new();
+        if self.enumerate_openings(&openable, 0, max_new, &mut opening, done, open, state) {
+            return true;
+        }
+        if self.options.memoize {
+            self.failed.insert(key);
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_openings(
+        &mut self,
+        openable: &[usize],
+        from: usize,
+        max_new: usize,
+        opening: &mut Vec<usize>,
+        done: &mut BitSet,
+        open: &[(usize, Operation)],
+        state: &S::State,
+    ) -> bool {
+        if !open.is_empty() || !opening.is_empty() {
+            // Candidate point with these openings; try closings.
+            if self.try_closings(opening, done, open, state) {
+                return true;
+            }
+        }
+        if opening.len() == max_new {
+            return false;
+        }
+        for (k, &i) in openable.iter().enumerate().skip(from) {
+            // New ops must be pairwise concurrent with the already-chosen
+            // openings and with everything currently open.
+            let concurrent = opening
+                .iter()
+                .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
+                && open
+                    .iter()
+                    .all(|&(j, _)| History::spans_concurrent(&self.spans[i], &self.spans[j]));
+            if !concurrent {
+                continue;
+            }
+            opening.push(i);
+            if self.enumerate_openings(openable, k + 1, max_new, opening, done, open, state) {
+                return true;
+            }
+            opening.pop();
+        }
+        false
+    }
+
+    fn try_closings(
+        &mut self,
+        opening: &[usize],
+        done: &mut BitSet,
+        open: &[(usize, Operation)],
+        state: &S::State,
+    ) -> bool {
+        // Resolve the operations of the opening set (pending invocations
+        // get spec-proposed completions).
+        let mut opening_choices: Vec<Vec<Operation>> = Vec::with_capacity(opening.len());
+        for &i in opening {
+            let s = &self.spans[i];
+            let choices = match s.operation() {
+                Some(op) => vec![op],
+                None => {
+                    let inv = Invocation::new(s.thread, s.object, s.method, s.arg);
+                    self.spec
+                        .completions_of(&inv)
+                        .into_iter()
+                        .map(|ret| s.operation_with_ret(ret))
+                        .collect()
+                }
+            };
+            if choices.is_empty() {
+                return false;
+            }
+            opening_choices.push(choices);
+        }
+        let mut pick = vec![0usize; opening.len()];
+        loop {
+            let opening_ops: Vec<(usize, Operation)> = opening
+                .iter()
+                .zip(&pick)
+                .map(|(&i, &c)| (i, opening_choices[opening.iter().position(|&x| x == i).unwrap()][c]))
+                .collect();
+            // Active set = open ∪ opening.
+            let mut active: Vec<(usize, Operation)> = open.to_vec();
+            active.extend(opening_ops.iter().copied());
+            // Enumerate closing subsets of the active set (2^|active|,
+            // bounded by max_active).
+            let m = active.len();
+            for mask in 0..(1u32 << m) {
+                let closing: Vec<(usize, Operation)> = (0..m)
+                    .filter(|&b| mask & (1 << b) != 0)
+                    .map(|b| active[b])
+                    .collect();
+                // A point must make progress: open or close something.
+                if opening.is_empty() && closing.is_empty() {
+                    continue;
+                }
+                let active_ops: Vec<Operation> = active.iter().map(|&(_, o)| o).collect();
+                let opening_only: Vec<Operation> =
+                    opening_ops.iter().map(|&(_, o)| o).collect();
+                let closing_ops: Vec<Operation> = closing.iter().map(|&(_, o)| o).collect();
+                if let Some(next) =
+                    self.spec.step(state, &active_ops, &opening_only, &closing_ops)
+                {
+                    // Commit: move closings to done, keep the rest open.
+                    let mut next_open: Vec<(usize, Operation)> = active
+                        .iter()
+                        .filter(|&&(i, _)| !closing.iter().any(|&(j, _)| j == i))
+                        .copied()
+                        .collect();
+                    next_open.sort_unstable_by_key(|&(i, _)| i);
+                    for &(i, _) in &closing {
+                        done.insert(i);
+                    }
+                    self.witness.push(IntervalPoint {
+                        active: active_ops,
+                        opening: opening_only,
+                        closing: closing_ops,
+                    });
+                    if self.dfs(done, &next_open, &next) {
+                        return true;
+                    }
+                    self.witness.pop();
+                    for &(i, _) in &closing {
+                        done.remove(i);
+                    }
+                }
+            }
+            // Advance completion choices.
+            let mut d = 0;
+            loop {
+                if d == pick.len() {
+                    return false;
+                }
+                pick[d] += 1;
+                if pick[d] < opening_choices[d].len() {
+                    break;
+                }
+                pick[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::{Method, ObjectId, ThreadId};
+
+    const O: ObjectId = ObjectId(0);
+    const WS: Method = Method("write_snapshot");
+
+    /// Write-snapshot over values 0..63: `write_snapshot(v)` returns the
+    /// bitmask of all values written by operations whose interval started
+    /// no later than this one's end. State = bitmask written so far;
+    /// opening adds values; closing ops must return the current mask.
+    #[derive(Debug)]
+    struct WriteSnapshot;
+
+    impl IntervalSpec for WriteSnapshot {
+        type State = i64;
+
+        fn initial(&self) -> i64 {
+            0
+        }
+
+        fn step(
+            &self,
+            state: &i64,
+            _active: &[Operation],
+            opening: &[Operation],
+            closing: &[Operation],
+        ) -> Option<i64> {
+            let mut mask = *state;
+            for op in opening {
+                let v = op.arg.as_int()?;
+                if !(0..63).contains(&v) {
+                    return None;
+                }
+                mask |= 1 << v;
+            }
+            for op in closing {
+                if op.ret != Value::Int(mask) {
+                    return None;
+                }
+            }
+            Some(mask)
+        }
+
+        fn completions_of(&self, _inv: &Invocation) -> Vec<Value> {
+            Vec::new()
+        }
+    }
+
+    fn ws(t: u32, v: i64, snapshot: i64) -> Operation {
+        Operation::new(ThreadId(t), O, WS, Value::Int(v), Value::Int(snapshot))
+    }
+
+    fn mask(vals: &[i64]) -> i64 {
+        vals.iter().fold(0, |m, v| m | (1 << v))
+    }
+
+    #[test]
+    fn sequential_snapshots_are_interval_linearizable() {
+        let a = ws(1, 1, mask(&[1]));
+        let b = ws(2, 2, mask(&[1, 2]));
+        let h = History::from_actions(vec![
+            a.invocation(),
+            a.response(),
+            b.invocation(),
+            b.response(),
+        ]);
+        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    #[test]
+    fn wrong_snapshot_rejected() {
+        let a = ws(1, 1, mask(&[1, 5])); // claims to have seen 5
+        let h = History::from_actions(vec![a.invocation(), a.response()]);
+        assert!(!is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    #[test]
+    fn concurrent_ops_may_share_a_point() {
+        let a = ws(1, 1, mask(&[1, 2]));
+        let b = ws(2, 2, mask(&[1, 2]));
+        let h = History::from_actions(vec![
+            a.invocation(),
+            b.invocation(),
+            a.response(),
+            b.response(),
+        ]);
+        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    /// The Castañeda–Rajsbaum–Raynal separation scenario (§6 of the
+    /// paper): A overlaps B and C, B precedes C, B's snapshot excludes C
+    /// but includes A, and A's snapshot includes C. A's effect must span
+    /// an *interval* covering both B's and C's points — expressible here,
+    /// not with single-point (CAL / set-linearizable) assignments.
+    #[test]
+    fn spanning_operation_is_interval_linearizable() {
+        let a = ws(1, 1, mask(&[1, 2, 3])); // sees everyone
+        let b = ws(2, 2, mask(&[1, 2])); // sees A but not C
+        let c = ws(3, 3, mask(&[1, 2, 3])); // sees everyone
+        let h = History::from_actions(vec![
+            a.invocation(),
+            b.invocation(),
+            b.response(), // B closes; C has not started: B ≺H C
+            c.invocation(),
+            c.response(),
+            a.response(),
+        ]);
+        let verdict = check_interval(&h, &WriteSnapshot).unwrap();
+        let IntervalVerdict::Linearizable(points) = verdict else {
+            panic!("expected interval-linearizable");
+        };
+        // A must be active at (at least) two points.
+        let a_points = points
+            .iter()
+            .filter(|p| p.active.iter().any(|op| op.thread == ThreadId(1)))
+            .count();
+        assert!(a_points >= 2, "A's interval must span, witness: {points:?}");
+    }
+
+    /// The same history is *not* CAL w.r.t. the natural one-point
+    /// write-snapshot specification: with every operation confined to a
+    /// single element, B's and A's returns cannot both be explained.
+    #[test]
+    fn spanning_operation_is_not_cal() {
+        use crate::spec::CaSpec;
+        use crate::trace::CaElement;
+
+        /// One-point (set-linearizable) write-snapshot: each element's ops
+        /// all return the mask including every value up to this element.
+        #[derive(Debug)]
+        struct OnePointWs;
+        impl CaSpec for OnePointWs {
+            type State = i64;
+            fn initial(&self) -> i64 {
+                0
+            }
+            fn step(&self, state: &i64, e: &CaElement) -> Option<i64> {
+                let mut mask = *state;
+                for op in e.ops() {
+                    mask |= 1 << op.arg.as_int()?;
+                }
+                for op in e.ops() {
+                    if op.ret != Value::Int(mask) {
+                        return None;
+                    }
+                }
+                Some(mask)
+            }
+            fn max_element_size(&self) -> usize {
+                4
+            }
+            fn completions_of(&self, _: &Invocation) -> Vec<Value> {
+                Vec::new()
+            }
+        }
+
+        let a = ws(1, 1, mask(&[1, 2, 3]));
+        let b = ws(2, 2, mask(&[1, 2]));
+        let c = ws(3, 3, mask(&[1, 2, 3]));
+        let h = History::from_actions(vec![
+            a.invocation(),
+            b.invocation(),
+            b.response(),
+            c.invocation(),
+            c.response(),
+            a.response(),
+        ]);
+        assert!(!crate::check::is_cal(&h, &OnePointWs));
+        // …while the interval spec accepts it (previous test).
+        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    #[test]
+    fn real_time_order_respected() {
+        // B ≺H C: C's snapshot must include B, and B's must exclude C.
+        let b = ws(2, 2, mask(&[2, 3])); // claims to see C — impossible
+        let c = ws(3, 3, mask(&[2, 3]));
+        let h = History::from_actions(vec![
+            b.invocation(),
+            b.response(),
+            c.invocation(),
+            c.response(),
+        ]);
+        assert!(!is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    #[test]
+    fn pending_ops_are_droppable() {
+        let a = ws(1, 1, mask(&[1]));
+        let h = History::from_actions(vec![
+            a.invocation(),
+            a.response(),
+            Action::invoke(ThreadId(2), O, WS, Value::Int(2)),
+        ]);
+        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+    }
+
+    #[test]
+    fn empty_history_is_interval_linearizable() {
+        assert!(is_interval_linearizable(&History::new(), &WriteSnapshot));
+    }
+}

@@ -1,0 +1,108 @@
+//! Operations: matched invocation/response pairs (Def. 4 of the paper).
+
+use std::fmt;
+
+use crate::action::Action;
+use crate::ids::{Method, ObjectId, ThreadId, Value};
+
+/// An operation `(t, f(n) ▷ n')` of a concurrent object — the pairing of an
+/// invocation `(t, inv o.f(n))` with its matching response
+/// `(t, res o.f ▷ n')` (Def. 4).
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::{Method, ObjectId, Operation, ThreadId, Value};
+/// let op = Operation::new(
+///     ThreadId(1),
+///     ObjectId(0),
+///     Method("exchange"),
+///     Value::Int(3),
+///     Value::Pair(true, 4),
+/// );
+/// assert_eq!(op.to_string(), "(t1, exchange(3) ▷ (true,4))");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Operation {
+    /// The thread performing the operation.
+    pub thread: ThreadId,
+    /// The object the operation acts on.
+    pub object: ObjectId,
+    /// The invoked method.
+    pub method: Method,
+    /// The invocation argument.
+    pub arg: Value,
+    /// The response value.
+    pub ret: Value,
+}
+
+impl Operation {
+    /// Creates an operation from its five components.
+    pub fn new(
+        thread: ThreadId,
+        object: ObjectId,
+        method: Method,
+        arg: Value,
+        ret: Value,
+    ) -> Self {
+        Operation { thread, object, method, arg, ret }
+    }
+
+    /// The invocation action of this operation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cal_core::{Method, ObjectId, Operation, ThreadId, Value};
+    /// let op = Operation::new(ThreadId(0), ObjectId(0), Method("pop"), Value::Unit,
+    ///                         Value::Pair(true, 5));
+    /// assert!(op.invocation().is_invoke());
+    /// ```
+    pub fn invocation(&self) -> Action {
+        Action::invoke(self.thread, self.object, self.method, self.arg)
+    }
+
+    /// The response action of this operation.
+    pub fn response(&self) -> Action {
+        Action::response(self.thread, self.object, self.method, self.ret)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}({}) ▷ {})", self.thread, self.method, self.arg, self.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> Operation {
+        Operation::new(ThreadId(0), ObjectId(3), Method("pop"), Value::Unit, Value::Pair(true, 8))
+    }
+
+    #[test]
+    fn round_trip_actions() {
+        let o = op();
+        let inv = o.invocation();
+        let res = o.response();
+        assert_eq!(inv.thread(), o.thread);
+        assert_eq!(inv.object(), o.object);
+        assert_eq!(inv.arg(), Some(o.arg));
+        assert_eq!(res.ret(), Some(o.ret));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(op().to_string(), "(t0, pop(()) ▷ (true,8))");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = op();
+        let mut b = op();
+        b.thread = ThreadId(1);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,348 @@
+//! Classical linearizability checking (Herlihy & Wing), as the baseline the
+//! paper generalizes.
+//!
+//! [`check_linearizable`] implements the Wing–Gong search with Lowe-style
+//! memoization of failed `(matched-set, spec-state)` pairs: repeatedly pick
+//! a `≺H`-minimal operation, apply it to the sequential specification, and
+//! backtrack on failure. Pending invocations may be completed with
+//! spec-proposed return values or dropped, exactly as in the CAL checker —
+//! linearizability is the singleton-element special case of CAL, and the
+//! test-suite cross-validates the two implementations against each other.
+
+use std::collections::HashSet;
+
+use crate::bitset::BitSet;
+use crate::check::{CheckError, CheckOptions, CheckOutcome, CheckStats, Verdict};
+use crate::history::{History, Span};
+use crate::op::Operation;
+use crate::spec::{Invocation, SeqSpec};
+use crate::trace::{CaElement, CaTrace};
+
+/// Decides whether `history` is linearizable with respect to the sequential
+/// specification `spec`, with default options.
+///
+/// On success the verdict carries the linearization as a [`CaTrace`] of
+/// singleton elements (a sequential history in trace form).
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+///
+/// # Examples
+///
+/// ```
+/// # use cal_core::{seqlin, Action, History, Method, ObjectId, Operation, ThreadId, Value};
+/// # use cal_core::spec::{Invocation, SeqSpec};
+/// #[derive(Debug)]
+/// struct AnyOp;
+/// impl SeqSpec for AnyOp {
+///     type State = ();
+///     fn initial(&self) {}
+///     fn apply(&self, _: &(), _: &Operation) -> Option<()> { Some(()) }
+///     fn completions_of(&self, _: &Invocation) -> Vec<Value> { vec![] }
+/// }
+/// let o = ObjectId(0);
+/// let m = Method("noop");
+/// let h = History::from_actions(vec![
+///     Action::invoke(ThreadId(0), o, m, Value::Unit),
+///     Action::response(ThreadId(0), o, m, Value::Unit),
+/// ]);
+/// assert!(seqlin::check_linearizable(&h, &AnyOp)?.verdict.is_cal());
+/// # Ok::<(), cal_core::check::CheckError>(())
+/// ```
+pub fn check_linearizable<S: SeqSpec>(
+    history: &History,
+    spec: &S,
+) -> Result<CheckOutcome, CheckError> {
+    check_linearizable_with(history, spec, &CheckOptions::default())
+}
+
+/// Like [`check_linearizable`], with explicit [`CheckOptions`].
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed.
+pub fn check_linearizable_with<S: SeqSpec>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome, CheckError> {
+    let spans = history.try_spans()?;
+    let mut search = Search {
+        spans: &spans,
+        spec,
+        options,
+        stats: CheckStats::default(),
+        failed: HashSet::new(),
+        exhausted: false,
+        witness: Vec::new(),
+    };
+    let mut matched = BitSet::new(spans.len().max(1));
+    let initial = spec.initial();
+    let found = search.dfs(&mut matched, &initial);
+    let verdict = if found {
+        Verdict::Cal(CaTrace::from_elements(
+            std::mem::take(&mut search.witness).into_iter().map(CaElement::singleton).collect(),
+        ))
+    } else if search.exhausted {
+        Verdict::ResourcesExhausted
+    } else {
+        Verdict::NotCal
+    };
+    Ok(CheckOutcome { verdict, stats: search.stats })
+}
+
+/// Convenience predicate: `true` iff the history is linearizable w.r.t.
+/// `spec`.
+///
+/// # Panics
+///
+/// Panics if the history is ill-formed or the default node budget is
+/// exhausted; use [`check_linearizable_with`] for graceful handling.
+pub fn is_linearizable<S: SeqSpec>(history: &History, spec: &S) -> bool {
+    let outcome = check_linearizable(history, spec).expect("history must be well-formed");
+    match outcome.verdict {
+        Verdict::Cal(_) => true,
+        Verdict::NotCal => false,
+        Verdict::ResourcesExhausted => panic!("linearizability check exhausted its node budget"),
+    }
+}
+
+struct Search<'a, S: SeqSpec> {
+    spans: &'a [Span],
+    spec: &'a S,
+    options: &'a CheckOptions,
+    stats: CheckStats,
+    failed: HashSet<(BitSet, S::State)>,
+    exhausted: bool,
+    witness: Vec<Operation>,
+}
+
+impl<'a, S: SeqSpec> Search<'a, S> {
+    fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
+        if (0..self.spans.len()).all(|i| matched.contains(i) || !self.spans[i].is_complete()) {
+            return true;
+        }
+        if self.stats.nodes >= self.options.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.stats.nodes += 1;
+        if self.options.memoize && self.failed.contains(&(matched.clone(), state.clone())) {
+            self.stats.memo_hits += 1;
+            return false;
+        }
+        for i in 0..self.spans.len() {
+            if matched.contains(i) {
+                continue;
+            }
+            let is_minimal = (0..self.spans.len()).all(|j| {
+                matched.contains(j) || !History::spans_precede(&self.spans[j], &self.spans[i])
+            });
+            if !is_minimal {
+                continue;
+            }
+            let span = &self.spans[i];
+            let candidates: Vec<Operation> = match span.operation() {
+                Some(op) => vec![op],
+                None => {
+                    let inv = Invocation::new(span.thread, span.object, span.method, span.arg);
+                    self.spec
+                        .completions_of(&inv)
+                        .into_iter()
+                        .map(|ret| span.operation_with_ret(ret))
+                        .collect()
+                }
+            };
+            for op in candidates {
+                self.stats.elements_tried += 1;
+                if let Some(next) = self.spec.apply(state, &op) {
+                    matched.insert(i);
+                    self.witness.push(op);
+                    if self.dfs(matched, &next) {
+                        return true;
+                    }
+                    self.witness.pop();
+                    matched.remove(i);
+                }
+            }
+        }
+        if self.options.memoize {
+            self.failed.insert((matched.clone(), state.clone()));
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::ids::{Method, ObjectId, ThreadId, Value};
+    use crate::spec::SeqAsCa;
+
+    const R: ObjectId = ObjectId(0);
+    const WRITE: Method = Method("write");
+    const READ: Method = Method("read");
+
+    /// A sequential register: `read` returns the last written value
+    /// (initially 0).
+    #[derive(Debug)]
+    struct Register;
+
+    impl SeqSpec for Register {
+        type State = i64;
+
+        fn initial(&self) -> i64 {
+            0
+        }
+
+        fn apply(&self, state: &i64, op: &Operation) -> Option<i64> {
+            match op.method {
+                WRITE => {
+                    if op.ret != Value::Unit {
+                        return None;
+                    }
+                    op.arg.as_int()
+                }
+                READ => (op.ret == Value::Int(*state)).then_some(*state),
+                _ => None,
+            }
+        }
+
+        fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+            match inv.method {
+                WRITE => vec![Value::Unit],
+                READ => (0..8).map(Value::Int).collect(),
+                _ => vec![],
+            }
+        }
+    }
+
+    fn w(t: u32, v: i64) -> [Action; 2] {
+        [
+            Action::invoke(ThreadId(t), R, WRITE, Value::Int(v)),
+            Action::response(ThreadId(t), R, WRITE, Value::Unit),
+        ]
+    }
+
+    fn r(t: u32, v: i64) -> [Action; 2] {
+        [
+            Action::invoke(ThreadId(t), R, READ, Value::Unit),
+            Action::response(ThreadId(t), R, READ, Value::Int(v)),
+        ]
+    }
+
+    #[test]
+    fn sequential_register_history_linearizable() {
+        let mut acts = Vec::new();
+        acts.extend(w(1, 5));
+        acts.extend(r(2, 5));
+        let h = History::from_actions(acts);
+        assert!(is_linearizable(&h, &Register));
+    }
+
+    #[test]
+    fn stale_read_after_write_not_linearizable() {
+        let mut acts = Vec::new();
+        acts.extend(w(1, 5));
+        acts.extend(r(2, 0)); // reads initial value after the write completed
+        let h = History::from_actions(acts);
+        assert!(!is_linearizable(&h, &Register));
+    }
+
+    #[test]
+    fn concurrent_write_read_may_return_old_or_new() {
+        // write(5) overlaps read: both 0 and 5 are legal.
+        for ret in [0, 5] {
+            let h = History::from_actions(vec![
+                Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
+                Action::invoke(ThreadId(2), R, READ, Value::Unit),
+                Action::response(ThreadId(1), R, WRITE, Value::Unit),
+                Action::response(ThreadId(2), R, READ, Value::Int(ret)),
+            ]);
+            assert!(is_linearizable(&h, &Register), "read of {ret} should linearize");
+        }
+        let h = History::from_actions(vec![
+            Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
+            Action::invoke(ThreadId(2), R, READ, Value::Unit),
+            Action::response(ThreadId(1), R, WRITE, Value::Unit),
+            Action::response(ThreadId(2), R, READ, Value::Int(3)),
+        ]);
+        assert!(!is_linearizable(&h, &Register));
+    }
+
+    #[test]
+    fn pending_write_may_take_effect_or_not() {
+        // write(5) never responds; a later read may still see it (the
+        // completion adds the response) or see 0 (the invocation dropped).
+        for ret in [0, 5] {
+            let h = History::from_actions(vec![
+                Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
+                Action::invoke(ThreadId(2), R, READ, Value::Unit),
+                Action::response(ThreadId(2), R, READ, Value::Int(ret)),
+            ]);
+            assert!(is_linearizable(&h, &Register), "pending write, read {ret}");
+        }
+    }
+
+    #[test]
+    fn witness_is_sequential_trace() {
+        let mut acts = Vec::new();
+        acts.extend(w(1, 5));
+        acts.extend(r(2, 5));
+        let h = History::from_actions(acts);
+        let outcome = check_linearizable(&h, &Register).unwrap();
+        let witness = outcome.verdict.witness().unwrap();
+        assert_eq!(witness.len(), 2);
+        assert!(witness.elements().iter().all(|e| e.len() == 1));
+    }
+
+    #[test]
+    fn agrees_with_ca_checker_on_singleton_spec() {
+        // Cross-validation: linearizability == CAL with SeqAsCa.
+        let histories = vec![
+            {
+                let mut acts = Vec::new();
+                acts.extend(w(1, 5));
+                acts.extend(r(2, 5));
+                acts
+            },
+            {
+                let mut acts = Vec::new();
+                acts.extend(w(1, 5));
+                acts.extend(r(2, 0));
+                acts
+            },
+            vec![
+                Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
+                Action::invoke(ThreadId(2), R, READ, Value::Unit),
+                Action::response(ThreadId(1), R, WRITE, Value::Unit),
+                Action::response(ThreadId(2), R, READ, Value::Int(5)),
+            ],
+        ];
+        let ca = SeqAsCa::new(Register);
+        for acts in histories {
+            let h = History::from_actions(acts);
+            let lin = is_linearizable(&h, &Register);
+            let cal = crate::check::is_cal(&h, &ca);
+            assert_eq!(lin, cal, "checkers disagree on {h}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut acts = Vec::new();
+        acts.extend(w(1, 5));
+        let h = History::from_actions(acts);
+        let outcome =
+            check_linearizable_with(&h, &Register, &CheckOptions { max_nodes: 0, ..CheckOptions::default() }).unwrap();
+        assert_eq!(outcome.verdict, Verdict::ResourcesExhausted);
+    }
+
+    #[test]
+    fn ill_formed_history_is_an_error() {
+        let h = History::from_actions(vec![Action::response(ThreadId(1), R, READ, Value::Int(0))]);
+        assert!(check_linearizable(&h, &Register).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Specification traits: concurrency-aware and sequential object
+//! specifications.
+//!
+//! The paper specifies an object by a set of CA-traces (§4). We represent
+//! such a set operationally, as a stateful acceptor: a [`CaSpec`] has an
+//! initial state and a partial transition function over CA-elements; the
+//! specified trace set is every sequence of elements the acceptor can
+//! consume. This matches the paper's examples, which are all prefix-closed.
+//!
+//! Classical linearizability uses *sequential* specifications; those are
+//! [`SeqSpec`]s, acceptors over single operations. [`SeqAsCa`] embeds a
+//! sequential specification into the CA world as the singleton-element
+//! fragment, recovering Herlihy–Wing linearizability as the special case the
+//! paper describes.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::ids::{Method, ObjectId, ThreadId, Value};
+use crate::op::Operation;
+use crate::trace::{CaElement, CaTrace};
+
+/// A not-yet-responded invocation, as presented to a specification when the
+/// checker needs candidate return values to complete it (Def. 2's
+/// completions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Invocation {
+    /// Invoking thread.
+    pub thread: ThreadId,
+    /// Target object.
+    pub object: ObjectId,
+    /// Invoked method.
+    pub method: Method,
+    /// Invocation argument.
+    pub arg: Value,
+}
+
+impl Invocation {
+    /// Creates an invocation descriptor.
+    pub fn new(thread: ThreadId, object: ObjectId, method: Method, arg: Value) -> Self {
+        Invocation { thread, object, method, arg }
+    }
+
+    /// The operation obtained by completing this invocation with `ret`.
+    pub fn complete_with(&self, ret: Value) -> Operation {
+        Operation::new(self.thread, self.object, self.method, self.arg, ret)
+    }
+}
+
+/// A concurrency-aware specification: a prefix-closed set of CA-traces,
+/// represented as a stateful acceptor (§4 of the paper).
+pub trait CaSpec {
+    /// Acceptor state. For a stack this is the abstract stack contents; for
+    /// the exchanger it is `()` (every element is judged locally).
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial acceptor state.
+    fn initial(&self) -> Self::State;
+
+    /// Attempts to consume one CA-element, returning the successor state if
+    /// the element is allowed in `state`.
+    fn step(&self, state: &Self::State, element: &CaElement) -> Option<Self::State>;
+
+    /// Upper bound on the number of operations in any CA-element of the
+    /// specification. The CAL checker enumerates candidate elements up to
+    /// this size; `1` recovers classical linearizability.
+    fn max_element_size(&self) -> usize {
+        1
+    }
+
+    /// Candidate return values for completing a pending invocation
+    /// (Def. 2's completions). Return an empty vector to force dropping the
+    /// invocation.
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value>;
+
+    /// Candidate return values for completing a pending invocation that is
+    /// being placed in a CA-element together with `peers` (the invocation
+    /// views of the element's other members).
+    ///
+    /// The default ignores the peers. Specifications whose successful
+    /// return values are determined by simultaneous operations — e.g. the
+    /// exchanger, where a successful `exchange(v)` returns its partner's
+    /// argument — should override this to propose peer-derived values,
+    /// otherwise the CAL checker cannot complete pending invocations into
+    /// multi-operation elements.
+    fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+        let _ = peers;
+        self.completions_of(inv)
+    }
+
+    /// Returns `true` if the full trace is accepted from the initial state.
+    fn accepts(&self, trace: &CaTrace) -> bool {
+        let mut state = self.initial();
+        for e in trace.elements() {
+            match self.step(&state, e) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// A sequential specification: a prefix-closed set of sequential histories,
+/// represented as a stateful acceptor over single operations.
+pub trait SeqSpec {
+    /// Acceptor state (e.g. abstract stack contents).
+    type State: Clone + Eq + Hash + Debug;
+
+    /// The initial acceptor state.
+    fn initial(&self) -> Self::State;
+
+    /// Attempts to apply one operation, returning the successor state if
+    /// the operation is legal in `state`.
+    fn apply(&self, state: &Self::State, op: &Operation) -> Option<Self::State>;
+
+    /// Candidate return values for completing a pending invocation.
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value>;
+
+    /// Returns `true` if the sequence of operations is accepted from the
+    /// initial state.
+    fn accepts(&self, ops: &[Operation]) -> bool {
+        let mut state = self.initial();
+        for op in ops {
+            match self.apply(&state, op) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Embeds a sequential specification as a CA specification whose elements
+/// are all singletons.
+///
+/// CAL with a `SeqAsCa` specification coincides with classical
+/// linearizability, which is how the paper relates the two notions.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::spec::{CaSpec, SeqAsCa, SeqSpec};
+/// # use cal_core::spec::Invocation;
+/// # use cal_core::{Operation, Value};
+/// #[derive(Debug)]
+/// struct AnyOp;
+/// impl SeqSpec for AnyOp {
+///     type State = ();
+///     fn initial(&self) {}
+///     fn apply(&self, _: &(), _: &Operation) -> Option<()> { Some(()) }
+///     fn completions_of(&self, _: &Invocation) -> Vec<Value> { vec![] }
+/// }
+/// let ca = SeqAsCa::new(AnyOp);
+/// assert_eq!(ca.max_element_size(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeqAsCa<S> {
+    inner: S,
+}
+
+impl<S> SeqAsCa<S> {
+    /// Wraps a sequential specification.
+    pub fn new(inner: S) -> Self {
+        SeqAsCa { inner }
+    }
+
+    /// The wrapped sequential specification.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the sequential specification.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SeqSpec> CaSpec for SeqAsCa<S> {
+    type State = S::State;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn step(&self, state: &Self::State, element: &CaElement) -> Option<Self::State> {
+        if element.len() != 1 {
+            return None;
+        }
+        self.inner.apply(state, &element.ops()[0])
+    }
+
+    fn max_element_size(&self) -> usize {
+        1
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        self.inner.completions_of(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    /// A toy sequential counter: `inc() ▷ n` must return the number of
+    /// previous increments.
+    #[derive(Debug, Clone, Copy)]
+    struct Counter(ObjectId);
+
+    impl SeqSpec for Counter {
+        type State = i64;
+
+        fn initial(&self) -> i64 {
+            0
+        }
+
+        fn apply(&self, state: &i64, op: &Operation) -> Option<i64> {
+            if op.object != self.0 || op.method != Method("inc") {
+                return None;
+            }
+            (op.ret == Value::Int(*state)).then_some(state + 1)
+        }
+
+        fn completions_of(&self, _inv: &Invocation) -> Vec<Value> {
+            (0..4).map(Value::Int).collect()
+        }
+    }
+
+    fn inc(t: u32, ret: i64) -> Operation {
+        Operation::new(ThreadId(t), ObjectId(0), Method("inc"), Value::Unit, Value::Int(ret))
+    }
+
+    #[test]
+    fn seq_accepts_folds_apply() {
+        let c = Counter(ObjectId(0));
+        assert!(c.accepts(&[inc(1, 0), inc(2, 1), inc(1, 2)]));
+        assert!(!c.accepts(&[inc(1, 0), inc(2, 0)]));
+        assert!(c.accepts(&[]));
+    }
+
+    #[test]
+    fn seq_as_ca_accepts_singleton_traces() {
+        let ca = SeqAsCa::new(Counter(ObjectId(0)));
+        let t = CaTrace::from_elements(vec![
+            CaElement::singleton(inc(1, 0)),
+            CaElement::singleton(inc(2, 1)),
+        ]);
+        assert!(ca.accepts(&t));
+    }
+
+    #[test]
+    fn seq_as_ca_rejects_wide_elements() {
+        let ca = SeqAsCa::new(Counter(ObjectId(0)));
+        let wide = CaElement::pair(inc(1, 0), inc(2, 1)).unwrap();
+        let t = CaTrace::from_elements(vec![wide]);
+        assert!(!ca.accepts(&t));
+    }
+
+    #[test]
+    fn seq_as_ca_rejects_illegal_singleton() {
+        let ca = SeqAsCa::new(Counter(ObjectId(0)));
+        let t = CaTrace::from_elements(vec![CaElement::singleton(inc(1, 5))]);
+        assert!(!ca.accepts(&t));
+    }
+
+    #[test]
+    fn invocation_complete_with() {
+        let inv = Invocation::new(ThreadId(1), ObjectId(0), Method("inc"), Value::Unit);
+        let op = inv.complete_with(Value::Int(3));
+        assert_eq!(op.ret, Value::Int(3));
+        assert_eq!(op.thread, ThreadId(1));
+    }
+
+    #[test]
+    fn seq_as_ca_forwards_completions() {
+        let ca = SeqAsCa::new(Counter(ObjectId(0)));
+        let inv = Invocation::new(ThreadId(1), ObjectId(0), Method("inc"), Value::Unit);
+        assert_eq!(ca.completions_of(&inv).len(), 4);
+        assert_eq!(ca.inner().completions_of(&inv).len(), 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the core data structures and invariants.
+
+use cal_core::bitset::BitSet;
+use cal_core::gen::{interleave, render, render_windowed};
+use cal_core::text::{format_history, format_trace, parse_history, parse_trace};
+use cal_core::{Action, CaElement, CaTrace, History, Method, ObjectId, Operation, ThreadId, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(Value::Int),
+        (any::<bool>(), -100i64..100).prop_map(|(b, n)| Value::Pair(b, n)),
+    ]
+}
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method("exchange")),
+        Just(Method("push")),
+        Just(Method("pop")),
+        Just(Method("put")),
+    ]
+}
+
+/// A per-thread sequential action list: alternating inv/res on one object.
+fn arb_thread_actions(t: u32) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec((arb_method(), arb_value(), arb_value(), any::<bool>()), 0..5).prop_map(
+        move |ops| {
+            let mut out = Vec::new();
+            let n = ops.len();
+            for (i, (m, arg, ret, complete)) in ops.into_iter().enumerate() {
+                out.push(Action::invoke(ThreadId(t), ObjectId(0), m, arg));
+                // Only the final operation may stay pending.
+                if complete || i + 1 < n {
+                    out.push(Action::response(ThreadId(t), ObjectId(0), m, ret));
+                }
+            }
+            out
+        },
+    )
+}
+
+fn arb_history() -> impl Strategy<Value = History> {
+    (prop::collection::vec(arb_thread_actions(0), 1..4), any::<u64>()).prop_map(
+        |(mut lists, seed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            // Re-thread the lists so thread ids are distinct.
+            for (t, list) in lists.iter_mut().enumerate() {
+                for a in list.iter_mut() {
+                    let rethreaded = match (a.is_invoke(), a.arg(), a.ret()) {
+                        (true, Some(arg), _) => {
+                            Action::invoke(ThreadId(t as u32), a.object(), a.method(), arg)
+                        }
+                        (_, _, Some(ret)) => {
+                            Action::response(ThreadId(t as u32), a.object(), a.method(), ret)
+                        }
+                        _ => unreachable!(),
+                    };
+                    *a = rethreaded;
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            interleave(&lists, &mut rng)
+        },
+    )
+}
+
+fn arb_trace() -> impl Strategy<Value = CaTrace> {
+    prop::collection::vec(
+        (0u32..4, arb_method(), arb_value(), arb_value(), any::<bool>(), arb_value()),
+        0..8,
+    )
+    .prop_map(|specs| {
+        let mut elements = Vec::new();
+        for (t, m, arg, ret, pair, arg2) in specs {
+            let a = Operation::new(ThreadId(t), ObjectId(0), m, arg, ret);
+            if pair {
+                let b = Operation::new(ThreadId(t + 10), ObjectId(0), m, arg2, ret);
+                elements.push(CaElement::pair(a, b).expect("distinct threads"));
+            } else {
+                elements.push(CaElement::singleton(a));
+            }
+        }
+        CaTrace::from_elements(elements)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interleaved_histories_are_well_formed(h in arb_history()) {
+        prop_assert!(h.is_well_formed());
+        // Per-thread projections are sequential.
+        for t in h.threads() {
+            prop_assert!(h.project_thread(t).is_sequential());
+        }
+    }
+
+    #[test]
+    fn spans_pair_invocations_and_responses(h in arb_history()) {
+        let spans = h.spans();
+        let invocations = h.actions().iter().filter(|a| a.is_invoke()).count();
+        let responses = h.actions().iter().filter(|a| a.is_response()).count();
+        prop_assert_eq!(spans.len(), invocations);
+        prop_assert_eq!(spans.iter().filter(|s| s.is_complete()).count(), responses);
+        // Real-time order is irreflexive and antisymmetric.
+        for a in &spans {
+            prop_assert!(!History::spans_precede(a, a));
+            for b in &spans {
+                if History::spans_precede(a, b) {
+                    prop_assert!(!History::spans_precede(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completions_are_complete_and_bounded(h in arb_history()) {
+        let pending = h.spans().iter().filter(|s| !s.is_complete()).count();
+        let completions = h.completions(|_| vec![Value::Unit]);
+        prop_assert_eq!(completions.len(), 2usize.pow(pending as u32));
+        for c in completions {
+            prop_assert!(c.is_complete());
+        }
+    }
+
+    #[test]
+    fn history_text_round_trip(h in arb_history()) {
+        let text = format_history(&h);
+        let parsed = parse_history(&text).expect("formatter output parses");
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn trace_text_round_trip(t in arb_trace()) {
+        let text = format_trace(&t);
+        let parsed = parse_trace(&text).expect("formatter output parses");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn trace_projections_partition_objects(t in arb_trace()) {
+        // Projection to the only object is the identity here.
+        prop_assert_eq!(t.project_object(ObjectId(0)), t.clone());
+        prop_assert!(t.project_object(ObjectId(9)).is_empty());
+        // Thread projections keep whole elements.
+        for el in t.elements() {
+            for op in el.ops() {
+                let proj = t.project_thread(op.thread);
+                prop_assert!(proj.elements().contains(el));
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_render_always_agrees(t in arb_trace(), w in 1usize..6) {
+        let h = render_windowed(&t, w);
+        prop_assert!(h.is_well_formed());
+        prop_assert!(cal_core::agree::agrees_bool(&h, &t));
+        // The strict render agrees too.
+        prop_assert!(cal_core::agree::agrees_bool(&render(&t), &t));
+    }
+
+    #[test]
+    fn bitset_models_a_set(ops in prop::collection::vec((0usize..64, any::<bool>()), 0..40)) {
+        let mut bs = BitSet::new(64);
+        let mut reference = std::collections::BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                bs.insert(i);
+                reference.insert(i);
+            } else {
+                bs.remove(i);
+                reference.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(),
+                        reference.iter().copied().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,179 @@
+//! A scalable elimination-based exchange channel in the style of
+//! Scherer, Lea and Scott (the paper's reference [21]): an *arena* of
+//! exchanger slots with adaptive bounds. Threads start at slot 0 (fast
+//! rendezvous at low concurrency) and back off to random slots within a
+//! bound that grows under contention and shrinks under timeouts — the
+//! same CA-object specification surface as a single exchanger, with far
+//! better scalability.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::Rng;
+
+use crate::exchanger::{ExchangeOutcome, Exchanger};
+
+/// An adaptive multi-slot exchanger arena.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::arena_exchanger::ArenaExchanger;
+/// let arena = ArenaExchanger::new(8, 64);
+/// // Alone: every attempt times out.
+/// assert_eq!(arena.exchange(7, 3), (false, 7));
+/// ```
+#[derive(Debug)]
+pub struct ArenaExchanger {
+    slots: Vec<Exchanger>,
+    /// Current arena bound: threads pick slots in `0..bound`.
+    bound: AtomicUsize,
+    spin_budget: usize,
+}
+
+impl ArenaExchanger {
+    /// Creates an arena with `slots` exchanger slots and the given
+    /// per-attempt spin budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is 0.
+    pub fn new(slots: usize, spin_budget: usize) -> Self {
+        assert!(slots > 0, "arena needs at least one slot");
+        ArenaExchanger {
+            slots: (0..slots).map(|_| Exchanger::new()).collect(),
+            bound: AtomicUsize::new(1),
+            spin_budget,
+        }
+    }
+
+    /// The number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current adaptive bound (for tests and diagnostics).
+    pub fn current_bound(&self) -> usize {
+        self.bound.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to exchange `v`, trying up to `attempts` slots. Returns
+    /// `(true, partner's value)` on success and `(false, v)` on failure.
+    pub fn exchange(&self, v: i64, attempts: usize) -> (bool, i64) {
+        let mut rng = rand::thread_rng();
+        for attempt in 0..attempts {
+            let bound = self.bound.load(Ordering::Relaxed).clamp(1, self.slots.len());
+            // First attempt goes to slot 0 — the fast path when the arena
+            // is quiet; backoff attempts scatter within the bound.
+            let slot = if attempt == 0 { 0 } else { rng.gen_range(0..bound) };
+            match self.slots[slot].exchange_detailed(v, self.spin_budget) {
+                ExchangeOutcome::Swapped(got) => return (true, got),
+                ExchangeOutcome::Contended => {
+                    // Another pair beat us to the slot: grow the arena.
+                    let _ = self.bound.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |b| (b < self.slots.len()).then_some(b + 1),
+                    );
+                }
+                ExchangeOutcome::TimedOut => {
+                    // Nobody came: shrink the arena back.
+                    let _ = self.bound.fetch_update(
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                        |b| (b > 1).then_some(b - 1),
+                    );
+                }
+            }
+        }
+        (false, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_exchange_times_out() {
+        let a = ArenaExchanger::new(4, 2);
+        assert_eq!(a.exchange(9, 3), (false, 9));
+        assert_eq!(a.slots(), 4);
+        assert_eq!(a.current_bound(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        ArenaExchanger::new(0, 1);
+    }
+
+    #[test]
+    fn pairs_swap_under_concurrency() {
+        let a = Arc::new(ArenaExchanger::new(4, 256));
+        let swaps = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let a = Arc::clone(&a);
+                let swaps = Arc::clone(&swaps);
+                s.spawn(move || {
+                    for i in 0..2_000 {
+                        let (ok, got) = a.exchange(t * 100_000 + i, 4);
+                        if ok {
+                            swaps.fetch_add(1, Ordering::Relaxed);
+                            assert_ne!(got / 100_000, t, "swapped with itself");
+                        }
+                    }
+                });
+            }
+        });
+        let n = swaps.load(Ordering::Relaxed);
+        assert!(n > 0, "concurrent threads must pair");
+        assert_eq!(n % 2, 0, "swaps come in pairs");
+    }
+
+    #[test]
+    fn values_cross_exactly() {
+        let a = Arc::new(ArenaExchanger::new(2, 256));
+        let received = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let a = Arc::clone(&a);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        let mine = t * 1_000_000 + i;
+                        let (ok, got) = a.exchange(mine, 3);
+                        if ok {
+                            received.lock().push((mine, got));
+                        }
+                    }
+                });
+            }
+        });
+        let pairs = received.lock();
+        for &(mine, got) in pairs.iter() {
+            assert!(
+                pairs.iter().any(|&(m, g)| m == got && g == mine),
+                "unreciprocated swap {mine} -> {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_stays_within_arena() {
+        let a = Arc::new(ArenaExchanger::new(3, 16));
+        std::thread::scope(|s| {
+            for t in 0..6i64 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let _ = a.exchange(t * 10_000 + i, 2);
+                    }
+                });
+            }
+        });
+        assert!((1..=3).contains(&a.current_bound()));
+    }
+}

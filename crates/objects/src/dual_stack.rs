@@ -1,0 +1,332 @@
+//! A real lock-free dual stack (Scherer & Scott, DISC 2004): `pop` on an
+//! empty stack installs a reservation and waits for a push to fulfill it.
+//! The §6 example of a dual data structure, here with epoch reclamation
+//! and timeout-based cancellation.
+//!
+//! Node discipline: data nodes are retired by the popper that unlinks
+//! them; reservation nodes are retired by whichever thread wins the
+//! unlink CAS (owner, fulfiller, or a later helper), while the waiting
+//! owner polls its separately-owned fulfillment slot (an `Arc`d atomic),
+//! so no thread ever reads a freed node.
+
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+
+/// The fulfillment slot is in this state until a push arrives.
+const UNFILLED: i64 = i64::MIN;
+/// The waiting pop gave up; the reservation is dead.
+const CANCELLED: i64 = i64::MIN + 1;
+
+struct Node {
+    /// `None` for data nodes; the fulfillment slot for reservations.
+    fill: Option<Arc<AtomicI64>>,
+    data: i64,
+    next: Atomic<Node>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("is_reservation", &self.fill.is_some())
+            .field("data", &self.data)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A lock-free dual stack.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::dual_stack::DualStack;
+/// let s = DualStack::new();
+/// s.push(5);
+/// assert_eq!(s.try_pop(16), Some(5));
+/// assert_eq!(s.try_pop(2), None); // empty: the reservation times out
+/// ```
+#[derive(Debug, Default)]
+pub struct DualStack {
+    top: Atomic<Node>,
+}
+
+impl DualStack {
+    /// Creates an empty dual stack.
+    pub fn new() -> Self {
+        DualStack { top: Atomic::null() }
+    }
+
+    /// Pushes `v`, fulfilling a waiting pop if one is reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` collides with the internal sentinels (`i64::MIN`,
+    /// `i64::MIN + 1`).
+    pub fn push(&self, v: i64) {
+        assert!(v != UNFILLED && v != CANCELLED, "reserved sentinel value");
+        loop {
+            let guard = &epoch::pin();
+            let top = self.top.load(SeqCst, guard);
+            let reservation = if top.is_null() {
+                None
+            } else {
+                // SAFETY: reachable-from-top nodes are not yet retired.
+                let top_ref = unsafe { top.deref() };
+                top_ref.fill.as_ref().map(Arc::clone)
+            };
+            match reservation {
+                None => {
+                    // Plain push of a data node.
+                    let n = Owned::new(Node {
+                        fill: None,
+                        data: v,
+                        next: Atomic::null(),
+                    });
+                    n.next.store(top, SeqCst);
+                    if self.top.compare_exchange(top, n, SeqCst, SeqCst, guard).is_ok() {
+                        return;
+                    }
+                }
+                Some(slot) => {
+                    // Reservation on top: fulfill or help clean.
+                    if slot
+                        .compare_exchange(UNFILLED, v, SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        self.try_unlink(top, guard);
+                        return;
+                    }
+                    // Already fulfilled or cancelled: help unlink, retry.
+                    self.try_unlink(top, guard);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pops, waiting (by polling a reservation) for up to `patience`
+    /// polls if the stack is empty. Returns `None` on timeout.
+    pub fn try_pop(&self, patience: usize) -> Option<i64> {
+        loop {
+            let guard = &epoch::pin();
+            let top = self.top.load(SeqCst, guard);
+            if top.is_null() {
+                if let Some(v) = self.reserve_and_wait(top, patience, guard) {
+                    return v;
+                }
+                continue;
+            }
+            // SAFETY: reachable-from-top nodes are not yet retired.
+            let top_ref = unsafe { top.deref() };
+            match &top_ref.fill {
+                None => {
+                    // Data on top: take it.
+                    let next = top_ref.next.load(SeqCst, guard);
+                    if self.top.compare_exchange(top, next, SeqCst, SeqCst, guard).is_ok() {
+                        // SAFETY: we unlinked the node; retired once, here.
+                        unsafe { guard.defer_destroy(top) };
+                        return Some(top_ref.data);
+                    }
+                }
+                Some(slot) => {
+                    if slot.load(SeqCst) != UNFILLED {
+                        // Dead reservation surfaced: help unlink.
+                        self.try_unlink(top, guard);
+                    } else if let Some(v) = self.reserve_and_wait(top, patience, guard) {
+                        return v;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pops, waiting indefinitely for a pusher.
+    pub fn pop_wait(&self) -> i64 {
+        loop {
+            if let Some(v) = self.try_pop(64) {
+                return v;
+            }
+        }
+    }
+
+    /// Returns `true` if the stack currently holds no nodes at all
+    /// (neither data nor reservations).
+    pub fn is_empty(&self) -> bool {
+        let guard = &epoch::pin();
+        self.top.load(SeqCst, guard).is_null()
+    }
+
+    /// Installs a reservation on top of `expected_top` and waits for
+    /// fulfillment. Returns:
+    /// - `Some(Some(v))` — fulfilled with `v`;
+    /// - `Some(None)` — timed out (reservation cancelled);
+    /// - `None` — lost the installation race; caller retries.
+    fn reserve_and_wait(
+        &self,
+        expected_top: Shared<'_, Node>,
+        patience: usize,
+        guard: &Guard,
+    ) -> Option<Option<i64>> {
+        let slot = Arc::new(AtomicI64::new(UNFILLED));
+        let r = Owned::new(Node {
+            fill: Some(Arc::clone(&slot)),
+            data: 0,
+            next: Atomic::null(),
+        });
+        r.next.store(expected_top, SeqCst);
+        let r = match self.top.compare_exchange(expected_top, r, SeqCst, SeqCst, guard) {
+            Ok(installed) => installed,
+            Err(_) => return None, // Owned dropped by the error value
+        };
+        // Wait for a fulfilling push, polling our own Arc'd slot (safe
+        // regardless of who retires the node).
+        for _ in 0..patience {
+            let v = slot.load(SeqCst);
+            if v != UNFILLED {
+                self.try_unlink(r, guard);
+                return Some(Some(v));
+            }
+            std::thread::yield_now();
+        }
+        // Timeout: try to cancel; a concurrent fulfiller may win.
+        match slot.compare_exchange(UNFILLED, CANCELLED, SeqCst, SeqCst) {
+            Ok(_) => {
+                self.try_unlink(r, guard);
+                Some(None)
+            }
+            Err(v) => {
+                self.try_unlink(r, guard);
+                Some(Some(v))
+            }
+        }
+    }
+
+    /// Unlinks `node` if it is still on top; the winner retires it.
+    fn try_unlink(&self, node: Shared<'_, Node>, guard: &Guard) {
+        // SAFETY: node is reachable (we hold it pinned since loading it).
+        let next = unsafe { node.deref() }.next.load(SeqCst, guard);
+        if self.top.compare_exchange(node, next, SeqCst, SeqCst, guard).is_ok() {
+            // SAFETY: the unlink CAS succeeds exactly once per node, so
+            // this is the unique retirement.
+            unsafe { guard.defer_destroy(node) };
+        }
+    }
+}
+
+impl Drop for DualStack {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; free whatever is still linked.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.top.load(SeqCst, guard);
+            while !cur.is_null() {
+                let next = cur.deref().next.load(SeqCst, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_lifo() {
+        let s = DualStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.try_pop(4), Some(2));
+        assert_eq!(s.try_pop(4), Some(1));
+        assert_eq!(s.try_pop(2), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_rejected() {
+        DualStack::new().push(i64::MIN);
+    }
+
+    #[test]
+    fn waiting_pop_gets_fulfilled() {
+        let s = Arc::new(DualStack::new());
+        let got = Arc::new(parking_lot::Mutex::new(None));
+        std::thread::scope(|scope| {
+            {
+                let s = Arc::clone(&s);
+                let got = Arc::clone(&got);
+                scope.spawn(move || {
+                    *got.lock() = Some(s.pop_wait());
+                });
+            }
+            {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    std::thread::yield_now();
+                    s.push(42);
+                });
+            }
+        });
+        assert_eq!(*got.lock(), Some(42));
+    }
+
+    #[test]
+    fn balanced_producers_consumers_conserve_values() {
+        const N: i64 = 2_000;
+        let s = Arc::new(DualStack::new());
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 0..2i64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..N {
+                        s.push(t * 100_000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let s = Arc::clone(&s);
+                let got = Arc::clone(&got);
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..N {
+                        mine.push(s.pop_wait());
+                    }
+                    got.lock().extend(mine);
+                });
+            }
+        });
+        let got = got.lock();
+        let unique: HashSet<i64> = got.iter().copied().collect();
+        assert_eq!(got.len(), 2 * N as usize);
+        assert_eq!(unique.len(), got.len(), "duplicate pops");
+    }
+
+    #[test]
+    fn timeouts_leave_stack_usable() {
+        let s = DualStack::new();
+        assert_eq!(s.try_pop(1), None);
+        assert_eq!(s.try_pop(1), None);
+        s.push(7);
+        assert_eq!(s.try_pop(8), Some(7));
+    }
+
+    #[test]
+    fn cancelled_reservations_get_cleaned() {
+        let s = DualStack::new();
+        for _ in 0..10 {
+            assert_eq!(s.try_pop(1), None);
+        }
+        // Pushes clean surfaced dead reservations and still deliver.
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.try_pop(4), Some(2));
+        assert_eq!(s.try_pop(4), Some(1));
+    }
+}

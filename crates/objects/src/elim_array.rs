@@ -1,0 +1,114 @@
+//! The elimination array of Fig. 2 (lines 1–6): `K` exchangers, with the
+//! slot chosen uniformly at random per call.
+
+use rand::Rng;
+
+use crate::exchanger::Exchanger;
+
+/// An elimination array: an array of exchangers exposing a single
+/// `exchange` with reduced contention.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::elim_array::ElimArray;
+/// let ar = ElimArray::new(4);
+/// assert_eq!(ar.slots(), 4);
+/// // No partner: fails.
+/// assert_eq!(ar.exchange(9, 10), (false, 9));
+/// ```
+#[derive(Debug)]
+pub struct ElimArray {
+    exchangers: Vec<Exchanger>,
+}
+
+impl ElimArray {
+    /// Creates an elimination array with `k` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "elimination array needs at least one slot");
+        ElimArray { exchangers: (0..k).map(|_| Exchanger::new()).collect() }
+    }
+
+    /// Number of slots `K`.
+    pub fn slots(&self) -> usize {
+        self.exchangers.len()
+    }
+
+    /// Attempts an exchange on a random slot (lines 3–5).
+    pub fn exchange(&self, data: i64, spin_budget: usize) -> (bool, i64) {
+        let slot = rand::thread_rng().gen_range(0..self.exchangers.len());
+        self.exchangers[slot].exchange(data, spin_budget)
+    }
+
+    /// Attempts an exchange on a specific slot (deterministic variant used
+    /// by tests).
+    pub fn exchange_on(&self, slot: usize, data: i64, spin_budget: usize) -> (bool, i64) {
+        self.exchangers[slot].exchange(data, spin_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_exchange_fails() {
+        let ar = ElimArray::new(2);
+        assert_eq!(ar.exchange(5, 0), (false, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        ElimArray::new(0);
+    }
+
+    #[test]
+    fn same_slot_pairs_swap() {
+        let ar = Arc::new(ElimArray::new(2));
+        let swaps = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..2i64 {
+                let ar = Arc::clone(&ar);
+                let swaps = Arc::clone(&swaps);
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        // Deterministic slot: both threads use slot 0.
+                        let (ok, got) = ar.exchange_on(0, t * 100_000 + i, 200);
+                        if ok {
+                            swaps.fetch_add(1, Ordering::Relaxed);
+                            assert_ne!(got / 100_000, t);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(swaps.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn random_slots_under_contention_still_pair() {
+        let ar = Arc::new(ElimArray::new(2));
+        let swaps = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let ar = Arc::clone(&ar);
+                let swaps = Arc::clone(&swaps);
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        if ar.exchange(t * 100_000 + i, 100).0 {
+                            swaps.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(swaps.load(Ordering::Relaxed) > 0, "4 threads on 2 slots should pair");
+    }
+}

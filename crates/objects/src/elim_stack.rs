@@ -1,0 +1,174 @@
+//! The elimination stack of Hendler, Shavit and Yerushalmi (Fig. 2,
+//! lines 25–48): a failing central stack backed by an elimination array.
+//!
+//! Under contention, a failed stack CAS sends the operation to the
+//! elimination array, where a push and a pop can cancel out without ever
+//! touching the central stack — the source of the algorithm's scalability.
+
+use cal_specs::vocab::POP_SENTINEL;
+
+use crate::elim_array::ElimArray;
+use crate::stack::FailingStack;
+
+/// The elimination stack.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::elim_stack::EliminationStack;
+/// let s = EliminationStack::new(4, 64);
+/// s.push(10);
+/// assert_eq!(s.pop_wait(), 10);
+/// ```
+#[derive(Debug)]
+pub struct EliminationStack {
+    stack: FailingStack,
+    array: ElimArray,
+    spin_budget: usize,
+}
+
+impl EliminationStack {
+    /// Creates an elimination stack with an elimination array of `k` slots
+    /// and the given exchanger spin budget.
+    pub fn new(k: usize, spin_budget: usize) -> Self {
+        EliminationStack {
+            stack: FailingStack::new(),
+            array: ElimArray::new(k),
+            spin_budget,
+        }
+    }
+
+    /// Pushes `v` (lines 29–37), retrying stack and elimination attempts
+    /// until one succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` equals the pop sentinel.
+    pub fn push(&self, v: i64) {
+        assert!(v != POP_SENTINEL, "cannot push the pop sentinel");
+        loop {
+            if self.try_push_round(v) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pops (lines 38–47), retrying until a value is obtained. Blocks (by
+    /// spinning) on an empty stack until a pusher arrives.
+    pub fn pop_wait(&self) -> i64 {
+        loop {
+            if let Some(v) = self.try_pop_round() {
+                return v;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// One push round: a stack attempt followed, on contention, by an
+    /// elimination attempt. Returns `true` if the push took effect.
+    pub fn try_push_round(&self, v: i64) -> bool {
+        // Line 32: b = S.push(v).
+        if self.stack.push(v) {
+            return true;
+        }
+        // Line 34: (b, d) = AR.exchange(v).
+        let (ok, d) = self.array.exchange(v, self.spin_budget);
+        // Line 35: if (d == POP_SENTINAL) return true.
+        ok && d == POP_SENTINEL
+    }
+
+    /// One pop round. Returns the popped value if the round succeeded.
+    pub fn try_pop_round(&self) -> Option<i64> {
+        // Line 42: (b, v) = S.pop().
+        let (b, v) = self.stack.pop();
+        if b {
+            return Some(v);
+        }
+        // Line 44: (b, v) = AR.exchange(POP_SENTINAL).
+        let (ok, v) = self.array.exchange(POP_SENTINEL, self.spin_budget);
+        // Line 45: if (v != POP_SENTINAL) return (true, v).
+        (ok && v != POP_SENTINEL).then_some(v)
+    }
+
+    /// A bounded pop: up to `rounds` rounds, then gives up.
+    pub fn try_pop(&self, rounds: usize) -> Option<i64> {
+        (0..rounds).find_map(|_| self.try_pop_round())
+    }
+
+    /// Returns `true` if the central stack appears empty (elimination
+    /// in-flight operations are not visible).
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_lifo() {
+        let s = EliminationStack::new(1, 4);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop_wait(), 3);
+        assert_eq!(s.pop_wait(), 2);
+        assert_eq!(s.pop_wait(), 1);
+        assert_eq!(s.try_pop(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop sentinel")]
+    fn sentinel_push_rejected() {
+        EliminationStack::new(1, 1).push(POP_SENTINEL);
+    }
+
+    #[test]
+    fn concurrent_balanced_push_pop_conserves_values() {
+        let s = Arc::new(EliminationStack::new(2, 64));
+        let popped = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        const PER_THREAD: i64 = 3_000;
+        std::thread::scope(|scope| {
+            for t in 0..2i64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        s.push(t * 100_000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let s = Arc::clone(&s);
+                let popped = Arc::clone(&popped);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < PER_THREAD as usize {
+                        got.push(s.pop_wait());
+                    }
+                    popped.lock().extend(got);
+                });
+            }
+        });
+        let all = popped.lock();
+        let unique: HashSet<i64> = all.iter().copied().collect();
+        assert_eq!(all.len(), 2 * PER_THREAD as usize);
+        assert_eq!(unique.len(), all.len(), "duplicate pops");
+        for t in 0..2i64 {
+            for i in 0..PER_THREAD {
+                assert!(unique.contains(&(t * 100_000 + i)), "lost {t}/{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_pop_gives_up_cleanly() {
+        let s = EliminationStack::new(1, 1);
+        assert_eq!(s.try_pop(5), None);
+        s.push(9);
+        assert_eq!(s.try_pop(5), Some(9));
+    }
+}

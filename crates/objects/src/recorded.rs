@@ -1,0 +1,364 @@
+//! Recorded wrappers: the real objects instrumented to log client-visible
+//! histories for offline CAL / linearizability checking.
+
+use std::sync::Arc;
+
+use cal_core::{ObjectId, ThreadId, Value};
+use cal_specs::vocab::{EXCHANGE, POP, PUSH, PUT, TAKE};
+
+use crate::arena_exchanger::ArenaExchanger;
+use crate::dual_stack::DualStack;
+use crate::elim_stack::EliminationStack;
+use crate::exchanger::Exchanger;
+use crate::record::Recorder;
+use crate::stack::TreiberStack;
+use crate::sync_queue::SyncQueue;
+
+/// An [`Exchanger`] that records its history.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::{ObjectId, ThreadId};
+/// use cal_objects::recorded::RecordedExchanger;
+/// let e = RecordedExchanger::new(ObjectId(0));
+/// e.exchange(ThreadId(0), 5, 4);
+/// assert_eq!(e.recorder().history().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RecordedExchanger {
+    inner: Exchanger,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedExchanger {
+    /// Creates a recorded exchanger named `object`.
+    pub fn new(object: ObjectId) -> Self {
+        RecordedExchanger {
+            inner: Exchanger::new(),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded `exchange` performed by `thread`.
+    pub fn exchange(&self, thread: ThreadId, v: i64, spin_budget: usize) -> (bool, i64) {
+        self.recorder.invoke(thread, self.object, EXCHANGE, Value::Int(v));
+        let (ok, got) = self.inner.exchange(v, spin_budget);
+        self.recorder.response(thread, self.object, EXCHANGE, Value::Pair(ok, got));
+        (ok, got)
+    }
+}
+
+/// An [`ArenaExchanger`] that records its history. The arena exposes the
+/// same concurrency-aware specification surface as a single exchanger.
+#[derive(Debug)]
+pub struct RecordedArenaExchanger {
+    inner: ArenaExchanger,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedArenaExchanger {
+    /// Creates a recorded arena named `object` with `slots` slots.
+    pub fn new(object: ObjectId, slots: usize, spin_budget: usize) -> Self {
+        RecordedArenaExchanger {
+            inner: ArenaExchanger::new(slots, spin_budget),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded `exchange` by `thread`, trying up to `attempts` slots.
+    pub fn exchange(&self, thread: ThreadId, v: i64, attempts: usize) -> (bool, i64) {
+        self.recorder.invoke(thread, self.object, EXCHANGE, Value::Int(v));
+        let (ok, got) = self.inner.exchange(v, attempts);
+        self.recorder.response(thread, self.object, EXCHANGE, Value::Pair(ok, got));
+        (ok, got)
+    }
+}
+
+/// A [`TreiberStack`] that records its history.
+#[derive(Debug)]
+pub struct RecordedTreiberStack {
+    inner: TreiberStack,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedTreiberStack {
+    /// Creates a recorded retrying stack named `object`.
+    pub fn new(object: ObjectId) -> Self {
+        RecordedTreiberStack {
+            inner: TreiberStack::new(),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded `push`.
+    pub fn push(&self, thread: ThreadId, v: i64) {
+        self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        self.inner.push(v);
+        self.recorder.response(thread, self.object, PUSH, Value::Bool(true));
+    }
+
+    /// A recorded `pop`.
+    pub fn pop(&self, thread: ThreadId) -> (bool, i64) {
+        self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        let (ok, v) = self.inner.pop();
+        self.recorder.response(thread, self.object, POP, Value::Pair(ok, if ok { v } else { 0 }));
+        (ok, v)
+    }
+}
+
+/// An [`EliminationStack`] that records its client-visible history.
+#[derive(Debug)]
+pub struct RecordedEliminationStack {
+    inner: EliminationStack,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedEliminationStack {
+    /// Creates a recorded elimination stack named `object`, with `k`
+    /// elimination slots and the given exchanger spin budget.
+    pub fn new(object: ObjectId, k: usize, spin_budget: usize) -> Self {
+        RecordedEliminationStack {
+            inner: EliminationStack::new(k, spin_budget),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded `push`.
+    pub fn push(&self, thread: ThreadId, v: i64) {
+        self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        self.inner.push(v);
+        self.recorder.response(thread, self.object, PUSH, Value::Bool(true));
+    }
+
+    /// A recorded blocking `pop`.
+    pub fn pop_wait(&self, thread: ThreadId) -> i64 {
+        self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        let v = self.inner.pop_wait();
+        self.recorder.response(thread, self.object, POP, Value::Pair(true, v));
+        v
+    }
+}
+
+/// A [`DualStack`] that records its history.
+#[derive(Debug)]
+pub struct RecordedDualStack {
+    inner: DualStack,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedDualStack {
+    /// Creates a recorded dual stack named `object`.
+    pub fn new(object: ObjectId) -> Self {
+        RecordedDualStack {
+            inner: DualStack::new(),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded `push`.
+    pub fn push(&self, thread: ThreadId, v: i64) {
+        self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        self.inner.push(v);
+        self.recorder.response(thread, self.object, PUSH, Value::Unit);
+    }
+
+    /// A recorded waiting `pop`.
+    pub fn pop_wait(&self, thread: ThreadId) -> i64 {
+        self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        let v = self.inner.pop_wait();
+        self.recorder.response(thread, self.object, POP, Value::Int(v));
+        v
+    }
+}
+
+/// A [`SyncQueue`] that records its history.
+#[derive(Debug)]
+pub struct RecordedSyncQueue {
+    inner: SyncQueue,
+    object: ObjectId,
+    recorder: Arc<Recorder>,
+}
+
+impl RecordedSyncQueue {
+    /// Creates a recorded synchronous queue named `object`.
+    pub fn new(object: ObjectId, spin_budget: usize) -> Self {
+        RecordedSyncQueue {
+            inner: SyncQueue::new(spin_budget),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
+    /// The recorder collecting the history.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A recorded bounded `put`.
+    pub fn try_put(&self, thread: ThreadId, v: i64, attempts: usize) -> bool {
+        self.recorder.invoke(thread, self.object, PUT, Value::Int(v));
+        let ok = self.inner.try_put(v, attempts);
+        self.recorder.response(thread, self.object, PUT, Value::Bool(ok));
+        ok
+    }
+
+    /// A recorded bounded `take`.
+    pub fn try_take(&self, thread: ThreadId, attempts: usize) -> Option<i64> {
+        self.recorder.invoke(thread, self.object, TAKE, Value::Unit);
+        let got = self.inner.try_take(attempts);
+        let ret = match got {
+            Some(v) => Value::Pair(true, v),
+            None => Value::Pair(false, 0),
+        };
+        self.recorder.response(thread, self.object, TAKE, ret);
+        got
+    }
+}
+
+/// Runs `body(ThreadId(0)) … body(ThreadId(n-1))` on `n` scoped OS
+/// threads, returning after all complete.
+pub fn run_threads<F>(n: u32, body: F)
+where
+    F: Fn(ThreadId) + Sync,
+{
+    std::thread::scope(|s| {
+        for t in 0..n {
+            let body = &body;
+            s.spawn(move || body(ThreadId(t)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_core::check::is_cal;
+    use cal_core::seqlin::check_linearizable;
+    use cal_specs::exchanger::ExchangerSpec;
+    use cal_specs::stack::StackSpec;
+    use cal_specs::sync_queue::SyncQueueSpec;
+
+    #[test]
+    fn recorded_exchanger_history_is_cal() {
+        let e = RecordedExchanger::new(ObjectId(0));
+        run_threads(3, |t| {
+            for i in 0..8 {
+                e.exchange(t, (t.0 as i64) * 100 + i, 64);
+            }
+        });
+        let h = e.recorder().history();
+        assert!(h.is_complete());
+        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+    }
+
+    #[test]
+    fn recorded_arena_exchanger_history_is_cal() {
+        let a = RecordedArenaExchanger::new(ObjectId(0), 4, 64);
+        run_threads(4, |t| {
+            for i in 0..8 {
+                a.exchange(t, (t.0 as i64) * 100 + i, 3);
+            }
+        });
+        let h = a.recorder().history();
+        assert!(h.is_complete());
+        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+    }
+
+    #[test]
+    fn recorded_treiber_history_is_linearizable() {
+        let s = RecordedTreiberStack::new(ObjectId(0));
+        run_threads(3, |t| {
+            for i in 0..10 {
+                let v = (t.0 as i64) * 100 + i;
+                s.push(t, v);
+                s.pop(t);
+            }
+        });
+        let h = s.recorder().history();
+        let outcome = check_linearizable(&h, &StackSpec::total(ObjectId(0))).unwrap();
+        assert!(outcome.verdict.is_cal(), "history not linearizable:\n{h}");
+    }
+
+    #[test]
+    fn recorded_elimination_stack_history_is_linearizable() {
+        let s = RecordedEliminationStack::new(ObjectId(0), 2, 64);
+        run_threads(4, |t| {
+            for i in 0..8 {
+                let v = (t.0 as i64) * 100 + i;
+                s.push(t, v);
+                s.pop_wait(t);
+            }
+        });
+        let h = s.recorder().history();
+        let outcome = check_linearizable(&h, &StackSpec::total(ObjectId(0))).unwrap();
+        assert!(outcome.verdict.is_cal(), "history not linearizable:\n{h}");
+    }
+
+    #[test]
+    fn recorded_dual_stack_history_is_cal() {
+        use cal_specs::dual_stack::DualStackSpec;
+        let s = RecordedDualStack::new(ObjectId(0));
+        run_threads(4, |t| {
+            for i in 0..6 {
+                let v = (t.0 as i64) * 100 + i;
+                s.push(t, v);
+                s.pop_wait(t);
+            }
+        });
+        let h = s.recorder().history();
+        assert!(h.is_complete());
+        assert!(is_cal(&h, &DualStackSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+    }
+
+    #[test]
+    fn recorded_sync_queue_history_is_cal() {
+        let q = RecordedSyncQueue::new(ObjectId(0), 64);
+        run_threads(2, |t| {
+            for i in 0..10 {
+                if t.0 == 0 {
+                    q.try_put(t, i, 32);
+                } else {
+                    q.try_take(t, 32);
+                }
+            }
+        });
+        let h = q.recorder().history();
+        assert!(is_cal(&h, &SyncQueueSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+    }
+}

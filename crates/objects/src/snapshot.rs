@@ -1,0 +1,176 @@
+//! A real one-shot immediate atomic snapshot (Borowsky–Gafni), on
+//! atomics — the set-linearizable object of the paper's §6, usable from
+//! OS threads and checkable with the CAL machinery.
+
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+
+/// A one-shot immediate snapshot for up to `n` processes.
+///
+/// Each process calls [`ImmediateSnapshot::im_snap`] at most once, with its
+/// process index and a value in `0..63`; the returned view is the bitmask
+/// of values of the processes it observed (always including its own), and
+/// views of any two processes are ordered by containment, with processes
+/// stuck at the same level seeing *exactly* the same view.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::snapshot::ImmediateSnapshot;
+/// let snap = ImmediateSnapshot::new(2);
+/// let view = snap.im_snap(0, 5);
+/// assert_ne!(view & (1 << 5), 0); // own value always included
+/// ```
+#[derive(Debug)]
+pub struct ImmediateSnapshot {
+    values: Vec<AtomicI64>,
+    /// `n + 1` = not started.
+    levels: Vec<AtomicU8>,
+}
+
+const UNWRITTEN: i64 = -1;
+
+impl ImmediateSnapshot {
+    /// Creates an immediate snapshot for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 250 (levels are stored in a `u8`).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= 250, "process count must be in 1..=250");
+        ImmediateSnapshot {
+            values: (0..n).map(|_| AtomicI64::new(UNWRITTEN)).collect(),
+            levels: (0..n).map(|_| AtomicU8::new(n as u8 + 1)).collect(),
+        }
+    }
+
+    /// The number of processes.
+    pub fn processes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Performs process `i`'s one-shot snapshot with value `v`, returning
+    /// the view bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, `v` is outside `0..63`, or the
+    /// process already participated.
+    pub fn im_snap(&self, i: usize, v: i64) -> i64 {
+        let n = self.values.len();
+        assert!(i < n, "process index out of range");
+        assert!((0..63).contains(&v), "values must be in 0..63");
+        let prev = self.values[i].swap(v, Ordering::SeqCst);
+        assert_eq!(prev, UNWRITTEN, "im_snap is one-shot per process");
+        loop {
+            // level[i] := level[i] - 1 (only the owner writes its level).
+            let my_level = self.levels[i].load(Ordering::SeqCst) - 1;
+            self.levels[i].store(my_level, Ordering::SeqCst);
+            // Collect everyone at or below our level.
+            let below: Vec<usize> = (0..n)
+                .filter(|&j| self.levels[j].load(Ordering::SeqCst) <= my_level)
+                .collect();
+            if below.len() >= my_level as usize {
+                let mut mask = 0i64;
+                for j in below {
+                    let value = self.values[j].load(Ordering::SeqCst);
+                    debug_assert_ne!(value, UNWRITTEN, "lowered level implies written value");
+                    mask |= 1 << value;
+                }
+                return mask;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_process_sees_itself() {
+        let s = ImmediateSnapshot::new(3);
+        assert_eq!(s.im_snap(0, 7), 1 << 7);
+        assert_eq!(s.processes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn double_participation_rejected() {
+        let s = ImmediateSnapshot::new(2);
+        s.im_snap(0, 1);
+        s.im_snap(0, 2);
+    }
+
+    #[test]
+    fn sequential_processes_see_growing_views() {
+        let s = ImmediateSnapshot::new(3);
+        let v0 = s.im_snap(0, 1);
+        let v1 = s.im_snap(1, 2);
+        let v2 = s.im_snap(2, 3);
+        assert_eq!(v0, 0b10);
+        assert_eq!(v1, 0b110);
+        assert_eq!(v2, 0b1110);
+    }
+
+    #[test]
+    fn concurrent_views_are_comparable_and_self_inclusive() {
+        for round in 0..50 {
+            let n = 4;
+            let s = Arc::new(ImmediateSnapshot::new(n));
+            let views = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            std::thread::scope(|scope| {
+                for i in 0..n {
+                    let s = Arc::clone(&s);
+                    let views = Arc::clone(&views);
+                    scope.spawn(move || {
+                        let v = s.im_snap(i, i as i64);
+                        views.lock().push((i, v));
+                    });
+                }
+            });
+            let views = views.lock();
+            assert_eq!(views.len(), n);
+            for &(i, vi) in views.iter() {
+                assert_ne!(vi & (1 << i), 0, "round {round}: self-inclusion violated");
+                for &(_, vj) in views.iter() {
+                    assert!(
+                        vi & vj == vi || vi & vj == vj,
+                        "round {round}: incomparable views {vi:#b} {vj:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn immediacy_same_view_processes_see_each_other() {
+        // If two processes have equal views, each contains the other's
+        // value (they are in the same block).
+        for _ in 0..50 {
+            let n = 3;
+            let s = Arc::new(ImmediateSnapshot::new(n));
+            let views = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            std::thread::scope(|scope| {
+                for i in 0..n {
+                    let s = Arc::clone(&s);
+                    let views = Arc::clone(&views);
+                    scope.spawn(move || {
+                        let v = s.im_snap(i, i as i64);
+                        views.lock().push((i, v));
+                    });
+                }
+            });
+            let views = views.lock();
+            for &(i, vi) in views.iter() {
+                for &(j, vj) in views.iter() {
+                    if vi == vj {
+                        assert_ne!(vi & (1 << j), 0);
+                        assert_ne!(vj & (1 << i), 0);
+                    }
+                }
+            }
+        }
+    }
+}

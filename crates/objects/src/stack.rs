@@ -1,0 +1,283 @@
+//! Lock-free stacks: the failing central stack of Fig. 2 and the classic
+//! retrying Treiber stack used as the no-elimination baseline.
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use crossbeam::epoch::{self, Atomic, Owned};
+
+struct Node {
+    data: i64,
+    next: Atomic<Node>,
+}
+
+/// The failing lock-free stack of Fig. 2 (lines 7–24): one CAS attempt per
+/// operation, reporting failure on contention.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::stack::FailingStack;
+/// let s = FailingStack::new();
+/// assert!(s.push(1));
+/// assert_eq!(s.pop(), (true, 1));
+/// assert_eq!(s.pop(), (false, 0)); // empty
+/// ```
+#[derive(Debug, Default)]
+pub struct FailingStack {
+    top: Atomic<Node>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node").field("data", &self.data).finish_non_exhaustive()
+    }
+}
+
+impl FailingStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        FailingStack { top: Atomic::null() }
+    }
+
+    /// One push attempt (lines 10–14). Returns `false` on CAS contention.
+    pub fn push(&self, data: i64) -> bool {
+        let guard = &epoch::pin();
+        let h = self.top.load(SeqCst, guard);
+        let n = Owned::new(Node { data, next: Atomic::null() });
+        n.next.store(h, SeqCst);
+        match self.top.compare_exchange(h, n, SeqCst, SeqCst, guard) {
+            Ok(_) => true,
+            Err(_e) => false, // the failed Owned is dropped here
+        }
+    }
+
+    /// One pop attempt (lines 15–24). Returns `(false, 0)` on an empty
+    /// stack or CAS contention.
+    pub fn pop(&self) -> (bool, i64) {
+        let guard = &epoch::pin();
+        let h = self.top.load(SeqCst, guard);
+        if h.is_null() {
+            return (false, 0); // EMPTY, line 18
+        }
+        // SAFETY: a node reachable from top is not yet retired; we are
+        // pinned.
+        let h_ref = unsafe { h.deref() };
+        let n = h_ref.next.load(SeqCst, guard);
+        if self.top.compare_exchange(h, n, SeqCst, SeqCst, guard).is_ok() {
+            // SAFETY: we unlinked h; it is retired exactly once, here.
+            unsafe { guard.defer_destroy(h) };
+            (true, h_ref.data)
+        } else {
+            (false, 0)
+        }
+    }
+
+    /// Returns `true` if the stack appears empty at this instant.
+    pub fn is_empty(&self) -> bool {
+        let guard = &epoch::pin();
+        self.top.load(SeqCst, guard).is_null()
+    }
+}
+
+impl Drop for FailingStack {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; walk and free the remaining nodes.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.top.load(SeqCst, guard);
+            while !cur.is_null() {
+                let next = cur.deref().next.load(SeqCst, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+/// The classic retrying Treiber stack: retries CAS contention until it
+/// succeeds. `pop` on an empty stack returns `(false, 0)`.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::stack::TreiberStack;
+/// let s = TreiberStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), (true, 2));
+/// assert_eq!(s.pop(), (true, 1));
+/// assert_eq!(s.pop(), (false, 0));
+/// ```
+#[derive(Debug, Default)]
+pub struct TreiberStack {
+    inner: FailingStack,
+}
+
+impl TreiberStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        TreiberStack::default()
+    }
+
+    /// Pushes, retrying contention until success.
+    pub fn push(&self, data: i64) {
+        while !self.inner.push(data) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Pops, retrying contention until success or observed emptiness.
+    pub fn pop(&self) -> (bool, i64) {
+        loop {
+            let guard = &epoch::pin();
+            let h = self.inner.top.load(SeqCst, guard);
+            if h.is_null() {
+                return (false, 0);
+            }
+            // SAFETY: reachable from top while pinned.
+            let h_ref = unsafe { h.deref() };
+            let n = h_ref.next.load(SeqCst, guard);
+            if self.inner.top.compare_exchange(h, n, SeqCst, SeqCst, guard).is_ok() {
+                // SAFETY: unlinked; retired exactly once, here.
+                unsafe { guard.defer_destroy(h) };
+                return (true, h_ref.data);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Returns `true` if the stack appears empty at this instant.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn failing_stack_lifo() {
+        let s = FailingStack::new();
+        assert!(s.is_empty());
+        assert!(s.push(1));
+        assert!(s.push(2));
+        assert!(!s.is_empty());
+        assert_eq!(s.pop(), (true, 2));
+        assert_eq!(s.pop(), (true, 1));
+        assert_eq!(s.pop(), (false, 0));
+    }
+
+    #[test]
+    fn treiber_stack_lifo() {
+        let s = TreiberStack::new();
+        for i in 0..100 {
+            s.push(i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), (true, i));
+        }
+        assert_eq!(s.pop(), (false, 0));
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land_once() {
+        let s = Arc::new(TreiberStack::new());
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        s.push(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        let mut seen = HashSet::new();
+        while let (true, v) = s.pop() {
+            assert!(seen.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(seen.len(), 4_000);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_values() {
+        let s = Arc::new(TreiberStack::new());
+        let popped = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for t in 0..2i64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..2_000 {
+                        s.push(t * 10_000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let s = Arc::clone(&s);
+                let popped = Arc::clone(&popped);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while got.len() < 2_000 && misses < 1_000_000 {
+                        match s.pop() {
+                            (true, v) => got.push(v),
+                            (false, _) => misses += 1,
+                        }
+                    }
+                    popped.lock().extend(got);
+                });
+            }
+        });
+        // Drain leftovers.
+        let mut all: Vec<i64> = popped.lock().clone();
+        while let (true, v) = s.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4_000, "values lost or duplicated");
+    }
+
+    #[test]
+    fn failing_stack_conserves_values_under_contention() {
+        // Whether pushes fail is timing-dependent (the sim crate proves
+        // failures reachable deterministically); what must always hold is
+        // that exactly the successful pushes are in the stack, once each.
+        let s = Arc::new(FailingStack::new());
+        let mut succeeded = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || {
+                        let mut ok = Vec::new();
+                        for i in 0..2_000 {
+                            let v = t * 10_000 + i;
+                            if s.push(v) {
+                                ok.push(v);
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            for h in handles {
+                succeeded.extend(h.join().unwrap());
+            }
+        });
+        let mut popped = Vec::new();
+        loop {
+            match s.pop() {
+                (true, v) => popped.push(v),
+                (false, _) if s.is_empty() => break,
+                (false, _) => continue,
+            }
+        }
+        succeeded.sort_unstable();
+        popped.sort_unstable();
+        assert_eq!(succeeded, popped, "stack contents differ from successful pushes");
+    }
+}

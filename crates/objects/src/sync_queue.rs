@@ -1,0 +1,175 @@
+//! A synchronous queue built on the exchanger — the extended paper's
+//! second client (§2). A `put` and a `take` transfer a value only by
+//! rendezvousing; unpaired operations time out.
+
+use cal_specs::vocab::TAKE_SENTINEL;
+
+use crate::exchanger::Exchanger;
+
+/// An exchanger-based synchronous queue.
+///
+/// # Examples
+///
+/// ```
+/// use cal_objects::sync_queue::SyncQueue;
+/// let q = SyncQueue::new(16);
+/// // No consumer: the put times out.
+/// assert!(!q.try_put(5, 2));
+/// ```
+#[derive(Debug, Default)]
+pub struct SyncQueue {
+    exchanger: Exchanger,
+    spin_budget: usize,
+}
+
+impl SyncQueue {
+    /// Creates a queue whose rendezvous attempts spin `spin_budget` times.
+    pub fn new(spin_budget: usize) -> Self {
+        SyncQueue { exchanger: Exchanger::new(), spin_budget }
+    }
+
+    /// Attempts to hand `v` to a concurrent taker, retrying up to
+    /// `attempts` exchanges. Returns `true` on transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` equals the take sentinel.
+    pub fn try_put(&self, v: i64, attempts: usize) -> bool {
+        assert!(v != TAKE_SENTINEL, "cannot put the take sentinel");
+        for _ in 0..attempts {
+            let (ok, got) = self.exchanger.exchange(v, self.spin_budget);
+            if ok && got == TAKE_SENTINEL {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Attempts to receive a value from a concurrent putter, retrying up
+    /// to `attempts` exchanges.
+    pub fn try_take(&self, attempts: usize) -> Option<i64> {
+        for _ in 0..attempts {
+            let (ok, got) = self.exchanger.exchange(TAKE_SENTINEL, self.spin_budget);
+            if ok && got != TAKE_SENTINEL {
+                return Some(got);
+            }
+        }
+        None
+    }
+
+    /// Blocking put: retries until the transfer happens.
+    pub fn put(&self, v: i64) {
+        while !self.try_put(v, 1) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocking take: retries until a value arrives.
+    pub fn take(&self) -> i64 {
+        loop {
+            if let Some(v) = self.try_take(1) {
+                return v;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_operations_time_out() {
+        let q = SyncQueue::new(2);
+        assert!(!q.try_put(5, 3));
+        assert_eq!(q.try_take(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "take sentinel")]
+    fn sentinel_put_rejected() {
+        SyncQueue::new(1).try_put(TAKE_SENTINEL, 1);
+    }
+
+    #[test]
+    fn producer_consumer_transfer_all_values() {
+        let q = Arc::new(SyncQueue::new(128));
+        const N: i64 = 2_000;
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..N {
+                        q.put(i);
+                    }
+                });
+            }
+            {
+                let q = Arc::clone(&q);
+                let got = Arc::clone(&got);
+                s.spawn(move || {
+                    for _ in 0..N {
+                        got.lock().push(q.take());
+                    }
+                });
+            }
+        });
+        let got = got.lock();
+        let unique: HashSet<i64> = got.iter().copied().collect();
+        assert_eq!(got.len(), N as usize);
+        assert_eq!(unique.len(), N as usize);
+        for i in 0..N {
+            assert!(unique.contains(&i));
+        }
+    }
+
+    #[test]
+    fn two_producers_two_consumers() {
+        let q = Arc::new(SyncQueue::new(128));
+        const N: i64 = 1_000;
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..2i64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..N {
+                        q.put(t * 100_000 + i);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let got = Arc::clone(&got);
+                s.spawn(move || {
+                    for _ in 0..N {
+                        got.lock().push(q.take());
+                    }
+                });
+            }
+        });
+        let got = got.lock();
+        let unique: HashSet<i64> = got.iter().copied().collect();
+        assert_eq!(got.len(), 2 * N as usize);
+        assert_eq!(unique.len(), got.len(), "duplicate transfers");
+    }
+
+    #[test]
+    fn producers_never_transfer_to_producers() {
+        // With only producers, no try_put may ever succeed.
+        let q = Arc::new(SyncQueue::new(16));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        assert!(!q.try_put(t * 1_000 + i, 2), "put succeeded without taker");
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,466 @@
+//! Machine-checked rendition of the exchanger proof (§5.1, Figs. 1 and 4).
+//!
+//! The paper's proof has three ingredients, each of which becomes an
+//! executable check over the transition logs produced by `cal-sim`:
+//!
+//! 1. **Guarantee conformance** — every shared-state transition must be an
+//!    instance of one of Fig. 4's actions (`INIT`, `CLEAN`, `PASS`,
+//!    `XCHG`, `FAIL`) performed by the stepping thread, or be
+//!    environment-invisible (a read, or a private allocation). Since every
+//!    thread's steps conform to its guarantee `G_t`, every *other* thread
+//!    experiences interference within its rely
+//!    `R_t = IRRELEVANT ∨ ∃t' ≠ t. G_{t'}` by construction.
+//! 2. **The global invariant `J`** — `g` never holds an unsatisfied offer
+//!    of a thread that is not currently inside `exchange` — checked after
+//!    every transition.
+//! 3. **The proof-outline assertions** of Fig. 1 (`A`, `B(k)` and the
+//!    line-16/26/28/30/32 disjunctions) — evaluated at each thread's
+//!    current program point after *every* transition, which checks both
+//!    that each step establishes its postcondition and that the assertions
+//!    are **stable** under the interference of the other threads.
+
+use std::error::Error;
+use std::fmt;
+
+use cal_core::{CaElement, ObjectId, Operation, ThreadId, Value};
+use cal_sim::models::exchanger::{ExchangerLocal, ExchangerShared, Hole, Offer};
+use cal_sim::sched::{Execution, Transition, TransitionKind};
+use cal_specs::vocab::EXCHANGE;
+
+/// A violation of a rely/guarantee obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgViolation {
+    /// Index of the offending transition in the execution's log.
+    pub transition: usize,
+    /// The thread whose obligation failed.
+    pub thread: ThreadId,
+    /// Human-readable description of the failed obligation.
+    pub reason: String,
+}
+
+impl fmt::Display for RgViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transition {} by {}: {}", self.transition, self.thread, self.reason)
+    }
+}
+
+impl Error for RgViolation {}
+
+/// The full §5.1 check for one explored execution of the exchanger model:
+/// guarantee conformance, invariant `J`, and the Fig. 1 proof outline.
+///
+/// The execution must have been produced with transition recording enabled
+/// (otherwise there is nothing to check and an empty log passes trivially
+/// only for the empty workload).
+///
+/// # Errors
+///
+/// Returns the first violated obligation.
+pub fn check_exchanger_rg(
+    object: ObjectId,
+    execution: &Execution<ExchangerShared, ExchangerLocal>,
+) -> Result<(), RgViolation> {
+    let mut baselines: Vec<Option<usize>> = Vec::new();
+    for (i, tr) in execution.transitions.iter().enumerate() {
+        let t = tr.thread;
+        let ti = t.0 as usize;
+        if baselines.len() < tr.locals.len() {
+            baselines.resize(tr.locals.len(), None);
+        }
+        if tr.kind == TransitionKind::Invoke {
+            // Record the logical variable T = 𝒯_E|t at invocation.
+            baselines[ti] = Some(mentions(execution, tr.trace_before, t));
+        }
+        check_action(object, i, tr, execution)?;
+        check_invariant_j(i, tr)?;
+        check_outline(object, i, tr, execution, &baselines)?;
+        if matches!(tr.kind, TransitionKind::Step { completed: true }) {
+            baselines[ti] = None;
+        }
+    }
+    Ok(())
+}
+
+/// Number of CA-elements among the first `len` that mention thread `t` —
+/// the length of the projection `𝒯|t` (Def. 4).
+fn mentions(
+    execution: &Execution<ExchangerShared, ExchangerLocal>,
+    len: usize,
+    t: ThreadId,
+) -> usize {
+    execution.trace.elements()[..len].iter().filter(|e| e.mentions_thread(t)).count()
+}
+
+fn violation(
+    transition: usize,
+    thread: ThreadId,
+    reason: impl Into<String>,
+) -> Result<(), RgViolation> {
+    Err(RgViolation { transition, thread, reason: reason.into() })
+}
+
+/// Fig. 4 guarantee conformance for one transition.
+fn check_action(
+    object: ObjectId,
+    i: usize,
+    tr: &Transition<ExchangerShared, ExchangerLocal>,
+    execution: &Execution<ExchangerShared, ExchangerLocal>,
+) -> Result<(), RgViolation> {
+    let t = tr.thread;
+    let pre = &tr.pre;
+    let post = &tr.post;
+    let delta: &[CaElement] = &execution.trace.elements()[tr.trace_before..tr.trace_after];
+    if tr.kind == TransitionKind::Invoke {
+        if pre != post || !delta.is_empty() {
+            return violation(i, t, "invocation must not touch shared state");
+        }
+        return Ok(());
+    }
+    match tr.label {
+        None => {
+            // Environment-invisible: reads, or a private allocation (the
+            // failed init CAS still allocated the offer).
+            if post.g != pre.g {
+                return violation(i, t, "unlabelled step changed g");
+            }
+            if !delta.is_empty() {
+                return violation(i, t, "unlabelled step extended the trace");
+            }
+            if post.offers.len() > pre.offers.len() + 1
+                || post.offers[..pre.offers.len()] != pre.offers[..]
+            {
+                return violation(i, t, "unlabelled step mutated published offers");
+            }
+            if post.offers.len() == pre.offers.len() + 1 {
+                let fresh = post.offers[pre.offers.len()];
+                if fresh.tid != t || fresh.hole != Hole::Null {
+                    return violation(i, t, "allocated offer must be fresh and owned");
+                }
+            }
+            Ok(())
+        }
+        Some("INIT") => {
+            // [∃n. g⃐ = null ∧ n.tid = t ∧ n.hole = null ∧ g = n]_g
+            let n = pre.offers.len();
+            if pre.g.is_some() {
+                return violation(i, t, "INIT requires g = null");
+            }
+            if post.g != Some(n)
+                || post.offers.len() != n + 1
+                || post.offers[..n] != pre.offers[..]
+                || post.offers[n] != (Offer { tid: t, data: post.offers[n].data, hole: Hole::Null })
+            {
+                return violation(i, t, "INIT must publish a fresh own offer");
+            }
+            if !delta.is_empty() {
+                return violation(i, t, "INIT must not extend the trace");
+            }
+            Ok(())
+        }
+        Some("PASS") => {
+            // [g.hole⃐ = null ∧ g.tid = t ∧ g.hole = fail]_{g.hole}
+            if post.g != pre.g || !delta.is_empty() {
+                return violation(i, t, "PASS may only flip one hole");
+            }
+            let changed: Vec<usize> = diff_offers(pre, post);
+            let [n] = changed[..] else {
+                return violation(i, t, "PASS must change exactly one offer");
+            };
+            let (before, after) = (pre.offers[n], post.offers[n]);
+            if before.tid != t
+                || before.hole != Hole::Null
+                || after != (Offer { hole: Hole::Fail, ..before })
+            {
+                return violation(i, t, "PASS must set own null hole to fail");
+            }
+            Ok(())
+        }
+        Some("XCHG") => {
+            // [∃n ≠ fail. n.tid = t ∧ g.hole⃐ = null ∧ g.tid ≠ t ∧
+            //  g.hole = n ∧ 𝒯 = 𝒯⃐ · E.swap(g.tid, g.data, t, n.data)]
+            let Some(c) = pre.g else {
+                return violation(i, t, "XCHG requires g ≠ null");
+            };
+            if post.g != pre.g {
+                return violation(i, t, "XCHG must not change g");
+            }
+            let changed = diff_offers(pre, post);
+            if changed != [c] {
+                return violation(i, t, "XCHG must change exactly the offer in g");
+            }
+            let (before, after) = (pre.offers[c], post.offers[c]);
+            if before.hole != Hole::Null || before.tid == t {
+                return violation(i, t, "XCHG requires an unmatched foreign offer in g");
+            }
+            let Hole::Matched(n) = after.hole else {
+                return violation(i, t, "XCHG must match the hole");
+            };
+            if (Offer { hole: Hole::Null, ..after }) != before {
+                return violation(i, t, "XCHG may only write the hole");
+            }
+            let own = post.offers[n];
+            if own.tid != t {
+                return violation(i, t, "XCHG must install the matcher's own offer");
+            }
+            let expected = swap_element(object, before.tid, before.data, t, own.data);
+            if delta != [expected.clone()] {
+                return violation(
+                    i,
+                    t,
+                    format!("XCHG must log {expected}, logged {:?}", delta),
+                );
+            }
+            Ok(())
+        }
+        Some("CLEAN") => {
+            // [g⃐.hole ≠ null ∧ g = null]_g
+            let Some(c) = pre.g else {
+                return violation(i, t, "CLEAN requires g ≠ null");
+            };
+            if pre.offers[c].hole == Hole::Null {
+                return violation(i, t, "CLEAN requires a satisfied or passed offer");
+            }
+            if post.g.is_some() || post.offers != pre.offers || !delta.is_empty() {
+                return violation(i, t, "CLEAN may only null g");
+            }
+            Ok(())
+        }
+        Some("FAIL") => {
+            // [∃d. 𝒯 = 𝒯⃐ · E.{(t, ex(d) ▷ (false, d))}]_𝒯
+            if pre != post {
+                return violation(i, t, "FAIL must not touch shared memory");
+            }
+            let [e] = delta else {
+                return violation(i, t, "FAIL must log exactly one element");
+            };
+            let [op] = e.ops() else {
+                return violation(i, t, "FAIL element must be a singleton");
+            };
+            let ok = e.object() == object
+                && op.thread == t
+                && op.method == EXCHANGE
+                && matches!((op.arg.as_int(), op.ret.as_pair()), (Some(d), Some((false, r))) if d == r);
+            if !ok {
+                return violation(i, t, format!("FAIL element malformed: {e}"));
+            }
+            Ok(())
+        }
+        Some(other) => violation(i, t, format!("unknown action label {other}")),
+    }
+}
+
+fn diff_offers(pre: &ExchangerShared, post: &ExchangerShared) -> Vec<usize> {
+    let common = pre.offers.len().min(post.offers.len());
+    let mut changed: Vec<usize> =
+        (0..common).filter(|&k| pre.offers[k] != post.offers[k]).collect();
+    changed.extend(common..post.offers.len().max(pre.offers.len()));
+    changed
+}
+
+/// The swap element `E.swap(t, v, t', v')`.
+fn swap_element(object: ObjectId, t: ThreadId, v: i64, t2: ThreadId, v2: i64) -> CaElement {
+    CaElement::pair(
+        Operation::new(t, object, EXCHANGE, Value::Int(v), Value::Pair(true, v2)),
+        Operation::new(t2, object, EXCHANGE, Value::Int(v2), Value::Pair(true, v)),
+    )
+    .expect("swap partners are distinct")
+}
+
+/// Invariant `J`: `∀t. g ≠ null ∧ g.hole = null ⟹ InE(g.tid)` — the offer
+/// in `g`, while unsatisfied, belongs to a thread currently executing
+/// `exchange`.
+fn check_invariant_j(
+    i: usize,
+    tr: &Transition<ExchangerShared, ExchangerLocal>,
+) -> Result<(), RgViolation> {
+    if let Some(n) = tr.post.g {
+        let offer = tr.post.offers[n];
+        if offer.hole == Hole::Null {
+            let active = tr
+                .locals
+                .get(offer.tid.0 as usize)
+                .map(|l| l.is_some())
+                .unwrap_or(false);
+            if !active {
+                return violation(
+                    i,
+                    tr.thread,
+                    format!("J violated: g holds unsatisfied offer of inactive {}", offer.tid),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fig. 1's proof-outline assertions, evaluated for every in-flight thread
+/// at its current program point. Because this runs after *every*
+/// transition, it checks stability under interference, not just
+/// establishment.
+fn check_outline(
+    object: ObjectId,
+    i: usize,
+    tr: &Transition<ExchangerShared, ExchangerLocal>,
+    execution: &Execution<ExchangerShared, ExchangerLocal>,
+    baselines: &[Option<usize>],
+) -> Result<(), RgViolation> {
+    let shared = &tr.post;
+    let trace_len = tr.trace_after;
+    for (ui, local) in tr.locals.iter().enumerate() {
+        let Some(local) = local else { continue };
+        let u = ThreadId(ui as u32);
+        let Some(baseline) = baselines.get(ui).copied().flatten() else { continue };
+        let logged = mentions(execution, trace_len, u);
+        // A's trace conjunct: 𝒯_E|u = T. B's: 𝒯_E|u = T · E.swap(…).
+        let a_trace = logged == baseline;
+        let b_trace = |partner: Offer, own_value: i64| -> bool {
+            if logged != baseline + 1 {
+                return false;
+            }
+            let last = execution.trace.elements()[..trace_len]
+                .iter()
+                .filter(|e| e.mentions_thread(u))
+                .next_back()
+                .expect("logged > 0");
+            *last == swap_element(object, u, own_value, partner.tid, partner.data)
+        };
+        // A's memory conjuncts, parameterized by the own offer.
+        let a_mem = |n: usize, v: i64| -> bool {
+            let own_ok = shared.offers[n] == (Offer { tid: u, data: v, hole: Hole::Null });
+            let g_ok = match shared.g {
+                None => true,
+                Some(gi) => shared.offers[gi].hole != Hole::Null || shared.offers[gi].tid != u,
+            };
+            own_ok && g_ok
+        };
+        let ok = match *local {
+            ExchangerLocal::Init { .. } => a_trace,
+            // Line 16: (𝒯_E|t = T ∧ n ↦ t,v,null ∧ g = n) ∨ B(n.hole).
+            ExchangerLocal::Wait { n, v } | ExchangerLocal::TryPass { n, v } => {
+                let first = a_trace
+                    && shared.offers[n] == (Offer { tid: u, data: v, hole: Hole::Null })
+                    && shared.g == Some(n);
+                let second = match shared.offers[n].hole {
+                    Hole::Matched(m) => {
+                        shared.offers[m].tid != u && b_trace(shared.offers[m], v)
+                    }
+                    _ => false,
+                };
+                first || second
+            }
+            // Between the pass CAS and the fail return: own hole = fail,
+            // nothing logged for u yet.
+            ExchangerLocal::FailReturn { n, .. } => {
+                a_trace && shared.offers[n].hole == Hole::Fail && shared.offers[n].tid == u
+            }
+            // Line 24: A.
+            ExchangerLocal::ReadG { n, v } => a_trace && a_mem(n, v),
+            // Line 26/28: A ∧ (g = cur ∨ cur.hole ≠ null) ∧ cur ≠ null ∧ ¬s.
+            ExchangerLocal::TryXchg { n, v, cur } => {
+                a_trace
+                    && a_mem(n, v)
+                    && (shared.g == Some(cur) || shared.offers[cur].hole != Hole::Null)
+            }
+            // Line 30: (¬s ∧ A ∨ s ∧ B(cur)) ∧ cur.hole ≠ null.
+            ExchangerLocal::Clean { n, v, cur, s } => {
+                let branch = if s {
+                    shared.offers[cur].tid != u && b_trace(shared.offers[cur], v)
+                } else {
+                    a_trace && a_mem(n, v)
+                };
+                branch && shared.offers[cur].hole != Hole::Null
+            }
+            // Line 32: s ⟹ B(cur); ¬s keeps A until the FAIL log.
+            ExchangerLocal::Finish { n, v, cur, s } => {
+                if s {
+                    shared.offers[cur].tid != u && b_trace(shared.offers[cur], v)
+                } else {
+                    a_trace && a_mem(n, v)
+                }
+            }
+        };
+        if !ok {
+            return violation(
+                i,
+                u,
+                format!("proof-outline assertion violated at {local:?} (shared {shared:?})"),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_sim::models::exchanger::ExchangerModel;
+    use cal_sim::sched::{Explorer, Workload};
+    use cal_sim::OpRequest;
+
+    const E: ObjectId = ObjectId(0);
+
+    fn exchange(v: i64) -> OpRequest {
+        OpRequest::new(EXCHANGE, Value::Int(v))
+    }
+
+    fn check_all(workload: Workload) -> u64 {
+        let m = ExchangerModel::new(E);
+        let mut execs = 0;
+        Explorer::new(&m, workload)
+            .record_transitions(true)
+            .visit_duplicates()
+            .run(|e| {
+                execs += 1;
+                check_exchanger_rg(E, e).unwrap_or_else(|v| panic!("{v}\nhistory:\n{}", e.history));
+            });
+        execs
+    }
+
+    #[test]
+    fn single_thread_obligations_hold() {
+        assert!(check_all(Workload::new(vec![vec![exchange(1)]])) > 0);
+    }
+
+    #[test]
+    fn two_thread_obligations_hold_on_every_schedule() {
+        let n = check_all(Workload::new(vec![vec![exchange(3)], vec![exchange(4)]]));
+        assert!(n > 10);
+    }
+
+    #[test]
+    fn sequential_ops_per_thread_hold() {
+        let n = check_all(Workload::new(vec![vec![exchange(1), exchange(2)], vec![exchange(9)]]));
+        assert!(n > 10);
+    }
+
+    #[test]
+    fn corrupted_execution_is_rejected() {
+        // Sanity: the checker is not vacuous. Take a valid execution and
+        // corrupt one XCHG transition's logged element.
+        let m = ExchangerModel::new(E);
+        let w = Workload::new(vec![vec![exchange(3)], vec![exchange(4)]]);
+        let mut found = false;
+        Explorer::new(&m, w).record_transitions(true).run(|e| {
+            if found {
+                return;
+            }
+            if let Some(pos) =
+                e.transitions.iter().position(|tr| tr.label == Some("XCHG"))
+            {
+                let mut bad = e.clone();
+                // Pretend the XCHG also flipped g.
+                bad.transitions[pos].post.g = None;
+                assert!(check_exchanger_rg(E, &bad).is_err());
+                found = true;
+            }
+        });
+        assert!(found, "expected at least one XCHG transition");
+    }
+
+    #[test]
+    fn violation_display_mentions_thread() {
+        let v = RgViolation { transition: 3, thread: ThreadId(1), reason: "x".into() };
+        assert!(v.to_string().contains("t1"));
+        assert!(v.to_string().contains("transition 3"));
+    }
+}

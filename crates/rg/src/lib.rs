@@ -1,0 +1,26 @@
+//! # cal-rg — machine-checked rely/guarantee obligations
+//!
+//! The paper proves the exchanger concurrency-aware linearizable with a
+//! rely/guarantee program logic (§5.1, Fig. 4). This crate renders that
+//! proof executable: over the transition logs produced by `cal-sim`'s
+//! exhaustive scheduler, it checks
+//!
+//! - **guarantee conformance** — every transition instantiates one of the
+//!   Fig. 4 actions (`INIT`, `CLEAN`, `PASS`, `XCHG`, `FAIL`) or is
+//!   environment-invisible;
+//! - **the global invariant `J`** of §5.1;
+//! - **the proof-outline assertions** of Fig. 1 (`A`, `B(k)` and the
+//!   per-line disjunctions), at every program point after every transition
+//!   — establishment *and* stability under interference.
+//!
+//! Exhausting these checks over all interleavings of bounded clients is
+//! the executable analogue of the paper's deductive proof.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exchanger_rg;
+pub mod stack_rg;
+
+pub use exchanger_rg::{check_exchanger_rg, RgViolation};
+pub use stack_rg::check_stack_rg;

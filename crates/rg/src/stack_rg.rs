@@ -1,0 +1,273 @@
+//! Machine-checked obligations for the central stack of Fig. 2, in the
+//! style of the exchanger proof: every transition must be one of the
+//! stack's atomic actions, the heap invariant must hold throughout, and
+//! the logged trace must stay a well-defined stack history (`WFS`, §4).
+
+use cal_core::spec::SeqSpec;
+use cal_core::{CaElement, ObjectId, ThreadId, Value};
+use cal_sim::models::stack::{StackLocal, StackShared};
+use cal_sim::sched::{Execution, Transition, TransitionKind};
+use cal_specs::stack::StackSpec;
+use cal_specs::vocab::{POP, PUSH};
+
+use crate::exchanger_rg::RgViolation;
+
+/// The full obligation check for one explored execution of the failing
+/// stack model: action conformance per transition, the acyclic-reachability
+/// invariant, and `WFS` of the logged trace.
+///
+/// # Errors
+///
+/// Returns the first violated obligation.
+pub fn check_stack_rg(
+    object: ObjectId,
+    execution: &Execution<StackShared, StackLocal>,
+) -> Result<(), RgViolation> {
+    for (i, tr) in execution.transitions.iter().enumerate() {
+        check_action(object, i, tr, execution)?;
+        check_invariant(i, tr)?;
+    }
+    // WFS(𝒯_S): replaying the successful operations in trace order is
+    // possible and reproduces the reported results (§4).
+    let spec = StackSpec::failing(object);
+    let mut state = spec.initial();
+    for (k, element) in execution.trace.elements().iter().enumerate() {
+        let [op] = element.ops() else {
+            return Err(RgViolation {
+                transition: k,
+                thread: ThreadId(0),
+                reason: format!("stack elements are singletons, found {element}"),
+            });
+        };
+        match spec.apply(&state, op) {
+            Some(next) => state = next,
+            None => {
+                return Err(RgViolation {
+                    transition: k,
+                    thread: op.thread,
+                    reason: format!("trace violates WFS at element {element}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn violation(
+    transition: usize,
+    thread: ThreadId,
+    reason: impl Into<String>,
+) -> Result<(), RgViolation> {
+    Err(RgViolation { transition, thread, reason: reason.into() })
+}
+
+fn check_action(
+    object: ObjectId,
+    i: usize,
+    tr: &Transition<StackShared, StackLocal>,
+    execution: &Execution<StackShared, StackLocal>,
+) -> Result<(), RgViolation> {
+    let t = tr.thread;
+    let pre = &tr.pre;
+    let post = &tr.post;
+    let delta: &[CaElement] = &execution.trace.elements()[tr.trace_before..tr.trace_after];
+    let singleton = |delta: &[CaElement]| -> Option<cal_core::Operation> {
+        match delta {
+            [e] => match e.ops() {
+                [op] if e.object() == object && op.thread == t => Some(*op),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    if tr.kind == TransitionKind::Invoke {
+        if pre != post || !delta.is_empty() {
+            return violation(i, t, "invocation must not touch shared state");
+        }
+        return Ok(());
+    }
+    match tr.label {
+        None => {
+            // Reads, or a private cell allocation (push's line 12).
+            if post.top != pre.top {
+                return violation(i, t, "unlabelled step changed top");
+            }
+            if !delta.is_empty() {
+                return violation(i, t, "unlabelled step extended the trace");
+            }
+            if post.cells.len() > pre.cells.len() + 1
+                || post.cells[..pre.cells.len()] != pre.cells[..]
+            {
+                return violation(i, t, "unlabelled step mutated published cells");
+            }
+            Ok(())
+        }
+        Some("PUSH") => {
+            let Some(op) = singleton(delta) else {
+                return violation(i, t, "PUSH must log one own element");
+            };
+            if op.method != PUSH || op.ret != Value::Bool(true) {
+                return violation(i, t, format!("PUSH logged wrong element {op}"));
+            }
+            let Some(n) = post.top else {
+                return violation(i, t, "PUSH must set top");
+            };
+            if post.cells != pre.cells {
+                return violation(i, t, "PUSH may only swing top");
+            }
+            let cell = post.cells[n];
+            if cell.next != pre.top {
+                return violation(i, t, "pushed cell must point at the old top");
+            }
+            if op.arg != Value::Int(cell.data) {
+                return violation(i, t, "PUSH element must carry the pushed value");
+            }
+            Ok(())
+        }
+        Some("PUSH-FAIL") => {
+            if pre != post {
+                return violation(i, t, "PUSH-FAIL must not touch shared state");
+            }
+            let Some(op) = singleton(delta) else {
+                return violation(i, t, "PUSH-FAIL must log one own element");
+            };
+            (op.method == PUSH && op.ret == Value::Bool(false))
+                .then_some(())
+                .ok_or(())
+                .or_else(|_| violation(i, t, format!("PUSH-FAIL logged wrong element {op}")))
+        }
+        Some("POP") => {
+            let Some(op) = singleton(delta) else {
+                return violation(i, t, "POP must log one own element");
+            };
+            let Some(h) = pre.top else {
+                return violation(i, t, "POP requires a non-empty stack");
+            };
+            if post.cells != pre.cells {
+                return violation(i, t, "POP may only swing top");
+            }
+            if post.top != pre.cells[h].next {
+                return violation(i, t, "POP must swing top to the next cell");
+            }
+            if op.method != POP || op.ret != Value::Pair(true, pre.cells[h].data) {
+                return violation(i, t, format!("POP element must report the popped value, got {op}"));
+            }
+            Ok(())
+        }
+        Some("POP-FAIL") | Some("POP-EMPTY") => {
+            if pre != post {
+                return violation(i, t, "failing POP must not touch shared state");
+            }
+            if tr.label == Some("POP-EMPTY") && pre.top.is_some() {
+                return violation(i, t, "POP-EMPTY requires an empty stack");
+            }
+            let Some(op) = singleton(delta) else {
+                return violation(i, t, "failing POP must log one own element");
+            };
+            (op.method == POP && op.ret == Value::Pair(false, 0))
+                .then_some(())
+                .ok_or(())
+                .or_else(|_| violation(i, t, format!("failing POP logged wrong element {op}")))
+        }
+        Some(other) => violation(i, t, format!("unknown action label {other}")),
+    }
+}
+
+/// Heap invariant: the chain from `top` is acyclic and within the arena.
+fn check_invariant(
+    i: usize,
+    tr: &Transition<StackShared, StackLocal>,
+) -> Result<(), RgViolation> {
+    let s = &tr.post;
+    let mut seen = vec![false; s.cells.len()];
+    let mut cur = s.top;
+    while let Some(k) = cur {
+        if k >= s.cells.len() {
+            return violation(i, tr.thread, "top chain escapes the arena");
+        }
+        if seen[k] {
+            return violation(i, tr.thread, "top chain is cyclic");
+        }
+        seen[k] = true;
+        cur = s.cells[k].next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_sim::models::stack::FailingStackModel;
+    use cal_sim::sched::{Explorer, Workload};
+    use cal_sim::OpRequest;
+
+    const S: ObjectId = ObjectId(0);
+
+    fn push(v: i64) -> OpRequest {
+        OpRequest::new(PUSH, Value::Int(v))
+    }
+
+    fn pop() -> OpRequest {
+        OpRequest::new(POP, Value::Unit)
+    }
+
+    fn check_all(w: Workload) -> u64 {
+        let m = FailingStackModel::new(S);
+        let mut n = 0;
+        Explorer::new(&m, w)
+            .record_transitions(true)
+            .visit_duplicates()
+            .run(|e| {
+                n += 1;
+                check_stack_rg(S, e)
+                    .unwrap_or_else(|v| panic!("{v}\nhistory:\n{}", e.history));
+            });
+        n
+    }
+
+    #[test]
+    fn single_thread_obligations_hold() {
+        assert!(check_all(Workload::new(vec![vec![push(1), pop(), pop()]])) > 0);
+    }
+
+    #[test]
+    fn two_thread_obligations_hold_on_every_schedule() {
+        let n = check_all(Workload::new(vec![vec![push(1), pop()], vec![push(2), pop()]]));
+        assert!(n > 100);
+    }
+
+    #[test]
+    fn three_thread_obligations_hold_budgeted() {
+        let m = FailingStackModel::new(S);
+        let w = Workload::new(vec![vec![push(1)], vec![push(2)], vec![pop()]]);
+        let mut n = 0u64;
+        Explorer::new(&m, w)
+            .record_transitions(true)
+            .visit_duplicates()
+            .max_paths(30_000)
+            .run(|e| {
+                n += 1;
+                check_stack_rg(S, e).unwrap_or_else(|v| panic!("{v}"));
+            });
+        assert!(n > 100);
+    }
+
+    #[test]
+    fn corrupted_transition_is_rejected() {
+        let m = FailingStackModel::new(S);
+        let w = Workload::new(vec![vec![push(1)]]);
+        let mut found = false;
+        Explorer::new(&m, w).record_transitions(true).run(|e| {
+            if found {
+                return;
+            }
+            if let Some(pos) = e.transitions.iter().position(|tr| tr.label == Some("PUSH")) {
+                let mut bad = e.clone();
+                bad.transitions[pos].post.top = None; // pretend the push vanished
+                assert!(check_stack_rg(S, &bad).is_err());
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cal-sim — deterministic concurrency substrate
+//!
+//! The paper proves its theorems with a program logic; this crate provides
+//! the executable analogue: each algorithm of Figs. 1–2 is rendered as a
+//! *step machine* in which every step is one shared-memory access, and a
+//! scheduler explores **all** interleavings of bounded client programs
+//! (or seeded random samples of larger ones). Each explored schedule
+//! yields the client-visible [`cal_core::History`], the auxiliary trace
+//! `𝒯` logged at the paper's instrumentation points, and optionally a
+//! transition log consumed by the rely/guarantee checker in `cal-rg`.
+//!
+//! - [`model`] — the [`model::Model`] trait, step outcomes and the logging
+//!   context;
+//! - [`sched`] — the exhaustive DFS [`sched::Explorer`] and random
+//!   sampler;
+//! - [`models`] — the exchanger (Fig. 1), failing and retrying stacks,
+//!   elimination array, elimination stack (Fig. 2) and synchronous queue.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model;
+pub mod models;
+pub mod sched;
+
+pub use model::{Model, OpRequest, StepCtx, StepOutcome};
+pub use sched::{Execution, ExploreStats, Explorer, Transition, TransitionKind, Workload};

@@ -1,0 +1,138 @@
+//! The step-machine model interface.
+//!
+//! A [`Model`] is an operational rendition of a concurrent object in which
+//! every step is one shared-memory access (a read, write or CAS), exactly
+//! mirroring the paper's code line by line. The scheduler interleaves
+//! steps of different threads; because non-shared computation is folded
+//! into the adjacent shared access, the interleaving space is exactly the
+//! space of memory-visible behaviours.
+//!
+//! Models log the paper's auxiliary trace variable `𝒯` through
+//! [`StepCtx::log`] at their instrumentation points (e.g. the successful
+//! `XCHG` CAS of Fig. 1), and label mutating steps with the rely/guarantee
+//! action that justifies them (Fig. 4) through [`StepCtx::label`].
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use cal_core::{CaElement, CaTrace, Method, ObjectId, ThreadId, Value};
+
+/// What a single step of an operation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome<L> {
+    /// The operation continues; shared/local state were updated in place.
+    Continue,
+    /// The operation finished, returning the value.
+    Done(Value),
+    /// A nondeterministic branch: the scheduler explores each replacement
+    /// local state (shared state must not have been modified).
+    Choose(Vec<L>),
+    /// The operation gives up without responding (a bounded model of an
+    /// unbounded retry loop); its invocation stays pending forever.
+    Stuck,
+}
+
+/// Execution context handed to each step: trace logging and action
+/// labelling.
+#[derive(Debug)]
+pub struct StepCtx<'a> {
+    /// The thread executing the step.
+    pub thread: ThreadId,
+    trace: &'a mut CaTrace,
+    label: &'a mut Option<&'static str>,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Creates a context writing into the given trace and label slots.
+    pub fn new(
+        thread: ThreadId,
+        trace: &'a mut CaTrace,
+        label: &'a mut Option<&'static str>,
+    ) -> Self {
+        StepCtx { thread, trace, label }
+    }
+
+    /// Appends a CA-element to the auxiliary trace `𝒯` (the paper's
+    /// instrumented assignment `𝒯 := 𝒯 · element`).
+    pub fn log(&mut self, element: CaElement) {
+        self.trace.push(element);
+    }
+
+    /// Labels this step with the rely/guarantee action justifying it
+    /// (e.g. `"XCHG"`). Read-only steps stay unlabelled.
+    pub fn label(&mut self, action: &'static str) {
+        *self.label = Some(action);
+    }
+}
+
+/// An operation request: which method to invoke with which argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpRequest {
+    /// The method to invoke.
+    pub method: Method,
+    /// The argument to pass.
+    pub arg: Value,
+}
+
+impl OpRequest {
+    /// Creates a request.
+    pub fn new(method: Method, arg: Value) -> Self {
+        OpRequest { method, arg }
+    }
+}
+
+/// A step-machine model of a concurrent object.
+pub trait Model {
+    /// Shared-memory state, cloned cheaply during exploration.
+    type Shared: Clone + Eq + Hash + Debug;
+    /// Per-operation local state (program counter plus registers).
+    type Local: Clone + Eq + Hash + Debug;
+
+    /// The object id operations are invoked on (the client-visible object).
+    fn object(&self) -> ObjectId;
+
+    /// The initial shared state.
+    fn init_shared(&self) -> Self::Shared;
+
+    /// Starts an operation: builds the local state for `request` invoked by
+    /// `thread`.
+    fn on_invoke(&self, thread: ThreadId, request: &OpRequest) -> Self::Local;
+
+    /// Executes one shared-memory step of the operation.
+    fn step(
+        &self,
+        shared: &mut Self::Shared,
+        local: &mut Self::Local,
+        ctx: &mut StepCtx<'_>,
+    ) -> StepOutcome<Self::Local>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_core::Operation;
+
+    #[test]
+    fn ctx_logs_and_labels() {
+        let mut trace = CaTrace::new();
+        let mut label = None;
+        let mut ctx = StepCtx::new(ThreadId(1), &mut trace, &mut label);
+        ctx.label("XCHG");
+        ctx.log(CaElement::singleton(Operation::new(
+            ThreadId(1),
+            ObjectId(0),
+            Method("m"),
+            Value::Unit,
+            Value::Unit,
+        )));
+        assert_eq!(label, Some("XCHG"));
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn op_request_holds_method_and_arg() {
+        let r = OpRequest::new(Method("push"), Value::Int(3));
+        assert_eq!(r.method, Method("push"));
+        assert_eq!(r.arg, Value::Int(3));
+    }
+}

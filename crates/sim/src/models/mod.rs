@@ -1,0 +1,10 @@
+//! Step-machine models of the paper's algorithms, one module per object.
+
+pub mod dual_stack;
+pub mod elim_array;
+pub mod elim_stack;
+pub mod exchanger;
+pub mod faulty;
+pub mod snapshot;
+pub mod stack;
+pub mod sync_queue;

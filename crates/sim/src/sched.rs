@@ -1,0 +1,649 @@
+//! Schedulers: exhaustive DFS over all interleavings, and seeded random
+//! walks for configurations too large to enumerate.
+//!
+//! Every scheduling point is either an *invocation* (a new client-visible
+//! action enters the history) or one *shared-memory step* of a running
+//! operation; responses are appended the moment an operation completes,
+//! which yields the richest real-time order (the strictest input for the
+//! checkers). Each terminal path produces an [`Execution`]: the
+//! client-visible [`History`], the logged auxiliary trace `𝒯`, the final
+//! shared state, and (optionally) the per-step transition log consumed by
+//! the rely/guarantee checker.
+
+use std::collections::HashSet;
+
+use cal_core::{Action, CaTrace, History, ThreadId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Model, OpRequest, StepCtx, StepOutcome};
+
+/// A bounded client program: one list of operation requests per thread.
+/// Thread `i` runs as [`ThreadId`]`(i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Workload {
+    per_thread: Vec<Vec<OpRequest>>,
+}
+
+impl Workload {
+    /// Creates a workload from per-thread request lists.
+    pub fn new(per_thread: Vec<Vec<OpRequest>>) -> Self {
+        Workload { per_thread }
+    }
+
+    /// The request lists, one per thread.
+    pub fn per_thread(&self) -> &[Vec<OpRequest>] {
+        &self.per_thread
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// Total number of operation requests.
+    pub fn total_ops(&self) -> usize {
+        self.per_thread.iter().map(Vec::len).sum()
+    }
+}
+
+/// Why a recorded transition exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A client invoked an operation (history grew by an invocation).
+    Invoke,
+    /// A shared-memory step; `completed` is `true` when the operation
+    /// returned at this step (history grew by a response).
+    Step {
+        /// Whether the operation responded at this step.
+        completed: bool,
+    },
+}
+
+/// One scheduler event, with before/after shared state for rely/guarantee
+/// conformance checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition<S, L> {
+    /// The thread that moved.
+    pub thread: ThreadId,
+    /// The rely/guarantee action label the model attached, if any.
+    pub label: Option<&'static str>,
+    /// Event kind.
+    pub kind: TransitionKind,
+    /// Shared state before the event.
+    pub pre: S,
+    /// Shared state after the event.
+    pub post: S,
+    /// Trace length before the event.
+    pub trace_before: usize,
+    /// Trace length after the event.
+    pub trace_after: usize,
+    /// Snapshot of every thread's local state *after* the event (`None`
+    /// for threads with no operation in flight). Proof-outline assertions
+    /// are evaluated against these snapshots, which checks both their
+    /// establishment and their stability under interference.
+    pub locals: Vec<Option<L>>,
+}
+
+/// A complete run of the workload under one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution<S, L> {
+    /// The client-visible history of invocations and responses.
+    pub history: History,
+    /// The logged auxiliary trace `𝒯`.
+    pub trace: CaTrace,
+    /// The final shared state.
+    pub final_shared: S,
+    /// Per-step transitions (empty unless recording was enabled).
+    pub transitions: Vec<Transition<S, L>>,
+}
+
+/// Aggregate statistics of an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Terminal schedules reached.
+    pub paths: u64,
+    /// Distinct `(history, trace)` outcomes among them.
+    pub unique_executions: u64,
+    /// `true` if the path budget stopped the exploration early.
+    pub truncated: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ThreadState<L> {
+    Idle { next_op: usize },
+    Running { next_op: usize, local: L, steps: usize },
+    Parked,
+}
+
+/// Pruning key: everything that determines the remainder of a schedule.
+type VisitKey<M> = (
+    <M as Model>::Shared,
+    Vec<ThreadState<<M as Model>::Local>>,
+    History,
+    CaTrace,
+);
+
+struct PathState<M: Model> {
+    shared: M::Shared,
+    trace: CaTrace,
+    history: History,
+    threads: Vec<ThreadState<M::Local>>,
+    transitions: Vec<Transition<M::Shared, M::Local>>,
+}
+
+// Manual impl: a derive would wrongly require `M: Clone`.
+impl<M: Model> Clone for PathState<M> {
+    fn clone(&self) -> Self {
+        PathState {
+            shared: self.shared.clone(),
+            trace: self.trace.clone(),
+            history: self.history.clone(),
+            threads: self.threads.clone(),
+            transitions: self.transitions.clone(),
+        }
+    }
+}
+
+/// Exhaustive (or budgeted) exploration of all interleavings of a workload
+/// against a model.
+pub struct Explorer<'m, M> {
+    model: &'m M,
+    workload: Workload,
+    record_transitions: bool,
+    max_paths: u64,
+    max_steps_per_op: usize,
+    dedup: bool,
+    prune: bool,
+}
+
+impl<M> std::fmt::Debug for Explorer<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("workload", &self.workload)
+            .field("record_transitions", &self.record_transitions)
+            .field("max_paths", &self.max_paths)
+            .field("dedup", &self.dedup)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m, M: Model> Explorer<'m, M> {
+    /// Creates an explorer for `model` running `workload`.
+    pub fn new(model: &'m M, workload: Workload) -> Self {
+        Explorer {
+            model,
+            workload,
+            record_transitions: false,
+            max_paths: u64::MAX,
+            max_steps_per_op: 10_000,
+            dedup: true,
+            prune: true,
+        }
+    }
+
+    /// Also records per-step transitions into each [`Execution`] (needed by
+    /// the rely/guarantee checker; costs one shared-state clone per step).
+    /// Implies [`Explorer::no_pruning`], because pruning would discard
+    /// schedules whose transition logs differ even though their outcomes
+    /// coincide.
+    pub fn record_transitions(mut self, yes: bool) -> Self {
+        self.record_transitions = yes;
+        if yes {
+            self.prune = false;
+        }
+        self
+    }
+
+    /// Disables state-space pruning. By default, a partial schedule whose
+    /// full state `(shared, thread states, history, trace)` was already
+    /// visited is cut off — its subtree is identical to the visited one, so
+    /// no outcome is lost; only the number of explored schedules changes.
+    pub fn no_pruning(mut self) -> Self {
+        self.prune = false;
+        self
+    }
+
+    /// Caps the number of terminal paths visited.
+    pub fn max_paths(mut self, cap: u64) -> Self {
+        self.max_paths = cap;
+        self
+    }
+
+    /// Disables deduplication of identical `(history, trace)` outcomes, so
+    /// the visitor sees every schedule.
+    pub fn visit_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Runs the exploration, invoking `visit` on each terminal execution
+    /// (each *distinct* one, unless [`Explorer::visit_duplicates`] was
+    /// requested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation exceeds the per-operation step bound — a
+    /// model must encode unbounded retry loops with
+    /// [`StepOutcome::Stuck`].
+    pub fn run<F>(&self, mut visit: F) -> ExploreStats
+    where
+        F: FnMut(&Execution<M::Shared, M::Local>),
+    {
+        let mut stats = ExploreStats::default();
+        let mut seen: HashSet<(History, CaTrace)> = HashSet::new();
+        let mut visited: HashSet<VisitKey<M>> = HashSet::new();
+        let root = PathState::<M> {
+            shared: self.model.init_shared(),
+            trace: CaTrace::new(),
+            history: History::new(),
+            threads: (0..self.workload.threads())
+                .map(|_| ThreadState::Idle { next_op: 0 })
+                .collect(),
+            transitions: Vec::new(),
+        };
+        self.dfs(root, &mut stats, &mut seen, &mut visited, &mut visit);
+        stats
+    }
+
+    fn dfs<F>(
+        &self,
+        state: PathState<M>,
+        stats: &mut ExploreStats,
+        seen: &mut HashSet<(History, CaTrace)>,
+        visited: &mut HashSet<VisitKey<M>>,
+        visit: &mut F,
+    ) where
+        F: FnMut(&Execution<M::Shared, M::Local>),
+    {
+        if stats.paths >= self.max_paths {
+            stats.truncated = true;
+            return;
+        }
+        if self.prune {
+            let key = (
+                state.shared.clone(),
+                state.threads.clone(),
+                state.history.clone(),
+                state.trace.clone(),
+            );
+            if !visited.insert(key) {
+                return;
+            }
+        }
+        let enabled = self.enabled_threads(&state);
+        if enabled.is_empty() {
+            stats.paths += 1;
+            let key = (state.history.clone(), state.trace.clone());
+            if self.dedup && !seen.insert(key) {
+                return;
+            }
+            stats.unique_executions += 1;
+            visit(&Execution {
+                history: state.history,
+                trace: state.trace,
+                final_shared: state.shared,
+                transitions: state.transitions,
+            });
+            return;
+        }
+        for t in enabled {
+            for next in self.advance(&state, t) {
+                self.dfs(next, stats, seen, visited, visit);
+            }
+        }
+    }
+
+    fn locals_snapshot(threads: &[ThreadState<M::Local>]) -> Vec<Option<M::Local>> {
+        threads
+            .iter()
+            .map(|t| match t {
+                ThreadState::Running { local, .. } => Some(local.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn enabled_threads(&self, state: &PathState<M>) -> Vec<usize> {
+        (0..state.threads.len())
+            .filter(|&t| match &state.threads[t] {
+                ThreadState::Idle { next_op } => *next_op < self.workload.per_thread[t].len(),
+                ThreadState::Running { .. } => true,
+                ThreadState::Parked => false,
+            })
+            .collect()
+    }
+
+    /// Applies one scheduling choice for thread `t`, returning the successor
+    /// path states (several if the step branched nondeterministically).
+    fn advance(&self, state: &PathState<M>, t: usize) -> Vec<PathState<M>> {
+        let thread = ThreadId(t as u32);
+        let mut next = state.clone();
+        match &state.threads[t] {
+            ThreadState::Idle { next_op } => {
+                let request = &self.workload.per_thread[t][*next_op];
+                let local = self.model.on_invoke(thread, request);
+                next.history.push(Action::invoke(
+                    thread,
+                    self.model.object(),
+                    request.method,
+                    request.arg,
+                ));
+                next.threads[t] =
+                    ThreadState::Running { next_op: next_op + 1, local, steps: 0 };
+                if self.record_transitions {
+                    next.transitions.push(Transition {
+                        thread,
+                        label: None,
+                        kind: TransitionKind::Invoke,
+                        pre: state.shared.clone(),
+                        post: state.shared.clone(),
+                        trace_before: state.trace.len(),
+                        trace_after: state.trace.len(),
+                        locals: Self::locals_snapshot(&next.threads),
+                    });
+                }
+                vec![next]
+            }
+            ThreadState::Running { next_op, local, steps } => {
+                assert!(
+                    *steps < self.max_steps_per_op,
+                    "operation exceeded {} steps; bound retry loops with StepOutcome::Stuck",
+                    self.max_steps_per_op
+                );
+                let request = &self.workload.per_thread[t][next_op - 1];
+                let mut local = local.clone();
+                let mut label = None;
+                let trace_before = next.trace.len();
+                let pre = if self.record_transitions {
+                    Some(state.shared.clone())
+                } else {
+                    None
+                };
+                let outcome = {
+                    let mut ctx = StepCtx::new(thread, &mut next.trace, &mut label);
+                    self.model.step(&mut next.shared, &mut local, &mut ctx)
+                };
+                match outcome {
+                    StepOutcome::Choose(locals) => {
+                        // Branch: no shared change, no history change.
+                        debug_assert_eq!(next.shared, state.shared, "Choose must not mutate");
+                        debug_assert_eq!(next.trace.len(), trace_before);
+                        locals
+                            .into_iter()
+                            .map(|l| {
+                                let mut branch = next.clone();
+                                branch.threads[t] = ThreadState::Running {
+                                    next_op: *next_op,
+                                    local: l,
+                                    steps: steps + 1,
+                                };
+                                branch
+                            })
+                            .collect()
+                    }
+                    other => {
+                        let completed = matches!(other, StepOutcome::Done(_));
+                        match other {
+                            StepOutcome::Continue => {
+                                next.threads[t] = ThreadState::Running {
+                                    next_op: *next_op,
+                                    local,
+                                    steps: steps + 1,
+                                };
+                            }
+                            StepOutcome::Done(ret) => {
+                                next.history.push(Action::response(
+                                    thread,
+                                    self.model.object(),
+                                    request.method,
+                                    ret,
+                                ));
+                                next.threads[t] = if *next_op
+                                    < self.workload.per_thread[t].len()
+                                {
+                                    ThreadState::Idle { next_op: *next_op }
+                                } else {
+                                    ThreadState::Parked
+                                };
+                            }
+                            StepOutcome::Stuck => {
+                                next.threads[t] = ThreadState::Parked;
+                            }
+                            StepOutcome::Choose(_) => unreachable!("handled above"),
+                        }
+                        if let Some(pre) = pre {
+                            next.transitions.push(Transition {
+                                thread,
+                                label,
+                                kind: TransitionKind::Step { completed },
+                                pre,
+                                post: next.shared.clone(),
+                                trace_before,
+                                trace_after: next.trace.len(),
+                                locals: Self::locals_snapshot(&next.threads),
+                            });
+                        }
+                        vec![next]
+                    }
+                }
+            }
+            ThreadState::Parked => Vec::new(),
+        }
+    }
+
+    /// Runs `count` seeded random schedules, invoking `visit` on each
+    /// terminal execution (duplicates included).
+    pub fn sample<F>(&self, seed: u64, count: u64, mut visit: F) -> ExploreStats
+    where
+        F: FnMut(&Execution<M::Shared, M::Local>),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = ExploreStats::default();
+        let mut seen: HashSet<(History, CaTrace)> = HashSet::new();
+        for _ in 0..count {
+            let mut state = PathState::<M> {
+                shared: self.model.init_shared(),
+                trace: CaTrace::new(),
+                history: History::new(),
+                threads: (0..self.workload.threads())
+                    .map(|_| ThreadState::Idle { next_op: 0 })
+                    .collect(),
+                transitions: Vec::new(),
+            };
+            loop {
+                let enabled = self.enabled_threads(&state);
+                if enabled.is_empty() {
+                    break;
+                }
+                let t = enabled[rng.gen_range(0..enabled.len())];
+                let mut successors = self.advance(&state, t);
+                let pick = rng.gen_range(0..successors.len());
+                state = successors.swap_remove(pick);
+            }
+            stats.paths += 1;
+            if seen.insert((state.history.clone(), state.trace.clone())) {
+                stats.unique_executions += 1;
+            }
+            visit(&Execution {
+                history: state.history,
+                trace: state.trace,
+                final_shared: state.shared,
+                transitions: state.transitions,
+            });
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_core::{CaElement, Method, ObjectId, Operation, Value};
+
+    /// A two-step atomic counter: read then CAS-increment (retrying once,
+    /// then sticking). Returns the value it incremented from.
+    #[derive(Debug)]
+    struct CasCounter;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Pc {
+        Read { tries: u8 },
+        Cas { seen: i64, tries: u8 },
+    }
+
+    const INC: Method = Method("inc");
+
+    impl Model for CasCounter {
+        type Shared = i64;
+        type Local = Pc;
+
+        fn object(&self) -> ObjectId {
+            ObjectId(0)
+        }
+
+        fn init_shared(&self) -> i64 {
+            0
+        }
+
+        fn on_invoke(&self, _t: ThreadId, _r: &OpRequest) -> Pc {
+            Pc::Read { tries: 0 }
+        }
+
+        fn step(
+            &self,
+            shared: &mut i64,
+            local: &mut Pc,
+            ctx: &mut StepCtx<'_>,
+        ) -> StepOutcome<Pc> {
+            match *local {
+                Pc::Read { tries } => {
+                    *local = Pc::Cas { seen: *shared, tries };
+                    StepOutcome::Continue
+                }
+                Pc::Cas { seen, tries } => {
+                    if *shared == seen {
+                        *shared = seen + 1;
+                        ctx.label("INC");
+                        ctx.log(CaElement::singleton(Operation::new(
+                            ctx.thread,
+                            ObjectId(0),
+                            INC,
+                            Value::Unit,
+                            Value::Int(seen),
+                        )));
+                        StepOutcome::Done(Value::Int(seen))
+                    } else if tries >= 1 {
+                        StepOutcome::Stuck
+                    } else {
+                        *local = Pc::Read { tries: tries + 1 };
+                        StepOutcome::Continue
+                    }
+                }
+            }
+        }
+    }
+
+    fn workload(threads: usize) -> Workload {
+        Workload::new(vec![vec![OpRequest::new(INC, Value::Unit)]; threads])
+    }
+
+    #[test]
+    fn single_thread_single_path() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(1));
+        let mut execs = Vec::new();
+        let stats = explorer.run(|e| execs.push(e.clone()));
+        assert_eq!(stats.paths, 1);
+        assert_eq!(stats.unique_executions, 1);
+        assert_eq!(execs[0].final_shared, 1);
+        assert!(execs[0].history.is_complete());
+        assert_eq!(execs[0].trace.len(), 1);
+    }
+
+    #[test]
+    fn two_threads_explore_contention() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(2));
+        let mut finals = HashSet::new();
+        let mut all_complete = true;
+        let stats = explorer.run(|e| {
+            finals.insert(e.final_shared);
+            all_complete &= e.history.is_well_formed();
+        });
+        assert!(stats.paths > 1);
+        assert!(all_complete);
+        // Both increments always succeed (one retry suffices for 2 threads).
+        assert_eq!(finals, HashSet::from([2]));
+    }
+
+    #[test]
+    fn histories_are_well_formed_and_traces_consistent() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(3));
+        explorer.run(|e| {
+            assert!(e.history.is_well_formed());
+            // Each logged element corresponds to one completed operation.
+            let completed = e.history.operations().len();
+            assert_eq!(e.trace.total_ops(), completed);
+        });
+    }
+
+    #[test]
+    fn transition_recording_captures_mutations() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(1)).record_transitions(true);
+        explorer.run(|e| {
+            assert_eq!(e.transitions.len(), 3); // invoke, read, cas
+            assert_eq!(e.transitions[0].kind, TransitionKind::Invoke);
+            let cas = e.transitions.last().unwrap();
+            assert_eq!(cas.kind, TransitionKind::Step { completed: true });
+            assert_eq!(cas.label, Some("INC"));
+            assert_eq!(cas.pre, 0);
+            assert_eq!(cas.post, 1);
+            assert_eq!(cas.trace_after, cas.trace_before + 1);
+        });
+    }
+
+    #[test]
+    fn max_paths_truncates() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(3)).max_paths(2);
+        let stats = explorer.run(|_| {});
+        assert!(stats.truncated);
+        assert_eq!(stats.paths, 2);
+    }
+
+    #[test]
+    fn sampling_visits_requested_count() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(3));
+        let mut n = 0;
+        let stats = explorer.sample(42, 25, |e| {
+            n += 1;
+            assert!(e.history.is_well_formed());
+        });
+        assert_eq!(n, 25);
+        assert_eq!(stats.paths, 25);
+        assert!(stats.unique_executions >= 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = CasCounter;
+        let explorer = Explorer::new(&m, workload(2));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        explorer.sample(7, 10, |e| a.push(e.history.clone()));
+        explorer.sample(7, 10, |e| b.push(e.history.clone()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let w = workload(2);
+        assert_eq!(w.threads(), 2);
+        assert_eq!(w.total_ops(), 2);
+        assert_eq!(w.per_thread().len(), 2);
+    }
+}

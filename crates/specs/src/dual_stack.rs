@@ -1,0 +1,245 @@
+//! A *dual stack* specification (Scherer & Scott, DISC 2004), the §6
+//! example of how CA-histories streamline dual data structures.
+//!
+//! A dual stack's `pop` on an empty stack does not fail — it installs a
+//! *reservation* and waits; a later `push` *fulfills* the reservation and
+//! both operations complete. Scherer & Scott specify this with **two**
+//! linearization points per waiting operation (the "request" and the
+//! "follow-up"). With CAL a single CA-element does the job:
+//!
+//! - `S.{(t, push(v) ▷ ())}` — a plain push (always legal);
+//! - `S.{(t, pop() ▷ v)}` — a plain pop (stack non-empty, `v` on top);
+//! - `S.{(t, push(v) ▷ ()), (t', pop() ▷ v)}` — a *fulfillment*: a push
+//!   and a waiting pop take effect simultaneously, legal only on an empty
+//!   stack (a waiting pop exists only when there is no data).
+
+use cal_core::spec::{CaSpec, Invocation};
+use cal_core::{CaElement, ObjectId, Operation, ThreadId, Value};
+
+use crate::vocab::{POP, PUSH};
+
+/// The concurrency-aware dual stack specification.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::spec::CaSpec;
+/// use cal_core::{CaTrace, ObjectId, ThreadId};
+/// use cal_specs::dual_stack::{fulfillment_element, DualStackSpec};
+/// let s = ObjectId(0);
+/// let spec = DualStackSpec::new(s);
+/// let t = CaTrace::from_elements(vec![
+///     fulfillment_element(s, ThreadId(1), 5, ThreadId(2)),
+/// ]);
+/// assert!(spec.accepts(&t));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualStackSpec {
+    object: ObjectId,
+}
+
+impl DualStackSpec {
+    /// Creates the specification of dual stack `object`.
+    pub fn new(object: ObjectId) -> Self {
+        DualStackSpec { object }
+    }
+
+    /// The specified object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+}
+
+impl CaSpec for DualStackSpec {
+    /// The data-stack contents, bottom first.
+    type State = Vec<i64>;
+
+    fn initial(&self) -> Vec<i64> {
+        Vec::new()
+    }
+
+    fn step(&self, state: &Vec<i64>, element: &CaElement) -> Option<Vec<i64>> {
+        if element.object() != self.object {
+            return None;
+        }
+        match element.ops() {
+            [op] if op.method == PUSH => {
+                // Plain push.
+                if op.ret != Value::Unit {
+                    return None;
+                }
+                let mut next = state.clone();
+                next.push(op.arg.as_int()?);
+                Some(next)
+            }
+            [op] if op.method == POP => {
+                // Plain pop: v on top.
+                let v = op.ret.as_int()?;
+                (state.last() == Some(&v)).then(|| {
+                    let mut next = state.clone();
+                    next.pop();
+                    next
+                })
+            }
+            [a, b] => {
+                let (push, pop) = match (a.method, b.method) {
+                    (PUSH, POP) => (a, b),
+                    (POP, PUSH) => (b, a),
+                    _ => return None,
+                };
+                // Fulfillment: only on an empty data stack, values match.
+                (state.is_empty()
+                    && push.ret == Value::Unit
+                    && pop.ret == push.arg
+                    && push.thread != pop.thread)
+                    .then(|| state.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn max_element_size(&self) -> usize {
+        2
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        match inv.method {
+            PUSH => vec![Value::Unit],
+            _ => Vec::new(),
+        }
+    }
+
+    fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+        let mut out = self.completions_of(inv);
+        if inv.method == POP {
+            // A pending pop can be fulfilled by a peer push.
+            out.extend(peers.iter().filter(|p| p.method == PUSH).map(|p| p.arg));
+        }
+        out
+    }
+}
+
+/// The operation `(t, push(v) ▷ ())` of a dual stack.
+pub fn dual_push_op(object: ObjectId, t: ThreadId, v: i64) -> Operation {
+    Operation::new(t, object, PUSH, Value::Int(v), Value::Unit)
+}
+
+/// The operation `(t, pop() ▷ v)` of a dual stack.
+pub fn dual_pop_op(object: ObjectId, t: ThreadId, v: i64) -> Operation {
+    Operation::new(t, object, POP, Value::Unit, Value::Int(v))
+}
+
+/// The fulfillment element: `pusher` hands `v` to the waiting `popper`.
+///
+/// # Panics
+///
+/// Panics if `pusher == popper`.
+pub fn fulfillment_element(
+    object: ObjectId,
+    pusher: ThreadId,
+    v: i64,
+    popper: ThreadId,
+) -> CaElement {
+    CaElement::pair(dual_push_op(object, pusher, v), dual_pop_op(object, popper, v))
+        .expect("pusher and popper are distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cal_core::check::is_cal;
+    use cal_core::{CaTrace, History};
+
+    const S: ObjectId = ObjectId(0);
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn spec() -> DualStackSpec {
+        DualStackSpec::new(S)
+    }
+
+    #[test]
+    fn plain_lifo_accepted() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(dual_push_op(S, t(1), 1)),
+            CaElement::singleton(dual_push_op(S, t(2), 2)),
+            CaElement::singleton(dual_pop_op(S, t(1), 2)),
+            CaElement::singleton(dual_pop_op(S, t(2), 1)),
+        ]);
+        assert!(spec().accepts(&tr));
+    }
+
+    #[test]
+    fn wrong_pop_order_rejected() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(dual_push_op(S, t(1), 1)),
+            CaElement::singleton(dual_push_op(S, t(2), 2)),
+            CaElement::singleton(dual_pop_op(S, t(1), 1)), // not LIFO
+        ]);
+        assert!(!spec().accepts(&tr));
+    }
+
+    #[test]
+    fn fulfillment_requires_empty_stack() {
+        let ok = CaTrace::from_elements(vec![fulfillment_element(S, t(1), 5, t(2))]);
+        assert!(spec().accepts(&ok));
+        let bad = CaTrace::from_elements(vec![
+            CaElement::singleton(dual_push_op(S, t(3), 9)),
+            fulfillment_element(S, t(1), 5, t(2)), // data present: pop must take 9
+        ]);
+        assert!(!spec().accepts(&bad));
+    }
+
+    #[test]
+    fn fulfillment_values_must_match() {
+        let bad = CaElement::pair(dual_push_op(S, t(1), 5), dual_pop_op(S, t(2), 6)).unwrap();
+        assert!(!spec().accepts(&CaTrace::from_elements(vec![bad])));
+    }
+
+    #[test]
+    fn pop_on_empty_never_returns_alone() {
+        let lone = CaElement::singleton(dual_pop_op(S, t(1), 5));
+        assert!(!spec().accepts(&CaTrace::from_elements(vec![lone])));
+    }
+
+    #[test]
+    fn waiting_pop_fulfilled_by_overlapping_push_is_cal() {
+        // pop starts on the empty stack, waits; push arrives and fulfills.
+        let push = dual_push_op(S, t(1), 5);
+        let pop = dual_pop_op(S, t(2), 5);
+        let h = History::from_actions(vec![
+            pop.invocation(),
+            push.invocation(),
+            push.response(),
+            pop.response(),
+        ]);
+        assert!(is_cal(&h, &spec()));
+    }
+
+    #[test]
+    fn pop_completing_before_its_push_starts_is_not_cal() {
+        // The pop returned 5 before any push(5) was even invoked.
+        let push = dual_push_op(S, t(1), 5);
+        let pop = dual_pop_op(S, t(2), 5);
+        let h = History::from_actions(vec![
+            pop.invocation(),
+            pop.response(),
+            push.invocation(),
+            push.response(),
+        ]);
+        assert!(!is_cal(&h, &spec()));
+    }
+
+    #[test]
+    fn pending_pop_completed_against_pending_push() {
+        let push = dual_push_op(S, t(1), 5);
+        let h = History::from_actions(vec![
+            Operation::new(t(2), S, POP, Value::Unit, Value::Int(5)).invocation(),
+            push.invocation(),
+            push.response(),
+        ]);
+        assert!(is_cal(&h, &spec()));
+    }
+}

@@ -1,0 +1,278 @@
+//! The elimination stack's view function `F_ES` and its modular
+//! verification path (§5).
+//!
+//! The elimination stack `ES` encapsulates a central stack `S` and an
+//! elimination array `AR`. Its view function `F_ES` picks as linearization
+//! points the successful pushes and pops of `S` and the successful
+//! exchanges of `AR` in which one side offered the pop sentinel `∞`:
+//!
+//! ```text
+//! F_ES(S.{(t, push(n) ▷ true)})      = ES.{(t, push(n) ▷ true)}
+//! F_ES(S.{(t, pop() ▷ (true, n))})   = ES.{(t, pop() ▷ (true, n))}
+//! F_ES(AR.{(t, ex(n) ▷ (true, ∞)),
+//!          (t', ex(∞) ▷ (true, n))}) = ES.{(t, push(n) ▷ true)} ·
+//!                                      ES.{(t', pop() ▷ (true, n))}   (n ≠ ∞)
+//! F_ES(S._)  = ε          F_ES(AR._) = ε
+//! ```
+//!
+//! In the elimination case the push is linearized *immediately before* the
+//! pop — the paper's "imaginary sequence of abstract operations" realized
+//! by one CA-element. The composed view of a global trace is therefore a
+//! sequence of abstract `ES` stack operations, checkable against the plain
+//! sequential [`StackSpec`]: this is the modular proof of the elimination
+//! stack, never peeking inside `S` or `AR`.
+
+use cal_core::compose::TraceMap;
+use cal_core::spec::SeqSpec;
+use cal_core::{CaElement, CaTrace, ObjectId, Operation, Value};
+
+use crate::stack::StackSpec;
+use crate::vocab::{POP, POP_SENTINEL, PUSH};
+
+/// The view function `F_ES` of the elimination stack.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::compose::TraceMap;
+/// use cal_core::{CaTrace, ObjectId, ThreadId};
+/// use cal_specs::elim_stack::FEsMap;
+/// use cal_specs::exchanger::swap_element;
+/// use cal_specs::vocab::POP_SENTINEL;
+/// let (es, s, ar) = (ObjectId(0), ObjectId(1), ObjectId(2));
+/// let f = FEsMap::new(es, s, ar);
+/// // A pusher offering 42 eliminated by a popper offering ∞:
+/// let elim = swap_element(ar, ThreadId(1), 42, ThreadId(2), POP_SENTINEL);
+/// let mapped = f.apply(&CaTrace::from_elements(vec![elim]));
+/// assert_eq!(mapped.len(), 2); // ES.push(42) · ES.pop() ▷ 42
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FEsMap {
+    es: ObjectId,
+    stack: ObjectId,
+    array: ObjectId,
+}
+
+impl FEsMap {
+    /// Creates `F_ES` for elimination stack `es` encapsulating central
+    /// stack `stack` and elimination array `array`.
+    pub fn new(es: ObjectId, stack: ObjectId, array: ObjectId) -> Self {
+        FEsMap { es, stack, array }
+    }
+
+    /// The elimination stack object.
+    pub fn es(&self) -> ObjectId {
+        self.es
+    }
+
+    /// The central stack subobject.
+    pub fn stack(&self) -> ObjectId {
+        self.stack
+    }
+
+    /// The elimination array subobject.
+    pub fn array(&self) -> ObjectId {
+        self.array
+    }
+
+    fn map_stack_element(&self, element: &CaElement) -> CaTrace {
+        // Only singleton successful operations survive.
+        let [op] = element.ops() else { return CaTrace::new() };
+        let keep = match op.method {
+            PUSH => op.ret == Value::Bool(true),
+            POP => matches!(op.ret.as_pair(), Some((true, _))),
+            _ => false,
+        };
+        if keep {
+            let lifted = Operation::new(op.thread, self.es, op.method, op.arg, op.ret);
+            CaTrace::from_elements(vec![CaElement::singleton(lifted)])
+        } else {
+            CaTrace::new()
+        }
+    }
+
+    fn map_array_element(&self, element: &CaElement) -> CaTrace {
+        // Only a successful exchange where exactly one side offered the pop
+        // sentinel becomes an elimination; everything else is hidden.
+        let [a, b] = element.ops() else { return CaTrace::new() };
+        let (Some((true, _)), Some((true, _))) = (a.ret.as_pair(), b.ret.as_pair()) else {
+            return CaTrace::new();
+        };
+        let (pusher, popper) = match (a.arg.as_int(), b.arg.as_int()) {
+            (Some(va), Some(vb)) if va != POP_SENTINEL && vb == POP_SENTINEL => (a, b),
+            (Some(va), Some(vb)) if vb != POP_SENTINEL && va == POP_SENTINEL => (b, a),
+            _ => return CaTrace::new(),
+        };
+        let n = pusher.arg.as_int().expect("checked above");
+        // Push linearized immediately before the pop.
+        let push = Operation::new(pusher.thread, self.es, PUSH, Value::Int(n), Value::Bool(true));
+        let pop =
+            Operation::new(popper.thread, self.es, POP, Value::Unit, Value::Pair(true, n));
+        CaTrace::from_elements(vec![CaElement::singleton(push), CaElement::singleton(pop)])
+    }
+}
+
+impl TraceMap for FEsMap {
+    fn map_element(&self, element: &CaElement) -> Option<CaTrace> {
+        if element.object() == self.stack {
+            Some(self.map_stack_element(element))
+        } else if element.object() == self.array {
+            Some(self.map_array_element(element))
+        } else {
+            None
+        }
+    }
+}
+
+/// The modular correctness check of the elimination stack (§5): maps a
+/// combined subobject trace (CA-elements of `S` and `AR`) through `F_ES`
+/// and replays the resulting abstract operations against the sequential
+/// stack specification.
+///
+/// Returns `true` iff the mapped trace is a well-defined stack history —
+/// i.e. the elimination stack behaves like a stack, assuming its
+/// subobjects met their own (independently verified) specifications.
+pub fn modular_stack_check(f_es: &FEsMap, subobject_trace: &CaTrace) -> bool {
+    let mapped = f_es.apply(subobject_trace);
+    let spec = StackSpec::total(f_es.es());
+    let mut state = spec.initial();
+    for element in mapped.elements() {
+        let [op] = element.ops() else { return false };
+        match spec.apply(&state, op) {
+            Some(next) => state = next,
+            None => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchanger::{fail_element, swap_element};
+    use crate::stack::{pop_fail, pop_ok, push_fail, push_ok};
+    use cal_core::ThreadId;
+
+    const ES: ObjectId = ObjectId(0);
+    const S: ObjectId = ObjectId(1);
+    const AR: ObjectId = ObjectId(2);
+
+    fn fes() -> FEsMap {
+        FEsMap::new(ES, S, AR)
+    }
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn successful_stack_ops_lifted() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(push_ok(S, t(1), 5)),
+            CaElement::singleton(pop_ok(S, t(2), 5)),
+        ]);
+        let mapped = fes().apply(&tr);
+        assert_eq!(mapped.len(), 2);
+        assert!(mapped.elements().iter().all(|e| e.object() == ES));
+    }
+
+    #[test]
+    fn failed_stack_ops_hidden() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(push_fail(S, t(1), 5)),
+            CaElement::singleton(pop_fail(S, t(2))),
+        ]);
+        assert!(fes().apply(&tr).is_empty());
+    }
+
+    #[test]
+    fn elimination_becomes_push_then_pop() {
+        let elim = swap_element(AR, t(1), 42, t(2), POP_SENTINEL);
+        let mapped = fes().apply(&CaTrace::from_elements(vec![elim]));
+        assert_eq!(mapped.len(), 2);
+        let push = &mapped.elements()[0].ops()[0];
+        let pop = &mapped.elements()[1].ops()[0];
+        assert_eq!(push.method, PUSH);
+        assert_eq!(push.thread, t(1));
+        assert_eq!(push.arg, Value::Int(42));
+        assert_eq!(pop.method, POP);
+        assert_eq!(pop.thread, t(2));
+        assert_eq!(pop.ret, Value::Pair(true, 42));
+    }
+
+    #[test]
+    fn elimination_orientation_is_detected() {
+        // Popper listed first in the element: same mapping.
+        let elim = swap_element(AR, t(2), POP_SENTINEL, t(1), 42);
+        let mapped = fes().apply(&CaTrace::from_elements(vec![elim]));
+        assert_eq!(mapped.len(), 2);
+        assert_eq!(mapped.elements()[0].ops()[0].method, PUSH);
+        assert_eq!(mapped.elements()[0].ops()[0].thread, t(1));
+    }
+
+    #[test]
+    fn same_operation_exchanges_hidden() {
+        // Two pushers exchanging, or two poppers: no elimination.
+        let push_push = swap_element(AR, t(1), 5, t(2), 6);
+        let pop_pop = swap_element(AR, t(1), POP_SENTINEL, t(2), POP_SENTINEL);
+        let failed = fail_element(AR, t(3), 9);
+        let tr = CaTrace::from_elements(vec![push_push, pop_pop, failed]);
+        assert!(fes().apply(&tr).is_empty());
+    }
+
+    #[test]
+    fn foreign_elements_pass_through() {
+        let other = fail_element(ObjectId(77), t(1), 1);
+        let mapped = fes().apply(&CaTrace::from_elements(vec![other.clone()]));
+        assert_eq!(mapped.elements(), &[other]);
+    }
+
+    #[test]
+    fn modular_check_accepts_interleaved_stack_and_elimination() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(push_ok(S, t(1), 1)),
+            swap_element(AR, t(2), 42, t(3), POP_SENTINEL), // eliminated pair
+            CaElement::singleton(pop_ok(S, t(3), 1)),
+            CaElement::singleton(pop_fail(S, t(2))),
+            fail_element(AR, t(1), 5),
+        ]);
+        assert!(modular_stack_check(&fes(), &tr));
+    }
+
+    #[test]
+    fn modular_check_rejects_wrong_pop() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(push_ok(S, t(1), 1)),
+            CaElement::singleton(pop_ok(S, t(2), 999)),
+        ]);
+        assert!(!modular_stack_check(&fes(), &tr));
+    }
+
+    #[test]
+    fn modular_check_rejects_pop_before_push() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(pop_ok(S, t(2), 1)),
+            CaElement::singleton(push_ok(S, t(1), 1)),
+        ]);
+        assert!(!modular_stack_check(&fes(), &tr));
+    }
+
+    #[test]
+    fn fes_is_idempotent_on_mapped_output() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(push_ok(S, t(1), 1)),
+            swap_element(AR, t(2), 42, t(3), POP_SENTINEL),
+        ]);
+        let once = fes().apply(&tr);
+        // Mapped elements live on ES, which F_ES does not translate.
+        assert_eq!(fes().apply(&once), once);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = fes();
+        assert_eq!(f.es(), ES);
+        assert_eq!(f.stack(), S);
+        assert_eq!(f.array(), AR);
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared vocabulary: method names and sentinel values used by the paper's
+//! objects.
+
+use cal_core::Method;
+
+/// The `exchange` method of exchangers and elimination arrays.
+pub const EXCHANGE: Method = Method("exchange");
+/// The `push` method of stacks.
+pub const PUSH: Method = Method("push");
+/// The `pop` method of stacks.
+pub const POP: Method = Method("pop");
+/// The `put` method of synchronous queues.
+pub const PUT: Method = Method("put");
+/// The `take` method of synchronous queues.
+pub const TAKE: Method = Method("take");
+/// The `read` method of registers.
+pub const READ: Method = Method("read");
+/// The `write` method of registers.
+pub const WRITE: Method = Method("write");
+/// The `inc` method of counters.
+pub const INC: Method = Method("inc");
+
+/// `POP_SENTINAL` of Fig. 2 (spelled as in the paper's code): the value a
+/// popping thread offers to the elimination array, standing for `INFINITY`.
+pub const POP_SENTINEL: i64 = i64::MAX;
+
+/// The value a taking thread offers to a synchronous queue's internal
+/// exchanger to announce itself as a consumer.
+pub const TAKE_SENTINEL: i64 = i64::MAX - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_are_distinct() {
+        let all = [EXCHANGE, PUSH, POP, PUT, TAKE, READ, WRITE, INC];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_is_extreme() {
+        assert_eq!(POP_SENTINEL, i64::MAX);
+    }
+}

@@ -1,0 +1,152 @@
+//! `cal-check` — check a recorded history (in the `cal_core::text` line
+//! format) against one of the built-in specifications.
+//!
+//! ```text
+//! Usage: cal-check <SPEC> <FILE> [--object <N>]
+//!
+//!   SPEC   exchanger | elim-array | sync-queue        (concurrency-aware)
+//!          stack | failing-stack | register | counter (sequential)
+//!   FILE   history file, or - for stdin
+//!
+//! Exit status: 0 = accepted, 1 = rejected, 2 = usage/input error.
+//! ```
+//!
+//! Example:
+//!
+//! ```bash
+//! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
+//!   | cargo run --bin cal-check -- exchanger -
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use cal::core::check::{check_cal, Verdict};
+use cal::core::spec::{CaSpec, SeqSpec};
+use cal::core::text::{format_trace, parse_history};
+use cal::core::{seqlin, History, ObjectId};
+use cal::specs::elim_array::ElimArraySpec;
+use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::stack::StackSpec;
+use cal::specs::sync_queue::SyncQueueSpec;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cal-check <SPEC> <FILE> [--object <N>]\n\
+         \n\
+         SPEC: exchanger | elim-array | sync-queue | stack | failing-stack | register | counter\n\
+         FILE: history in the cal text format, or - for stdin"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_name = None;
+    let mut file = None;
+    let mut object = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--object" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => object = Some(ObjectId(n)),
+                None => return usage(),
+            },
+            "-h" | "--help" => return usage(),
+            _ if spec_name.is_none() => spec_name = Some(a.clone()),
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let (Some(spec_name), Some(file)) = (spec_name, file) else {
+        return usage();
+    };
+
+    let input = match read_input(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cal-check: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let history = match parse_history(&input) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cal-check: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = history.validate() {
+        eprintln!("cal-check: ill-formed history: {e}");
+        return ExitCode::from(2);
+    }
+    let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
+
+    let accepted = match spec_name.as_str() {
+        "exchanger" => run_ca(&history, &ExchangerSpec::new(object)),
+        "elim-array" => run_ca(&history, &ElimArraySpec::new(object)),
+        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object)),
+        "stack" => run_seq(&history, &StackSpec::total(object)),
+        "failing-stack" => run_seq(&history, &StackSpec::failing(object)),
+        "register" => run_seq(&history, &RegisterSpec::new(object)),
+        "counter" => run_seq(&history, &CounterSpec::new(object)),
+        other => {
+            eprintln!("cal-check: unknown spec {other:?}");
+            return usage();
+        }
+    };
+    match accepted {
+        Some(true) => ExitCode::SUCCESS,
+        Some(false) => ExitCode::from(1),
+        None => ExitCode::from(2),
+    }
+}
+
+fn read_input(file: &str) -> std::io::Result<String> {
+    if file == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(file)
+    }
+}
+
+fn run_ca<S: CaSpec>(history: &History, spec: &S) -> Option<bool> {
+    match check_cal(history, spec) {
+        Ok(outcome) => report(outcome.verdict, "concurrency-aware linearizable"),
+        Err(e) => {
+            eprintln!("cal-check: {e}");
+            None
+        }
+    }
+}
+
+fn run_seq<S: SeqSpec>(history: &History, spec: &S) -> Option<bool> {
+    match seqlin::check_linearizable(history, spec) {
+        Ok(outcome) => report(outcome.verdict, "linearizable"),
+        Err(e) => {
+            eprintln!("cal-check: {e}");
+            None
+        }
+    }
+}
+
+fn report(verdict: Verdict, adjective: &str) -> Option<bool> {
+    match verdict {
+        Verdict::Cal(witness) => {
+            println!("{adjective}: yes");
+            print!("{}", format_trace(&witness));
+            Some(true)
+        }
+        Verdict::NotCal => {
+            println!("{adjective}: NO");
+            Some(false)
+        }
+        Verdict::ResourcesExhausted => {
+            eprintln!("cal-check: undecided — node budget exhausted");
+            None
+        }
+    }
+}
