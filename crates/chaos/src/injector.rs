@@ -1,0 +1,329 @@
+//! The two fault injectors: a deterministic token-passing scheduler and a
+//! best-effort stress injector, both plugged into the objects through
+//! [`cal_objects::hooks`].
+//!
+//! # Deterministic mode
+//!
+//! [`Scheduler`] runs the workload as *cooperative virtual threads*:
+//! exactly one worker holds the token at any moment, and the token moves
+//! only at instrumented chaos points, where a seeded coin decides whether
+//! to switch and a seeded choice picks the successor. Because a worker's
+//! behaviour between two chaos points is a deterministic function of the
+//! object state, and the object state is a deterministic function of the
+//! interleaving, the whole run — fault schedule, interleaving, recorded
+//! history — is a pure function of the seed. Same seed, same bits.
+//!
+//! The price is that *real* parallelism is gone; delays are meaningless
+//! (nobody else is running), so the deterministic injector spends its
+//! randomness on scheduling, spurious CAS failures and abandonment only.
+//!
+//! # Stress mode
+//!
+//! [`StressInjector`] keeps real OS-thread parallelism and perturbs it:
+//! seeded per-thread delay/yield streams at every chaos point, plus
+//! spurious CAS failures. Runs are not bit-for-bit reproducible (the OS
+//! scheduler still has a vote), so stress findings are re-run and shrunk
+//! in deterministic mode when possible.
+
+use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex};
+
+use cal_objects::hooks::{ChaosHooks, Site};
+
+use crate::faults::{FaultPlan, SplitMix64};
+
+thread_local! {
+    /// The worker index of the current thread within the active run, if
+    /// it is a chaos worker at all.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Per-thread RNG state for the stress injector.
+    static STRESS_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Marks the current thread as chaos worker `index` until the guard
+/// drops, and seeds its stress stream.
+pub fn enter_worker(index: usize, seed: u64) -> WorkerGuard {
+    WORKER_ID.with(|w| w.set(Some(index)));
+    STRESS_RNG.with(|r| r.set(SplitMix64::for_worker(seed, index).next_u64()));
+    WorkerGuard { _private: () }
+}
+
+/// Clears the worker mark on drop.
+#[derive(Debug)]
+pub struct WorkerGuard {
+    _private: (),
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        WORKER_ID.with(|w| w.set(None));
+    }
+}
+
+fn worker_id() -> Option<usize> {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Scheduler state under the one lock; the RNG is consumed only here, in
+/// token order, which is what makes the run a pure function of the seed.
+#[derive(Debug)]
+struct SchedState {
+    /// The worker holding the token (`usize::MAX` when all are done).
+    current: usize,
+    /// Which workers are still running their scripts.
+    runnable: Vec<bool>,
+    live: usize,
+    rng: SplitMix64,
+    plan: FaultPlan,
+}
+
+impl SchedState {
+    /// Picks the next token holder among runnable workers, honouring the
+    /// starvation bias. Returns `usize::MAX` when none are left.
+    fn pick_next(&mut self) -> usize {
+        let mut candidates: Vec<usize> =
+            (0..self.runnable.len()).filter(|&i| self.runnable[i]).collect();
+        if candidates.is_empty() {
+            return usize::MAX;
+        }
+        if self.plan.starve_last && candidates.len() > 1 {
+            let starved = self.runnable.len() - 1;
+            // 7 times out of 8, the starved worker is not even considered.
+            if candidates.contains(&starved) && !self.rng.chance(32) {
+                candidates.retain(|&i| i != starved);
+            }
+        }
+        candidates[self.rng.index(candidates.len())]
+    }
+}
+
+/// The deterministic token-passing scheduler. Doubles as the
+/// [`ChaosHooks`] implementation for deterministic runs.
+#[derive(Debug)]
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    /// A scheduler for `threads` workers, seeded by `seed`.
+    pub fn new(threads: usize, seed: u64, plan: FaultPlan) -> Arc<Self> {
+        let mut rng = SplitMix64::new(seed);
+        rng.next_u64(); // decorrelate from per-worker streams
+        let mut state = SchedState {
+            current: 0,
+            runnable: vec![true; threads],
+            live: threads,
+            rng,
+            plan,
+        };
+        state.current = state.pick_next();
+        Arc::new(Scheduler { state: Mutex::new(state), cv: Condvar::new() })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks worker `me` until it holds the token. Call once at worker
+    /// start-up.
+    pub fn wait_for_turn(&self, me: usize) {
+        let mut st = self.lock();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A chaos point on worker `me`: a seeded coin decides whether to
+    /// pass the token; if passed, blocks until it comes back.
+    pub fn maybe_switch(&self, me: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, me, "chaos point off-token");
+        let p = st.plan.switch_prob;
+        if !st.rng.chance(p) {
+            return;
+        }
+        let next = st.pick_next();
+        if next == me {
+            return;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A seeded coin flipped on the scheduler's stream. Only call while
+    /// holding the token (workers are serialized, so this keeps the
+    /// stream's consumption order deterministic).
+    pub fn decide(&self, p_256: u8) -> bool {
+        self.lock().rng.chance(p_256)
+    }
+
+    /// Worker `me` finished (or abandoned) its script: retire it and pass
+    /// the token on.
+    pub fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.runnable[me] = false;
+        st.live -= 1;
+        if st.current == me {
+            st.current = st.pick_next();
+        }
+        self.cv.notify_all();
+    }
+}
+
+impl ChaosHooks for Scheduler {
+    fn at_point(&self, _site: Site) {
+        if let Some(me) = worker_id() {
+            self.maybe_switch(me);
+        }
+    }
+
+    fn cas_should_fail(&self, site: Site) -> bool {
+        if !is_cas_site(site) {
+            return false;
+        }
+        match worker_id() {
+            Some(_) => {
+                let p = self.lock().plan.cas_fail_prob;
+                p > 0 && self.decide(p)
+            }
+            None => false,
+        }
+    }
+
+    fn choose_index(&self, _site: Site, bound: usize) -> Option<usize> {
+        // Only the token holder ever asks, so the draw lands on the
+        // scheduler's stream in token order — deterministic.
+        worker_id().map(|_| self.lock().rng.index(bound))
+    }
+}
+
+fn is_cas_site(site: Site) -> bool {
+    matches!(
+        site,
+        Site::ExchangeInstall | Site::ExchangeMatch | Site::StackCas | Site::DualCas
+    )
+}
+
+/// The stress injector: real parallelism, seeded per-thread perturbation
+/// streams (delays, yields, spurious CAS failures).
+#[derive(Debug)]
+pub struct StressInjector {
+    plan: FaultPlan,
+    threads: usize,
+}
+
+impl StressInjector {
+    /// A stress injector for `threads` workers under `plan`.
+    pub fn new(threads: usize, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(StressInjector { plan, threads })
+    }
+
+    /// One draw from the calling thread's stream.
+    fn draw(&self) -> u64 {
+        STRESS_RNG.with(|r| {
+            let mut rng = SplitMix64::new(r.get());
+            let v = rng.next_u64();
+            r.set(rng.next_u64());
+            v
+        })
+    }
+
+    fn chance(&self, p_256: u8) -> bool {
+        (self.draw() & 0xFF) < u64::from(p_256)
+    }
+}
+
+impl ChaosHooks for StressInjector {
+    fn at_point(&self, _site: Site) {
+        let Some(me) = worker_id() else { return };
+        let starved = self.plan.starve_last && me + 1 == self.threads;
+        if self.chance(self.plan.delay_prob) {
+            let mut spins = self.draw() % u64::from(self.plan.max_delay_spins.max(1));
+            if starved {
+                spins *= 8;
+            }
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+        if self.chance(self.plan.yield_prob) || starved {
+            std::thread::yield_now();
+        }
+    }
+
+    fn cas_should_fail(&self, site: Site) -> bool {
+        is_cas_site(site) && worker_id().is_some() && self.chance(self.plan.cas_fail_prob)
+    }
+
+    fn choose_index(&self, _site: Site, bound: usize) -> Option<usize> {
+        worker_id().map(|_| (self.draw() % bound.max(1) as u64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::Profile;
+
+    #[test]
+    fn scheduler_round_trips_one_worker() {
+        let s = Scheduler::new(1, 9, Profile::Heavy.plan());
+        let _w = enter_worker(0, 9);
+        s.wait_for_turn(0);
+        for _ in 0..100 {
+            s.maybe_switch(0); // only candidate: never blocks
+        }
+        s.finish(0);
+    }
+
+    #[test]
+    fn scheduler_serializes_two_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = Scheduler::new(2, 3, Profile::Heavy.plan());
+        let in_crit = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for me in 0..2 {
+                let s = &s;
+                let in_crit = &in_crit;
+                scope.spawn(move || {
+                    let _w = enter_worker(me, 3);
+                    s.wait_for_turn(me);
+                    for _ in 0..200 {
+                        // Exactly one worker may be between chaos points.
+                        assert_eq!(in_crit.fetch_add(1, Ordering::SeqCst), 0);
+                        in_crit.fetch_sub(1, Ordering::SeqCst);
+                        s.maybe_switch(me);
+                    }
+                    s.finish(me);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn unmarked_threads_pass_through_hooks() {
+        let s = Scheduler::new(1, 1, Profile::Heavy.plan());
+        // Not a worker: at_point must not block on the token.
+        s.at_point(Site::OpStart);
+        assert!(!s.cas_should_fail(Site::StackCas));
+    }
+
+    #[test]
+    fn cas_sites_only() {
+        assert!(is_cas_site(Site::StackCas));
+        assert!(!is_cas_site(Site::OpStart));
+        assert!(!is_cas_site(Site::ExchangeWait));
+    }
+
+    #[test]
+    fn stress_injector_is_callable() {
+        let inj = StressInjector::new(2, Profile::Heavy.plan());
+        let _w = enter_worker(0, 5);
+        inj.at_point(Site::ExchangeWait);
+        let _ = inj.cas_should_fail(Site::StackCas);
+    }
+}

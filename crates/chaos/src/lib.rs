@@ -1,0 +1,49 @@
+//! # cal-chaos — deterministic fault injection for the live CAL objects
+//!
+//! A seeded, reproducible fault-injection and stress harness wrapping the
+//! recorded objects of `cal-objects`. A run is described by a
+//! [`driver::RunConfig`] — seed, workload shape, target object, fault
+//! [`faults::Profile`] and scheduling [`driver::Mode`] — and proceeds in
+//! three steps:
+//!
+//! 1. **Perturb.** An injector is installed into the objects' chaos
+//!    points ([`cal_objects::hooks`]). In deterministic mode a
+//!    token-passing [`injector::Scheduler`] serializes the workers and
+//!    moves the token at seeded points, making the whole run — fault
+//!    schedule, interleaving, recorded history — a pure function of the
+//!    seed. In stress mode real OS threads run with seeded delay, yield
+//!    and spurious-CAS-failure streams. Heavy profiles also *abandon*
+//!    workers mid-operation, leaving pending invocations.
+//! 2. **Harvest.** The recorded wrappers log the client-visible history.
+//! 3. **Check.** The history is piped into the deadline-aware CAL
+//!    checker ([`cal_core::check::check_cal_with`]) against the target's
+//!    concurrency-aware (or sequential) specification.
+//!
+//! On a violation, undecided verdict or checker error, [`driver::soak`]
+//! re-runs the failing seed and greedily [`shrink`]s the workload to a
+//! minimal reproducer, printed with the seed
+//! ([`report::FailureReport`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cal_chaos::driver::{run_once, RunConfig, TargetKind};
+//! let cfg = RunConfig { seed: 7, target: TargetKind::Exchanger, ..Default::default() };
+//! let outcome = run_once(&cfg);
+//! assert!(outcome.verdict.class().is_none(), "{}", outcome.verdict);
+//! // Bit-for-bit: the same seed replays the same history.
+//! assert_eq!(outcome.history.to_string(), run_once(&cfg).history.to_string());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod faults;
+pub mod injector;
+pub mod report;
+pub mod shrink;
+
+pub use driver::{run_once, soak, Mode, RunConfig, RunOutcome, SoakResult, TargetKind};
+pub use faults::Profile;
+pub use report::{FailureClass, FailureReport};

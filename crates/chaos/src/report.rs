@@ -1,0 +1,107 @@
+//! Failure reports: everything a human needs to reproduce a chaos
+//! finding — the seed, the workload shape, the verdict and the harvested
+//! history.
+
+use crate::driver::RunOutcome;
+
+/// The kind of failure a chaos run surfaced. Shrinking preserves the
+/// class so a reproducer demonstrates the same problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The history violates its specification: an object bug.
+    Violation,
+    /// The checker gave up (node budget or deadline): the workload may
+    /// need a bigger budget or a smaller shape.
+    Undecided,
+    /// The checker itself errored (ill-formed history or panicking
+    /// spec): a harness or spec bug.
+    CheckerError,
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureClass::Violation => f.write_str("specification violation"),
+            FailureClass::Undecided => f.write_str("undecided check"),
+            FailureClass::CheckerError => f.write_str("checker error"),
+        }
+    }
+}
+
+/// A shrunk, reproducible failure.
+#[derive(Debug)]
+pub struct FailureReport {
+    /// The minimal failing configuration (seed included).
+    pub config: crate::driver::RunConfig,
+    /// The failure class the shrinker preserved.
+    pub class: FailureClass,
+    /// The verdict text of the minimal run.
+    pub detail: String,
+    /// The minimal run's harvested history.
+    pub history: cal_core::History,
+}
+
+impl FailureReport {
+    /// Packages a (shrunk) failing outcome.
+    pub fn new(outcome: RunOutcome, class: FailureClass) -> Self {
+        FailureReport {
+            detail: outcome.verdict.to_string(),
+            class,
+            history: outcome.history,
+            config: outcome.config,
+        }
+    }
+
+    /// The CLI invocation that replays this exact failure.
+    pub fn repro_command(&self) -> String {
+        format!(
+            "chaos-soak --seed {:#x} --target {} --threads {} --ops {} --profile {} --mode {}",
+            self.config.seed,
+            self.config.target,
+            self.config.threads,
+            self.config.ops_per_thread,
+            self.config.profile,
+            self.config.mode,
+        )
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "chaos failure: {}", self.class)?;
+        writeln!(f, "  detail:  {}", self.detail)?;
+        writeln!(f, "  seed:    {:#x}", self.config.seed)?;
+        writeln!(
+            f,
+            "  shape:   target={} threads={} ops/thread={} profile={} mode={}",
+            self.config.target,
+            self.config.threads,
+            self.config.ops_per_thread,
+            self.config.profile,
+            self.config.mode,
+        )?;
+        writeln!(f, "  repro:   {}", self.repro_command())?;
+        writeln!(f, "  minimal failing history:")?;
+        for line in self.history.to_string().lines() {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_once, RunConfig, TargetKind};
+
+    #[test]
+    fn report_prints_seed_and_repro() {
+        let cfg = RunConfig { seed: 0xBEEF, target: TargetKind::Exchanger, ..Default::default() };
+        let outcome = run_once(&cfg);
+        let report = FailureReport::new(outcome, FailureClass::Undecided);
+        let text = report.to_string();
+        assert!(text.contains("0xbeef"), "seed missing:\n{text}");
+        assert!(text.contains("chaos-soak --seed 0xbeef"), "repro missing:\n{text}");
+        assert!(text.contains("exchanger"), "target missing:\n{text}");
+    }
+}

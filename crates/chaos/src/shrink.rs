@@ -1,0 +1,105 @@
+//! Greedy workload shrinking: turn a failing chaos run into a minimal
+//! reproducer.
+//!
+//! Deterministic runs are pure functions of `(seed, workload shape)`, so
+//! shrinking is just re-running candidate shapes with the same seed and
+//! keeping the smallest one that still fails *in the same class*. The
+//! shrinker never changes the seed: the reproducer it prints is the run
+//! it verified.
+
+use crate::driver::{run_once, RunConfig, RunOutcome};
+use crate::report::{FailureClass, FailureReport};
+
+/// Shrinks a failing run to a minimal reproducer of the same failure
+/// class, greedily: halve the per-thread op count, then drop threads,
+/// re-running after each candidate step and keeping it only if the
+/// failure persists. Returns the report for the smallest failure found
+/// (at worst, the original).
+pub fn shrink_failure(failing: RunOutcome, class: FailureClass) -> FailureReport {
+    let mut best = failing;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best.config) {
+            let outcome = run_once(&candidate);
+            if outcome.verdict.class() == Some(class) {
+                best = outcome;
+                improved = true;
+                break; // restart candidate generation from the new best
+            }
+        }
+        if !improved {
+            return FailureReport::new(best, class);
+        }
+    }
+}
+
+/// Strictly smaller workload shapes, most aggressive first.
+fn candidates(cfg: &RunConfig) -> Vec<RunConfig> {
+    let mut out = Vec::new();
+    if cfg.ops_per_thread > 1 {
+        let mut c = cfg.clone();
+        c.ops_per_thread = cfg.ops_per_thread / 2;
+        out.push(c);
+        let mut c = cfg.clone();
+        c.ops_per_thread = cfg.ops_per_thread - 1;
+        out.push(c);
+    }
+    if cfg.threads > 2 {
+        let mut c = cfg.clone();
+        c.threads = cfg.threads - 1;
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::TargetKind;
+
+    #[test]
+    fn candidates_shrink_strictly() {
+        let cfg = RunConfig { threads: 4, ops_per_thread: 8, ..RunConfig::default() };
+        for c in candidates(&cfg) {
+            assert!(
+                c.threads < cfg.threads || c.ops_per_thread < cfg.ops_per_thread,
+                "candidate does not shrink"
+            );
+            assert_eq!(c.seed, cfg.seed, "shrinking must not change the seed");
+        }
+    }
+
+    #[test]
+    fn no_candidates_at_the_floor() {
+        let cfg = RunConfig { threads: 2, ops_per_thread: 1, ..RunConfig::default() };
+        assert!(candidates(&cfg).is_empty());
+    }
+
+    #[test]
+    fn shrunk_buggy_exchanger_still_fails() {
+        // Find a failing seed first, then shrink it and confirm the
+        // reproducer is both smaller-or-equal and still failing.
+        let mut failing = None;
+        for seed in 0..64 {
+            let cfg = RunConfig {
+                seed,
+                threads: 4,
+                ops_per_thread: 8,
+                target: TargetKind::BuggyExchanger,
+                ..RunConfig::default()
+            };
+            let out = run_once(&cfg);
+            if out.verdict.class() == Some(FailureClass::Violation) {
+                failing = Some(out);
+                break;
+            }
+        }
+        let failing = failing.expect("no seed in 0..64 triggered the planted bug");
+        let report = shrink_failure(failing.clone(), FailureClass::Violation);
+        assert!(report.config.threads <= failing.config.threads);
+        assert!(report.config.ops_per_thread <= failing.config.ops_per_thread);
+        // The reproducer replays: same seed, same class.
+        let replay = run_once(&report.config);
+        assert_eq!(replay.verdict.class(), Some(FailureClass::Violation));
+    }
+}

@@ -16,6 +16,10 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::bitset::BitSet;
 use crate::history::{History, HistoryError, Span};
@@ -23,8 +27,34 @@ use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
 use crate::trace::{CaElement, CaTrace};
 
+/// A cooperative cancellation token shared between a checker run and the
+/// code supervising it.
+///
+/// Cloning yields a handle to the same token. The search polls it
+/// periodically; after [`CancelToken::cancel`] the run winds down and
+/// reports [`Verdict::Interrupted`] with partial [`CheckStats`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; safe to call from any thread, idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// Tuning knobs for the CAL search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// Maximum number of search nodes to expand before giving up with
     /// [`Verdict::ResourcesExhausted`].
@@ -33,11 +63,51 @@ pub struct CheckOptions {
     /// optimization of the Wing–Gong search). On by default; the ablation
     /// benchmark turns it off to quantify its effect.
     pub memoize: bool,
+    /// Wall-clock budget for the search. When it elapses the search winds
+    /// down and reports [`Verdict::Interrupted`] with the stats gathered
+    /// so far. `None` (the default) means unbounded.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: when the token fires, the search winds
+    /// down and reports [`Verdict::Interrupted`]. `None` by default.
+    pub cancel: Option<CancelToken>,
+}
+
+impl CheckOptions {
+    /// The default node budget.
+    pub const DEFAULT_MAX_NODES: u64 = 4_000_000;
+
+    /// Returns the default options with a wall-clock `deadline`.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CheckOptions { deadline: Some(deadline), ..CheckOptions::default() }
+    }
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { max_nodes: 4_000_000, memoize: true }
+        CheckOptions {
+            max_nodes: Self::DEFAULT_MAX_NODES,
+            memoize: true,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+/// Why a search stopped before reaching a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The wall-clock deadline in [`CheckOptions::deadline`] elapsed.
+    DeadlineExceeded,
+    /// The [`CancelToken`] in [`CheckOptions::cancel`] fired.
+    Cancelled,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+            InterruptReason::Cancelled => f.write_str("cancelled"),
+        }
     }
 }
 
@@ -51,12 +121,24 @@ pub enum Verdict {
     NotCal,
     /// The node budget was exhausted before the search completed.
     ResourcesExhausted,
+    /// The search was stopped early by a deadline or cancellation; the
+    /// accompanying [`CheckStats`] cover the work done up to that point.
+    Interrupted {
+        /// What stopped the search.
+        reason: InterruptReason,
+    },
 }
 
 impl Verdict {
     /// Returns `true` for [`Verdict::Cal`].
     pub fn is_cal(&self) -> bool {
         matches!(self, Verdict::Cal(_))
+    }
+
+    /// Returns `true` when the search stopped without deciding —
+    /// [`Verdict::ResourcesExhausted`] or [`Verdict::Interrupted`].
+    pub fn is_undecided(&self) -> bool {
+        matches!(self, Verdict::ResourcesExhausted | Verdict::Interrupted { .. })
     }
 
     /// The witness trace, if the verdict is [`Verdict::Cal`].
@@ -74,6 +156,7 @@ impl fmt::Display for Verdict {
             Verdict::Cal(t) => write!(f, "CAL (witness: {t})"),
             Verdict::NotCal => f.write_str("not CAL"),
             Verdict::ResourcesExhausted => f.write_str("undecided: node budget exhausted"),
+            Verdict::Interrupted { reason } => write!(f, "undecided: interrupted ({reason})"),
         }
     }
 }
@@ -103,12 +186,21 @@ pub struct CheckOutcome {
 pub enum CheckError {
     /// The input history is not well-formed.
     IllFormed(HistoryError),
+    /// The specification panicked during a transition; the payload is the
+    /// panic message. The search state is discarded — a panicking spec
+    /// cannot be trusted to have left its `State` values consistent.
+    SpecPanicked(String),
+    /// A boolean convenience query ([`is_cal`]) could not be answered
+    /// because the underlying check stopped without deciding.
+    Undecided(Verdict),
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckError::IllFormed(e) => write!(f, "ill-formed history: {e}"),
+            CheckError::SpecPanicked(msg) => write!(f, "specification panicked: {msg}"),
+            CheckError::Undecided(v) => write!(f, "check undecided: {v}"),
         }
     }
 }
@@ -117,7 +209,19 @@ impl Error for CheckError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CheckError::IllFormed(e) => Some(e),
+            CheckError::SpecPanicked(_) | CheckError::Undecided(_) => None,
         }
+    }
+}
+
+/// Renders a `catch_unwind` payload as a message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -196,12 +300,22 @@ pub fn check_cal_with<S: CaSpec>(
         witness: Vec::new(),
         succs,
         pending_preds,
+        start: Instant::now(),
+        ticks: 0,
+        interrupted: None,
+        panicked: None,
     };
     let mut matched = BitSet::new(spans.len().max(1));
-    let initial = spec.initial();
+    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
+        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
     let found = search.dfs(&mut matched, &initial);
+    if let Some(msg) = search.panicked {
+        return Err(CheckError::SpecPanicked(msg));
+    }
     let verdict = if found {
         Verdict::Cal(CaTrace::from_elements(std::mem::take(&mut search.witness)))
+    } else if let Some(reason) = search.interrupted {
+        Verdict::Interrupted { reason }
     } else if search.exhausted {
         Verdict::ResourcesExhausted
     } else {
@@ -210,20 +324,41 @@ pub fn check_cal_with<S: CaSpec>(
     Ok(CheckOutcome { verdict, stats: search.stats })
 }
 
-/// Convenience predicate: `true` iff the history is CAL w.r.t. `spec`.
+/// Convenience predicate: `Ok(true)` iff the history is CAL w.r.t. `spec`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the history is ill-formed or the default node budget is
-/// exhausted; use [`check_cal_with`] for graceful handling.
-pub fn is_cal<S: CaSpec>(history: &History, spec: &S) -> bool {
-    let outcome = check_cal(history, spec).expect("history must be well-formed");
+/// Returns [`CheckError::IllFormed`] for ill-formed histories,
+/// [`CheckError::SpecPanicked`] when the spec panics, and
+/// [`CheckError::Undecided`] when the default node budget runs out before
+/// the search decides.
+pub fn is_cal<S: CaSpec>(history: &History, spec: &S) -> Result<bool, CheckError> {
+    is_cal_with(history, spec, &CheckOptions::default())
+}
+
+/// Like [`is_cal`], with explicit [`CheckOptions`].
+///
+/// # Errors
+///
+/// As [`is_cal`]; a deadline or cancellation interrupt also surfaces as
+/// [`CheckError::Undecided`].
+pub fn is_cal_with<S: CaSpec>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<bool, CheckError> {
+    let outcome = check_cal_with(history, spec, options)?;
     match outcome.verdict {
-        Verdict::Cal(_) => true,
-        Verdict::NotCal => false,
-        Verdict::ResourcesExhausted => panic!("CAL check exhausted its node budget"),
+        Verdict::Cal(_) => Ok(true),
+        Verdict::NotCal => Ok(false),
+        undecided => Err(CheckError::Undecided(undecided)),
     }
 }
+
+/// How many search ticks (nodes or elements) pass between wall-clock and
+/// cancellation polls. A power of two; small enough that even slow spec
+/// transitions keep deadline overshoot well under the deadline itself.
+const POLL_INTERVAL_MASK: u64 = 255;
 
 struct Search<'a, S: CaSpec> {
     spans: &'a [Span],
@@ -237,9 +372,67 @@ struct Search<'a, S: CaSpec> {
     succs: Vec<Vec<usize>>,
     /// Number of yet-unmatched predecessors per span.
     pending_preds: Vec<usize>,
+    /// When the search started, for deadline accounting.
+    start: Instant,
+    /// Monotone work counter driving periodic interrupt polls.
+    ticks: u64,
+    /// Set once a deadline/cancellation interrupt fires; makes the whole
+    /// recursion wind down without expanding further work.
+    interrupted: Option<InterruptReason>,
+    /// Set when the spec panics inside a guarded call; like `interrupted`
+    /// it drains the recursion, and the driver converts it to an error.
+    panicked: Option<String>,
 }
 
 impl<'a, S: CaSpec> Search<'a, S> {
+    /// `true` once the search must stop (interrupt already latched, spec
+    /// panicked, or a periodic poll observes deadline/cancellation).
+    fn should_stop(&mut self) -> bool {
+        if self.interrupted.is_some() || self.panicked.is_some() {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks & POLL_INTERVAL_MASK == 0 {
+            if let Some(deadline) = self.options.deadline {
+                if self.start.elapsed() >= deadline {
+                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
+                    return true;
+                }
+            }
+            if let Some(cancel) = &self.options.cancel {
+                if cancel.is_cancelled() {
+                    self.interrupted = Some(InterruptReason::Cancelled);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// [`CaSpec::step`] behind `catch_unwind`: a panicking spec reads as
+    /// a rejected transition and latches `panicked`.
+    fn step_guarded(&mut self, state: &S::State, element: &CaElement) -> Option<S::State> {
+        match catch_unwind(AssertUnwindSafe(|| self.spec.step(state, element))) {
+            Ok(next) => next,
+            Err(payload) => {
+                self.panicked = Some(panic_message(payload));
+                None
+            }
+        }
+    }
+
+    /// [`CaSpec::completions_among`] behind `catch_unwind`; a panic yields
+    /// no completions and latches `panicked`.
+    fn completions_guarded(&mut self, inv: &Invocation, peers: &[Invocation]) -> Vec<crate::ids::Value> {
+        match catch_unwind(AssertUnwindSafe(|| self.spec.completions_among(inv, peers))) {
+            Ok(values) => values,
+            Err(payload) => {
+                self.panicked = Some(panic_message(payload));
+                Vec::new()
+            }
+        }
+    }
+
     fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
         // Success: every *complete* operation explained; unmatched pending
         // invocations are dropped by the chosen completion (Def. 2).
@@ -247,6 +440,9 @@ impl<'a, S: CaSpec> Search<'a, S> {
             .all(|i| matched.contains(i) || !self.spans[i].is_complete())
         {
             return true;
+        }
+        if self.should_stop() {
+            return false;
         }
         if self.stats.nodes >= self.options.max_nodes {
             self.exhausted = true;
@@ -272,7 +468,13 @@ impl<'a, S: CaSpec> Search<'a, S> {
         if self.try_subsets(&minimal, 0, max_size, &mut subset, matched, state) {
             return true;
         }
-        if self.options.memoize {
+        // An interrupted or panicked subtree is not a *proven* failure —
+        // only record states whose expansion genuinely completed.
+        if self.options.memoize
+            && self.interrupted.is_none()
+            && self.panicked.is_none()
+            && !self.exhausted
+        {
             self.failed.insert((matched.clone(), state.clone()));
         }
         false
@@ -337,40 +539,40 @@ impl<'a, S: CaSpec> Search<'a, S> {
                 Invocation::new(s.thread, s.object, s.method, s.arg)
             })
             .collect();
-        let choices: Vec<Vec<Operation>> = subset
-            .iter()
-            .enumerate()
-            .map(|(k, &i)| {
-                let s = &self.spans[i];
-                match s.operation() {
-                    Some(op) => vec![op],
-                    None => {
-                        let peers: Vec<Invocation> = invocations
-                            .iter()
-                            .enumerate()
-                            .filter(|&(j, _)| j != k)
-                            .map(|(_, inv)| *inv)
-                            .collect();
-                        self.spec
-                            .completions_among(&invocations[k], &peers)
-                            .into_iter()
-                            .map(|ret| s.operation_with_ret(ret))
-                            .collect()
-                    }
+        let mut choices: Vec<Vec<Operation>> = Vec::with_capacity(subset.len());
+        for (k, &i) in subset.iter().enumerate() {
+            let s = &self.spans[i];
+            let ops = match s.operation() {
+                Some(op) => vec![op],
+                None => {
+                    let peers: Vec<Invocation> = invocations
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != k)
+                        .map(|(_, inv)| *inv)
+                        .collect();
+                    self.completions_guarded(&invocations[k], &peers)
+                        .into_iter()
+                        .map(|ret| s.operation_with_ret(ret))
+                        .collect()
                 }
-            })
-            .collect();
+            };
+            choices.push(ops);
+        }
         if choices.iter().any(Vec::is_empty) {
             return false;
         }
         let mut pick = vec![0usize; subset.len()];
         loop {
+            if self.should_stop() {
+                return false;
+            }
             let ops: Vec<Operation> =
                 pick.iter().zip(&choices).map(|(&c, opts)| opts[c]).collect();
             let object = ops[0].object;
             if let Ok(element) = CaElement::new(object, ops) {
                 self.stats.elements_tried += 1;
-                if let Some(next) = self.spec.step(state, &element) {
+                if let Some(next) = self.step_guarded(state, &element) {
                     for &i in subset {
                         matched.insert(i);
                         for s in 0..self.succs[i].len() {
@@ -471,7 +673,7 @@ mod tests {
 
     #[test]
     fn empty_history_is_cal() {
-        assert!(is_cal(&History::new(), &MiniExchanger));
+        assert!(is_cal(&History::new(), &MiniExchanger).unwrap());
     }
 
     #[test]
@@ -487,26 +689,26 @@ mod tests {
     fn sequential_swap_is_not_cal() {
         // The §3 argument: non-overlapping operations cannot swap.
         let h = History::from_actions(vec![inv(1, 3), res(1, true, 4), inv(2, 4), res(2, true, 3)]);
-        assert!(!is_cal(&h, &MiniExchanger));
+        assert!(!is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
     fn failed_exchange_is_cal() {
         let h = History::from_actions(vec![inv(1, 3), res(1, false, 3)]);
-        assert!(is_cal(&h, &MiniExchanger));
+        assert!(is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
     fn failure_returning_wrong_value_is_not_cal() {
         let h = History::from_actions(vec![inv(1, 3), res(1, false, 9)]);
-        assert!(!is_cal(&h, &MiniExchanger));
+        assert!(!is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
     fn lone_successful_exchange_is_not_cal() {
         // Fig. 3's H3 prefix: one thread cannot succeed alone.
         let h = History::from_actions(vec![inv(1, 3), res(1, true, 4)]);
-        assert!(!is_cal(&h, &MiniExchanger));
+        assert!(!is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
@@ -515,13 +717,13 @@ mod tests {
         // t2's response is missing; completing it as (true,3) explains t1.
         // Even if it were dropped, t1 alone would fail — so the checker
         // must find the completion.
-        assert!(is_cal(&h, &MiniExchanger));
+        assert!(is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
     fn pending_invocation_dropped_when_unexplainable() {
         let h = History::from_actions(vec![inv(1, 3)]);
-        assert!(is_cal(&h, &MiniExchanger));
+        assert!(is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
@@ -542,7 +744,7 @@ mod tests {
     #[test]
     fn mismatched_swap_values_not_cal() {
         let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 9), res(2, true, 3)]);
-        assert!(!is_cal(&h, &MiniExchanger));
+        assert!(!is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
@@ -556,7 +758,7 @@ mod tests {
             res(2, true, 3),
             res(3, true, 1),
         ]);
-        assert!(!is_cal(&h, &MiniExchanger));
+        assert!(!is_cal(&h, &MiniExchanger).unwrap());
     }
 
     #[test]
@@ -592,5 +794,85 @@ mod tests {
     fn verdict_display() {
         assert_eq!(Verdict::NotCal.to_string(), "not CAL");
         assert!(Verdict::ResourcesExhausted.to_string().contains("budget"));
+        let interrupted = Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded };
+        assert!(interrupted.to_string().contains("deadline"));
+        assert!(interrupted.is_undecided());
+        assert!(Verdict::ResourcesExhausted.is_undecided());
+        assert!(!Verdict::NotCal.is_undecided());
+    }
+
+    /// A hard unsatisfiable workload: an odd number of identical
+    /// concurrent exchanges, all claiming success. Only pairs are legal
+    /// elements, so the (memoization-free) search backtracks over every
+    /// pairing before concluding NotCal.
+    fn hard_history(k: u32) -> History {
+        let mut acts: Vec<Action> = (1..=k).map(|t| inv(t, 0)).collect();
+        acts.extend((1..=k).map(|t| res(t, true, 0)));
+        History::from_actions(acts)
+    }
+
+    fn unbounded_no_memo() -> CheckOptions {
+        CheckOptions { max_nodes: u64::MAX, memoize: false, ..CheckOptions::default() }
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_search() {
+        let options =
+            CheckOptions { deadline: Some(std::time::Duration::ZERO), ..unbounded_no_memo() };
+        let outcome = check_cal_with(&hard_history(13), &MiniExchanger, &options).unwrap();
+        assert_eq!(
+            outcome.verdict,
+            Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded }
+        );
+        // Partial stats survive the interrupt.
+        assert!(outcome.stats.nodes > 0 || outcome.stats.elements_tried > 0);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_search() {
+        let token = CancelToken::new();
+        token.cancel();
+        let options = CheckOptions { cancel: Some(token), ..unbounded_no_memo() };
+        let outcome = check_cal_with(&hard_history(13), &MiniExchanger, &options).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Interrupted { reason: InterruptReason::Cancelled });
+    }
+
+    #[test]
+    fn deadline_does_not_stop_a_decidable_check() {
+        let options = CheckOptions::with_deadline(std::time::Duration::from_secs(60));
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3)]);
+        let outcome = check_cal_with(&h, &MiniExchanger, &options).unwrap();
+        assert!(outcome.verdict.is_cal());
+    }
+
+    #[test]
+    fn panicking_spec_is_an_error_not_a_panic() {
+        #[derive(Debug)]
+        struct PanickySpec;
+        impl CaSpec for PanickySpec {
+            type State = ();
+            fn initial(&self) {}
+            fn step(&self, _: &(), _: &CaElement) -> Option<()> {
+                panic!("spec bug: unreachable method")
+            }
+            fn completions_of(&self, _: &Invocation) -> Vec<Value> {
+                vec![]
+            }
+        }
+        let h = History::from_actions(vec![inv(1, 3), res(1, false, 3)]);
+        match check_cal(&h, &PanickySpec) {
+            Err(CheckError::SpecPanicked(msg)) => assert!(msg.contains("spec bug")),
+            other => panic!("expected SpecPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_cal_reports_undecided_as_error() {
+        let h = History::from_actions(vec![inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3)]);
+        let options = CheckOptions { max_nodes: 0, ..CheckOptions::default() };
+        match is_cal_with(&h, &MiniExchanger, &options) {
+            Err(CheckError::Undecided(Verdict::ResourcesExhausted)) => {}
+            other => panic!("expected Undecided, got {other:?}"),
+        }
     }
 }

@@ -20,9 +20,11 @@
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use crate::bitset::BitSet;
-use crate::check::{CheckError, CheckOptions};
+use crate::check::{panic_message, CheckError, CheckOptions, InterruptReason};
 use crate::history::{History, Span};
 use crate::op::Operation;
 use crate::spec::Invocation;
@@ -81,6 +83,11 @@ pub enum IntervalVerdict {
     NotLinearizable,
     /// The node budget ran out first.
     ResourcesExhausted,
+    /// A deadline or cancellation stopped the search first.
+    Interrupted {
+        /// What stopped the search.
+        reason: InterruptReason,
+    },
 }
 
 impl IntervalVerdict {
@@ -122,12 +129,23 @@ pub fn check_interval_with<S: IntervalSpec>(
         exhausted: false,
         failed: HashSet::new(),
         witness: Vec::new(),
+        start: Instant::now(),
+        ticks: 0,
+        interrupted: None,
+        panicked: None,
     };
     let mut done = BitSet::new(n.max(1));
     let open: Vec<(usize, Operation)> = Vec::new();
-    let initial = spec.initial();
-    if search.dfs(&mut done, &open, &initial) {
+    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
+        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
+    let found = search.dfs(&mut done, &open, &initial);
+    if let Some(msg) = search.panicked {
+        return Err(CheckError::SpecPanicked(msg));
+    }
+    if found {
         Ok(IntervalVerdict::Linearizable(search.witness))
+    } else if let Some(reason) = search.interrupted {
+        Ok(IntervalVerdict::Interrupted { reason })
     } else if search.exhausted {
         Ok(IntervalVerdict::ResourcesExhausted)
     } else {
@@ -137,16 +155,31 @@ pub fn check_interval_with<S: IntervalSpec>(
 
 /// Convenience predicate for [`check_interval`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on ill-formed histories or an exhausted budget.
-pub fn is_interval_linearizable<S: IntervalSpec>(history: &History, spec: &S) -> bool {
-    match check_interval(history, spec).expect("history must be well-formed") {
-        IntervalVerdict::Linearizable(_) => true,
-        IntervalVerdict::NotLinearizable => false,
-        IntervalVerdict::ResourcesExhausted => panic!("interval check exhausted its budget"),
+/// Returns [`CheckError::IllFormed`] for ill-formed histories,
+/// [`CheckError::SpecPanicked`] when the spec panics, and
+/// [`CheckError::Undecided`] when the budget runs out before the search
+/// decides.
+pub fn is_interval_linearizable<S: IntervalSpec>(
+    history: &History,
+    spec: &S,
+) -> Result<bool, CheckError> {
+    use crate::check::Verdict;
+    match check_interval(history, spec)? {
+        IntervalVerdict::Linearizable(_) => Ok(true),
+        IntervalVerdict::NotLinearizable => Ok(false),
+        IntervalVerdict::ResourcesExhausted => {
+            Err(CheckError::Undecided(Verdict::ResourcesExhausted))
+        }
+        IntervalVerdict::Interrupted { reason } => {
+            Err(CheckError::Undecided(Verdict::Interrupted { reason }))
+        }
     }
 }
+
+/// Poll cadence for deadline/cancellation checks; see the CAL checker.
+const POLL_INTERVAL_MASK: u64 = 255;
 
 type MemoKey<St> = (BitSet, Vec<(usize, Operation)>, St);
 
@@ -158,9 +191,51 @@ struct IntervalSearch<'a, S: IntervalSpec> {
     exhausted: bool,
     failed: HashSet<MemoKey<S::State>>,
     witness: Vec<IntervalPoint>,
+    start: Instant,
+    ticks: u64,
+    interrupted: Option<InterruptReason>,
+    panicked: Option<String>,
 }
 
 impl<S: IntervalSpec> IntervalSearch<'_, S> {
+    fn should_stop(&mut self) -> bool {
+        if self.interrupted.is_some() || self.panicked.is_some() {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks & POLL_INTERVAL_MASK == 0 {
+            if let Some(deadline) = self.options.deadline {
+                if self.start.elapsed() >= deadline {
+                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
+                    return true;
+                }
+            }
+            if let Some(cancel) = &self.options.cancel {
+                if cancel.is_cancelled() {
+                    self.interrupted = Some(InterruptReason::Cancelled);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn step_guarded(
+        &mut self,
+        state: &S::State,
+        active: &[Operation],
+        opening: &[Operation],
+        closing: &[Operation],
+    ) -> Option<S::State> {
+        match catch_unwind(AssertUnwindSafe(|| self.spec.step(state, active, opening, closing))) {
+            Ok(next) => next,
+            Err(payload) => {
+                self.panicked = Some(panic_message(payload));
+                None
+            }
+        }
+    }
+
     /// `open` holds (span index, chosen operation) pairs, sorted by index.
     fn dfs(
         &mut self,
@@ -173,6 +248,9 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                 .all(|i| done.contains(i) || !self.spans[i].is_complete())
         {
             return true;
+        }
+        if self.should_stop() {
+            return false;
         }
         if self.nodes >= self.options.max_nodes {
             self.exhausted = true;
@@ -202,7 +280,11 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
         if self.enumerate_openings(&openable, 0, max_new, &mut opening, done, open, state) {
             return true;
         }
-        if self.options.memoize {
+        if self.options.memoize
+            && self.interrupted.is_none()
+            && self.panicked.is_none()
+            && !self.exhausted
+        {
             self.failed.insert(key);
         }
         false
@@ -279,6 +361,9 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
         }
         let mut pick = vec![0usize; opening.len()];
         loop {
+            if self.should_stop() {
+                return false;
+            }
             let opening_ops: Vec<(usize, Operation)> = opening
                 .iter()
                 .zip(&pick)
@@ -304,7 +389,7 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                     opening_ops.iter().map(|&(_, o)| o).collect();
                 let closing_ops: Vec<Operation> = closing.iter().map(|&(_, o)| o).collect();
                 if let Some(next) =
-                    self.spec.step(state, &active_ops, &opening_only, &closing_ops)
+                    self.step_guarded(state, &active_ops, &opening_only, &closing_ops)
                 {
                     // Commit: move closings to done, keep the rest open.
                     let mut next_open: Vec<(usize, Operation)> = active
@@ -416,14 +501,14 @@ mod tests {
             b.invocation(),
             b.response(),
         ]);
-        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     #[test]
     fn wrong_snapshot_rejected() {
         let a = ws(1, 1, mask(&[1, 5])); // claims to have seen 5
         let h = History::from_actions(vec![a.invocation(), a.response()]);
-        assert!(!is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(!is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     #[test]
@@ -436,7 +521,7 @@ mod tests {
             a.response(),
             b.response(),
         ]);
-        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     /// The Castañeda–Rajsbaum–Raynal separation scenario (§6 of the
@@ -517,9 +602,9 @@ mod tests {
             c.response(),
             a.response(),
         ]);
-        assert!(!crate::check::is_cal(&h, &OnePointWs));
+        assert!(!crate::check::is_cal(&h, &OnePointWs).unwrap());
         // …while the interval spec accepts it (previous test).
-        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     #[test]
@@ -533,7 +618,7 @@ mod tests {
             c.invocation(),
             c.response(),
         ]);
-        assert!(!is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(!is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     #[test]
@@ -544,11 +629,11 @@ mod tests {
             a.response(),
             Action::invoke(ThreadId(2), O, WS, Value::Int(2)),
         ]);
-        assert!(is_interval_linearizable(&h, &WriteSnapshot));
+        assert!(is_interval_linearizable(&h, &WriteSnapshot).unwrap());
     }
 
     #[test]
     fn empty_history_is_interval_linearizable() {
-        assert!(is_interval_linearizable(&History::new(), &WriteSnapshot));
+        assert!(is_interval_linearizable(&History::new(), &WriteSnapshot).unwrap());
     }
 }

@@ -67,7 +67,7 @@
 //!     Action::response(ThreadId(1), e, ex, Value::Pair(true, 4)),
 //!     Action::response(ThreadId(2), e, ex, Value::Pair(true, 3)),
 //! ]);
-//! assert!(check::is_cal(&h, &Exchanger));
+//! assert!(check::is_cal(&h, &Exchanger).unwrap());
 //! ```
 
 #![warn(missing_docs)]

@@ -10,9 +10,11 @@
 //! test-suite cross-validates the two implementations against each other.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use crate::bitset::BitSet;
-use crate::check::{CheckError, CheckOptions, CheckOutcome, CheckStats, Verdict};
+use crate::check::{panic_message, CheckError, CheckOptions, CheckOutcome, CheckStats, InterruptReason, Verdict};
 use crate::history::{History, Span};
 use crate::op::Operation;
 use crate::spec::{Invocation, SeqSpec};
@@ -76,14 +78,24 @@ pub fn check_linearizable_with<S: SeqSpec>(
         failed: HashSet::new(),
         exhausted: false,
         witness: Vec::new(),
+        start: Instant::now(),
+        ticks: 0,
+        interrupted: None,
+        panicked: None,
     };
     let mut matched = BitSet::new(spans.len().max(1));
-    let initial = spec.initial();
+    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
+        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
     let found = search.dfs(&mut matched, &initial);
+    if let Some(msg) = search.panicked {
+        return Err(CheckError::SpecPanicked(msg));
+    }
     let verdict = if found {
         Verdict::Cal(CaTrace::from_elements(
             std::mem::take(&mut search.witness).into_iter().map(CaElement::singleton).collect(),
         ))
+    } else if let Some(reason) = search.interrupted {
+        Verdict::Interrupted { reason }
     } else if search.exhausted {
         Verdict::ResourcesExhausted
     } else {
@@ -92,21 +104,26 @@ pub fn check_linearizable_with<S: SeqSpec>(
     Ok(CheckOutcome { verdict, stats: search.stats })
 }
 
-/// Convenience predicate: `true` iff the history is linearizable w.r.t.
-/// `spec`.
+/// Convenience predicate: `Ok(true)` iff the history is linearizable
+/// w.r.t. `spec`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the history is ill-formed or the default node budget is
-/// exhausted; use [`check_linearizable_with`] for graceful handling.
-pub fn is_linearizable<S: SeqSpec>(history: &History, spec: &S) -> bool {
-    let outcome = check_linearizable(history, spec).expect("history must be well-formed");
+/// Returns [`CheckError::IllFormed`] for ill-formed histories,
+/// [`CheckError::SpecPanicked`] when the spec panics, and
+/// [`CheckError::Undecided`] when the default node budget runs out before
+/// the search decides.
+pub fn is_linearizable<S: SeqSpec>(history: &History, spec: &S) -> Result<bool, CheckError> {
+    let outcome = check_linearizable(history, spec)?;
     match outcome.verdict {
-        Verdict::Cal(_) => true,
-        Verdict::NotCal => false,
-        Verdict::ResourcesExhausted => panic!("linearizability check exhausted its node budget"),
+        Verdict::Cal(_) => Ok(true),
+        Verdict::NotCal => Ok(false),
+        undecided => Err(CheckError::Undecided(undecided)),
     }
 }
+
+/// Poll cadence for deadline/cancellation checks; see the CAL checker.
+const POLL_INTERVAL_MASK: u64 = 255;
 
 struct Search<'a, S: SeqSpec> {
     spans: &'a [Span],
@@ -116,12 +133,51 @@ struct Search<'a, S: SeqSpec> {
     failed: HashSet<(BitSet, S::State)>,
     exhausted: bool,
     witness: Vec<Operation>,
+    start: Instant,
+    ticks: u64,
+    interrupted: Option<InterruptReason>,
+    panicked: Option<String>,
 }
 
 impl<'a, S: SeqSpec> Search<'a, S> {
+    fn should_stop(&mut self) -> bool {
+        if self.interrupted.is_some() || self.panicked.is_some() {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks & POLL_INTERVAL_MASK == 0 {
+            if let Some(deadline) = self.options.deadline {
+                if self.start.elapsed() >= deadline {
+                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
+                    return true;
+                }
+            }
+            if let Some(cancel) = &self.options.cancel {
+                if cancel.is_cancelled() {
+                    self.interrupted = Some(InterruptReason::Cancelled);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn apply_guarded(&mut self, state: &S::State, op: &Operation) -> Option<S::State> {
+        match catch_unwind(AssertUnwindSafe(|| self.spec.apply(state, op))) {
+            Ok(next) => next,
+            Err(payload) => {
+                self.panicked = Some(panic_message(payload));
+                None
+            }
+        }
+    }
+
     fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
         if (0..self.spans.len()).all(|i| matched.contains(i) || !self.spans[i].is_complete()) {
             return true;
+        }
+        if self.should_stop() {
+            return false;
         }
         if self.stats.nodes >= self.options.max_nodes {
             self.exhausted = true;
@@ -155,8 +211,11 @@ impl<'a, S: SeqSpec> Search<'a, S> {
                 }
             };
             for op in candidates {
+                if self.should_stop() {
+                    return false;
+                }
                 self.stats.elements_tried += 1;
-                if let Some(next) = self.spec.apply(state, &op) {
+                if let Some(next) = self.apply_guarded(state, &op) {
                     matched.insert(i);
                     self.witness.push(op);
                     if self.dfs(matched, &next) {
@@ -167,7 +226,11 @@ impl<'a, S: SeqSpec> Search<'a, S> {
                 }
             }
         }
-        if self.options.memoize {
+        if self.options.memoize
+            && self.interrupted.is_none()
+            && self.panicked.is_none()
+            && !self.exhausted
+        {
             self.failed.insert((matched.clone(), state.clone()));
         }
         false
@@ -239,7 +302,7 @@ mod tests {
         acts.extend(w(1, 5));
         acts.extend(r(2, 5));
         let h = History::from_actions(acts);
-        assert!(is_linearizable(&h, &Register));
+        assert!(is_linearizable(&h, &Register).unwrap());
     }
 
     #[test]
@@ -248,7 +311,7 @@ mod tests {
         acts.extend(w(1, 5));
         acts.extend(r(2, 0)); // reads initial value after the write completed
         let h = History::from_actions(acts);
-        assert!(!is_linearizable(&h, &Register));
+        assert!(!is_linearizable(&h, &Register).unwrap());
     }
 
     #[test]
@@ -261,7 +324,7 @@ mod tests {
                 Action::response(ThreadId(1), R, WRITE, Value::Unit),
                 Action::response(ThreadId(2), R, READ, Value::Int(ret)),
             ]);
-            assert!(is_linearizable(&h, &Register), "read of {ret} should linearize");
+            assert!(is_linearizable(&h, &Register).unwrap(), "read of {ret} should linearize");
         }
         let h = History::from_actions(vec![
             Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
@@ -269,7 +332,7 @@ mod tests {
             Action::response(ThreadId(1), R, WRITE, Value::Unit),
             Action::response(ThreadId(2), R, READ, Value::Int(3)),
         ]);
-        assert!(!is_linearizable(&h, &Register));
+        assert!(!is_linearizable(&h, &Register).unwrap());
     }
 
     #[test]
@@ -282,7 +345,7 @@ mod tests {
                 Action::invoke(ThreadId(2), R, READ, Value::Unit),
                 Action::response(ThreadId(2), R, READ, Value::Int(ret)),
             ]);
-            assert!(is_linearizable(&h, &Register), "pending write, read {ret}");
+            assert!(is_linearizable(&h, &Register).unwrap(), "pending write, read {ret}");
         }
     }
 
@@ -324,8 +387,8 @@ mod tests {
         let ca = SeqAsCa::new(Register);
         for acts in histories {
             let h = History::from_actions(acts);
-            let lin = is_linearizable(&h, &Register);
-            let cal = crate::check::is_cal(&h, &ca);
+            let lin = is_linearizable(&h, &Register).unwrap();
+            let cal = crate::check::is_cal(&h, &ca).unwrap();
             assert_eq!(lin, cal, "checkers disagree on {h}");
         }
     }

@@ -63,8 +63,14 @@ impl ArenaExchanger {
         for attempt in 0..attempts {
             let bound = self.bound.load(Ordering::Relaxed).clamp(1, self.slots.len());
             // First attempt goes to slot 0 — the fast path when the arena
-            // is quiet; backoff attempts scatter within the bound.
-            let slot = if attempt == 0 { 0 } else { rng.gen_range(0..bound) };
+            // is quiet; backoff attempts scatter within the bound. A chaos
+            // harness may supply the scatter slot to keep it seeded.
+            let slot = if attempt == 0 {
+                0
+            } else {
+                crate::hooks::choose_index(crate::hooks::Site::SlotPick, bound)
+                    .unwrap_or_else(|| rng.gen_range(0..bound))
+            };
             match self.slots[slot].exchange_detailed(v, self.spin_budget) {
                 ExchangeOutcome::Swapped(got) => return (true, got),
                 ExchangeOutcome::Contended => {

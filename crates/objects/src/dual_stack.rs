@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
+use crate::hooks::{self, Site};
+
 /// The fulfillment slot is in this state until a push arrives.
 const UNFILLED: i64 = i64::MIN;
 /// The waiting pop gave up; the reservation is dead.
@@ -78,14 +80,18 @@ impl DualStack {
             };
             match reservation {
                 None => {
-                    // Plain push of a data node.
+                    // Plain push of a data node. A spurious chaos failure
+                    // behaves like losing the CAS race: retry.
                     let n = Owned::new(Node {
                         fill: None,
                         data: v,
                         next: Atomic::null(),
                     });
                     n.next.store(top, SeqCst);
-                    if self.top.compare_exchange(top, n, SeqCst, SeqCst, guard).is_ok() {
+                    hooks::chaos_point(Site::DualCas);
+                    if !hooks::cas_should_fail(Site::DualCas)
+                        && self.top.compare_exchange(top, n, SeqCst, SeqCst, guard).is_ok()
+                    {
                         return;
                     }
                 }
@@ -122,8 +128,12 @@ impl DualStack {
             let top_ref = unsafe { top.deref() };
             match &top_ref.fill {
                 None => {
-                    // Data on top: take it.
+                    // Data on top: take it (chaos may force a retry).
                     let next = top_ref.next.load(SeqCst, guard);
+                    hooks::chaos_point(Site::DualCas);
+                    if hooks::cas_should_fail(Site::DualCas) {
+                        continue;
+                    }
                     if self.top.compare_exchange(top, next, SeqCst, SeqCst, guard).is_ok() {
                         // SAFETY: we unlinked the node; retired once, here.
                         unsafe { guard.defer_destroy(top) };
@@ -177,6 +187,12 @@ impl DualStack {
             next: Atomic::null(),
         });
         r.next.store(expected_top, SeqCst);
+        // A spurious chaos failure on the installation CAS sends the
+        // caller back around its retry loop, as a lost race would.
+        hooks::chaos_point(Site::DualCas);
+        if hooks::cas_should_fail(Site::DualCas) {
+            return None; // the Owned reservation is dropped here
+        }
         let r = match self.top.compare_exchange(expected_top, r, SeqCst, SeqCst, guard) {
             Ok(installed) => installed,
             Err(_) => return None, // Owned dropped by the error value
@@ -184,6 +200,7 @@ impl DualStack {
         // Wait for a fulfilling push, polling our own Arc'd slot (safe
         // regardless of who retires the node).
         for _ in 0..patience {
+            hooks::chaos_point(Site::DualPoll);
             let v = slot.load(SeqCst);
             if v != UNFILLED {
                 self.try_unlink(r, guard);

@@ -4,6 +4,7 @@
 use rand::Rng;
 
 use crate::exchanger::Exchanger;
+use crate::hooks::{self, Site};
 
 /// An elimination array: an array of exchangers exposing a single
 /// `exchange` with reduced contention.
@@ -38,9 +39,12 @@ impl ElimArray {
         self.exchangers.len()
     }
 
-    /// Attempts an exchange on a random slot (lines 3–5).
+    /// Attempts an exchange on a random slot (lines 3–5). A chaos harness
+    /// may supply the slot instead, to keep the choice seeded.
     pub fn exchange(&self, data: i64, spin_budget: usize) -> (bool, i64) {
-        let slot = rand::thread_rng().gen_range(0..self.exchangers.len());
+        let k = self.exchangers.len();
+        let slot = hooks::choose_index(Site::SlotPick, k)
+            .unwrap_or_else(|| rand::thread_rng().gen_range(0..k));
         self.exchangers[slot].exchange(data, spin_budget)
     }
 

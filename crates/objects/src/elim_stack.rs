@@ -8,6 +8,7 @@
 use cal_specs::vocab::POP_SENTINEL;
 
 use crate::elim_array::ElimArray;
+use crate::hooks::{self, Backoff, Site};
 use crate::stack::FailingStack;
 
 /// The elimination stack.
@@ -46,28 +47,31 @@ impl EliminationStack {
     /// Panics if `v` equals the pop sentinel.
     pub fn push(&self, v: i64) {
         assert!(v != POP_SENTINEL, "cannot push the pop sentinel");
+        let mut backoff = Backoff::new();
         loop {
             if self.try_push_round(v) {
                 return;
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 
     /// Pops (lines 38–47), retrying until a value is obtained. Blocks (by
     /// spinning) on an empty stack until a pusher arrives.
     pub fn pop_wait(&self) -> i64 {
+        let mut backoff = Backoff::new();
         loop {
             if let Some(v) = self.try_pop_round() {
                 return v;
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
     }
 
     /// One push round: a stack attempt followed, on contention, by an
     /// elimination attempt. Returns `true` if the push took effect.
     pub fn try_push_round(&self, v: i64) -> bool {
+        hooks::chaos_point(Site::ElimRound);
         // Line 32: b = S.push(v).
         if self.stack.push(v) {
             return true;
@@ -80,6 +84,7 @@ impl EliminationStack {
 
     /// One pop round. Returns the popped value if the round succeeded.
     pub fn try_pop_round(&self) -> Option<i64> {
+        hooks::chaos_point(Site::ElimRound);
         // Line 42: (b, v) = S.pop().
         let (b, v) = self.stack.pop();
         if b {

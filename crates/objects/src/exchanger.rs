@@ -13,6 +13,8 @@ use std::sync::atomic::Ordering::SeqCst;
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 
+use crate::hooks::{self, Backoff, Site};
+
 /// The tag marking the `fail` sentinel in a `hole` pointer.
 const FAIL_TAG: usize = 1;
 
@@ -52,6 +54,11 @@ struct Offer {
 #[derive(Debug, Default)]
 pub struct Exchanger {
     g: Atomic<Offer>,
+    /// Deliberate bug switch for harness validation: a matching thread
+    /// returns its *own* value instead of the partner's, so both sides of
+    /// a swap report the matcher's value. See
+    /// [`Exchanger::new_misdelivering`].
+    misdeliver: bool,
 }
 
 impl std::fmt::Debug for Offer {
@@ -63,7 +70,16 @@ impl std::fmt::Debug for Offer {
 impl Exchanger {
     /// Creates an exchanger with an empty slot.
     pub fn new() -> Self {
-        Exchanger { g: Atomic::null() }
+        Exchanger { g: Atomic::null(), misdeliver: false }
+    }
+
+    /// Creates a **deliberately broken** exchanger that hands the same
+    /// value to both sides of a swap (the matcher keeps its own value
+    /// instead of taking the waiter's). Every successful pairing with
+    /// distinct values violates the exchanger's CA-specification — the
+    /// planted bug the chaos harness must catch.
+    pub fn new_misdelivering() -> Self {
+        Exchanger { g: Atomic::null(), misdeliver: true }
     }
 
     /// Attempts to exchange `v` with a concurrent partner, spinning at
@@ -85,11 +101,15 @@ impl Exchanger {
         let n = Owned::new(Offer { data: v, hole: Atomic::null() }).into_shared(guard);
         // SAFETY: `n` was just allocated and stays valid while pinned.
         let n_ref = unsafe { n.deref() };
-        // Line 15: if (CAS(g, null, n)) — the init path.
-        if self
-            .g
-            .compare_exchange(Shared::null(), n, SeqCst, SeqCst, guard)
-            .is_ok()
+        // Line 15: if (CAS(g, null, n)) — the init path. A spurious
+        // chaos failure routes to the matching path, exactly as losing
+        // the installation race would.
+        hooks::chaos_point(Site::ExchangeInstall);
+        if !hooks::cas_should_fail(Site::ExchangeInstall)
+            && self
+                .g
+                .compare_exchange(Shared::null(), n, SeqCst, SeqCst, guard)
+                .is_ok()
         {
             self.wait_for_partner(n, n_ref, spin_budget, guard)
         } else {
@@ -107,7 +127,9 @@ impl Exchanger {
         guard: &Guard,
     ) -> ExchangeOutcome {
         let mut spins = spin_budget;
+        let mut backoff = Backoff::new();
         loop {
+            hooks::chaos_point(Site::ExchangeWait);
             let h = n_ref.hole.load(SeqCst, guard);
             if !h.is_null() {
                 // A partner matched us; h points to its offer.
@@ -142,9 +164,10 @@ impl Exchanger {
                 return ExchangeOutcome::Swapped(got); // line 22
             }
             spins -= 1;
-            // Fig. 1 waits with sleep(50): give the CPU away so a partner
-            // can actually arrive (essential on few-core machines).
-            std::thread::yield_now();
+            // Fig. 1 waits with sleep(50): ride out short waits with spin
+            // hints, then give the CPU away so a partner can actually
+            // arrive (essential on few-core machines).
+            backoff.snooze();
         }
     }
 
@@ -156,14 +179,19 @@ impl Exchanger {
             // SAFETY: an offer reachable from g is not yet retired (its
             // owner unlinks it before retiring), and we are pinned.
             let cur_ref = unsafe { cur.deref() };
-            // Line 29: s = CAS(cur.hole, null, n) — xchg.
-            let s = cur_ref
-                .hole
-                .compare_exchange(Shared::null(), n, SeqCst, SeqCst, guard)
-                .is_ok();
+            // Line 29: s = CAS(cur.hole, null, n) — xchg. A spurious
+            // chaos failure reports contention, as a lost race would.
+            hooks::chaos_point(Site::ExchangeMatch);
+            let s = !hooks::cas_should_fail(Site::ExchangeMatch)
+                && cur_ref
+                    .hole
+                    .compare_exchange(Shared::null(), n, SeqCst, SeqCst, guard)
+                    .is_ok();
             // Line 31: CAS(g, cur, null) — clean, unconditionally.
             let _ = self.g.compare_exchange(cur, Shared::null(), SeqCst, SeqCst, guard);
-            s.then(|| cur_ref.data)
+            // The planted misdelivery bug returns the matcher's own value.
+            // SAFETY: `n` is this thread's own offer, valid while pinned.
+            s.then(|| if self.misdeliver { unsafe { n.deref() }.data } else { cur_ref.data })
         } else {
             None
         };

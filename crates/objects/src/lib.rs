@@ -11,7 +11,9 @@
 //!   stack;
 //! - [`sync_queue::SyncQueue`] — the exchanger-based synchronous queue;
 //! - [`record::Recorder`] and the [`recorded`] wrappers — history
-//!   recording for offline CAL / linearizability checking of real runs.
+//!   recording for offline CAL / linearizability checking of real runs;
+//! - [`hooks`] — chaos instrumentation points and capped-exponential
+//!   backoff, the substrate of the `cal-chaos` fault-injection harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,6 +23,7 @@ pub mod dual_stack;
 pub mod elim_array;
 pub mod elim_stack;
 pub mod exchanger;
+pub mod hooks;
 pub mod record;
 pub mod recorded;
 pub mod snapshot;

@@ -4,12 +4,13 @@
 use std::sync::Arc;
 
 use cal_core::{ObjectId, ThreadId, Value};
-use cal_specs::vocab::{EXCHANGE, POP, PUSH, PUT, TAKE};
+use cal_specs::vocab::{CANCEL_SENTINEL, EXCHANGE, POP, PUSH, PUT, TAKE};
 
 use crate::arena_exchanger::ArenaExchanger;
 use crate::dual_stack::DualStack;
 use crate::elim_stack::EliminationStack;
 use crate::exchanger::Exchanger;
+use crate::hooks::{self, Site};
 use crate::record::Recorder;
 use crate::stack::TreiberStack;
 use crate::sync_queue::SyncQueue;
@@ -42,6 +43,17 @@ impl RecordedExchanger {
         }
     }
 
+    /// Creates a recorded **deliberately broken** exchanger (see
+    /// [`Exchanger::new_misdelivering`]) — the chaos harness's planted
+    /// bug.
+    pub fn new_misdelivering(object: ObjectId) -> Self {
+        RecordedExchanger {
+            inner: Exchanger::new_misdelivering(),
+            object,
+            recorder: Arc::new(Recorder::new()),
+        }
+    }
+
     /// The recorder collecting the history.
     pub fn recorder(&self) -> &Arc<Recorder> {
         &self.recorder
@@ -50,7 +62,9 @@ impl RecordedExchanger {
     /// A recorded `exchange` performed by `thread`.
     pub fn exchange(&self, thread: ThreadId, v: i64, spin_budget: usize) -> (bool, i64) {
         self.recorder.invoke(thread, self.object, EXCHANGE, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         let (ok, got) = self.inner.exchange(v, spin_budget);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, EXCHANGE, Value::Pair(ok, got));
         (ok, got)
     }
@@ -83,7 +97,9 @@ impl RecordedArenaExchanger {
     /// A recorded `exchange` by `thread`, trying up to `attempts` slots.
     pub fn exchange(&self, thread: ThreadId, v: i64, attempts: usize) -> (bool, i64) {
         self.recorder.invoke(thread, self.object, EXCHANGE, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         let (ok, got) = self.inner.exchange(v, attempts);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, EXCHANGE, Value::Pair(ok, got));
         (ok, got)
     }
@@ -115,14 +131,18 @@ impl RecordedTreiberStack {
     /// A recorded `push`.
     pub fn push(&self, thread: ThreadId, v: i64) {
         self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         self.inner.push(v);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, PUSH, Value::Bool(true));
     }
 
     /// A recorded `pop`.
     pub fn pop(&self, thread: ThreadId) -> (bool, i64) {
         self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
         let (ok, v) = self.inner.pop();
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, POP, Value::Pair(ok, if ok { v } else { 0 }));
         (ok, v)
     }
@@ -155,16 +175,38 @@ impl RecordedEliminationStack {
     /// A recorded `push`.
     pub fn push(&self, thread: ThreadId, v: i64) {
         self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         self.inner.push(v);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, PUSH, Value::Bool(true));
     }
 
     /// A recorded blocking `pop`.
     pub fn pop_wait(&self, thread: ThreadId) -> i64 {
         self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
         let v = self.inner.pop_wait();
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, POP, Value::Pair(true, v));
         v
+    }
+
+    /// A recorded *bounded* pop: up to `rounds` rounds, then gives up
+    /// with `(false, 0)` — the convention of [`StackSpec::failing`].
+    /// Chaos workloads use this so starved poppers still terminate.
+    ///
+    /// [`StackSpec::failing`]: cal_specs::stack::StackSpec::failing
+    pub fn try_pop(&self, thread: ThreadId, rounds: usize) -> Option<i64> {
+        self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
+        let got = self.inner.try_pop(rounds);
+        hooks::chaos_point(Site::OpEnd);
+        let ret = match got {
+            Some(v) => Value::Pair(true, v),
+            None => Value::Pair(false, 0),
+        };
+        self.recorder.response(thread, self.object, POP, ret);
+        got
     }
 }
 
@@ -194,16 +236,35 @@ impl RecordedDualStack {
     /// A recorded `push`.
     pub fn push(&self, thread: ThreadId, v: i64) {
         self.recorder.invoke(thread, self.object, PUSH, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         self.inner.push(v);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, PUSH, Value::Unit);
     }
 
     /// A recorded waiting `pop`.
     pub fn pop_wait(&self, thread: ThreadId) -> i64 {
         self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
         let v = self.inner.pop_wait();
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, POP, Value::Int(v));
         v
+    }
+
+    /// A recorded *bounded* pop: waits up to `patience` polls, recording
+    /// [`CANCEL_SENTINEL`] as the return on timeout. Check the resulting
+    /// history against [`DualStackSpec::with_timeouts`].
+    ///
+    /// [`DualStackSpec::with_timeouts`]: cal_specs::dual_stack::DualStackSpec::with_timeouts
+    pub fn try_pop(&self, thread: ThreadId, patience: usize) -> Option<i64> {
+        self.recorder.invoke(thread, self.object, POP, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
+        let got = self.inner.try_pop(patience);
+        hooks::chaos_point(Site::OpEnd);
+        let ret = Value::Int(got.unwrap_or(CANCEL_SENTINEL));
+        self.recorder.response(thread, self.object, POP, ret);
+        got
     }
 }
 
@@ -233,7 +294,9 @@ impl RecordedSyncQueue {
     /// A recorded bounded `put`.
     pub fn try_put(&self, thread: ThreadId, v: i64, attempts: usize) -> bool {
         self.recorder.invoke(thread, self.object, PUT, Value::Int(v));
+        hooks::chaos_point(Site::OpStart);
         let ok = self.inner.try_put(v, attempts);
+        hooks::chaos_point(Site::OpEnd);
         self.recorder.response(thread, self.object, PUT, Value::Bool(ok));
         ok
     }
@@ -241,7 +304,9 @@ impl RecordedSyncQueue {
     /// A recorded bounded `take`.
     pub fn try_take(&self, thread: ThreadId, attempts: usize) -> Option<i64> {
         self.recorder.invoke(thread, self.object, TAKE, Value::Unit);
+        hooks::chaos_point(Site::OpStart);
         let got = self.inner.try_take(attempts);
+        hooks::chaos_point(Site::OpEnd);
         let ret = match got {
             Some(v) => Value::Pair(true, v),
             None => Value::Pair(false, 0),
@@ -284,7 +349,7 @@ mod tests {
         });
         let h = e.recorder().history();
         assert!(h.is_complete());
-        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))).unwrap(), "history not CAL:\n{h}");
     }
 
     #[test]
@@ -297,7 +362,7 @@ mod tests {
         });
         let h = a.recorder().history();
         assert!(h.is_complete());
-        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+        assert!(is_cal(&h, &ExchangerSpec::new(ObjectId(0))).unwrap(), "history not CAL:\n{h}");
     }
 
     #[test]
@@ -343,7 +408,7 @@ mod tests {
         });
         let h = s.recorder().history();
         assert!(h.is_complete());
-        assert!(is_cal(&h, &DualStackSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+        assert!(is_cal(&h, &DualStackSpec::new(ObjectId(0))).unwrap(), "history not CAL:\n{h}");
     }
 
     #[test]
@@ -359,6 +424,6 @@ mod tests {
             }
         });
         let h = q.recorder().history();
-        assert!(is_cal(&h, &SyncQueueSpec::new(ObjectId(0))), "history not CAL:\n{h}");
+        assert!(is_cal(&h, &SyncQueueSpec::new(ObjectId(0))).unwrap(), "history not CAL:\n{h}");
     }
 }

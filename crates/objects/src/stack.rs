@@ -5,6 +5,8 @@ use std::sync::atomic::Ordering::SeqCst;
 
 use crossbeam::epoch::{self, Atomic, Owned};
 
+use crate::hooks::{self, Site};
+
 struct Node {
     data: i64,
     next: Atomic<Node>,
@@ -45,6 +47,12 @@ impl FailingStack {
         let h = self.top.load(SeqCst, guard);
         let n = Owned::new(Node { data, next: Atomic::null() });
         n.next.store(h, SeqCst);
+        // The load→CAS window: chaos may stall here or fail the CAS
+        // spuriously; both are behaviours the one-shot spec admits.
+        hooks::chaos_point(Site::StackCas);
+        if hooks::cas_should_fail(Site::StackCas) {
+            return false;
+        }
         match self.top.compare_exchange(h, n, SeqCst, SeqCst, guard) {
             Ok(_) => true,
             Err(_e) => false, // the failed Owned is dropped here
@@ -63,6 +71,10 @@ impl FailingStack {
         // pinned.
         let h_ref = unsafe { h.deref() };
         let n = h_ref.next.load(SeqCst, guard);
+        hooks::chaos_point(Site::StackCas);
+        if hooks::cas_should_fail(Site::StackCas) {
+            return (false, 0);
+        }
         if self.top.compare_exchange(h, n, SeqCst, SeqCst, guard).is_ok() {
             // SAFETY: we unlinked h; it is retired exactly once, here.
             unsafe { guard.defer_destroy(h) };
@@ -137,6 +149,11 @@ impl TreiberStack {
             // SAFETY: reachable from top while pinned.
             let h_ref = unsafe { h.deref() };
             let n = h_ref.next.load(SeqCst, guard);
+            hooks::chaos_point(Site::StackCas);
+            if hooks::cas_should_fail(Site::StackCas) {
+                std::hint::spin_loop();
+                continue;
+            }
             if self.inner.top.compare_exchange(h, n, SeqCst, SeqCst, guard).is_ok() {
                 // SAFETY: unlinked; retired exactly once, here.
                 unsafe { guard.defer_destroy(h) };

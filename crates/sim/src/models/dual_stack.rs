@@ -340,7 +340,7 @@ mod tests {
                     e.trace,
                     e.history
                 );
-                assert!(is_cal(&e.history, &spec));
+                assert!(is_cal(&e.history, &spec).unwrap());
             }
             if e.trace.elements().iter().any(|el| el.len() == 2) {
                 fulfilled = true;

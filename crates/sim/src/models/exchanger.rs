@@ -386,7 +386,7 @@ mod tests {
                 e.history
             );
             // Cross-check with the full CAL search.
-            assert!(is_cal(&e.history, &spec));
+            assert!(is_cal(&e.history, &spec).unwrap());
         });
         assert!(execs > 10);
     }

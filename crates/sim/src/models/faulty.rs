@@ -362,7 +362,7 @@ mod tests {
         let w = Workload::new(vec![vec![exchange(3)], vec![exchange(4)]]);
         let mut rejected = false;
         Explorer::new(&model, w).run(|e| {
-            if !is_cal(&e.history, &spec) {
+            if !is_cal(&e.history, &spec).unwrap() {
                 rejected = true;
             }
         });
@@ -378,7 +378,7 @@ mod tests {
         let w = Workload::new(vec![vec![exchange(1)], vec![exchange(2)], vec![exchange(3)]]);
         let mut rejected = false;
         Explorer::new(&model, w).max_paths(100_000).run(|e| {
-            if !is_cal(&e.history, &spec) {
+            if !is_cal(&e.history, &spec).unwrap() {
                 rejected = true;
             }
         });
@@ -394,7 +394,7 @@ mod tests {
         Explorer::new(&model, w).run(|e| {
             // The memory behaviour is the correct algorithm's, so the
             // history itself stays CAL…
-            assert!(is_cal(&e.history, &spec));
+            assert!(is_cal(&e.history, &spec).unwrap());
             // …but the lying instrumentation is caught by the agreement
             // check (and would invalidate any proof built on the trace).
             if !agrees_bool(&e.history, &e.trace) || !spec.accepts(&e.trace) {
@@ -467,7 +467,7 @@ mod tests {
         ]);
         let mut rejected = false;
         Explorer::new(&model, w).max_paths(100_000).run(|e| {
-            if !is_linearizable(&e.history, &spec) {
+            if !is_linearizable(&e.history, &spec).unwrap() {
                 rejected = true;
             }
         });
@@ -484,7 +484,7 @@ mod tests {
         ]);
         let mut rejected = false;
         Explorer::new(&model, w).max_paths(100_000).run(|e| {
-            if !is_linearizable(&e.history, &spec) {
+            if !is_linearizable(&e.history, &spec).unwrap() {
                 rejected = true;
             }
         });
@@ -504,7 +504,7 @@ mod tests {
             let spec = ExchangerSpec::new(E);
             let w = Workload::new(vec![vec![exchange(9)]]);
             Explorer::new(&model, w).run(|e| {
-                assert!(is_cal(&e.history, &spec));
+                assert!(is_cal(&e.history, &spec).unwrap());
                 assert!(agrees_bool(&e.history, &e.trace));
             });
         }

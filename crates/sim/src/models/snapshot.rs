@@ -202,7 +202,7 @@ mod tests {
         let mut ordered = false;
         Explorer::new(&m, w).run(|e| {
             execs += 1;
-            assert!(is_cal(&e.history, &spec), "not CAL: {}", e.history);
+            assert!(is_cal(&e.history, &spec).unwrap(), "not CAL: {}", e.history);
             let rets: Vec<Value> = e.history.operations().iter().map(|o| o.ret).collect();
             if rets.iter().all(|&r| r == Value::Int(view(&[1, 2]))) {
                 symmetric = true; // one block of two
@@ -222,7 +222,7 @@ mod tests {
         let spec = ImmediateSnapshotSpec::new(O, 3);
         let w = Workload::new(vec![vec![snap(1)], vec![snap(2)], vec![snap(3)]]);
         Explorer::new(&m, w).sample(41, 1_500, |e| {
-            assert!(is_cal(&e.history, &spec), "not CAL: {}", e.history);
+            assert!(is_cal(&e.history, &spec).unwrap(), "not CAL: {}", e.history);
         });
     }
 
@@ -234,7 +234,7 @@ mod tests {
         let mut execs = 0u64;
         Explorer::new(&m, w).max_paths(40_000).run(|e| {
             execs += 1;
-            assert!(is_cal(&e.history, &spec), "not CAL: {}", e.history);
+            assert!(is_cal(&e.history, &spec).unwrap(), "not CAL: {}", e.history);
         });
         assert!(execs > 100);
     }

@@ -387,7 +387,7 @@ mod tests {
             let ops: Vec<_> = e.trace.all_ops();
             assert!(spec.accepts(&ops), "trace {} illegal", e.trace);
             assert!(agrees_bool(&e.history, &e.trace));
-            assert!(is_linearizable(&e.history, &spec));
+            assert!(is_linearizable(&e.history, &spec).unwrap());
         });
         assert!(execs > 5);
     }

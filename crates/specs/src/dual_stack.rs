@@ -16,7 +16,7 @@
 use cal_core::spec::{CaSpec, Invocation};
 use cal_core::{CaElement, ObjectId, Operation, ThreadId, Value};
 
-use crate::vocab::{POP, PUSH};
+use crate::vocab::{CANCEL_SENTINEL, POP, PUSH};
 
 /// The concurrency-aware dual stack specification.
 ///
@@ -36,12 +36,23 @@ use crate::vocab::{POP, PUSH};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DualStackSpec {
     object: ObjectId,
+    timeouts: bool,
 }
 
 impl DualStackSpec {
-    /// Creates the specification of dual stack `object`.
+    /// Creates the specification of dual stack `object`. Every `pop`
+    /// must return a value; timed-out reservations are rejected.
     pub fn new(object: ObjectId) -> Self {
-        DualStackSpec { object }
+        DualStackSpec { object, timeouts: false }
+    }
+
+    /// Like [`DualStackSpec::new`], but additionally admits a `pop` that
+    /// gave up waiting: a singleton element returning
+    /// [`CANCEL_SENTINEL`], a no-op on the stack contents. This is the
+    /// specification of the *bounded* `try_pop` used by chaos workloads,
+    /// where an abandoned or starved popper may time out legitimately.
+    pub fn with_timeouts(object: ObjectId) -> Self {
+        DualStackSpec { object, timeouts: true }
     }
 
     /// The specified object.
@@ -73,8 +84,12 @@ impl CaSpec for DualStackSpec {
                 Some(next)
             }
             [op] if op.method == POP => {
-                // Plain pop: v on top.
                 let v = op.ret.as_int()?;
+                if self.timeouts && v == CANCEL_SENTINEL {
+                    // A cancelled reservation: no effect on the stack.
+                    return Some(state.clone());
+                }
+                // Plain pop: v on top.
                 (state.last() == Some(&v)).then(|| {
                     let mut next = state.clone();
                     next.pop();
@@ -105,6 +120,7 @@ impl CaSpec for DualStackSpec {
     fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
         match inv.method {
             PUSH => vec![Value::Unit],
+            POP if self.timeouts => vec![Value::Int(CANCEL_SENTINEL)],
             _ => Vec::new(),
         }
     }
@@ -205,6 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn timed_out_pop_needs_the_timeout_spec() {
+        let cancelled = CaElement::singleton(dual_pop_op(S, t(1), CANCEL_SENTINEL));
+        let tr = CaTrace::from_elements(vec![cancelled]);
+        assert!(!spec().accepts(&tr), "strict spec must reject timeouts");
+        assert!(DualStackSpec::with_timeouts(S).accepts(&tr));
+    }
+
+    #[test]
+    fn timed_out_pop_is_a_noop_on_the_stack() {
+        let tr = CaTrace::from_elements(vec![
+            CaElement::singleton(dual_push_op(S, t(1), 7)),
+            CaElement::singleton(dual_pop_op(S, t(2), CANCEL_SENTINEL)),
+            CaElement::singleton(dual_pop_op(S, t(1), 7)), // 7 still on top
+        ]);
+        assert!(DualStackSpec::with_timeouts(S).accepts(&tr));
+    }
+
+    #[test]
     fn waiting_pop_fulfilled_by_overlapping_push_is_cal() {
         // pop starts on the empty stack, waits; push arrives and fulfills.
         let push = dual_push_op(S, t(1), 5);
@@ -215,7 +249,7 @@ mod tests {
             push.response(),
             pop.response(),
         ]);
-        assert!(is_cal(&h, &spec()));
+        assert!(is_cal(&h, &spec()).unwrap());
     }
 
     #[test]
@@ -229,7 +263,7 @@ mod tests {
             push.invocation(),
             push.response(),
         ]);
-        assert!(!is_cal(&h, &spec()));
+        assert!(!is_cal(&h, &spec()).unwrap());
     }
 
     #[test]
@@ -240,6 +274,6 @@ mod tests {
             push.invocation(),
             push.response(),
         ]);
-        assert!(is_cal(&h, &spec()));
+        assert!(is_cal(&h, &spec()).unwrap());
     }
 }

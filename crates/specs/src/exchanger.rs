@@ -224,7 +224,7 @@ mod tests {
             Action::response(ThreadId(1), E, EXCHANGE, Value::Pair(true, 4)),
             Action::response(ThreadId(2), E, EXCHANGE, Value::Pair(true, 3)),
         ]);
-        assert!(is_cal(&h, &spec()));
+        assert!(is_cal(&h, &spec()).unwrap());
     }
 
     #[test]
@@ -235,7 +235,7 @@ mod tests {
             Action::invoke(ThreadId(2), E, EXCHANGE, Value::Int(4)),
             Action::response(ThreadId(2), E, EXCHANGE, Value::Pair(true, 3)),
         ]);
-        assert!(!is_cal(&h, &spec()));
+        assert!(!is_cal(&h, &spec()).unwrap());
     }
 
     #[test]

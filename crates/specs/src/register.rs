@@ -188,7 +188,7 @@ mod tests {
             b.response(),
             a.response(),
         ]);
-        assert!(is_linearizable(&h, &CounterSpec::new(R)));
+        assert!(is_linearizable(&h, &CounterSpec::new(R)).unwrap());
     }
 
     #[test]
@@ -201,7 +201,7 @@ mod tests {
             a.response(),
             b.response(),
         ]);
-        assert!(!is_linearizable(&h, &CounterSpec::new(R)));
+        assert!(!is_linearizable(&h, &CounterSpec::new(R)).unwrap());
     }
 
     #[test]

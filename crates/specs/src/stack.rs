@@ -228,7 +228,7 @@ mod tests {
                 push.response(),
                 pop.response(),
             ]);
-            assert!(is_linearizable(&h, &StackSpec::total(S)), "pop {pop} should linearize");
+            assert!(is_linearizable(&h, &StackSpec::total(S)).unwrap(), "pop {pop} should linearize");
         }
     }
 
@@ -238,7 +238,7 @@ mod tests {
             pop_ok(S, t(1), 42).invocation(),
             pop_ok(S, t(1), 42).response(),
         ]);
-        assert!(!is_linearizable(&h, &StackSpec::total(S)));
+        assert!(!is_linearizable(&h, &StackSpec::total(S)).unwrap());
     }
 
     #[test]
@@ -252,7 +252,7 @@ mod tests {
             push.response(),
             pop_ok(S, t(2), 5).invocation(),
         ]);
-        assert!(is_linearizable(&h, &spec));
+        assert!(is_linearizable(&h, &spec).unwrap());
         let inv = Invocation::new(t(2), S, POP, Value::Unit);
         assert!(spec.completions_of(&inv).contains(&Value::Pair(true, 5)));
     }

@@ -252,7 +252,7 @@ mod tests {
             Action::response(t(1), Q, PUT, Value::Bool(true)),
             Action::response(t(2), Q, TAKE, Value::Pair(true, 5)),
         ]);
-        assert!(is_cal(&h, &spec()));
+        assert!(is_cal(&h, &spec()).unwrap());
     }
 
     #[test]
@@ -263,7 +263,7 @@ mod tests {
             Action::invoke(t(2), Q, TAKE, Value::Unit),
             Action::response(t(2), Q, TAKE, Value::Pair(true, 5)),
         ]);
-        assert!(!is_cal(&h, &spec()));
+        assert!(!is_cal(&h, &spec()).unwrap());
     }
 
     #[test]
@@ -273,7 +273,7 @@ mod tests {
             Action::invoke(t(2), Q, TAKE, Value::Unit),
             Action::response(t(1), Q, PUT, Value::Bool(true)),
         ]);
-        assert!(is_cal(&h, &spec()));
+        assert!(is_cal(&h, &spec()).unwrap());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub const POP_SENTINEL: i64 = i64::MAX;
 /// exchanger to announce itself as a consumer.
 pub const TAKE_SENTINEL: i64 = i64::MAX - 1;
 
+/// The value returned by a dual-stack `pop` whose reservation timed out
+/// and was cancelled (mirrors the object's internal `CANCELLED` marker).
+pub const CANCEL_SENTINEL: i64 = i64::MIN + 1;
+
 #[cfg(test)]
 mod tests {
     use super::*;

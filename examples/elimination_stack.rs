@@ -52,5 +52,6 @@ fn main() {
             std::process::exit(1);
         }
         Verdict::ResourcesExhausted => println!("verdict: undecided (budget exhausted)"),
+        Verdict::Interrupted { reason } => println!("verdict: undecided (interrupted: {reason})"),
     }
 }

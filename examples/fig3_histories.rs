@@ -52,7 +52,7 @@ fn verdict_name(h: &History, spec: &ExchangerSpec) -> &'static str {
     match check_cal(h, spec).expect("well-formed").verdict {
         Verdict::Cal(_) => "CAL ✓",
         Verdict::NotCal => "not CAL ✗",
-        Verdict::ResourcesExhausted => "undecided",
+        Verdict::ResourcesExhausted | Verdict::Interrupted { .. } => "undecided",
     }
 }
 
@@ -101,8 +101,8 @@ fn main() {
 
     println!("\nThe §3 dilemma for sequential specifications:");
     let lax = LaxSequentialExchanger;
-    let lin_h3 = seqlin::is_linearizable(&h3, &lax);
-    let lin_h3p = seqlin::is_linearizable(&h3_prefix, &lax);
+    let lin_h3 = seqlin::is_linearizable(&h3, &lax).unwrap();
+    let lin_h3p = seqlin::is_linearizable(&h3_prefix, &lax).unwrap();
     println!("  a sequential spec admitting H3 also admits H3' (lone success):");
     println!("    H3  linearizable w.r.t. lax seq spec: {lin_h3}");
     println!("    H3' linearizable w.r.t. lax seq spec: {lin_h3p}   ← too loose!");
@@ -110,7 +110,7 @@ fn main() {
 
     // And the only sound sequential spec (failures only) rejects real swaps:
     let strict = cal::core::spec::SeqAsCa::new(FailOnly);
-    let h1_ok = cal::core::check::is_cal(&h1, &strict);
+    let h1_ok = cal::core::check::is_cal(&h1, &strict).unwrap();
     println!("  a sequential spec admitting only failures rejects H1: {}", !h1_ok);
     println!("    H1 linearizable w.r.t. fail-only seq spec: {h1_ok}   ← too restrictive!");
     assert!(!h1_ok);

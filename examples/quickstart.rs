@@ -47,5 +47,6 @@ fn main() {
         }
         Verdict::NotCal => println!("verdict: NOT CAL — the implementation is broken!"),
         Verdict::ResourcesExhausted => println!("verdict: undecided (budget exhausted)"),
+        Verdict::Interrupted { reason } => println!("verdict: undecided (interrupted: {reason})"),
     }
 }

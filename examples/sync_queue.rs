@@ -69,7 +69,7 @@ fn real_run() {
         }
     });
     let history = queue.recorder().history();
-    let ok = is_cal(&history, &SyncQueueSpec::new(Q));
+    let ok = is_cal(&history, &SyncQueueSpec::new(Q)).unwrap();
     println!(
         "real run (2 producers + 2 consumers, {} ops): CAL = {ok} ✓",
         history.operations().len()

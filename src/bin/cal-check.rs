@@ -1,27 +1,40 @@
 //! `cal-check` — check a recorded history (in the `cal_core::text` line
-//! format) against one of the built-in specifications.
+//! format) against one of the built-in specifications, or run a single
+//! seeded chaos workload against a live object and check the harvested
+//! history.
 //!
 //! ```text
-//! Usage: cal-check <SPEC> <FILE> [--object <N>]
+//! Usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>]
+//!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
+//!                  [--threads <N>] [--ops <N>] [--mode <M>]
+//!                  [--deadline-ms <N>]
 //!
-//!   SPEC   exchanger | elim-array | sync-queue        (concurrency-aware)
-//!          stack | failing-stack | register | counter (sequential)
-//!   FILE   history file, or - for stdin
+//!   SPEC     exchanger | elim-array | sync-queue        (concurrency-aware)
+//!            stack | failing-stack | register | counter (sequential)
+//!   FILE     history file, or - for stdin
+//!   PROFILE  light | heavy | starvation
+//!   T        exchanger | buggy-exchanger | treiber-stack | elim-stack |
+//!            dual-stack | sync-queue       (default exchanger)
+//!   M        deterministic | stress        (default deterministic)
 //!
-//! Exit status: 0 = accepted, 1 = rejected, 2 = usage/input error.
+//! Exit status: 0 = accepted, 1 = rejected, 2 = usage/input/undecided.
 //! ```
 //!
 //! Example:
 //!
 //! ```bash
 //! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
-//!   | cargo run --bin cal-check -- exchanger -
+//!   | cargo run --bin cal-check -- exchanger - --deadline-ms 500
+//! cargo run --bin cal-check -- --chaos heavy --seed 7 --target elim-stack
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use cal::core::check::{check_cal, Verdict};
+use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
+use cal::chaos::Profile;
+use cal::core::check::{check_cal_with, CheckOptions, Verdict};
 use cal::core::spec::{CaSpec, SeqSpec};
 use cal::core::text::{format_trace, parse_history};
 use cal::core::{seqlin, History, ObjectId};
@@ -33,10 +46,15 @@ use cal::specs::sync_queue::SyncQueueSpec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cal-check <SPEC> <FILE> [--object <N>]\n\
+        "usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>]\n\
+         \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
+         \x20                [--threads <N>] [--ops <N>] [--mode <M>] [--deadline-ms <N>]\n\
          \n\
-         SPEC: exchanger | elim-array | sync-queue | stack | failing-stack | register | counter\n\
-         FILE: history in the cal text format, or - for stdin"
+         SPEC:    exchanger | elim-array | sync-queue | stack | failing-stack | register | counter\n\
+         FILE:    history in the cal text format, or - for stdin\n\
+         PROFILE: light | heavy | starvation\n\
+         T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
+         M:       deterministic | stress"
     );
     ExitCode::from(2)
 }
@@ -46,11 +64,46 @@ fn main() -> ExitCode {
     let mut spec_name = None;
     let mut file = None;
     let mut object = None;
+    let mut deadline = None;
+    let mut chaos_profile = None;
+    let mut seed = 0u64;
+    let mut target = TargetKind::Exchanger;
+    let mut threads = None;
+    let mut ops = None;
+    let mut mode = Mode::Deterministic;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--object" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
                 Some(n) => object = Some(ObjectId(n)),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => deadline = Some(Duration::from_millis(ms)),
+                None => return usage(),
+            },
+            "--chaos" => match it.next().and_then(|p| Profile::parse(p)) {
+                Some(p) => chaos_profile = Some(p),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|n| parse_seed(n)) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--target" => match it.next().and_then(|t| TargetKind::parse(t)) {
+                Some(t) => target = t,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = Some(n),
+                _ => return usage(),
+            },
+            "--ops" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => ops = Some(n),
+                _ => return usage(),
+            },
+            "--mode" => match it.next().and_then(|m| Mode::parse(m)) {
+                Some(m) => mode = m,
                 None => return usage(),
             },
             "-h" | "--help" => return usage(),
@@ -59,6 +112,24 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+
+    if let Some(profile) = chaos_profile {
+        if spec_name.is_some() || file.is_some() {
+            return usage();
+        }
+        let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
+        if let Some(t) = threads {
+            config.threads = t;
+        }
+        if let Some(o) = ops {
+            config.ops_per_thread = o;
+        }
+        if let Some(d) = deadline {
+            config.deadline = Some(d);
+        }
+        return run_chaos(&config);
+    }
+
     let (Some(spec_name), Some(file)) = (spec_name, file) else {
         return usage();
     };
@@ -82,15 +153,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
+    let options = CheckOptions { deadline, ..CheckOptions::default() };
 
     let accepted = match spec_name.as_str() {
-        "exchanger" => run_ca(&history, &ExchangerSpec::new(object)),
-        "elim-array" => run_ca(&history, &ElimArraySpec::new(object)),
-        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object)),
-        "stack" => run_seq(&history, &StackSpec::total(object)),
-        "failing-stack" => run_seq(&history, &StackSpec::failing(object)),
-        "register" => run_seq(&history, &RegisterSpec::new(object)),
-        "counter" => run_seq(&history, &CounterSpec::new(object)),
+        "exchanger" => run_ca(&history, &ExchangerSpec::new(object), &options),
+        "elim-array" => run_ca(&history, &ElimArraySpec::new(object), &options),
+        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object), &options),
+        "stack" => run_seq(&history, &StackSpec::total(object), &options),
+        "failing-stack" => run_seq(&history, &StackSpec::failing(object), &options),
+        "register" => run_seq(&history, &RegisterSpec::new(object), &options),
+        "counter" => run_seq(&history, &CounterSpec::new(object), &options),
         other => {
             eprintln!("cal-check: unknown spec {other:?}");
             return usage();
@@ -100,6 +172,36 @@ fn main() -> ExitCode {
         Some(true) => ExitCode::SUCCESS,
         Some(false) => ExitCode::from(1),
         None => ExitCode::from(2),
+    }
+}
+
+/// Accepts decimal or `0x`-prefixed hex seeds.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Runs one seeded chaos workload and reports the harvested history's
+/// verdict.
+fn run_chaos(config: &RunConfig) -> ExitCode {
+    let outcome = run_once(config);
+    println!(
+        "chaos run: seed={:#x} target={} threads={} ops/thread={} profile={} mode={}",
+        config.seed, config.target, config.threads, config.ops_per_thread, config.profile,
+        config.mode,
+    );
+    println!("harvested history:");
+    for line in outcome.history.to_string().lines() {
+        println!("  {line}");
+    }
+    println!("verdict: {}", outcome.verdict);
+    match outcome.verdict {
+        ChaosVerdict::Passed(_) => ExitCode::SUCCESS,
+        ChaosVerdict::Violation(_) => ExitCode::from(1),
+        ChaosVerdict::Undecided(..) | ChaosVerdict::CheckerError(_) => ExitCode::from(2),
     }
 }
 
@@ -113,8 +215,8 @@ fn read_input(file: &str) -> std::io::Result<String> {
     }
 }
 
-fn run_ca<S: CaSpec>(history: &History, spec: &S) -> Option<bool> {
-    match check_cal(history, spec) {
+fn run_ca<S: CaSpec>(history: &History, spec: &S, options: &CheckOptions) -> Option<bool> {
+    match check_cal_with(history, spec, options) {
         Ok(outcome) => report(outcome.verdict, "concurrency-aware linearizable"),
         Err(e) => {
             eprintln!("cal-check: {e}");
@@ -123,8 +225,8 @@ fn run_ca<S: CaSpec>(history: &History, spec: &S) -> Option<bool> {
     }
 }
 
-fn run_seq<S: SeqSpec>(history: &History, spec: &S) -> Option<bool> {
-    match seqlin::check_linearizable(history, spec) {
+fn run_seq<S: SeqSpec>(history: &History, spec: &S, options: &CheckOptions) -> Option<bool> {
+    match seqlin::check_linearizable_with(history, spec, options) {
         Ok(outcome) => report(outcome.verdict, "linearizable"),
         Err(e) => {
             eprintln!("cal-check: {e}");
@@ -146,6 +248,10 @@ fn report(verdict: Verdict, adjective: &str) -> Option<bool> {
         }
         Verdict::ResourcesExhausted => {
             eprintln!("cal-check: undecided — node budget exhausted");
+            None
+        }
+        Verdict::Interrupted { reason } => {
+            eprintln!("cal-check: undecided — interrupted ({reason})");
             None
         }
     }

@@ -14,10 +14,14 @@
 //!   simulator with step-machine models of the paper's algorithms.
 //! - [`rg`] *(re-export of `cal-rg`)* — the rely/guarantee action framework
 //!   and the machine-checked proof obligations of the exchanger proof.
+//! - [`chaos`] *(re-export of `cal-chaos`)* — a seeded, reproducible
+//!   fault-injection and soak harness over the live objects, with
+//!   workload shrinking for minimal reproducers.
 //!
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
 //! reproduction results.
 
+pub use cal_chaos as chaos;
 pub use cal_core as core;
 pub use cal_objects as objects;
 pub use cal_rg as rg;

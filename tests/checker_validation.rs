@@ -42,7 +42,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let trace = random_exchanger_trace(&mut rng, OBJ, 3, size);
         let h = render_loose(&trace, &mut rng, 25);
-        prop_assert!(is_cal(&h, &ExchangerSpec::new(OBJ)));
+        prop_assert!(is_cal(&h, &ExchangerSpec::new(OBJ)).unwrap());
     }
 
     /// Ditto for the synchronous queue specification.
@@ -51,7 +51,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let trace = random_sync_queue_trace(&mut rng, OBJ, 3, size);
         let h = render_loose(&trace, &mut rng, 25);
-        prop_assert!(is_cal(&h, &SyncQueueSpec::new(OBJ)));
+        prop_assert!(is_cal(&h, &SyncQueueSpec::new(OBJ)).unwrap());
     }
 
     /// Corrupting a return value to a fresh impossible value breaks CAL.
@@ -62,7 +62,7 @@ proptest! {
         let h = render(&trace);
         if let Some(bad) = mutate(&h, Mutation::CorruptReturn, &mut rng,
                                   |_| Value::Pair(true, 777_777_777)) {
-            prop_assert!(!is_cal(&bad, &ExchangerSpec::new(OBJ)));
+            prop_assert!(!is_cal(&bad, &ExchangerSpec::new(OBJ)).unwrap());
         }
     }
 
@@ -76,7 +76,7 @@ proptest! {
         if let Some(partial) = mutate(&h, Mutation::DropResponse, &mut rng,
                                       |a| a.ret().unwrap()) {
             // Still CAL: the missing response can be restored or dropped.
-            prop_assert!(is_cal(&partial, &ExchangerSpec::new(OBJ)));
+            prop_assert!(is_cal(&partial, &ExchangerSpec::new(OBJ)).unwrap());
         }
     }
 
@@ -112,8 +112,8 @@ proptest! {
             .collect();
         let h = interleave(&per_thread, &mut rng);
         let spec = CounterSpec::new(OBJ);
-        let lin = seqlin::is_linearizable(&h, &spec);
-        let cal_verdict = is_cal(&h, &SeqAsCa::new(spec));
+        let lin = seqlin::is_linearizable(&h, &spec).unwrap();
+        let cal_verdict = is_cal(&h, &SeqAsCa::new(spec)).unwrap();
         prop_assert_eq!(lin, cal_verdict, "checkers disagree on {}", h);
     }
 }
@@ -135,5 +135,5 @@ fn agreement_is_insensitive_to_element_internal_order() {
 #[test]
 fn empty_everything() {
     assert!(agrees_bool(&History::new(), &cal::core::CaTrace::new()));
-    assert!(is_cal(&History::new(), &ExchangerSpec::new(OBJ)));
+    assert!(is_cal(&History::new(), &ExchangerSpec::new(OBJ)).unwrap());
 }

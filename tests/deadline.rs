@@ -1,0 +1,113 @@
+//! E15 — deadline regression: on a state space far beyond the node
+//! budget, `check_cal_with` honours a ~50 ms wall-clock deadline within
+//! 2×, returns partial statistics instead of panicking, and reports the
+//! interruption as such.
+
+use std::time::{Duration, Instant};
+
+use cal::core::check::{check_cal_with, CheckOptions, Verdict};
+use cal::core::text::parse_history;
+use cal::core::History;
+use cal::specs::exchanger::ExchangerSpec;
+
+/// `k` pairwise-concurrent `exchange(0) -> (true, 0)` calls: every pair
+/// of them can explain each other, but an odd `k` leaves one call that no
+/// rule covers, so the search must refute every way of pairing the rest —
+/// super-exponential without memoization.
+fn hard_history(k: usize) -> History {
+    let mut text = String::new();
+    for t in 0..k {
+        text.push_str(&format!("t{t} inv o0.exchange 0\n"));
+    }
+    for t in 0..k {
+        text.push_str(&format!("t{t} res o0.exchange (true,0)\n"));
+    }
+    parse_history(&text).expect("hard history parses")
+}
+
+fn hard_options(deadline: Duration) -> CheckOptions {
+    CheckOptions {
+        // A budget the search cannot finish within the deadline; the
+        // deadline, not the node cap, must be what stops it.
+        max_nodes: u64::MAX,
+        memoize: false,
+        deadline: Some(deadline),
+        cancel: None,
+    }
+}
+
+#[test]
+fn deadline_is_honoured_within_2x() {
+    let history = hard_history(15);
+    let spec = ExchangerSpec::new(cal::core::ObjectId(0));
+    let deadline = Duration::from_millis(50);
+
+    let start = Instant::now();
+    let outcome = check_cal_with(&history, &spec, &hard_options(deadline))
+        .expect("interrupted checks are outcomes, not errors");
+    let elapsed = start.elapsed();
+
+    assert!(
+        matches!(outcome.verdict, Verdict::Interrupted { .. }),
+        "expected an interrupt, got {:?} after {elapsed:?}",
+        outcome.verdict
+    );
+    assert!(outcome.stats.nodes > 0, "partial stats must reflect work done");
+    assert!(
+        elapsed <= deadline * 2,
+        "deadline overshoot: {elapsed:?} for a {deadline:?} deadline"
+    );
+}
+
+#[test]
+fn interrupt_reason_names_the_deadline() {
+    let history = hard_history(13);
+    let spec = ExchangerSpec::new(cal::core::ObjectId(0));
+    let outcome = check_cal_with(&history, &spec, &hard_options(Duration::from_millis(20)))
+        .expect("interrupted checks are outcomes, not errors");
+    match outcome.verdict {
+        Verdict::Interrupted { reason } => {
+            assert!(
+                reason.to_string().contains("deadline"),
+                "reason should name the deadline, got {reason}"
+            );
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
+
+/// Deadline-bounded checks are quiet under repetition: no panic, no
+/// drift, every run within 2× wall-clock — the property the chaos soak
+/// relies on when it hands the checker a per-run deadline.
+#[test]
+fn repeated_deadline_checks_stay_bounded() {
+    let history = hard_history(15);
+    let spec = ExchangerSpec::new(cal::core::ObjectId(0));
+    let deadline = Duration::from_millis(50);
+    for _ in 0..5 {
+        let start = Instant::now();
+        let outcome = check_cal_with(&history, &spec, &hard_options(deadline))
+            .expect("interrupted checks are outcomes, not errors");
+        let elapsed = start.elapsed();
+        assert!(matches!(outcome.verdict, Verdict::Interrupted { .. }));
+        assert!(elapsed <= deadline * 2, "overshoot on repeat: {elapsed:?}");
+    }
+}
+
+/// Without a deadline the same state space exhausts a finite node budget
+/// instead — and that, too, is a result, not a panic (the pre-chaos
+/// checker aborted the process here).
+#[test]
+fn node_budget_exhaustion_is_a_result_not_a_panic() {
+    let history = hard_history(15);
+    let spec = ExchangerSpec::new(cal::core::ObjectId(0));
+    let options = CheckOptions {
+        max_nodes: 10_000,
+        memoize: false,
+        deadline: None,
+        cancel: None,
+    };
+    let outcome = check_cal_with(&history, &spec, &options).expect("exhaustion is an outcome");
+    assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));
+    assert!(outcome.stats.nodes >= 10_000);
+}

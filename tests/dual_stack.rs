@@ -86,7 +86,7 @@ fn real_dual_stack_runs_are_cal() {
     });
     let h = s.recorder().history();
     assert!(h.is_complete());
-    assert!(is_cal(&h, &DualStackSpec::new(S)), "real history not CAL:\n{h}");
+    assert!(is_cal(&h, &DualStackSpec::new(S)).unwrap(), "real history not CAL:\n{h}");
 }
 
 #[test]
@@ -104,5 +104,5 @@ fn real_producers_consumers_are_cal() {
         }
     });
     let h = s.recorder().history();
-    assert!(is_cal(&h, &DualStackSpec::new(S)), "real history not CAL:\n{h}");
+    assert!(is_cal(&h, &DualStackSpec::new(S)).unwrap(), "real history not CAL:\n{h}");
 }

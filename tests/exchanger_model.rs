@@ -84,7 +84,7 @@ fn full_cal_search_agrees_with_witness_check() {
     let spec = ExchangerSpec::new(E);
     let w = Workload::new(vec![vec![exchange(1)], vec![exchange(2)], vec![exchange(3)]]);
     Explorer::new(&model, w).run(|e| {
-        assert!(is_cal(&e.history, &spec), "CAL search rejected {}", e.history);
+        assert!(is_cal(&e.history, &spec).unwrap(), "CAL search rejected {}", e.history);
     });
 }
 

@@ -23,7 +23,7 @@ fn fes() -> FEsMap {
 /// The monolithic path: take the abstract ES history (rendered from the
 /// mapped trace) and search for a linearization from scratch.
 fn monolithic_accepts(history: &History) -> bool {
-    seqlin::is_linearizable(history, &StackSpec::total(ES))
+    seqlin::is_linearizable(history, &StackSpec::total(ES)).unwrap()
 }
 
 #[test]

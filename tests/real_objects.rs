@@ -22,7 +22,7 @@ fn exchanger_real_run_is_cal() {
     });
     let h = e.recorder().history();
     assert!(h.is_complete());
-    assert!(is_cal(&h, &ExchangerSpec::new(OBJ)), "not CAL:\n{h}");
+    assert!(is_cal(&h, &ExchangerSpec::new(OBJ)).unwrap(), "not CAL:\n{h}");
 }
 
 #[test]
@@ -35,7 +35,7 @@ fn exchanger_real_run_high_spin_is_cal() {
         }
     });
     let h = e.recorder().history();
-    assert!(is_cal(&h, &ExchangerSpec::new(OBJ)), "not CAL:\n{h}");
+    assert!(is_cal(&h, &ExchangerSpec::new(OBJ)).unwrap(), "not CAL:\n{h}");
 }
 
 #[test]

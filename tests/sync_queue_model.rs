@@ -104,5 +104,5 @@ fn real_queue_history_is_cal() {
     });
     let h = q.recorder().history();
     assert!(h.is_complete());
-    assert!(is_cal(&h, &SyncQueueSpec::new(Q)), "real history not CAL:\n{h}");
+    assert!(is_cal(&h, &SyncQueueSpec::new(Q)).unwrap(), "real history not CAL:\n{h}");
 }

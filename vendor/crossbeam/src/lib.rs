@@ -1,0 +1,476 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of `crossbeam`'s API the workspace uses:
+//!
+//! - [`epoch`] — `Atomic`/`Owned`/`Shared` tagged pointers with guarded,
+//!   deferred reclamation. Instead of per-thread epochs it uses one
+//!   global pin registry: deferred destructions run only when **no**
+//!   guard is pinned anywhere, which is strictly more conservative than
+//!   (and therefore as safe as) real epoch reclamation.
+//! - [`queue`] — `SegQueue`, a linearizable MPMC FIFO (mutex-backed
+//!   here; the linearizability contract is what callers depend on).
+
+pub mod epoch {
+    //! Epoch-style memory reclamation (conservative global-quiescence
+    //! variant).
+
+    use std::marker::PhantomData;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// A deferred destruction: a type-erased pointer and its dropper.
+    struct Deferred {
+        ptr: *mut (),
+        drop_fn: unsafe fn(*mut ()),
+    }
+
+    // SAFETY: the pointee is only touched by `drop_fn`, called exactly
+    // once from whichever thread drains the registry.
+    unsafe impl Send for Deferred {}
+
+    struct Registry {
+        pinned: usize,
+        deferred: Vec<Deferred>,
+    }
+
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry { pinned: 0, deferred: Vec::new() });
+
+    fn registry() -> std::sync::MutexGuard<'static, Registry> {
+        match REGISTRY.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A pinned participant. While any active guard exists, no deferred
+    /// destruction runs.
+    #[derive(Debug)]
+    pub struct Guard {
+        active: bool,
+    }
+
+    /// Pins the current thread, returning a guard.
+    pub fn pin() -> Guard {
+        registry().pinned += 1;
+        Guard { active: true }
+    }
+
+    /// Returns a dummy guard for use when the data structure is not
+    /// shared (e.g. in `Drop` with `&mut self`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no concurrent access to the pointers
+    /// this guard is used with.
+    pub unsafe fn unprotected() -> &'static Guard {
+        static UNPROTECTED: Guard = Guard { active: false };
+        &UNPROTECTED
+    }
+
+    impl Guard {
+        /// Defers destruction of the pointee until no guard is pinned.
+        ///
+        /// # Safety
+        ///
+        /// The pointee must have been allocated via [`Owned`] and must be
+        /// retired exactly once.
+        pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+            let raw = ptr.as_raw() as *mut T;
+            debug_assert!(!raw.is_null(), "defer_destroy of null");
+            unsafe fn drop_boxed<T>(p: *mut ()) {
+                drop(Box::from_raw(p as *mut T));
+            }
+            if !self.active {
+                // Unprotected: the caller vouches for exclusive access.
+                drop(Box::from_raw(raw));
+                return;
+            }
+            registry().deferred.push(Deferred { ptr: raw as *mut (), drop_fn: drop_boxed::<T> });
+        }
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if !self.active {
+                return;
+            }
+            let drained = {
+                let mut reg = registry();
+                reg.pinned -= 1;
+                if reg.pinned == 0 {
+                    std::mem::take(&mut reg.deferred)
+                } else {
+                    Vec::new()
+                }
+            };
+            // Run destructors outside the lock.
+            for d in drained {
+                // SAFETY: no guard is pinned, so no Shared to this
+                // pointee can still be dereferenced; retired once.
+                unsafe { (d.drop_fn)(d.ptr) };
+            }
+        }
+    }
+
+    fn low_bits<T>() -> usize {
+        std::mem::align_of::<T>() - 1
+    }
+
+    /// A nullable, taggable atomic pointer to `T`.
+    pub struct Atomic<T> {
+        data: AtomicUsize,
+        _marker: PhantomData<*mut T>,
+    }
+
+    // SAFETY: same bounds as crossbeam's Atomic.
+    unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+    unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+    impl<T> Default for Atomic<T> {
+        fn default() -> Self {
+            Atomic::null()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Atomic<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
+        }
+    }
+
+    impl<T> Atomic<T> {
+        /// A null pointer.
+        pub const fn null() -> Self {
+            Atomic { data: AtomicUsize::new(0), _marker: PhantomData }
+        }
+
+        /// Loads the current pointer.
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared::from_data(self.data.load(ord))
+        }
+
+        /// Stores `new` unconditionally.
+        pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+            self.data.store(new.into_data(), ord);
+        }
+
+        /// Compare-and-exchange: replaces `current` with `new` if the
+        /// stored pointer (including tag) equals `current`.
+        pub fn compare_exchange<'g, P: Pointer<T>>(
+            &self,
+            current: Shared<'_, T>,
+            new: P,
+            success: Ordering,
+            failure: Ordering,
+            _guard: &'g Guard,
+        ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+            let new_data = new.into_data();
+            match self.data.compare_exchange(current.data, new_data, success, failure) {
+                Ok(_) => Ok(Shared::from_data(new_data)),
+                Err(actual) => Err(CompareExchangeError {
+                    current: Shared::from_data(actual),
+                    // SAFETY: round-trips the representation produced by
+                    // `into_data` above; ownership returns to the caller.
+                    new: unsafe { P::from_data(new_data) },
+                }),
+            }
+        }
+    }
+
+    /// The error of a failed [`Atomic::compare_exchange`]: the observed
+    /// pointer and the rejected new value (an `Owned` is dropped with
+    /// the error, like crossbeam's).
+    pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+        /// The pointer actually stored.
+        pub current: Shared<'g, T>,
+        /// The rejected new pointer.
+        pub new: P,
+    }
+
+    impl<T, P: Pointer<T>> std::fmt::Debug for CompareExchangeError<'_, T, P> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("CompareExchangeError").field("current", &self.current).finish_non_exhaustive()
+        }
+    }
+
+    /// Types convertible to/from a tagged pointer word.
+    pub trait Pointer<T> {
+        /// Consumes `self`, returning the tagged word.
+        fn into_data(self) -> usize;
+        /// Reconstitutes from a tagged word.
+        ///
+        /// # Safety
+        ///
+        /// `data` must come from a prior `into_data` of the same type.
+        unsafe fn from_data(data: usize) -> Self;
+    }
+
+    /// An owned heap allocation, analogous to `Box<T>`.
+    pub struct Owned<T> {
+        ptr: *mut T,
+    }
+
+    impl<T> Owned<T> {
+        /// Allocates `value` on the heap.
+        pub fn new(value: T) -> Self {
+            Owned { ptr: Box::into_raw(Box::new(value)) }
+        }
+
+        /// Converts into a [`Shared`], transferring ownership to the
+        /// data structure.
+        pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared::from_data(self.into_data())
+        }
+    }
+
+    impl<T> std::ops::Deref for Owned<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: ptr is a live Box allocation owned by self.
+            unsafe { &*self.ptr }
+        }
+    }
+
+    impl<T> Drop for Owned<T> {
+        fn drop(&mut self) {
+            // SAFETY: exclusive ownership.
+            unsafe { drop(Box::from_raw(self.ptr)) };
+        }
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_data(self) -> usize {
+            let data = self.ptr as usize;
+            std::mem::forget(self);
+            data
+        }
+        unsafe fn from_data(data: usize) -> Self {
+            Owned { ptr: (data & !low_bits::<T>()) as *mut T }
+        }
+    }
+
+    /// A tagged, possibly-null pointer valid while guard `'g` is live.
+    pub struct Shared<'g, T> {
+        data: usize,
+        _marker: PhantomData<(&'g (), *const T)>,
+    }
+
+    impl<'g, T> Clone for Shared<'g, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'g, T> Copy for Shared<'g, T> {}
+
+    impl<'g, T> PartialEq for Shared<'g, T> {
+        fn eq(&self, other: &Self) -> bool {
+            self.data == other.data
+        }
+    }
+    impl<'g, T> Eq for Shared<'g, T> {}
+
+    impl<'g, T> std::fmt::Debug for Shared<'g, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Shared({:#x})", self.data)
+        }
+    }
+
+    impl<'g, T> Shared<'g, T> {
+        fn from_data(data: usize) -> Self {
+            Shared { data, _marker: PhantomData }
+        }
+
+        /// The null pointer.
+        pub fn null() -> Self {
+            Shared::from_data(0)
+        }
+
+        /// The untagged raw pointer.
+        pub fn as_raw(&self) -> *const T {
+            (self.data & !low_bits::<T>()) as *const T
+        }
+
+        /// `true` if the untagged pointer is null (a tagged null — e.g.
+        /// a sentinel — is still "null", as in crossbeam).
+        pub fn is_null(&self) -> bool {
+            self.as_raw().is_null()
+        }
+
+        /// The tag stored in the pointer's low bits.
+        pub fn tag(&self) -> usize {
+            self.data & low_bits::<T>()
+        }
+
+        /// The same pointer with the tag replaced by `tag`.
+        pub fn with_tag(&self, tag: usize) -> Self {
+            Shared::from_data((self.data & !low_bits::<T>()) | (tag & low_bits::<T>()))
+        }
+
+        /// Dereferences the pointer.
+        ///
+        /// # Safety
+        ///
+        /// The pointer must be non-null and not yet retired.
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.as_raw()
+        }
+
+        /// Reclaims ownership of the allocation.
+        ///
+        /// # Safety
+        ///
+        /// The caller must have exclusive access to the pointee.
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            debug_assert!(!self.is_null(), "into_owned of null");
+            Owned { ptr: self.as_raw() as *mut T }
+        }
+    }
+
+    impl<'g, T> Pointer<T> for Shared<'g, T> {
+        fn into_data(self) -> usize {
+            self.data
+        }
+        unsafe fn from_data(data: usize) -> Self {
+            Shared::from_data(data)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        #[test]
+        fn cas_and_tags() {
+            let a: Atomic<i64> = Atomic::null();
+            let guard = &pin();
+            let n = Owned::new(7).into_shared(guard);
+            assert!(a.compare_exchange(Shared::null(), n, SeqCst, SeqCst, guard).is_ok());
+            let loaded = a.load(SeqCst, guard);
+            assert_eq!(unsafe { *loaded.deref() }, 7);
+            assert!(!loaded.is_null());
+            // Tagged null is still null, and tags round-trip.
+            let t = Shared::<i64>::null().with_tag(1);
+            assert!(t.is_null());
+            assert_eq!(t.tag(), 1);
+            assert_ne!(t, Shared::null());
+            // Cleanup.
+            assert!(a.compare_exchange(loaded, Shared::null(), SeqCst, SeqCst, guard).is_ok());
+            unsafe { guard.defer_destroy(loaded) };
+        }
+
+        #[test]
+        fn failed_cas_returns_owned() {
+            let a: Atomic<i64> = Atomic::null();
+            let guard = &pin();
+            let first = Owned::new(1).into_shared(guard);
+            a.compare_exchange(Shared::null(), first, SeqCst, SeqCst, guard).unwrap();
+            // Losing CAS drops the Owned via the error value (no leak:
+            // run under a leak checker to observe).
+            let lost = Owned::new(2);
+            assert!(a.compare_exchange(Shared::null(), lost, SeqCst, SeqCst, guard).is_err());
+            let cur = a.load(SeqCst, guard);
+            a.compare_exchange(cur, Shared::null(), SeqCst, SeqCst, guard).unwrap();
+            unsafe { guard.defer_destroy(cur) };
+        }
+
+        #[test]
+        fn deferred_destruction_waits_for_unpin() {
+            static DROPS: AtomicUsize = AtomicUsize::new(0);
+            struct Counted;
+            impl Drop for Counted {
+                fn drop(&mut self) {
+                    DROPS.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            let outer = pin();
+            {
+                let g = pin();
+                let s = Owned::new(Counted).into_shared(&g);
+                unsafe { g.defer_destroy(s) };
+            }
+            // Outer guard still pinned: not yet dropped.
+            assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+            drop(outer);
+            assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        }
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A linearizable MPMC FIFO queue. The real crossbeam `SegQueue` is
+    /// lock-free; this stand-in is mutex-backed but upholds the same
+    /// linearizability contract callers rely on.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SegQueue(len={})", self.len())
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        /// Enqueues `value` at the back.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Dequeues from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// `true` if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+    }
+}
