@@ -5,8 +5,9 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use cal_core::check::{CheckError, CheckOptions, CheckOutcome, CheckStats, Verdict};
-use cal_core::spec::SeqAsCa;
+use cal_core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, CheckStats, Verdict};
+use cal_core::par::check_cal_par_with;
+use cal_core::spec::{CaSpec, SeqAsCa};
 use cal_core::{History, ObjectId, ThreadId};
 use cal_objects::hooks;
 use cal_objects::recorded::{
@@ -143,6 +144,9 @@ pub struct RunConfig {
     pub deadline: Option<Duration>,
     /// Node budget handed to the checker.
     pub max_nodes: u64,
+    /// Worker threads for the checker (not the workload); `> 1` routes the
+    /// harvested history through the parallel checker.
+    pub check_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -156,6 +160,7 @@ impl Default for RunConfig {
             mode: Mode::Deterministic,
             deadline: Some(Duration::from_secs(2)),
             max_nodes: 2_000_000,
+            check_threads: 1,
         }
     }
 }
@@ -168,6 +173,7 @@ impl RunConfig {
             memoize: true,
             deadline: self.deadline,
             cancel: None,
+            threads: self.check_threads,
         }
     }
 }
@@ -195,6 +201,16 @@ impl ChaosVerdict {
             ChaosVerdict::Violation(_) => Some(FailureClass::Violation),
             ChaosVerdict::Undecided(..) => Some(FailureClass::Undecided),
             ChaosVerdict::CheckerError(_) => Some(FailureClass::CheckerError),
+        }
+    }
+
+    /// The checker statistics for this run, when the check ran at all.
+    pub fn stats(&self) -> Option<&CheckStats> {
+        match self {
+            ChaosVerdict::Passed(s)
+            | ChaosVerdict::Violation(s)
+            | ChaosVerdict::Undecided(_, s) => Some(s),
+            ChaosVerdict::CheckerError(_) => None,
         }
     }
 }
@@ -335,22 +351,30 @@ impl LiveTarget {
 
     fn check(&self, h: &History, options: CheckOptions) -> Result<CheckOutcome, CheckError> {
         match self {
-            LiveTarget::Exchanger(_) => {
-                cal_core::check::check_cal_with(h, &ExchangerSpec::new(OBJ), &options)
-            }
+            LiveTarget::Exchanger(_) => dispatch(h, &ExchangerSpec::new(OBJ), &options),
             LiveTarget::Treiber(_) => {
-                cal_core::check::check_cal_with(h, &SeqAsCa::new(StackSpec::total(OBJ)), &options)
+                dispatch(h, &SeqAsCa::new(StackSpec::total(OBJ)), &options)
             }
             LiveTarget::Elim(_) => {
-                cal_core::check::check_cal_with(h, &SeqAsCa::new(StackSpec::failing(OBJ)), &options)
+                dispatch(h, &SeqAsCa::new(StackSpec::failing(OBJ)), &options)
             }
-            LiveTarget::Dual(_) => {
-                cal_core::check::check_cal_with(h, &DualStackSpec::with_timeouts(OBJ), &options)
-            }
-            LiveTarget::Sync(_) => {
-                cal_core::check::check_cal_with(h, &SyncQueueSpec::new(OBJ), &options)
-            }
+            LiveTarget::Dual(_) => dispatch(h, &DualStackSpec::with_timeouts(OBJ), &options),
+            LiveTarget::Sync(_) => dispatch(h, &SyncQueueSpec::new(OBJ), &options),
         }
+    }
+}
+
+/// Routes a check through the parallel checker when the config asks for
+/// more than one checker thread.
+fn dispatch<S>(h: &History, spec: &S, options: &CheckOptions) -> Result<CheckOutcome, CheckError>
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    if options.threads > 1 {
+        check_cal_par_with(h, spec, options)
+    } else {
+        check_cal_with(h, spec, options)
     }
 }
 

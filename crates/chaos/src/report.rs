@@ -2,6 +2,8 @@
 //! finding — the seed, the workload shape, the verdict and the harvested
 //! history.
 
+use cal_core::check::CheckStats;
+
 use crate::driver::RunOutcome;
 
 /// The kind of failure a chaos run surfaced. Shrinking preserves the
@@ -39,17 +41,35 @@ pub struct FailureReport {
     pub detail: String,
     /// The minimal run's harvested history.
     pub history: cal_core::History,
+    /// Checker statistics summed over *every* replay the shrinker made
+    /// (the original failing run included), not just the minimal one.
+    pub search: CheckStats,
+    /// How many checker runs contributed to [`FailureReport::search`].
+    pub replays: u64,
 }
 
 impl FailureReport {
-    /// Packages a (shrunk) failing outcome.
+    /// Packages a (shrunk) failing outcome. The search totals start from
+    /// the outcome's own stats; [`FailureReport::with_search_totals`]
+    /// replaces them with the across-replay sums.
     pub fn new(outcome: RunOutcome, class: FailureClass) -> Self {
+        let search = outcome.verdict.stats().copied().unwrap_or_default();
         FailureReport {
             detail: outcome.verdict.to_string(),
             class,
             history: outcome.history,
             config: outcome.config,
+            search,
+            replays: 1,
         }
+    }
+
+    /// Records the checker statistics accumulated across all `replays`
+    /// shrinker runs.
+    pub fn with_search_totals(mut self, search: CheckStats, replays: u64) -> Self {
+        self.search = search;
+        self.replays = replays;
+        self
     }
 
     /// The CLI invocation that replays this exact failure.
@@ -81,6 +101,11 @@ impl std::fmt::Display for FailureReport {
             self.config.mode,
         )?;
         writeln!(f, "  repro:   {}", self.repro_command())?;
+        writeln!(
+            f,
+            "  search:  {} nodes, {} elements, {} memo hits across {} replays",
+            self.search.nodes, self.search.elements_tried, self.search.memo_hits, self.replays,
+        )?;
         writeln!(f, "  minimal failing history:")?;
         for line in self.history.to_string().lines() {
             writeln!(f, "    {line}")?;
@@ -103,5 +128,28 @@ mod tests {
         assert!(text.contains("0xbeef"), "seed missing:\n{text}");
         assert!(text.contains("chaos-soak --seed 0xbeef"), "repro missing:\n{text}");
         assert!(text.contains("exchanger"), "target missing:\n{text}");
+    }
+
+    #[test]
+    fn report_sums_stats_across_replays() {
+        let cfg = RunConfig { seed: 0xBEEF, target: TargetKind::Exchanger, ..Default::default() };
+        let outcome = run_once(&cfg);
+        let last = outcome.verdict.stats().copied().unwrap();
+        // Simulate the shrinker: three replays, each contributing stats.
+        let mut total = CheckStats::default();
+        for _ in 0..3 {
+            total += last;
+        }
+        let report = FailureReport::new(outcome, FailureClass::Undecided)
+            .with_search_totals(total, 3);
+        assert_eq!(report.search.nodes, 3 * last.nodes);
+        assert_eq!(report.search.elements_tried, 3 * last.elements_tried);
+        assert_eq!(report.replays, 3);
+        let text = report.to_string();
+        assert!(
+            text.contains(&format!("{} nodes", 3 * last.nodes)),
+            "summed nodes missing:\n{text}"
+        );
+        assert!(text.contains("across 3 replays"), "replay count missing:\n{text}");
     }
 }

@@ -14,13 +14,21 @@ use crate::report::{FailureClass, FailureReport};
 /// class, greedily: halve the per-thread op count, then drop threads,
 /// re-running after each candidate step and keeping it only if the
 /// failure persists. Returns the report for the smallest failure found
-/// (at worst, the original).
+/// (at worst, the original), with checker statistics summed over every
+/// replay — including replays that did *not* reproduce and were
+/// discarded, which the report would otherwise silently drop.
 pub fn shrink_failure(failing: RunOutcome, class: FailureClass) -> FailureReport {
+    let mut total = failing.verdict.stats().copied().unwrap_or_default();
+    let mut replays = 1u64;
     let mut best = failing;
     loop {
         let mut improved = false;
         for candidate in candidates(&best.config) {
             let outcome = run_once(&candidate);
+            if let Some(stats) = outcome.verdict.stats() {
+                total += *stats;
+            }
+            replays += 1;
             if outcome.verdict.class() == Some(class) {
                 best = outcome;
                 improved = true;
@@ -28,7 +36,7 @@ pub fn shrink_failure(failing: RunOutcome, class: FailureClass) -> FailureReport
             }
         }
         if !improved {
-            return FailureReport::new(best, class);
+            return FailureReport::new(best, class).with_search_totals(total, replays);
         }
     }
 }
@@ -98,6 +106,16 @@ mod tests {
         let report = shrink_failure(failing.clone(), FailureClass::Violation);
         assert!(report.config.threads <= failing.config.threads);
         assert!(report.config.ops_per_thread <= failing.config.ops_per_thread);
+        // The report's search totals cover every replay, so they are at
+        // least the original run's and grow with the replay count.
+        let original = failing.verdict.stats().copied().unwrap();
+        assert!(report.replays >= 1);
+        assert!(
+            report.search.nodes >= original.nodes,
+            "summed nodes {} below the original run's {}",
+            report.search.nodes,
+            original.nodes
+        );
         // The reproducer replays: same seed, same class.
         let replay = run_once(&report.config);
         assert_eq!(replay.verdict.class(), Some(FailureClass::Violation));

@@ -16,8 +16,9 @@
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,10 @@ pub struct CheckOptions {
     /// Cooperative cancellation: when the token fires, the search winds
     /// down and reports [`Verdict::Interrupted`]. `None` by default.
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the parallel checker
+    /// ([`crate::par::check_cal_par_with`]). The sequential entry points
+    /// ([`check_cal`], [`check_cal_with`]) ignore it. Defaults to 1.
+    pub threads: usize,
 }
 
 impl CheckOptions {
@@ -80,6 +85,13 @@ impl CheckOptions {
     pub fn with_deadline(deadline: Duration) -> Self {
         CheckOptions { deadline: Some(deadline), ..CheckOptions::default() }
     }
+
+    /// Returns the default options with [`CheckOptions::threads`] set to
+    /// the machine's available parallelism.
+    pub fn parallel() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        CheckOptions { threads, ..CheckOptions::default() }
+    }
 }
 
 impl Default for CheckOptions {
@@ -89,6 +101,7 @@ impl Default for CheckOptions {
             memoize: true,
             deadline: None,
             cancel: None,
+            threads: 1,
         }
     }
 }
@@ -170,6 +183,14 @@ pub struct CheckStats {
     pub elements_tried: u64,
     /// Failed states pruned via the memo table.
     pub memo_hits: u64,
+}
+
+impl std::ops::AddAssign for CheckStats {
+    fn add_assign(&mut self, other: CheckStats) {
+        self.nodes += other.nodes;
+        self.elements_tried += other.elements_tried;
+        self.memo_hits += other.memo_hits;
+    }
 }
 
 /// A verdict together with search statistics.
@@ -277,34 +298,18 @@ pub fn check_cal_with<S: CaSpec>(
     options: &CheckOptions,
 ) -> Result<CheckOutcome, CheckError> {
     let spans = history.try_spans()?;
-    let n = spans.len();
-    // Precompute the real-time order once: succs[i] = spans that i
-    // precedes; pending_preds[i] = number of unmatched predecessors.
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut pending_preds: Vec<usize> = vec![0; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && History::spans_precede(&spans[i], &spans[j]) {
-                succs[i].push(j);
-                pending_preds[j] += 1;
-            }
-        }
-    }
-    let mut search = Search {
-        spans: &spans,
+    let (succs, pending_preds) = realtime_order(&spans);
+    let mut search = Search::new(
+        &spans,
         spec,
         options,
-        stats: CheckStats::default(),
-        failed: HashSet::new(),
-        exhausted: false,
-        witness: Vec::new(),
         succs,
         pending_preds,
-        start: Instant::now(),
-        ticks: 0,
-        interrupted: None,
-        panicked: None,
-    };
+        MemoTable::Local(HashSet::new()),
+        None,
+        None,
+        Instant::now(),
+    );
     let mut matched = BitSet::new(spans.len().max(1));
     let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
         .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
@@ -355,36 +360,205 @@ pub fn is_cal_with<S: CaSpec>(
     }
 }
 
+/// Validates a [`Verdict::Cal`] witness against a (possibly incomplete)
+/// history: the specification must accept `witness`, and some completion
+/// of `history` (Def. 2) must agree with it (Def. 5).
+///
+/// The completion is reconstructed from the witness itself: every complete
+/// operation must appear in the trace exactly once; a thread's pending
+/// invocation may additionally appear once, completed with the return
+/// value the trace assigns it; pending invocations absent from the trace
+/// are dropped. Returns `false` for ill-formed histories.
+///
+/// This is the oracle the differential tests use to cross-validate
+/// witnesses produced by the parallel checker
+/// ([`crate::par::check_cal_par`]).
+pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrace) -> bool {
+    if history.validate().is_err() || !spec.accepts(witness) {
+        return false;
+    }
+    let spans = history.spans();
+    // Multiset of witness operations, minus each complete operation.
+    let mut counts: std::collections::HashMap<Operation, i64> = std::collections::HashMap::new();
+    for op in witness.all_ops() {
+        *counts.entry(op).or_insert(0) += 1;
+    }
+    for span in spans.iter().filter(|s| s.is_complete()) {
+        let op = span.operation().expect("complete span has an operation");
+        match counts.get_mut(&op) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => return false, // a complete operation the trace does not explain
+        }
+    }
+    // What remains must complete pending invocations, at most one per
+    // thread (well-formedness guarantees at most one pending per thread).
+    let mut completed_pending: Vec<(usize, Operation)> = Vec::new();
+    for (op, count) in counts {
+        match count {
+            0 => {}
+            1 => {
+                let Some(span) = spans.iter().find(|s| {
+                    !s.is_complete()
+                        && s.thread == op.thread
+                        && s.object == op.object
+                        && s.method == op.method
+                        && s.arg == op.arg
+                }) else {
+                    return false; // an op the history never invoked
+                };
+                completed_pending.push((span.inv, op));
+            }
+            _ => return false, // duplicated beyond the one pending slot
+        }
+    }
+    // Build the completion: drop uncompleted pending invocations, append
+    // responses for completed ones. Appending at the end adds no real-time
+    // constraints, matching the checker's treatment of completed pending
+    // operations.
+    let completed_invs: HashSet<usize> = completed_pending.iter().map(|&(inv, _)| inv).collect();
+    let dropped: HashSet<usize> = spans
+        .iter()
+        .filter(|s| !s.is_complete() && !completed_invs.contains(&s.inv))
+        .map(|s| s.inv)
+        .collect();
+    let mut actions: Vec<crate::action::Action> = history
+        .actions()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, a)| a.clone())
+        .collect();
+    for (_, op) in &completed_pending {
+        actions.push(op.response());
+    }
+    let completion = History::from_actions(actions);
+    crate::agree::agrees(&completion, witness).is_some()
+}
+
 /// How many search ticks (nodes or elements) pass between wall-clock and
 /// cancellation polls. A power of two; small enough that even slow spec
 /// transitions keep deadline overshoot well under the deadline itself.
 const POLL_INTERVAL_MASK: u64 = 255;
 
-struct Search<'a, S: CaSpec> {
+/// Precomputes the real-time order over `spans`: `succs[i]` = spans that
+/// span `i` precedes; `pending_preds[i]` = number of predecessors of `i`.
+pub(crate) fn realtime_order(spans: &[Span]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = spans.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending_preds: Vec<usize> = vec![0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && History::spans_precede(&spans[i], &spans[j]) {
+                succs[i].push(j);
+                pending_preds[j] += 1;
+            }
+        }
+    }
+    (succs, pending_preds)
+}
+
+/// The failed-state table behind a search: thread-private for the
+/// sequential checker, a reference to a shared sharded table for the
+/// parallel one (so cross-worker pruning compounds).
+pub(crate) enum MemoTable<'m, K: Eq + Hash> {
+    /// A plain private hash set.
+    Local(HashSet<K>),
+    /// A shared mutex-striped table owned by the parallel driver.
+    Shared(&'m crate::par::ShardedMemo<K>),
+}
+
+impl<K: Eq + Hash> MemoTable<'_, K> {
+    fn contains(&self, key: &K) -> bool {
+        match self {
+            MemoTable::Local(set) => set.contains(key),
+            MemoTable::Shared(memo) => memo.contains(key),
+        }
+    }
+
+    fn insert(&mut self, key: K) {
+        match self {
+            MemoTable::Local(set) => {
+                set.insert(key);
+            }
+            MemoTable::Shared(memo) => {
+                memo.insert(key);
+            }
+        }
+    }
+}
+
+pub(crate) struct Search<'a, S: CaSpec> {
     spans: &'a [Span],
     spec: &'a S,
     options: &'a CheckOptions,
-    stats: CheckStats,
-    failed: HashSet<(BitSet, S::State)>,
-    exhausted: bool,
-    witness: Vec<CaElement>,
+    pub(crate) stats: CheckStats,
+    failed: MemoTable<'a, (BitSet, S::State)>,
+    pub(crate) exhausted: bool,
+    pub(crate) witness: Vec<CaElement>,
+    /// Span indices matched by each witness element, parallel to
+    /// `witness`; the decomposition pre-pass uses them to interleave
+    /// per-object witnesses without re-deriving op↦span assignments.
+    pub(crate) witness_sets: Vec<Vec<usize>>,
     /// succs[i] = span indices that span i real-time-precedes.
     succs: Vec<Vec<usize>>,
     /// Number of yet-unmatched predecessors per span.
     pending_preds: Vec<usize>,
-    /// When the search started, for deadline accounting.
+    /// When the search started, for deadline accounting. Parallel workers
+    /// share the driver's start so the deadline is global.
     start: Instant,
     /// Monotone work counter driving periodic interrupt polls.
     ticks: u64,
     /// Set once a deadline/cancellation interrupt fires; makes the whole
     /// recursion wind down without expanding further work.
-    interrupted: Option<InterruptReason>,
+    pub(crate) interrupted: Option<InterruptReason>,
     /// Set when the spec panics inside a guarded call; like `interrupted`
     /// it drains the recursion, and the driver converts it to an error.
-    panicked: Option<String>,
+    pub(crate) panicked: Option<String>,
+    /// Global node counter for parallel searches; when present it replaces
+    /// the private `stats.nodes` in the budget check, so `max_nodes`
+    /// bounds the *total* across workers.
+    shared_nodes: Option<&'a AtomicU64>,
+    /// Early-stop latch for parallel searches: fired by the driver when a
+    /// sibling worker found a witness (or panicked), making every other
+    /// worker wind down. Distinct from the user's [`CheckOptions::cancel`]
+    /// so an internal stop is never mistaken for a user cancellation.
+    stop: Option<&'a CancelToken>,
 }
 
 impl<'a, S: CaSpec> Search<'a, S> {
+    /// Assembles a search over precomputed spans and real-time order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        spans: &'a [Span],
+        spec: &'a S,
+        options: &'a CheckOptions,
+        succs: Vec<Vec<usize>>,
+        pending_preds: Vec<usize>,
+        failed: MemoTable<'a, (BitSet, S::State)>,
+        shared_nodes: Option<&'a AtomicU64>,
+        stop: Option<&'a CancelToken>,
+        start: Instant,
+    ) -> Self {
+        Search {
+            spans,
+            spec,
+            options,
+            stats: CheckStats::default(),
+            failed,
+            exhausted: false,
+            witness: Vec::new(),
+            witness_sets: Vec::new(),
+            succs,
+            pending_preds,
+            start,
+            ticks: 0,
+            interrupted: None,
+            panicked: None,
+            shared_nodes,
+            stop,
+        }
+    }
+
     /// `true` once the search must stop (interrupt already latched, spec
     /// panicked, or a periodic poll observes deadline/cancellation).
     fn should_stop(&mut self) -> bool {
@@ -405,8 +579,30 @@ impl<'a, S: CaSpec> Search<'a, S> {
                     return true;
                 }
             }
+            if let Some(stop) = self.stop {
+                if stop.is_cancelled() {
+                    self.interrupted = Some(InterruptReason::Cancelled);
+                    return true;
+                }
+            }
         }
         false
+    }
+
+    /// Charges one node against the budget (the shared counter when
+    /// present, the private one otherwise) and latches `exhausted` when
+    /// the budget is spent.
+    fn charge_node(&mut self) -> bool {
+        let spent = match self.shared_nodes {
+            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.nodes,
+        };
+        if spent >= self.options.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.stats.nodes += 1;
+        true
     }
 
     /// [`CaSpec::step`] behind `catch_unwind`: a panicking spec reads as
@@ -433,7 +629,7 @@ impl<'a, S: CaSpec> Search<'a, S> {
         }
     }
 
-    fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
+    pub(crate) fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
         // Success: every *complete* operation explained; unmatched pending
         // invocations are dropped by the chosen completion (Def. 2).
         if (0..self.spans.len())
@@ -444,11 +640,9 @@ impl<'a, S: CaSpec> Search<'a, S> {
         if self.should_stop() {
             return false;
         }
-        if self.stats.nodes >= self.options.max_nodes {
-            self.exhausted = true;
+        if !self.charge_node() {
             return false;
         }
-        self.stats.nodes += 1;
         if self.options.memoize && self.failed.contains(&(matched.clone(), state.clone())) {
             self.stats.memo_hits += 1;
             return false;
@@ -581,10 +775,12 @@ impl<'a, S: CaSpec> Search<'a, S> {
                         }
                     }
                     self.witness.push(element);
+                    self.witness_sets.push(subset.to_vec());
                     if self.dfs(matched, &next) {
                         return true;
                     }
                     self.witness.pop();
+                    self.witness_sets.pop();
                     for &i in subset {
                         matched.remove(i);
                         for s in 0..self.succs[i].len() {

@@ -83,6 +83,7 @@ pub mod history;
 pub mod ids;
 pub mod interval;
 pub mod op;
+pub mod par;
 pub mod seqlin;
 pub mod spec;
 pub mod text;

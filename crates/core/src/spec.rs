@@ -99,6 +99,25 @@ pub trait CaSpec {
         }
         true
     }
+
+    /// The specification restricted to a single object, when this
+    /// specification constrains its objects independently (CAL locality).
+    ///
+    /// Contract: if `restrict(o)` returns `Some` for **every** object `o`
+    /// occurring in a trace `T`, then `self` accepts `T` iff each
+    /// `restrict(o)` accepts the projection `T|o`. The parallel checker
+    /// ([`crate::par::check_cal_par_with`]) uses this to check per-object
+    /// subhistories independently; returning `None` for any object forces
+    /// the whole-history search, which is always sound.
+    ///
+    /// The default returns `None` (no decomposition).
+    fn restrict(&self, object: ObjectId) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = object;
+        None
+    }
 }
 
 /// A sequential specification: a prefix-closed set of sequential histories,
@@ -128,6 +147,16 @@ pub trait SeqSpec {
             }
         }
         true
+    }
+
+    /// The specification restricted to a single object; same contract as
+    /// [`CaSpec::restrict`]. The default returns `None`.
+    fn restrict(&self, object: ObjectId) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = object;
+        None
     }
 }
 
@@ -196,6 +225,102 @@ impl<S: SeqSpec> CaSpec for SeqAsCa<S> {
 
     fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
         self.inner.completions_of(inv)
+    }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        self.inner.restrict(object).map(SeqAsCa::new)
+    }
+}
+
+/// A product specification constraining each object independently: object
+/// `o`'s elements are judged by `o`'s part alone, so the composed trace set
+/// is `{T | ∀o. part_o accepts T|o}`.
+///
+/// This is exactly the shape [`CaSpec::restrict`]'s locality contract
+/// describes, so the parallel checker decomposes a `PerObject` check into
+/// independent per-object subchecks. Elements on objects without a part
+/// are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::spec::{CaSpec, PerObject, SeqAsCa};
+/// # use cal_core::spec::{Invocation, SeqSpec};
+/// # use cal_core::{ObjectId, Operation, Value};
+/// #[derive(Debug, Clone)]
+/// struct AnyOp;
+/// impl SeqSpec for AnyOp {
+///     type State = ();
+///     fn initial(&self) {}
+///     fn apply(&self, _: &(), _: &Operation) -> Option<()> { Some(()) }
+///     fn completions_of(&self, _: &Invocation) -> Vec<Value> { vec![] }
+///     fn restrict(&self, _: ObjectId) -> Option<Self> { Some(AnyOp) }
+/// }
+/// let spec = PerObject::new(vec![
+///     (ObjectId(0), SeqAsCa::new(AnyOp)),
+///     (ObjectId(1), SeqAsCa::new(AnyOp)),
+/// ]);
+/// assert!(spec.restrict(ObjectId(1)).is_some());
+/// assert!(spec.restrict(ObjectId(9)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerObject<S> {
+    parts: Vec<(ObjectId, S)>,
+}
+
+impl<S> PerObject<S> {
+    /// Composes per-object parts. Later duplicates of an object id are
+    /// ignored (the first part wins).
+    pub fn new(parts: Vec<(ObjectId, S)>) -> Self {
+        PerObject { parts }
+    }
+
+    /// The per-object parts in composition order.
+    pub fn parts(&self) -> &[(ObjectId, S)] {
+        &self.parts
+    }
+
+    fn position(&self, object: ObjectId) -> Option<usize> {
+        self.parts.iter().position(|(o, _)| *o == object)
+    }
+}
+
+impl<S: CaSpec + Clone> CaSpec for PerObject<S> {
+    type State = Vec<S::State>;
+
+    fn initial(&self) -> Self::State {
+        self.parts.iter().map(|(_, s)| s.initial()).collect()
+    }
+
+    fn step(&self, state: &Self::State, element: &CaElement) -> Option<Self::State> {
+        let k = self.position(element.object())?;
+        let next = self.parts[k].1.step(&state[k], element)?;
+        let mut out = state.clone();
+        out[k] = next;
+        Some(out)
+    }
+
+    fn max_element_size(&self) -> usize {
+        self.parts.iter().map(|(_, s)| s.max_element_size()).max().unwrap_or(1)
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        match self.position(inv.object) {
+            Some(k) => self.parts[k].1.completions_of(inv),
+            None => vec![],
+        }
+    }
+
+    fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+        match self.position(inv.object) {
+            Some(k) => self.parts[k].1.completions_among(inv, peers),
+            None => vec![],
+        }
+    }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        let k = self.position(object)?;
+        Some(PerObject { parts: vec![self.parts[k].clone()] })
     }
 }
 

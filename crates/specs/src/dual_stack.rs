@@ -133,6 +133,10 @@ impl CaSpec for DualStackSpec {
         }
         out
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then_some(*self)
+    }
 }
 
 /// The operation `(t, push(v) ▷ ())` of a dual stack.

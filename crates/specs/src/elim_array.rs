@@ -57,6 +57,10 @@ impl CaSpec for ElimArraySpec {
     fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
         exchange_completions(inv, peers)
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then_some(*self)
+    }
 }
 
 /// The view function `F_AR`: renames CA-elements of the encapsulated

@@ -109,6 +109,10 @@ impl CaSpec for ExchangerSpec {
     fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
         exchange_completions(inv, peers)
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then_some(*self)
+    }
 }
 
 /// Builds the paper's `E.swap(t, v, t', v')` element: `t` exchanges `v` for

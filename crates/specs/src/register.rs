@@ -75,6 +75,10 @@ impl SeqSpec for RegisterSpec {
             _ => Vec::new(),
         }
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then(|| self.clone())
+    }
 }
 
 /// The operation `(t, write(v) ▷ ())`.
@@ -138,6 +142,10 @@ impl SeqSpec for CounterSpec {
         } else {
             Vec::new()
         }
+    }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then(|| self.clone())
     }
 }
 

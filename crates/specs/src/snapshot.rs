@@ -103,6 +103,10 @@ impl CaSpec for ImmediateSnapshotSpec {
     fn completions_of(&self, _inv: &Invocation) -> Vec<Value> {
         Vec::new()
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then_some(*self)
+    }
 }
 
 /// The write-snapshot task of Castañeda et al., as an interval

@@ -136,6 +136,10 @@ impl SeqSpec for StackSpec {
             _ => Vec::new(),
         }
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then(|| self.clone())
+    }
 }
 
 /// The operation `(t, push(v) ▷ true)`.

@@ -110,6 +110,10 @@ impl CaSpec for SyncQueueSpec {
         }
         out
     }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then_some(*self)
+    }
 }
 
 /// Builds the transfer element `Q.{(t, put(v) ▷ true), (t', take() ▷ (true, v))}`.

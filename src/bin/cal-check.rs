@@ -4,20 +4,29 @@
 //! history.
 //!
 //! ```text
-//! Usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>]
+//! Usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]
+//!        cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
-//!                  [--threads <N>] [--ops <N>] [--mode <M>]
-//!                  [--deadline-ms <N>]
+//!                  [--threads <N>] [--check-threads <N>] [--ops <N>]
+//!                  [--mode <M>] [--deadline-ms <N>]
 //!
-//!   SPEC     exchanger | elim-array | sync-queue        (concurrency-aware)
-//!            stack | failing-stack | register | counter (sequential)
+//!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
+//!            stack | failing-stack | register | counter      (sequential)
 //!   FILE     history file, or - for stdin
+//!   DIR      directory of history files, checked concurrently
 //!   PROFILE  light | heavy | starvation
 //!   T        exchanger | buggy-exchanger | treiber-stack | elim-stack |
 //!            dual-stack | sync-queue       (default exchanger)
 //!   M        deterministic | stress        (default deterministic)
 //!
+//! In file mode `--threads` sets the checker's worker threads (the
+//! parallel checker engages above 1); in batch mode it sizes the pool of
+//! files checked concurrently; in chaos mode it sets the *workload*
+//! threads and `--check-threads` the checker's.
+//!
 //! Exit status: 0 = accepted, 1 = rejected, 2 = usage/input/undecided.
+//! In batch mode: 0 = all accepted, 1 = some rejected, 2 = some
+//! undecided or unreadable.
 //! ```
 //!
 //! Example:
@@ -25,19 +34,24 @@
 //! ```bash
 //! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
 //!   | cargo run --bin cal-check -- exchanger - --deadline-ms 500
+//! cargo run --bin cal-check -- exchanger --batch tests/corpus --threads 4
 //! cargo run --bin cal-check -- --chaos heavy --seed 7 --target elim-stack
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
 use cal::chaos::Profile;
 use cal::core::check::{check_cal_with, CheckOptions, Verdict};
-use cal::core::spec::{CaSpec, SeqSpec};
+use cal::core::par::check_cal_par_with;
+use cal::core::spec::{CaSpec, SeqAsCa};
 use cal::core::text::{format_trace, parse_history};
-use cal::core::{seqlin, History, ObjectId};
+use cal::core::{History, ObjectId};
+use cal::specs::dual_stack::DualStackSpec;
 use cal::specs::elim_array::ElimArraySpec;
 use cal::specs::exchanger::ExchangerSpec;
 use cal::specs::register::{CounterSpec, RegisterSpec};
@@ -46,12 +60,15 @@ use cal::specs::sync_queue::SyncQueueSpec;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>]\n\
+        "usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
+         \x20      cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
-         \x20                [--threads <N>] [--ops <N>] [--mode <M>] [--deadline-ms <N>]\n\
+         \x20                [--threads <N>] [--check-threads <N>] [--ops <N>] [--mode <M>]\n\
+         \x20                [--deadline-ms <N>]\n\
          \n\
-         SPEC:    exchanger | elim-array | sync-queue | stack | failing-stack | register | counter\n\
+         SPEC:    exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack | register | counter\n\
          FILE:    history in the cal text format, or - for stdin\n\
+         DIR:     directory of history files, checked concurrently\n\
          PROFILE: light | heavy | starvation\n\
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
          M:       deterministic | stress"
@@ -63,12 +80,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_name = None;
     let mut file = None;
+    let mut batch = None;
     let mut object = None;
     let mut deadline = None;
     let mut chaos_profile = None;
     let mut seed = 0u64;
     let mut target = TargetKind::Exchanger;
     let mut threads = None;
+    let mut check_threads = None;
     let mut ops = None;
     let mut mode = Mode::Deterministic;
     let mut it = args.iter();
@@ -86,6 +105,10 @@ fn main() -> ExitCode {
                 Some(p) => chaos_profile = Some(p),
                 None => return usage(),
             },
+            "--batch" => match it.next() {
+                Some(d) => batch = Some(d.clone()),
+                None => return usage(),
+            },
             "--seed" => match it.next().and_then(|n| parse_seed(n)) {
                 Some(s) => seed = s,
                 None => return usage(),
@@ -96,6 +119,10 @@ fn main() -> ExitCode {
             },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => threads = Some(n),
+                _ => return usage(),
+            },
+            "--check-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => check_threads = Some(n),
                 _ => return usage(),
             },
             "--ops" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
@@ -114,12 +141,15 @@ fn main() -> ExitCode {
     }
 
     if let Some(profile) = chaos_profile {
-        if spec_name.is_some() || file.is_some() {
+        if spec_name.is_some() || file.is_some() || batch.is_some() {
             return usage();
         }
         let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
         if let Some(t) = threads {
             config.threads = t;
+        }
+        if let Some(t) = check_threads {
+            config.check_threads = t;
         }
         if let Some(o) = ops {
             config.ops_per_thread = o;
@@ -130,10 +160,24 @@ fn main() -> ExitCode {
         return run_chaos(&config);
     }
 
-    let (Some(spec_name), Some(file)) = (spec_name, file) else {
+    let Some(spec_name) = spec_name else {
         return usage();
     };
+    if !known_spec(&spec_name) {
+        eprintln!("cal-check: unknown spec {spec_name:?}");
+        return usage();
+    }
 
+    if let Some(dir) = batch {
+        if file.is_some() {
+            return usage();
+        }
+        return run_batch(&spec_name, &dir, object, deadline, threads.unwrap_or(1));
+    }
+
+    let Some(file) = file else {
+        return usage();
+    };
     let input = match read_input(&file) {
         Ok(s) => s,
         Err(e) => {
@@ -141,37 +185,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let history = match parse_history(&input) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("cal-check: parse error: {e}");
-            return ExitCode::from(2);
+    let options = CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
+    match check_input(&spec_name, &input, object, &options) {
+        Checked::Accepted { adjective, witness } => {
+            println!("{adjective}: yes");
+            print!("{witness}");
+            ExitCode::SUCCESS
         }
-    };
-    if let Err(e) = history.validate() {
-        eprintln!("cal-check: ill-formed history: {e}");
-        return ExitCode::from(2);
-    }
-    let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
-    let options = CheckOptions { deadline, ..CheckOptions::default() };
-
-    let accepted = match spec_name.as_str() {
-        "exchanger" => run_ca(&history, &ExchangerSpec::new(object), &options),
-        "elim-array" => run_ca(&history, &ElimArraySpec::new(object), &options),
-        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object), &options),
-        "stack" => run_seq(&history, &StackSpec::total(object), &options),
-        "failing-stack" => run_seq(&history, &StackSpec::failing(object), &options),
-        "register" => run_seq(&history, &RegisterSpec::new(object), &options),
-        "counter" => run_seq(&history, &CounterSpec::new(object), &options),
-        other => {
-            eprintln!("cal-check: unknown spec {other:?}");
-            return usage();
+        Checked::Rejected { adjective } => {
+            println!("{adjective}: NO");
+            ExitCode::from(1)
         }
-    };
-    match accepted {
-        Some(true) => ExitCode::SUCCESS,
-        Some(false) => ExitCode::from(1),
-        None => ExitCode::from(2),
+        Checked::Undecided(why) => {
+            eprintln!("cal-check: undecided — {why}");
+            ExitCode::from(2)
+        }
+        Checked::Error(e) => {
+            eprintln!("cal-check: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -189,9 +221,9 @@ fn parse_seed(s: &str) -> Option<u64> {
 fn run_chaos(config: &RunConfig) -> ExitCode {
     let outcome = run_once(config);
     println!(
-        "chaos run: seed={:#x} target={} threads={} ops/thread={} profile={} mode={}",
+        "chaos run: seed={:#x} target={} threads={} ops/thread={} profile={} mode={} check-threads={}",
         config.seed, config.target, config.threads, config.ops_per_thread, config.profile,
-        config.mode,
+        config.mode, config.check_threads,
     );
     println!("harvested history:");
     for line in outcome.history.to_string().lines() {
@@ -215,44 +247,157 @@ fn read_input(file: &str) -> std::io::Result<String> {
     }
 }
 
-fn run_ca<S: CaSpec>(history: &History, spec: &S, options: &CheckOptions) -> Option<bool> {
-    match check_cal_with(history, spec, options) {
-        Ok(outcome) => report(outcome.verdict, "concurrency-aware linearizable"),
-        Err(e) => {
-            eprintln!("cal-check: {e}");
-            None
+/// One history's check result, renderable in single-file or batch mode.
+enum Checked {
+    Accepted { adjective: &'static str, witness: String },
+    Rejected { adjective: &'static str },
+    Undecided(String),
+    Error(String),
+}
+
+fn known_spec(name: &str) -> bool {
+    matches!(
+        name,
+        "exchanger"
+            | "elim-array"
+            | "sync-queue"
+            | "dual-stack"
+            | "stack"
+            | "failing-stack"
+            | "register"
+            | "counter"
+    )
+}
+
+/// Parses `input` and checks it against the named specification.
+fn check_input(spec_name: &str, input: &str, object: Option<ObjectId>, options: &CheckOptions) -> Checked {
+    let history = match parse_history(input) {
+        Ok(h) => h,
+        Err(e) => return Checked::Error(format!("parse error: {e}")),
+    };
+    if let Err(e) = history.validate() {
+        return Checked::Error(format!("ill-formed history: {e}"));
+    }
+    let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
+    match spec_name {
+        "exchanger" => run_ca(&history, &ExchangerSpec::new(object), options, "concurrency-aware linearizable"),
+        "elim-array" => run_ca(&history, &ElimArraySpec::new(object), options, "concurrency-aware linearizable"),
+        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object), options, "concurrency-aware linearizable"),
+        "dual-stack" => run_ca(&history, &DualStackSpec::with_timeouts(object), options, "concurrency-aware linearizable"),
+        "stack" => run_ca(&history, &SeqAsCa::new(StackSpec::total(object)), options, "linearizable"),
+        "failing-stack" => {
+            run_ca(&history, &SeqAsCa::new(StackSpec::failing(object)), options, "linearizable")
         }
+        "register" => run_ca(&history, &SeqAsCa::new(RegisterSpec::new(object)), options, "linearizable"),
+        "counter" => run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), options, "linearizable"),
+        other => Checked::Error(format!("unknown spec {other:?}")),
     }
 }
 
-fn run_seq<S: SeqSpec>(history: &History, spec: &S, options: &CheckOptions) -> Option<bool> {
-    match seqlin::check_linearizable_with(history, spec, options) {
-        Ok(outcome) => report(outcome.verdict, "linearizable"),
-        Err(e) => {
-            eprintln!("cal-check: {e}");
-            None
-        }
+/// Dispatches to the sequential or parallel checker per
+/// [`CheckOptions::threads`].
+fn run_ca<S>(history: &History, spec: &S, options: &CheckOptions, adjective: &'static str) -> Checked
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let result = if options.threads > 1 {
+        check_cal_par_with(history, spec, options)
+    } else {
+        check_cal_with(history, spec, options)
+    };
+    match result {
+        Ok(outcome) => match outcome.verdict {
+            Verdict::Cal(witness) => {
+                Checked::Accepted { adjective, witness: format_trace(&witness) }
+            }
+            Verdict::NotCal => Checked::Rejected { adjective },
+            Verdict::ResourcesExhausted => {
+                Checked::Undecided("node budget exhausted".to_string())
+            }
+            Verdict::Interrupted { reason } => {
+                Checked::Undecided(format!("interrupted ({reason})"))
+            }
+        },
+        Err(e) => Checked::Error(e.to_string()),
     }
 }
 
-fn report(verdict: Verdict, adjective: &str) -> Option<bool> {
-    match verdict {
-        Verdict::Cal(witness) => {
-            println!("{adjective}: yes");
-            print!("{}", format_trace(&witness));
-            Some(true)
+/// Checks every regular file under `dir` against the named specification,
+/// spreading files across `threads` workers (each file is checked with a
+/// single-threaded search — the parallelism is across files).
+fn run_batch(
+    spec_name: &str,
+    dir: &str,
+    object: Option<ObjectId>,
+    deadline: Option<Duration>,
+    threads: usize,
+) -> ExitCode {
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect(),
+        Err(e) => {
+            eprintln!("cal-check: cannot read directory {dir}: {e}");
+            return ExitCode::from(2);
         }
-        Verdict::NotCal => {
-            println!("{adjective}: NO");
-            Some(false)
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("cal-check: no files in {dir}");
+        return ExitCode::from(2);
+    }
+    let options = CheckOptions { deadline, threads: 1, ..CheckOptions::default() };
+    let results: Mutex<Vec<Option<Checked>>> = Mutex::new((0..files.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = threads.max(1).min(files.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(path) = files.get(idx) else { break };
+                let checked = match std::fs::read_to_string(path) {
+                    Ok(input) => check_input(spec_name, &input, object, &options),
+                    Err(e) => Checked::Error(format!("cannot read: {e}")),
+                };
+                results.lock().unwrap()[idx] = Some(checked);
+            });
         }
-        Verdict::ResourcesExhausted => {
-            eprintln!("cal-check: undecided — node budget exhausted");
-            None
+    });
+    let mut rejected = 0usize;
+    let mut undecided = 0usize;
+    let results = results.into_inner().unwrap();
+    for (path, checked) in files.iter().zip(results) {
+        let name = path.display();
+        match checked.expect("every file was checked") {
+            Checked::Accepted { adjective, .. } => println!("{name}: {adjective}: yes"),
+            Checked::Rejected { adjective } => {
+                println!("{name}: {adjective}: NO");
+                rejected += 1;
+            }
+            Checked::Undecided(why) => {
+                println!("{name}: undecided — {why}");
+                undecided += 1;
+            }
+            Checked::Error(e) => {
+                println!("{name}: error — {e}");
+                undecided += 1;
+            }
         }
-        Verdict::Interrupted { reason } => {
-            eprintln!("cal-check: undecided — interrupted ({reason})");
-            None
-        }
+    }
+    println!(
+        "batch: {} files, {} rejected, {} undecided/error",
+        files.len(),
+        rejected,
+        undecided
+    );
+    if undecided > 0 {
+        ExitCode::from(2)
+    } else if rejected > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! Usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]
-//!                   [--threads <N>] [--ops <N>] [--profile <P>]
-//!                   [--mode <M>] [--deadline-ms <N>]
+//!                   [--threads <N>] [--check-threads <N>] [--ops <N>]
+//!                   [--profile <P>] [--mode <M>] [--deadline-ms <N>]
 //!
 //!   T  exchanger | buggy-exchanger | treiber-stack | elim-stack |
 //!      dual-stack | sync-queue | all            (default all)
@@ -14,6 +14,10 @@
 //!
 //! `all` soaks every target except the deliberately broken
 //! buggy-exchanger, splitting the time budget evenly.
+//!
+//! `--threads` sizes the *workload*; `--check-threads` sizes the CAL
+//! checker run on each harvested history (> 1 engages the parallel
+//! checker).
 //!
 //! Exit status: 0 = every run passed, 1 = a failure was found (reproducer
 //! printed), 2 = usage error.
@@ -35,8 +39,8 @@ use cal::chaos::Profile;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]\n\
-         \x20                 [--threads <N>] [--ops <N>] [--profile <P>] [--mode <M>]\n\
-         \x20                 [--deadline-ms <N>]\n\
+         \x20                 [--threads <N>] [--check-threads <N>] [--ops <N>]\n\
+         \x20                 [--profile <P>] [--mode <M>] [--deadline-ms <N>]\n\
          \n\
          T: exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue | all\n\
          P: light | heavy | starvation\n\
@@ -71,6 +75,10 @@ fn main() -> ExitCode {
             },
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => config.threads = n,
+                _ => return usage(),
+            },
+            "--check-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => config.check_threads = n,
                 _ => return usage(),
             },
             "--ops" => match it.next().and_then(|n| n.parse::<usize>().ok()) {

@@ -32,7 +32,7 @@ fn hard_options(deadline: Duration) -> CheckOptions {
         max_nodes: u64::MAX,
         memoize: false,
         deadline: Some(deadline),
-        cancel: None,
+        ..CheckOptions::default()
     }
 }
 
@@ -104,8 +104,7 @@ fn node_budget_exhaustion_is_a_result_not_a_panic() {
     let options = CheckOptions {
         max_nodes: 10_000,
         memoize: false,
-        deadline: None,
-        cancel: None,
+        ..CheckOptions::default()
     };
     let outcome = check_cal_with(&history, &spec, &options).expect("exhaustion is an outcome");
     assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));

@@ -1,0 +1,142 @@
+//! Golden verdict corpus: every fixture under `tests/corpus/` carries a
+//! `# spec:` and `# expect:` header; this test parses each history, runs
+//! the sequential checker and the parallel checker at 1, 2 and 8
+//! threads, and asserts the verdict matches the recorded expectation
+//! (validating the witness whenever the verdict is CAL).
+
+use std::fs;
+use std::path::PathBuf;
+
+use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
+use cal::core::par::check_cal_par_with;
+use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
+use cal::core::text::parse_history;
+use cal::core::{History, ObjectId};
+use cal::specs::dual_stack::DualStackSpec;
+use cal::specs::elim_array::ElimArraySpec;
+use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::stack::StackSpec;
+use cal::specs::sync_queue::SyncQueueSpec;
+
+const O: ObjectId = ObjectId(0);
+const O1: ObjectId = ObjectId(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Cal,
+    NotCal,
+}
+
+struct Fixture {
+    name: String,
+    spec: String,
+    expect: Expect,
+    history: History,
+}
+
+fn load_corpus() -> Vec<Fixture> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut fixtures = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hist"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let mut spec = None;
+        let mut expect = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# spec:") {
+                spec = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("# expect:") {
+                expect = Some(match rest.trim() {
+                    "cal" => Expect::Cal,
+                    "not-cal" => Expect::NotCal,
+                    other => panic!("{name}: unknown expectation {other:?}"),
+                });
+            }
+        }
+        let history =
+            parse_history(&text).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        fixtures.push(Fixture {
+            spec: spec.unwrap_or_else(|| panic!("{name}: missing `# spec:` header")),
+            expect: expect.unwrap_or_else(|| panic!("{name}: missing `# expect:` header")),
+            name,
+            history,
+        });
+    }
+    fixtures
+}
+
+/// Runs one fixture against `spec`, sequentially and in parallel.
+fn run_fixture<S>(fx: &Fixture, spec: &S)
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let check = |label: &str, verdict: &Verdict| match (fx.expect, verdict) {
+        (Expect::Cal, Verdict::Cal(w)) => {
+            assert!(
+                witness_explains(&fx.history, spec, w),
+                "{}: {label} produced an invalid witness {w}",
+                fx.name
+            );
+        }
+        (Expect::NotCal, Verdict::NotCal) => {}
+        (want, got) => panic!("{}: {label} returned {got:?}, expected {want:?}", fx.name),
+    };
+    let options = CheckOptions::default();
+    let seq = check_cal_with(&fx.history, spec, &options)
+        .unwrap_or_else(|e| panic!("{}: sequential checker errored: {e}", fx.name));
+    check("sequential", &seq.verdict);
+    for threads in [1usize, 2, 8] {
+        let par_options = CheckOptions { threads, ..CheckOptions::default() };
+        let par = check_cal_par_with(&fx.history, spec, &par_options)
+            .unwrap_or_else(|e| panic!("{}: parallel checker errored: {e}", fx.name));
+        check(&format!("parallel({threads})"), &par.verdict);
+    }
+}
+
+fn dispatch(fx: &Fixture) {
+    match fx.spec.as_str() {
+        "exchanger" => run_fixture(fx, &ExchangerSpec::new(O)),
+        "elim-array" => run_fixture(fx, &ElimArraySpec::new(O)),
+        "sync-queue" => run_fixture(fx, &SyncQueueSpec::new(O)),
+        "dual-stack" => run_fixture(fx, &DualStackSpec::with_timeouts(O)),
+        "stack" => run_fixture(fx, &SeqAsCa::new(StackSpec::total(O))),
+        "register" => run_fixture(fx, &SeqAsCa::new(RegisterSpec::new(O))),
+        "counter" => run_fixture(fx, &SeqAsCa::new(CounterSpec::new(O))),
+        "two-exchangers" => run_fixture(
+            fx,
+            &PerObject::new(vec![(O, ExchangerSpec::new(O)), (O1, ExchangerSpec::new(O1))]),
+        ),
+        other => panic!("{}: no spec named {other:?}", fx.name),
+    }
+}
+
+#[test]
+fn corpus_verdicts_match_golden_expectations() {
+    let fixtures = load_corpus();
+    assert!(
+        fixtures.len() >= 20,
+        "corpus shrank to {} fixtures; expected at least 20",
+        fixtures.len()
+    );
+    for fx in &fixtures {
+        dispatch(fx);
+    }
+}
+
+#[test]
+fn corpus_covers_both_verdict_classes_per_spec_family() {
+    // Guard against a corpus that only exercises one side of a spec:
+    // the exchanger family must have both CAL and not-CAL fixtures.
+    let fixtures = load_corpus();
+    let cal = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::Cal);
+    let not = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::NotCal);
+    assert!(cal && not, "exchanger fixtures must cover both verdicts");
+}

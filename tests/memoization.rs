@@ -1,0 +1,102 @@
+//! Memoization behaviour of the CAL checker, sequential and parallel:
+//! the failed-state memo table must actually fire on backtracking-heavy
+//! histories, and turning it off must never change a verdict.
+
+use cal::core::check::{check_cal_with, CheckOptions, Verdict};
+use cal::core::par::check_cal_par_with;
+use cal::core::{Action, History, Method, ObjectId, ThreadId, Value};
+use cal::specs::exchanger::ExchangerSpec;
+
+const O: ObjectId = ObjectId(0);
+
+/// `k` pairwise-concurrent identical successful exchanges. For odd `k`
+/// one operation is always left unmatched, so every maximal matching
+/// fails and the DFS revisits the same residue states exponentially
+/// often — the adversarial case the memo table exists for.
+fn hard_history(k: u32) -> History {
+    let mut actions = Vec::new();
+    for t in 0..k {
+        actions.push(Action::invoke(ThreadId(t), O, Method("exchange"), Value::Int(1)));
+    }
+    for t in 0..k {
+        actions.push(Action::response(ThreadId(t), O, Method("exchange"), Value::Pair(true, 1)));
+    }
+    History::from_actions(actions)
+}
+
+#[test]
+fn memo_fires_on_backtracking_heavy_history() {
+    let h = hard_history(7);
+    let spec = ExchangerSpec::new(O);
+    let out = check_cal_with(&h, &spec, &CheckOptions::default()).unwrap();
+    assert!(matches!(out.verdict, Verdict::NotCal));
+    assert!(
+        out.stats.memo_hits > 0,
+        "expected memo hits on the adversarial history, stats: {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn memo_fires_in_the_parallel_checker_too() {
+    let h = hard_history(7);
+    let spec = ExchangerSpec::new(O);
+    let options = CheckOptions { threads: 4, ..CheckOptions::default() };
+    let out = check_cal_par_with(&h, &spec, &options).unwrap();
+    assert!(matches!(out.verdict, Verdict::NotCal));
+    assert!(
+        out.stats.memo_hits > 0,
+        "expected shared-memo hits across workers, stats: {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn disabling_memoization_never_changes_the_verdict() {
+    let spec = ExchangerSpec::new(O);
+    for k in [1u32, 2, 3, 5, 7] {
+        let h = hard_history(k);
+        let on = CheckOptions::default();
+        let off = CheckOptions { memoize: false, ..CheckOptions::default() };
+        let with_memo = check_cal_with(&h, &spec, &on).unwrap();
+        let without = check_cal_with(&h, &spec, &off).unwrap();
+        assert_eq!(
+            matches!(with_memo.verdict, Verdict::Cal(_)),
+            matches!(without.verdict, Verdict::Cal(_)),
+            "k={k}: memoize on/off diverged sequentially"
+        );
+        for threads in [2usize, 8] {
+            let par_on = CheckOptions { threads, ..CheckOptions::default() };
+            let par_off = CheckOptions { threads, memoize: false, ..CheckOptions::default() };
+            let p_with = check_cal_par_with(&h, &spec, &par_on).unwrap();
+            let p_without = check_cal_par_with(&h, &spec, &par_off).unwrap();
+            assert_eq!(
+                matches!(with_memo.verdict, Verdict::Cal(_)),
+                matches!(p_with.verdict, Verdict::Cal(_)),
+                "k={k}, threads={threads}: parallel verdict diverged from sequential"
+            );
+            assert_eq!(
+                matches!(p_with.verdict, Verdict::Cal(_)),
+                matches!(p_without.verdict, Verdict::Cal(_)),
+                "k={k}, threads={threads}: memoize on/off diverged in parallel"
+            );
+        }
+    }
+}
+
+#[test]
+fn memoization_saves_work() {
+    // Not a performance test per se, but the memo table should strictly
+    // reduce explored nodes on the adversarial history.
+    let h = hard_history(7);
+    let spec = ExchangerSpec::new(O);
+    let on = check_cal_with(&h, &spec, &CheckOptions::default()).unwrap();
+    let off_options = CheckOptions { memoize: false, ..CheckOptions::default() };
+    let off = check_cal_with(&h, &spec, &off_options).unwrap();
+    assert!(
+        on.stats.nodes < off.stats.nodes,
+        "memoized search explored {} nodes, unmemoized {}",
+        on.stats.nodes,
+        off.stats.nodes
+    );
+}

@@ -1,0 +1,211 @@
+//! Differential testing of the parallel checker against the sequential
+//! one: for arbitrary generated histories and every specification in
+//! `cal-specs`, `check_cal_par_with` at 1, 2 and 8 threads must return
+//! the same verdict as `check_cal_with` — and, when the verdict is CAL,
+//! a witness the sequential machinery validates ([`witness_explains`]).
+
+use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
+use cal::core::gen::interleave;
+use cal::core::par::check_cal_par_with;
+use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
+use cal::core::{Action, History, Method, ObjectId, ThreadId, Value};
+use cal::specs::dual_stack::DualStackSpec;
+use cal::specs::elim_array::ElimArraySpec;
+use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::stack::StackSpec;
+use cal::specs::sync_queue::SyncQueueSpec;
+use proptest::prelude::*;
+
+const O: ObjectId = ObjectId(0);
+const O2: ObjectId = ObjectId(1);
+
+/// One generated operation: method, argument, return value, and whether
+/// the response is recorded (the last op of a thread may stay pending).
+type OpShape = (Method, Value, Value, bool);
+
+fn arb_exchange_op() -> BoxedStrategy<OpShape> {
+    (0i64..3, any::<bool>(), 0i64..3, any::<bool>())
+        .prop_map(|(arg, ok, got, complete)| {
+            (Method("exchange"), Value::Int(arg), Value::Pair(ok, got), complete)
+        })
+        .boxed()
+}
+
+fn arb_stack_op() -> BoxedStrategy<OpShape> {
+    prop_oneof![
+        (0i64..3, any::<bool>(), any::<bool>())
+            .prop_map(|(v, ok, c)| (Method("push"), Value::Int(v), Value::Bool(ok), c)),
+        (any::<bool>(), 0i64..3, any::<bool>())
+            .prop_map(|(ok, v, c)| (Method("pop"), Value::Unit, Value::Pair(ok, v), c)),
+    ]
+    .boxed()
+}
+
+fn arb_queue_op() -> BoxedStrategy<OpShape> {
+    prop_oneof![
+        (0i64..3, any::<bool>(), any::<bool>())
+            .prop_map(|(v, ok, c)| (Method("put"), Value::Int(v), Value::Bool(ok), c)),
+        (any::<bool>(), 0i64..3, any::<bool>())
+            .prop_map(|(ok, v, c)| (Method("take"), Value::Unit, Value::Pair(ok, v), c)),
+    ]
+    .boxed()
+}
+
+fn arb_dual_op() -> BoxedStrategy<OpShape> {
+    prop_oneof![
+        (0i64..3, any::<bool>())
+            .prop_map(|(v, c)| (Method("push"), Value::Int(v), Value::Unit, c)),
+        (0i64..3, any::<bool>())
+            .prop_map(|(v, c)| (Method("pop"), Value::Unit, Value::Int(v), c)),
+    ]
+    .boxed()
+}
+
+fn arb_register_op() -> BoxedStrategy<OpShape> {
+    prop_oneof![
+        (0i64..3, any::<bool>())
+            .prop_map(|(v, c)| (Method("write"), Value::Int(v), Value::Unit, c)),
+        (0i64..3, any::<bool>())
+            .prop_map(|(v, c)| (Method("read"), Value::Unit, Value::Int(v), c)),
+    ]
+    .boxed()
+}
+
+fn arb_counter_op() -> BoxedStrategy<OpShape> {
+    (0i64..4, any::<bool>())
+        .prop_map(|(n, c)| (Method("inc"), Value::Unit, Value::Int(n), c))
+        .boxed()
+}
+
+/// Builds a history: up to 3 threads × up to 3 ops, interleaved by seed.
+/// `objects` maps each op to an object round-robin (1 = single-object).
+fn build_history(threads: Vec<Vec<OpShape>>, seed: u64, objects: usize) -> History {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let lists: Vec<Vec<Action>> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(t, ops)| {
+            let mut out = Vec::new();
+            let n = ops.len();
+            for (i, (m, arg, ret, complete)) in ops.into_iter().enumerate() {
+                let obj = if objects > 1 { ObjectId((i % objects) as u32) } else { O };
+                out.push(Action::invoke(ThreadId(t as u32), obj, m, arg));
+                // Only the final op of a thread may stay pending.
+                if complete || i + 1 < n {
+                    out.push(Action::response(ThreadId(t as u32), obj, m, ret));
+                }
+            }
+            out
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    interleave(&lists, &mut rng)
+}
+
+fn history_of(
+    op: impl Strategy<Value = OpShape>,
+    objects: usize,
+) -> impl Strategy<Value = History> {
+    (
+        prop::collection::vec(prop::collection::vec(op, 0..4), 1..4),
+        any::<u64>(),
+    )
+        .prop_map(move |(threads, seed)| build_history(threads, seed, objects))
+}
+
+/// The core oracle: sequential and parallel checks agree on `h`, and
+/// parallel CAL witnesses explain `h`. Panics on divergence.
+fn assert_equivalent<S>(h: &History, spec: &S)
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let options = CheckOptions::default();
+    let seq = check_cal_with(h, spec, &options);
+    for threads in [1usize, 2, 8] {
+        let par_options = CheckOptions { threads, ..CheckOptions::default() };
+        let par = check_cal_par_with(h, spec, &par_options);
+        match (&seq, &par) {
+            (Ok(s), Ok(p)) => match (&s.verdict, &p.verdict) {
+                (Verdict::Cal(_), Verdict::Cal(w)) => {
+                    assert!(
+                        witness_explains(h, spec, w),
+                        "threads={threads}: parallel witness not validated\nhistory:\n{h}\nwitness: {w}"
+                    );
+                }
+                (Verdict::NotCal, Verdict::NotCal) => {}
+                (a, b) => {
+                    panic!("threads={threads}: sequential {a:?} vs parallel {b:?}\nhistory:\n{h}")
+                }
+            },
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => {
+                panic!("threads={threads}: sequential {a:?} vs parallel {b:?}\nhistory:\n{h}")
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exchanger_parallel_equivalent(h in history_of(arb_exchange_op(), 1)) {
+        assert_equivalent(&h, &ExchangerSpec::new(O));
+    }
+
+    #[test]
+    fn elim_array_parallel_equivalent(h in history_of(arb_exchange_op(), 1)) {
+        assert_equivalent(&h, &ElimArraySpec::new(O));
+    }
+
+    #[test]
+    fn sync_queue_parallel_equivalent(h in history_of(arb_queue_op(), 1)) {
+        assert_equivalent(&h, &SyncQueueSpec::new(O));
+    }
+
+    #[test]
+    fn dual_stack_parallel_equivalent(h in history_of(arb_dual_op(), 1)) {
+        assert_equivalent(&h, &DualStackSpec::with_timeouts(O));
+    }
+
+    #[test]
+    fn stack_parallel_equivalent(h in history_of(arb_stack_op(), 1)) {
+        let spec = SeqAsCa::new(StackSpec::failing(O).with_pop_universe(vec![0, 1, 2]));
+        assert_equivalent(&h, &spec);
+    }
+
+    #[test]
+    fn register_parallel_equivalent(h in history_of(arb_register_op(), 1)) {
+        let spec = SeqAsCa::new(RegisterSpec::new(O).with_read_universe(vec![0, 1, 2]));
+        assert_equivalent(&h, &spec);
+    }
+
+    #[test]
+    fn counter_parallel_equivalent(h in history_of(arb_counter_op(), 1)) {
+        assert_equivalent(&h, &SeqAsCa::new(CounterSpec::new(O)));
+    }
+
+    #[test]
+    fn multi_object_decomposition_equivalent(h in history_of(arb_exchange_op(), 2)) {
+        // Two independent exchangers: the parallel checker takes the
+        // per-object decomposition path, the sequential one does not —
+        // exactly the asymmetry this differential test targets.
+        let spec = PerObject::new(vec![
+            (O, ExchangerSpec::new(O)),
+            (O2, ExchangerSpec::new(O2)),
+        ]);
+        assert_equivalent(&h, &spec);
+    }
+
+    #[test]
+    fn multi_object_registers_equivalent(h in history_of(arb_register_op(), 2)) {
+        let spec = PerObject::new(vec![
+            (O, SeqAsCa::new(RegisterSpec::new(O).with_read_universe(vec![0, 1, 2]))),
+            (O2, SeqAsCa::new(RegisterSpec::new(O2).with_read_universe(vec![0, 1, 2]))),
+        ]);
+        assert_equivalent(&h, &spec);
+    }
+}
