@@ -23,10 +23,12 @@
 //!
 //! Writes `BENCH_checker.json` at the workspace root.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cal_core::check::{check_cal_with, CheckOptions, Verdict};
 use cal_core::gen::render_loose;
+use cal_core::obs::{CountingSink, StatsSink};
 use cal_core::par::check_cal_par_with;
 use cal_core::spec::{CaSpec, PerObject, SeqAsCa};
 use cal_core::{Action, History, ObjectId, ThreadId, Value};
@@ -151,17 +153,40 @@ struct Series {
     seq_ms: f64,
     par_ms: f64,
     speedup: f64,
+    /// [`cal_core::obs::SearchReport`] JSON from one instrumented
+    /// (untimed) run of the parallel arm — search shape, not wall-clock.
+    stats: String,
 }
 
 impl Series {
-    fn new(name: &'static str, seq: Duration, par: Duration) -> Self {
+    fn new(name: &'static str, seq: Duration, par: Duration, stats: String) -> Self {
         Series {
             name,
             seq_ms: seq.as_secs_f64() * 1e3,
             par_ms: par.as_secs_f64() * 1e3,
             speedup: seq.as_secs_f64() / par.as_secs_f64(),
+            stats,
         }
     }
+}
+
+/// One extra parallel run with a [`CountingSink`] attached, outside the
+/// timed samples so instrumentation cannot skew the medians. Returns the
+/// resulting [`cal_core::obs::SearchReport`] as a JSON object.
+fn instrumented_stats<S>(h: &History, spec: &S, threads: usize) -> String
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let sink = Arc::new(CountingSink::new());
+    let options = CheckOptions {
+        threads,
+        sink: Some(Arc::clone(&sink) as Arc<dyn StatsSink>),
+        ..CheckOptions::default()
+    };
+    let start = Instant::now();
+    let out = check_cal_par_with(h, spec, &options).expect("instrumented run");
+    sink.report(&out, &options, start.elapsed()).to_json()
 }
 
 /// A sequential decomposed checker: each subhistory in object order,
@@ -191,7 +216,7 @@ fn bench_refute_last() -> Series {
         assert!(matches!(out.verdict, Verdict::NotCal));
     });
 
-    Series::new("decompose/refute-last-stacks", seq, par)
+    Series::new("decompose/refute-last-stacks", seq, par, instrumented_stats(&h, &spec, THREADS))
 }
 
 fn bench_all_cal() -> Series {
@@ -206,7 +231,7 @@ fn bench_all_cal() -> Series {
         assert!(matches!(out.verdict, Verdict::Cal(_)));
     });
 
-    Series::new("decompose/all-cal", seq, par)
+    Series::new("decompose/all-cal", seq, par, instrumented_stats(&h, &spec, THREADS))
 }
 
 fn bench_frontier() -> Series {
@@ -225,7 +250,7 @@ fn bench_frontier() -> Series {
         assert!(matches!(out.verdict, Verdict::NotCal));
     });
 
-    Series::new("frontier/hard-11", seq, par)
+    Series::new("frontier/hard-11", seq, par, instrumented_stats(&h, &spec, THREADS))
 }
 
 fn main() {
@@ -237,11 +262,12 @@ fn main() {
     json.push_str("  \"series\": [\n");
     for (i, s) in series.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3}, \"stats\": {}}}{}\n",
             s.name,
             s.seq_ms,
             s.par_ms,
             s.speedup,
+            s.stats,
             if i + 1 < series.len() { "," } else { "" }
         ));
     }

@@ -174,6 +174,7 @@ impl RunConfig {
             deadline: self.deadline,
             cancel: None,
             threads: self.check_threads,
+            sink: None,
         }
     }
 }
@@ -473,6 +474,19 @@ pub enum SoakResult {
 /// elapses or a run fails. A failure is re-run and greedily shrunk to a
 /// minimal reproducer (same seed, smaller workload).
 pub fn soak(config: &RunConfig, budget: Duration) -> SoakResult {
+    soak_with(config, budget, |_, _| {})
+}
+
+/// Like [`soak`], invoking `on_run` after every completed run with the
+/// run's outcome and the wall-clock elapsed since the soak started —
+/// the hook the `chaos-soak` binary hangs its progress lines and
+/// per-seed search-statistics aggregation on. The failing run (if any)
+/// is observed before shrinking begins.
+pub fn soak_with(
+    config: &RunConfig,
+    budget: Duration,
+    mut on_run: impl FnMut(&RunOutcome, Duration),
+) -> SoakResult {
     let start = Instant::now();
     let mut runs = 0u64;
     loop {
@@ -480,6 +494,7 @@ pub fn soak(config: &RunConfig, budget: Duration) -> SoakResult {
         cfg.seed = config.seed.wrapping_add(runs);
         let outcome = run_once(&cfg);
         runs += 1;
+        on_run(&outcome, start.elapsed());
         if let Some(class) = outcome.verdict.class() {
             let report = shrink::shrink_failure(outcome, class);
             return SoakResult::Failed { runs, report };

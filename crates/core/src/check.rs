@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use crate::bitset::BitSet;
 use crate::history::{History, HistoryError, Span};
+use crate::obs::StatsSink;
 use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
 use crate::trace::{CaElement, CaTrace};
@@ -55,7 +56,24 @@ impl CancelToken {
 }
 
 /// Tuning knobs for the CAL search.
-#[derive(Debug, Clone)]
+///
+/// # Examples
+///
+/// Options compose via struct update syntax from [`CheckOptions::default`]:
+///
+/// ```
+/// use std::time::Duration;
+/// use cal_core::check::CheckOptions;
+///
+/// let options = CheckOptions {
+///     max_nodes: 100_000,
+///     threads: 4,
+///     ..CheckOptions::with_deadline(Duration::from_secs(5))
+/// };
+/// assert_eq!(options.max_nodes, 100_000);
+/// assert!(options.memoize); // on by default
+/// ```
+#[derive(Clone)]
 pub struct CheckOptions {
     /// Maximum number of search nodes to expand before giving up with
     /// [`Verdict::ResourcesExhausted`].
@@ -75,6 +93,24 @@ pub struct CheckOptions {
     /// ([`crate::par::check_cal_par_with`]). The sequential entry points
     /// ([`check_cal`], [`check_cal_with`]) ignore it. Defaults to 1.
     pub threads: usize,
+    /// Observability sink the search reports events to
+    /// ([`crate::obs::StatsSink`]). `None` (the default) disables
+    /// observability entirely: each instrumentation point reduces to one
+    /// never-taken branch, no allocation, no atomics.
+    pub sink: Option<Arc<dyn StatsSink>>,
+}
+
+impl fmt::Debug for CheckOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckOptions")
+            .field("max_nodes", &self.max_nodes)
+            .field("memoize", &self.memoize)
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("threads", &self.threads)
+            .field("sink", &self.sink.as_ref().map(|_| "StatsSink"))
+            .finish()
+    }
 }
 
 impl CheckOptions {
@@ -102,6 +138,7 @@ impl Default for CheckOptions {
             deadline: None,
             cancel: None,
             threads: 1,
+            sink: None,
         }
     }
 }
@@ -125,6 +162,22 @@ impl fmt::Display for InterruptReason {
 }
 
 /// The outcome of a CAL membership check.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::check::{InterruptReason, Verdict};
+/// use cal_core::trace::CaTrace;
+///
+/// let cal = Verdict::Cal(CaTrace::new());
+/// assert!(cal.is_cal() && !cal.is_undecided());
+/// assert!(cal.witness().is_some());
+///
+/// // Budget and interrupt outcomes are undecided, not refutations.
+/// let timed_out = Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded };
+/// assert!(timed_out.is_undecided());
+/// assert_eq!(Verdict::NotCal.witness(), None);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// The history is CA-linearizable; the witness trace is attached.
@@ -468,6 +521,15 @@ pub(crate) enum MemoTable<'m, K: Eq + Hash> {
 }
 
 impl<K: Eq + Hash> MemoTable<'_, K> {
+    /// The shard `key` lives in, for per-shard memo attribution: always 0
+    /// for the private table, the stripe index for the shared one.
+    fn shard_of(&self, key: &K) -> usize {
+        match self {
+            MemoTable::Local(_) => 0,
+            MemoTable::Shared(memo) => memo.shard_index(key),
+        }
+    }
+
     fn contains(&self, key: &K) -> bool {
         match self {
             MemoTable::Local(set) => set.contains(key),
@@ -523,6 +585,10 @@ pub(crate) struct Search<'a, S: CaSpec> {
     /// worker wind down. Distinct from the user's [`CheckOptions::cancel`]
     /// so an internal stop is never mistaken for a user cancellation.
     stop: Option<&'a CancelToken>,
+    /// The observability sink from [`CheckOptions::sink`], pre-derefed so
+    /// the hot path branches on a thin `Option` instead of unwrapping an
+    /// `Arc` per event.
+    sink: Option<&'a dyn StatsSink>,
 }
 
 impl<'a, S: CaSpec> Search<'a, S> {
@@ -556,6 +622,7 @@ impl<'a, S: CaSpec> Search<'a, S> {
             panicked: None,
             shared_nodes,
             stop,
+            sink: options.sink.as_deref(),
         }
     }
 
@@ -569,24 +636,30 @@ impl<'a, S: CaSpec> Search<'a, S> {
         if self.ticks & POLL_INTERVAL_MASK == 0 {
             if let Some(deadline) = self.options.deadline {
                 if self.start.elapsed() >= deadline {
-                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
-                    return true;
+                    return self.latch_interrupt(InterruptReason::DeadlineExceeded);
                 }
             }
             if let Some(cancel) = &self.options.cancel {
                 if cancel.is_cancelled() {
-                    self.interrupted = Some(InterruptReason::Cancelled);
-                    return true;
+                    return self.latch_interrupt(InterruptReason::Cancelled);
                 }
             }
             if let Some(stop) = self.stop {
                 if stop.is_cancelled() {
-                    self.interrupted = Some(InterruptReason::Cancelled);
-                    return true;
+                    return self.latch_interrupt(InterruptReason::Cancelled);
                 }
             }
         }
         false
+    }
+
+    /// Latches `reason`, reports it to the sink, and returns `true`.
+    fn latch_interrupt(&mut self, reason: InterruptReason) -> bool {
+        self.interrupted = Some(reason);
+        if let Some(sink) = self.sink {
+            sink.on_interrupt(reason);
+        }
+        true
     }
 
     /// Charges one node against the budget (the shared counter when
@@ -598,10 +671,18 @@ impl<'a, S: CaSpec> Search<'a, S> {
             None => self.stats.nodes,
         };
         if spent >= self.options.max_nodes {
+            if !self.exhausted {
+                if let Some(sink) = self.sink {
+                    sink.on_budget_exhausted(self.options.max_nodes);
+                }
+            }
             self.exhausted = true;
             return false;
         }
         self.stats.nodes += 1;
+        if let Some(sink) = self.sink {
+            sink.on_node();
+        }
         true
     }
 
@@ -643,9 +724,18 @@ impl<'a, S: CaSpec> Search<'a, S> {
         if !self.charge_node() {
             return false;
         }
-        if self.options.memoize && self.failed.contains(&(matched.clone(), state.clone())) {
-            self.stats.memo_hits += 1;
-            return false;
+        if self.options.memoize {
+            let key = (matched.clone(), state.clone());
+            if self.failed.contains(&key) {
+                self.stats.memo_hits += 1;
+                if let Some(sink) = self.sink {
+                    sink.on_memo_hit(self.failed.shard_of(&key));
+                }
+                return false;
+            }
+            if let Some(sink) = self.sink {
+                sink.on_memo_miss(self.failed.shard_of(&key));
+            }
         }
 
         // Minimal operations: unmatched, with every ≺H-predecessor matched
@@ -653,6 +743,9 @@ impl<'a, S: CaSpec> Search<'a, S> {
         let minimal: Vec<usize> = (0..self.spans.len())
             .filter(|&i| !matched.contains(i) && self.pending_preds[i] == 0)
             .collect();
+        if let Some(sink) = self.sink {
+            sink.on_frontier(minimal.len());
+        }
 
         let max_size = self.spec.max_element_size().max(1);
         // Enumerate candidate elements: subsets of minimal ops, one object,
@@ -669,7 +762,11 @@ impl<'a, S: CaSpec> Search<'a, S> {
             && self.panicked.is_none()
             && !self.exhausted
         {
-            self.failed.insert((matched.clone(), state.clone()));
+            let key = (matched.clone(), state.clone());
+            if let Some(sink) = self.sink {
+                sink.on_memo_insert(self.failed.shard_of(&key));
+            }
+            self.failed.insert(key);
         }
         false
     }
@@ -766,6 +863,9 @@ impl<'a, S: CaSpec> Search<'a, S> {
             let object = ops[0].object;
             if let Ok(element) = CaElement::new(object, ops) {
                 self.stats.elements_tried += 1;
+                if let Some(sink) = self.sink {
+                    sink.on_element_tried();
+                }
                 if let Some(next) = self.step_guarded(state, &element) {
                     for &i in subset {
                         matched.insert(i);

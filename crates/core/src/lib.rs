@@ -82,6 +82,7 @@ pub mod gen;
 pub mod history;
 pub mod ids;
 pub mod interval;
+pub mod obs;
 pub mod op;
 pub mod par;
 pub mod seqlin;

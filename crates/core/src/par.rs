@@ -41,6 +41,7 @@ use crate::check::{
 };
 use crate::history::{History, Span};
 use crate::ids::ObjectId;
+use crate::obs::{ObjectOutcome, StatsSink};
 use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
 use crate::trace::{CaElement, CaTrace};
@@ -72,10 +73,17 @@ impl<K: Eq + Hash> ShardedMemo<K> {
         ShardedMemo { shards: stripes.into_boxed_slice(), mask: n - 1 }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
+    /// The stripe index `key` hashes to — stable for the table's lifetime,
+    /// and what per-shard memo statistics ([`crate::obs::StatsSink`]) are
+    /// keyed by.
+    pub fn shard_index(&self, key: &K) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) & self.mask]
+        (hasher.finish() as usize) & self.mask
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Whether `key` has been recorded as a refuted state.
@@ -110,6 +118,33 @@ impl<K> fmt::Debug for ShardedMemo<K> {
 ///
 /// Same verdict semantics as [`crate::check::check_cal`]; see
 /// [`check_cal_par_with`].
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::par::check_cal_par;
+/// use cal_core::text::parse_history;
+/// # use cal_core::spec::{CaSpec, Invocation};
+/// # use cal_core::trace::CaElement;
+/// # use cal_core::Value;
+/// # #[derive(Debug)]
+/// # struct AnySingleton;
+/// # impl CaSpec for AnySingleton {
+/// #     type State = ();
+/// #     fn initial(&self) {}
+/// #     fn step(&self, _: &(), e: &CaElement) -> Option<()> { (e.len() == 1).then_some(()) }
+/// #     fn completions_of(&self, _: &Invocation) -> Vec<Value> { vec![] }
+/// # }
+/// let h = parse_history(
+///     "t1 inv o0.noop 0\n\
+///      t2 inv o0.noop 0\n\
+///      t1 res o0.noop 0\n\
+///      t2 res o0.noop 0\n",
+/// )
+/// .unwrap();
+/// let outcome = check_cal_par(&h, &AnySingleton).unwrap();
+/// assert!(outcome.verdict.is_cal());
+/// ```
 ///
 /// # Errors
 ///
@@ -226,21 +261,31 @@ where
             stats: CheckStats::default(),
         });
     }
+    let sink = options.sink.as_deref();
     let mut root_stats = CheckStats::default();
     if options.max_nodes == 0 {
+        if let Some(sink) = sink {
+            sink.on_budget_exhausted(0);
+        }
         return Ok(CheckOutcome { verdict: Verdict::ResourcesExhausted, stats: root_stats });
     }
     // The root expansion is one node, mirroring the sequential search.
     root_stats.nodes = 1;
+    if let Some(sink) = sink {
+        sink.on_node();
+    }
     let (succs, pending_preds) = realtime_order(&spans);
     let branches =
-        collect_root_branches(&spans, &pending_preds, spec, &initial, &mut root_stats)
+        collect_root_branches(&spans, &pending_preds, spec, &initial, &mut root_stats, sink)
             .map_err(CheckError::SpecPanicked)?;
     if branches.is_empty() {
         return Ok(CheckOutcome { verdict: Verdict::NotCal, stats: root_stats });
     }
 
     let workers = options.threads.max(1).min(branches.len());
+    if let Some(sink) = sink {
+        sink.on_root_frontier(branches.len(), workers);
+    }
     let memo: ShardedMemo<(BitSet, S::State)> = ShardedMemo::for_threads(workers);
     let nodes = AtomicU64::new(root_stats.nodes);
     let stop = CancelToken::new();
@@ -347,15 +392,19 @@ fn collect_root_branches<S: CaSpec>(
     spec: &S,
     initial: &S::State,
     stats: &mut CheckStats,
+    sink: Option<&dyn StatsSink>,
 ) -> Result<Vec<Branch<S>>, String> {
     let minimal: Vec<usize> =
         (0..spans.len()).filter(|&i| pending_preds[i] == 0).collect();
+    if let Some(sink) = sink {
+        sink.on_frontier(minimal.len());
+    }
     let max_size = catch_unwind(AssertUnwindSafe(|| spec.max_element_size()))
         .map_err(panic_message)?
         .max(1);
     let mut out = Vec::new();
     let mut subset: Vec<usize> = Vec::with_capacity(max_size);
-    grow_subsets(spans, spec, initial, &minimal, 0, max_size, &mut subset, stats, &mut out)?;
+    grow_subsets(spans, spec, initial, &minimal, 0, max_size, &mut subset, stats, sink, &mut out)?;
     Ok(out)
 }
 
@@ -371,10 +420,11 @@ fn grow_subsets<S: CaSpec>(
     max_size: usize,
     subset: &mut Vec<usize>,
     stats: &mut CheckStats,
+    sink: Option<&dyn StatsSink>,
     out: &mut Vec<Branch<S>>,
 ) -> Result<(), String> {
     if !subset.is_empty() {
-        collect_elements(spans, spec, initial, subset, stats, out)?;
+        collect_elements(spans, spec, initial, subset, stats, sink, out)?;
     }
     if subset.len() == max_size {
         return Ok(());
@@ -389,7 +439,7 @@ fn grow_subsets<S: CaSpec>(
             }
         }
         subset.push(i);
-        grow_subsets(spans, spec, initial, minimal, k + 1, max_size, subset, stats, out)?;
+        grow_subsets(spans, spec, initial, minimal, k + 1, max_size, subset, stats, sink, out)?;
         subset.pop();
     }
     Ok(())
@@ -403,6 +453,7 @@ fn collect_elements<S: CaSpec>(
     initial: &S::State,
     subset: &[usize],
     stats: &mut CheckStats,
+    sink: Option<&dyn StatsSink>,
     out: &mut Vec<Branch<S>>,
 ) -> Result<(), String> {
     let invocations: Vec<Invocation> = subset
@@ -442,6 +493,9 @@ fn collect_elements<S: CaSpec>(
         let object = ops[0].object;
         if let Ok(element) = CaElement::new(object, ops) {
             stats.elements_tried += 1;
+            if let Some(sink) = sink {
+                sink.on_element_tried();
+            }
             let next = catch_unwind(AssertUnwindSafe(|| spec.step(initial, &element)))
                 .map_err(panic_message)?;
             if let Some(state) = next {
@@ -494,6 +548,7 @@ where
         })
         .collect();
     let workers = options.threads.max(1).min(subs.len());
+    let sink = options.sink.as_deref();
     let nodes = AtomicU64::new(0);
     let stop = CancelToken::new();
     let next = AtomicUsize::new(0);
@@ -509,7 +564,18 @@ where
                         }
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some((object, spec, sub)) = subs.get(idx) else { break };
+                        if let Some(sink) = sink {
+                            sink.on_object_start(*object);
+                        }
+                        let sub_start = Instant::now();
                         let result = check_subhistory(sub, spec, options, &nodes, &stop, start);
+                        if let Some(sink) = sink {
+                            sink.on_object_done(
+                                *object,
+                                sub_start.elapsed(),
+                                classify_subresult(&result),
+                            );
+                        }
                         let decisive_negative = result.not_cal
                             || result.panicked.is_some()
                             || result.tally.exhausted
@@ -568,6 +634,21 @@ where
         Verdict::Cal(merge_object_witnesses(history, witnesses))
     };
     Ok(CheckOutcome { verdict, stats })
+}
+
+/// Classifies a finished subcheck for [`StatsSink::on_object_done`].
+fn classify_subresult(result: &SubResult) -> ObjectOutcome {
+    if result.panicked.is_some() {
+        ObjectOutcome::SpecPanicked
+    } else if result.witness.is_some() {
+        ObjectOutcome::Cal
+    } else if result.not_cal {
+        ObjectOutcome::NotCal
+    } else if result.tally.exhausted {
+        ObjectOutcome::Exhausted
+    } else {
+        ObjectOutcome::Interrupted
+    }
 }
 
 /// Runs the sequential DFS on one object's subhistory, charging the

@@ -1,5 +1,5 @@
 //! A scalable elimination-based exchange channel in the style of
-//! Scherer, Lea and Scott (the paper's reference [21]): an *arena* of
+//! Scherer, Lea and Scott (the paper's reference \[21\]): an *arena* of
 //! exchanger slots with adaptive bounds. Threads start at slot 0 (fast
 //! rendezvous at low concurrency) and back off to random slots within a
 //! bound that grows under contention and shrinks under timeouts — the

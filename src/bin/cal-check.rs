@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! Usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]
+//!                  [--stats] [--stats-json <PATH>] [--explain]
 //!        cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
 //!                  [--threads <N>] [--check-threads <N>] [--ops <N>]
@@ -24,16 +25,23 @@
 //! files checked concurrently; in chaos mode it sets the *workload*
 //! threads and `--check-threads` the checker's.
 //!
-//! Exit status: 0 = accepted, 1 = rejected, 2 = usage/input/undecided.
-//! In batch mode: 0 = all accepted, 1 = some rejected, 2 = some
-//! undecided or unreadable.
+//! Observability (file mode): `--stats` prints a one-line search summary
+//! to stderr, `--stats-json <PATH>` writes the full SearchReport as JSON
+//! (`-` for stdout), `--explain` prints a multi-line account of where the
+//! search spent its work and why an undecided verdict stopped.
+//!
+//! Exit status: 0 = accepted, 1 = rejected, 2 = undecided (budget,
+//! deadline or cancellation), 3 = input/parse/checker error, 4 = usage.
+//! Batch mode folds per-file results with the same codes (worst wins:
+//! 3 > 2 > 1 > 0). Chaos mode: 0 = passed, 1 = violation, 2 = undecided,
+//! 3 = checker error.
 //! ```
 //!
 //! Example:
 //!
 //! ```bash
 //! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
-//!   | cargo run --bin cal-check -- exchanger - --deadline-ms 500
+//!   | cargo run --bin cal-check -- exchanger - --deadline-ms 500 --stats
 //! cargo run --bin cal-check -- exchanger --batch tests/corpus --threads 4
 //! cargo run --bin cal-check -- --chaos heavy --seed 7 --target elim-stack
 //! ```
@@ -41,12 +49,13 @@
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
 use cal::chaos::Profile;
-use cal::core::check::{check_cal_with, CheckOptions, Verdict};
+use cal::core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, Verdict};
+use cal::core::obs::{CountingSink, SearchReport};
 use cal::core::par::check_cal_par_with;
 use cal::core::spec::{CaSpec, SeqAsCa};
 use cal::core::text::{format_trace, parse_history};
@@ -58,9 +67,18 @@ use cal::specs::register::{CounterSpec, RegisterSpec};
 use cal::specs::stack::StackSpec;
 use cal::specs::sync_queue::SyncQueueSpec;
 
+/// Exit codes, one per distinguishable outcome. Asserted by
+/// `tests/cli_exit_codes.rs` and documented in the README.
+const EXIT_ACCEPTED: u8 = 0;
+const EXIT_REJECTED: u8 = 1;
+const EXIT_UNDECIDED: u8 = 2;
+const EXIT_ERROR: u8 = 3;
+const EXIT_USAGE: u8 = 4;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
+         \x20                [--stats] [--stats-json <PATH>] [--explain]\n\
          \x20      cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
          \x20                [--threads <N>] [--check-threads <N>] [--ops <N>] [--mode <M>]\n\
@@ -71,9 +89,15 @@ fn usage() -> ExitCode {
          DIR:     directory of history files, checked concurrently\n\
          PROFILE: light | heavy | starvation\n\
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
-         M:       deterministic | stress"
+         M:       deterministic | stress\n\
+         \n\
+         --stats        print a one-line search summary to stderr (file mode)\n\
+         --stats-json   write the SearchReport as JSON to PATH, or - for stdout (file mode)\n\
+         --explain      print why the verdict was slow or undecided (file mode)\n\
+         \n\
+         exit status: 0 accepted, 1 rejected, 2 undecided, 3 input/checker error, 4 usage"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -90,6 +114,9 @@ fn main() -> ExitCode {
     let mut check_threads = None;
     let mut ops = None;
     let mut mode = Mode::Deterministic;
+    let mut stats = false;
+    let mut stats_json: Option<String> = None;
+    let mut explain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -133,6 +160,12 @@ fn main() -> ExitCode {
                 Some(m) => mode = m,
                 None => return usage(),
             },
+            "--stats" => stats = true,
+            "--stats-json" => match it.next() {
+                Some(p) => stats_json = Some(p.clone()),
+                None => return usage(),
+            },
+            "--explain" => explain = true,
             "-h" | "--help" => return usage(),
             _ if spec_name.is_none() => spec_name = Some(a.clone()),
             _ if file.is_none() => file = Some(a.clone()),
@@ -143,6 +176,9 @@ fn main() -> ExitCode {
     if let Some(profile) = chaos_profile {
         if spec_name.is_some() || file.is_some() || batch.is_some() {
             return usage();
+        }
+        if stats || explain || stats_json.is_some() {
+            return usage(); // stats flags are file-mode only
         }
         let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
         if let Some(t) = threads {
@@ -169,7 +205,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(dir) = batch {
-        if file.is_some() {
+        if file.is_some() || stats || explain || stats_json.is_some() {
             return usage();
         }
         return run_batch(&spec_name, &dir, object, deadline, threads.unwrap_or(1));
@@ -182,27 +218,46 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cal-check: cannot read {file}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let options = CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
-    match check_input(&spec_name, &input, object, &options) {
+    let want_report = stats || explain || stats_json.is_some();
+    let (checked, report) = check_input(&spec_name, &input, object, &options, want_report);
+    if let Some(report) = &report {
+        if stats {
+            eprintln!("stats: {}", report.summary());
+        }
+        if explain {
+            eprintln!("{}", report.explain());
+        }
+        if let Some(path) = &stats_json {
+            let json = report.to_json();
+            if path == "-" {
+                println!("{json}");
+            } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("cal-check: cannot write {path}: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        }
+    }
+    match checked {
         Checked::Accepted { adjective, witness } => {
             println!("{adjective}: yes");
             print!("{witness}");
-            ExitCode::SUCCESS
+            ExitCode::from(EXIT_ACCEPTED)
         }
         Checked::Rejected { adjective } => {
             println!("{adjective}: NO");
-            ExitCode::from(1)
+            ExitCode::from(EXIT_REJECTED)
         }
         Checked::Undecided(why) => {
             eprintln!("cal-check: undecided — {why}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_UNDECIDED)
         }
         Checked::Error(e) => {
             eprintln!("cal-check: {e}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
@@ -231,9 +286,10 @@ fn run_chaos(config: &RunConfig) -> ExitCode {
     }
     println!("verdict: {}", outcome.verdict);
     match outcome.verdict {
-        ChaosVerdict::Passed(_) => ExitCode::SUCCESS,
-        ChaosVerdict::Violation(_) => ExitCode::from(1),
-        ChaosVerdict::Undecided(..) | ChaosVerdict::CheckerError(_) => ExitCode::from(2),
+        ChaosVerdict::Passed(_) => ExitCode::from(EXIT_ACCEPTED),
+        ChaosVerdict::Violation(_) => ExitCode::from(EXIT_REJECTED),
+        ChaosVerdict::Undecided(..) => ExitCode::from(EXIT_UNDECIDED),
+        ChaosVerdict::CheckerError(_) => ExitCode::from(EXIT_ERROR),
     }
 }
 
@@ -269,57 +325,79 @@ fn known_spec(name: &str) -> bool {
     )
 }
 
-/// Parses `input` and checks it against the named specification.
-fn check_input(spec_name: &str, input: &str, object: Option<ObjectId>, options: &CheckOptions) -> Checked {
+/// Parses `input` and checks it against the named specification. With
+/// `want_report` a [`CountingSink`] rides along and the checker's
+/// [`SearchReport`] is returned next to the result (absent when parsing
+/// or the checker itself failed).
+fn check_input(
+    spec_name: &str,
+    input: &str,
+    object: Option<ObjectId>,
+    options: &CheckOptions,
+    want_report: bool,
+) -> (Checked, Option<SearchReport>) {
     let history = match parse_history(input) {
         Ok(h) => h,
-        Err(e) => return Checked::Error(format!("parse error: {e}")),
+        Err(e) => return (Checked::Error(format!("parse error: {e}")), None),
     };
     if let Err(e) = history.validate() {
-        return Checked::Error(format!("ill-formed history: {e}"));
+        return (Checked::Error(format!("ill-formed history: {e}")), None);
     }
     let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
-    match spec_name {
-        "exchanger" => run_ca(&history, &ExchangerSpec::new(object), options, "concurrency-aware linearizable"),
-        "elim-array" => run_ca(&history, &ElimArraySpec::new(object), options, "concurrency-aware linearizable"),
-        "sync-queue" => run_ca(&history, &SyncQueueSpec::new(object), options, "concurrency-aware linearizable"),
-        "dual-stack" => run_ca(&history, &DualStackSpec::with_timeouts(object), options, "concurrency-aware linearizable"),
-        "stack" => run_ca(&history, &SeqAsCa::new(StackSpec::total(object)), options, "linearizable"),
-        "failing-stack" => {
-            run_ca(&history, &SeqAsCa::new(StackSpec::failing(object)), options, "linearizable")
-        }
-        "register" => run_ca(&history, &SeqAsCa::new(RegisterSpec::new(object)), options, "linearizable"),
-        "counter" => run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), options, "linearizable"),
-        other => Checked::Error(format!("unknown spec {other:?}")),
-    }
-}
-
-/// Dispatches to the sequential or parallel checker per
-/// [`CheckOptions::threads`].
-fn run_ca<S>(history: &History, spec: &S, options: &CheckOptions, adjective: &'static str) -> Checked
-where
-    S: CaSpec + Sync,
-    S::State: Send + Sync,
-{
-    let result = if options.threads > 1 {
-        check_cal_par_with(history, spec, options)
-    } else {
-        check_cal_with(history, spec, options)
+    let sink = want_report.then(|| Arc::new(CountingSink::new()));
+    let options = CheckOptions {
+        sink: sink.clone().map(|s| s as Arc<dyn cal::core::obs::StatsSink>),
+        ..options.clone()
     };
-    match result {
+    let start = Instant::now();
+    const CA: &str = "concurrency-aware linearizable";
+    const LIN: &str = "linearizable";
+    let (result, adjective) = match spec_name {
+        "exchanger" => (run_ca(&history, &ExchangerSpec::new(object), &options), CA),
+        "elim-array" => (run_ca(&history, &ElimArraySpec::new(object), &options), CA),
+        "sync-queue" => (run_ca(&history, &SyncQueueSpec::new(object), &options), CA),
+        "dual-stack" => (run_ca(&history, &DualStackSpec::with_timeouts(object), &options), CA),
+        "stack" => (run_ca(&history, &SeqAsCa::new(StackSpec::total(object)), &options), LIN),
+        "failing-stack" => {
+            (run_ca(&history, &SeqAsCa::new(StackSpec::failing(object)), &options), LIN)
+        }
+        "register" => (run_ca(&history, &SeqAsCa::new(RegisterSpec::new(object)), &options), LIN),
+        "counter" => (run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), &options), LIN),
+        other => return (Checked::Error(format!("unknown spec {other:?}")), None),
+    };
+    let report = match (&sink, &result) {
+        (Some(sink), Ok(outcome)) => Some(sink.report(outcome, &options, start.elapsed())),
+        _ => None,
+    };
+    let checked = match result {
         Ok(outcome) => match outcome.verdict {
             Verdict::Cal(witness) => {
                 Checked::Accepted { adjective, witness: format_trace(&witness) }
             }
             Verdict::NotCal => Checked::Rejected { adjective },
-            Verdict::ResourcesExhausted => {
-                Checked::Undecided("node budget exhausted".to_string())
-            }
-            Verdict::Interrupted { reason } => {
-                Checked::Undecided(format!("interrupted ({reason})"))
-            }
+            Verdict::ResourcesExhausted => Checked::Undecided("node budget exhausted".to_string()),
+            Verdict::Interrupted { reason } => Checked::Undecided(format!("interrupted ({reason})")),
         },
         Err(e) => Checked::Error(e.to_string()),
+    };
+    (checked, report)
+}
+
+/// Dispatches to the sequential or parallel checker per
+/// [`CheckOptions::threads`].
+fn run_ca<S>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome, CheckError>
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    if options.threads > 1 {
+        check_cal_par_with(history, spec, options)
+    } else {
+        check_cal_with(history, spec, options)
     }
 }
 
@@ -341,13 +419,13 @@ fn run_batch(
             .collect(),
         Err(e) => {
             eprintln!("cal-check: cannot read directory {dir}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     files.sort();
     if files.is_empty() {
         eprintln!("cal-check: no files in {dir}");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_ERROR);
     }
     let options = CheckOptions { deadline, threads: 1, ..CheckOptions::default() };
     let results: Mutex<Vec<Option<Checked>>> = Mutex::new((0..files.len()).map(|_| None).collect());
@@ -359,7 +437,7 @@ fn run_batch(
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(path) = files.get(idx) else { break };
                 let checked = match std::fs::read_to_string(path) {
-                    Ok(input) => check_input(spec_name, &input, object, &options),
+                    Ok(input) => check_input(spec_name, &input, object, &options, false).0,
                     Err(e) => Checked::Error(format!("cannot read: {e}")),
                 };
                 results.lock().unwrap()[idx] = Some(checked);
@@ -368,6 +446,7 @@ fn run_batch(
     });
     let mut rejected = 0usize;
     let mut undecided = 0usize;
+    let mut errors = 0usize;
     let results = results.into_inner().unwrap();
     for (path, checked) in files.iter().zip(results) {
         let name = path.display();
@@ -383,21 +462,24 @@ fn run_batch(
             }
             Checked::Error(e) => {
                 println!("{name}: error — {e}");
-                undecided += 1;
+                errors += 1;
             }
         }
     }
     println!(
-        "batch: {} files, {} rejected, {} undecided/error",
+        "batch: {} files, {} rejected, {} undecided, {} error(s)",
         files.len(),
         rejected,
-        undecided
+        undecided,
+        errors
     );
-    if undecided > 0 {
-        ExitCode::from(2)
+    if errors > 0 {
+        ExitCode::from(EXIT_ERROR)
+    } else if undecided > 0 {
+        ExitCode::from(EXIT_UNDECIDED)
     } else if rejected > 0 {
-        ExitCode::from(1)
+        ExitCode::from(EXIT_REJECTED)
     } else {
-        ExitCode::SUCCESS
+        ExitCode::from(EXIT_ACCEPTED)
     }
 }

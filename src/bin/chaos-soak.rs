@@ -6,6 +6,7 @@
 //! Usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]
 //!                   [--threads <N>] [--check-threads <N>] [--ops <N>]
 //!                   [--profile <P>] [--mode <M>] [--deadline-ms <N>]
+//!                   [--stats]
 //!
 //!   T  exchanger | buggy-exchanger | treiber-stack | elim-stack |
 //!      dual-stack | sync-queue | all            (default all)
@@ -19,6 +20,11 @@
 //! checker run on each harvested history (> 1 engages the parallel
 //! checker).
 //!
+//! `--stats` prints a progress line roughly every two seconds while a
+//! target soaks, and an end-of-run aggregate per target keyed by seed:
+//! seed range covered, total / mean search nodes, and the most expensive
+//! seed (the one whose check expanded the most nodes).
+//!
 //! Exit status: 0 = every run passed, 1 = a failure was found (reproducer
 //! printed), 2 = usage error.
 //! ```
@@ -26,27 +32,72 @@
 //! Examples:
 //!
 //! ```bash
-//! cargo run --bin chaos-soak -- --seed 0xCA11 --secs 10
+//! cargo run --bin chaos-soak -- --seed 0xCA11 --secs 10 --stats
 //! cargo run --bin chaos-soak -- --target buggy-exchanger --secs 10   # finds the planted bug
 //! ```
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cal::chaos::driver::{soak, Mode, RunConfig, SoakResult, TargetKind};
+use cal::chaos::driver::{soak_with, Mode, RunConfig, SoakResult, TargetKind};
 use cal::chaos::Profile;
+use cal::core::check::CheckStats;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]\n\
          \x20                 [--threads <N>] [--check-threads <N>] [--ops <N>]\n\
-         \x20                 [--profile <P>] [--mode <M>] [--deadline-ms <N>]\n\
+         \x20                 [--profile <P>] [--mode <M>] [--deadline-ms <N>] [--stats]\n\
          \n\
          T: exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue | all\n\
          P: light | heavy | starvation\n\
-         M: deterministic | stress"
+         M: deterministic | stress\n\
+         --stats: periodic progress lines + per-target search-cost aggregate keyed by seed"
     );
     ExitCode::from(2)
+}
+
+/// Per-target aggregation of checker statistics across seeded runs.
+#[derive(Default)]
+struct TargetAgg {
+    runs: u64,
+    nodes: u64,
+    elements: u64,
+    memo_hits: u64,
+    first_seed: Option<u64>,
+    last_seed: u64,
+    /// The seed whose check expanded the most nodes, and that count.
+    worst: Option<(u64, u64)>,
+}
+
+impl TargetAgg {
+    fn add(&mut self, seed: u64, stats: &CheckStats) {
+        self.runs += 1;
+        self.nodes += stats.nodes;
+        self.elements += stats.elements_tried;
+        self.memo_hits += stats.memo_hits;
+        self.first_seed.get_or_insert(seed);
+        self.last_seed = seed;
+        if self.worst.map_or(true, |(_, n)| stats.nodes > n) {
+            self.worst = Some((seed, stats.nodes));
+        }
+    }
+
+    fn print(&self, target: TargetKind) {
+        let Some(first) = self.first_seed else {
+            println!("  stats[{target}]: no checked runs");
+            return;
+        };
+        let mean = self.nodes as f64 / self.runs as f64;
+        println!(
+            "  stats[{target}]: seeds {first:#x}..={:#x}, {} runs, {} nodes total (mean {mean:.1}), \
+             {} elements, {} memo hits",
+            self.last_seed, self.runs, self.nodes, self.elements, self.memo_hits,
+        );
+        if let Some((seed, nodes)) = self.worst {
+            println!("  stats[{target}]: most expensive seed {seed:#x} ({nodes} nodes)");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -54,6 +105,7 @@ fn main() -> ExitCode {
     let mut config = RunConfig::default();
     let mut targets: Option<Vec<TargetKind>> = None; // None = all healthy targets
     let mut secs = 10u64;
+    let mut stats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -97,6 +149,7 @@ fn main() -> ExitCode {
                 Some(ms) => config.deadline = Some(Duration::from_millis(ms)),
                 None => return usage(),
             },
+            "--stats" => stats = true,
             _ => return usage(),
         }
     }
@@ -119,14 +172,37 @@ fn main() -> ExitCode {
             cfg.profile,
             cfg.mode,
         );
-        match soak(&cfg, per_target) {
+        let mut agg = TargetAgg::default();
+        let mut last_progress = Instant::now();
+        let result = soak_with(&cfg, per_target, |outcome, elapsed| {
+            if let Some(s) = outcome.verdict.stats() {
+                agg.add(outcome.config.seed, s);
+            }
+            if stats && last_progress.elapsed() >= Duration::from_secs(2) {
+                println!(
+                    "  [{:5.1}s] {} runs, {} nodes searched, at seed {:#x}",
+                    elapsed.as_secs_f64(),
+                    agg.runs,
+                    agg.nodes,
+                    outcome.config.seed,
+                );
+                last_progress = Instant::now();
+            }
+        });
+        match result {
             SoakResult::Clean { runs } => {
                 total_runs += runs;
                 println!("  {runs} seeded runs passed");
+                if stats {
+                    agg.print(target);
+                }
             }
             SoakResult::Failed { runs, report } => {
                 println!("  failure on run {runs}; shrunk to a minimal reproducer:");
                 print!("{report}");
+                if stats {
+                    agg.print(target);
+                }
                 return ExitCode::from(1);
             }
         }

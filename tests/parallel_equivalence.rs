@@ -4,8 +4,11 @@
 //! the same verdict as `check_cal_with` — and, when the verdict is CAL,
 //! a witness the sequential machinery validates ([`witness_explains`]).
 
+use std::sync::Arc;
+
 use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
 use cal::core::gen::interleave;
+use cal::core::obs::{CountingSink, StatsSink};
 use cal::core::par::check_cal_par_with;
 use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
 use cal::core::{Action, History, Method, ObjectId, ThreadId, Value};
@@ -115,6 +118,60 @@ fn history_of(
         .prop_map(move |(threads, seed)| build_history(threads, seed, objects))
 }
 
+/// The category of a check result, ignoring the witness: enabling a
+/// stats sink must never move a result between these buckets.
+fn category(r: &Result<cal::core::check::CheckOutcome, cal::core::check::CheckError>) -> String {
+    match r {
+        Ok(o) => match &o.verdict {
+            Verdict::Cal(_) => "cal".into(),
+            Verdict::NotCal => "not-cal".into(),
+            Verdict::ResourcesExhausted => "exhausted".into(),
+            Verdict::Interrupted { reason } => format!("interrupted({reason:?})"),
+        },
+        Err(e) => format!("error({e:?})"),
+    }
+}
+
+/// Re-runs a check with a [`CountingSink`] attached and asserts the
+/// verdict category is unchanged — observation must not perturb the
+/// search. For deterministic (sequential) runs the sink's node count
+/// must also agree with the checker's own stats.
+fn assert_sink_is_inert<S>(
+    h: &History,
+    spec: &S,
+    options: &CheckOptions,
+    baseline: &Result<cal::core::check::CheckOutcome, cal::core::check::CheckError>,
+    parallel: bool,
+) where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let sink = Arc::new(CountingSink::new());
+    let counted = CheckOptions {
+        sink: Some(Arc::clone(&sink) as Arc<dyn StatsSink>),
+        ..options.clone()
+    };
+    let observed = if parallel {
+        check_cal_par_with(h, spec, &counted)
+    } else {
+        check_cal_with(h, spec, &counted)
+    };
+    assert_eq!(
+        category(baseline),
+        category(&observed),
+        "attaching a stats sink changed the verdict (threads={})\nhistory:\n{h}",
+        options.threads,
+    );
+    if let Ok(outcome) = &observed {
+        assert_eq!(
+            sink.nodes(),
+            outcome.stats.nodes,
+            "sink and CheckStats disagree on nodes (threads={})\nhistory:\n{h}",
+            options.threads,
+        );
+    }
+}
+
 /// The core oracle: sequential and parallel checks agree on `h`, and
 /// parallel CAL witnesses explain `h`. Panics on divergence.
 fn assert_equivalent<S>(h: &History, spec: &S)
@@ -124,9 +181,11 @@ where
 {
     let options = CheckOptions::default();
     let seq = check_cal_with(h, spec, &options);
+    assert_sink_is_inert(h, spec, &options, &seq, false);
     for threads in [1usize, 2, 8] {
         let par_options = CheckOptions { threads, ..CheckOptions::default() };
         let par = check_cal_par_with(h, spec, &par_options);
+        assert_sink_is_inert(h, spec, &par_options, &par, true);
         match (&seq, &par) {
             (Ok(s), Ok(p)) => match (&s.verdict, &p.verdict) {
                 (Verdict::Cal(_), Verdict::Cal(w)) => {
