@@ -40,7 +40,7 @@ fn bench_cal_vs_threads(c: &mut Criterion) {
         // More threads ⇒ more overlap under the same loosening budget.
         let h = exchanger_history(7, t, 24, 48);
         group.bench_with_input(BenchmarkId::from_parameter(t), &h, |b, h| {
-            b.iter(|| assert!(is_cal(h, &spec)))
+            b.iter(|| assert!(is_cal(h, &spec).unwrap()))
         });
     }
     group.finish();
@@ -80,11 +80,11 @@ fn bench_seqlin_baseline(c: &mut Criterion) {
         let h = History::from_actions(actions);
         let spec = CounterSpec::new(ids::E0);
         group.bench_with_input(BenchmarkId::new("seqlin", n), &h, |b, h| {
-            b.iter(|| assert!(seqlin::is_linearizable(h, &spec)))
+            b.iter(|| assert!(seqlin::is_linearizable(h, &spec).unwrap()))
         });
         let ca = SeqAsCa::new(CounterSpec::new(ids::E0));
         group.bench_with_input(BenchmarkId::new("cal_singleton", n), &h, |b, h| {
-            b.iter(|| assert!(is_cal(h, &ca)))
+            b.iter(|| assert!(is_cal(h, &ca).unwrap()))
         });
     }
     group.finish();
@@ -112,8 +112,8 @@ fn bench_fig3(c: &mut Criterion) {
         res(3, false, 7),
     ]);
     let mut group = c.benchmark_group("checker_fig3");
-    group.bench_function("h1_accept", |b| b.iter(|| assert!(is_cal(&h1, &spec))));
-    group.bench_function("h3_reject", |b| b.iter(|| assert!(!is_cal(&h3, &spec))));
+    group.bench_function("h1_accept", |b| b.iter(|| assert!(is_cal(&h1, &spec).unwrap())));
+    group.bench_function("h3_reject", |b| b.iter(|| assert!(!is_cal(&h3, &spec).unwrap())));
     group.finish();
 }
 

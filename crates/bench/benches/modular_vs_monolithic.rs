@@ -65,7 +65,7 @@ fn bench_accept(c: &mut Criterion) {
             },
         );
         group.bench_with_input(BenchmarkId::new("monolithic", n), &history, |b, h| {
-            b.iter(|| assert!(seqlin::is_linearizable(h, &spec)))
+            b.iter(|| assert!(seqlin::is_linearizable(h, &spec).unwrap()))
         });
     }
     group.finish();
@@ -83,7 +83,7 @@ fn bench_reject(c: &mut Criterion) {
             b.iter(|| assert!(!modular_stack_check(&f, bad)))
         });
         group.bench_with_input(BenchmarkId::new("monolithic", n), &history, |b, h| {
-            b.iter(|| assert!(!seqlin::is_linearizable(h, &spec)))
+            b.iter(|| assert!(!seqlin::is_linearizable(h, &spec).unwrap()))
         });
     }
     group.finish();

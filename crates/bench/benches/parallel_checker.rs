@@ -20,19 +20,29 @@
 //!   identical-exchange history. Root-frontier splitting with a shared
 //!   memo table; reported honestly — shared-memo overlap means it scales
 //!   far less than decomposition.
+//! - **seqlin/frontier-stack-8**: the classical linearizability checker
+//!   on the adversarial single-object stack history, sequential vs.
+//!   frontier-split parallel. Exists because seqlin now runs on the same
+//!   search kernel as CAL; same honest caveat as frontier/hard.
+//! - **interval/disjoint-views**: the interval checker refuting k
+//!   pairwise-concurrent `write_snapshot(i) ▷ {i}` calls (at most one op
+//!   can close with a singleton view, so k ≥ 2 is unsatisfiable).
 //!
 //! Writes `BENCH_checker.json` at the workspace root.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cal_core::check::{check_cal_with, CheckOptions, Verdict};
+use cal_core::check::{check_cal_with, CheckOptions, CheckOutcome, Verdict};
 use cal_core::gen::render_loose;
+use cal_core::interval::{check_interval_par_with, check_interval_with};
 use cal_core::obs::{CountingSink, StatsSink};
 use cal_core::par::check_cal_par_with;
+use cal_core::seqlin::{check_linearizable_par_with, check_linearizable_with};
 use cal_core::spec::{CaSpec, PerObject, SeqAsCa};
 use cal_core::{Action, History, ObjectId, ThreadId, Value};
 use cal_specs::exchanger::ExchangerSpec;
+use cal_specs::snapshot::{view, write_snapshot_op, WriteSnapshotSpec};
 use cal_specs::stack::StackSpec;
 use cal_specs::gen::random_exchanger_trace;
 use cal_specs::vocab::{EXCHANGE, POP, PUSH};
@@ -170,14 +180,11 @@ impl Series {
     }
 }
 
-/// One extra parallel run with a [`CountingSink`] attached, outside the
-/// timed samples so instrumentation cannot skew the medians. Returns the
-/// resulting [`cal_core::obs::SearchReport`] as a JSON object.
-fn instrumented_stats<S>(h: &History, spec: &S, threads: usize) -> String
-where
-    S: CaSpec + Sync,
-    S::State: Send + Sync,
-{
+/// One extra run of `check` with a [`CountingSink`] attached, outside
+/// the timed samples so instrumentation cannot skew the medians. Works
+/// for any checker on the shared kernel (any witness type `W`). Returns
+/// the resulting [`cal_core::obs::SearchReport`] as a JSON object.
+fn instrumented<W>(threads: usize, check: impl FnOnce(&CheckOptions) -> CheckOutcome<W>) -> String {
     let sink = Arc::new(CountingSink::new());
     let options = CheckOptions {
         threads,
@@ -185,8 +192,19 @@ where
         ..CheckOptions::default()
     };
     let start = Instant::now();
-    let out = check_cal_par_with(h, spec, &options).expect("instrumented run");
+    let out = check(&options);
     sink.report(&out, &options, start.elapsed()).to_json()
+}
+
+/// [`instrumented`] specialised to the parallel CAL checker.
+fn instrumented_stats<S>(h: &History, spec: &S, threads: usize) -> String
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    instrumented(threads, |options| {
+        check_cal_par_with(h, spec, options).expect("instrumented run")
+    })
 }
 
 /// A sequential decomposed checker: each subhistory in object order,
@@ -253,9 +271,73 @@ fn bench_frontier() -> Series {
     Series::new("frontier/hard-11", seq, par, instrumented_stats(&h, &spec, THREADS))
 }
 
+/// `k` pairwise-concurrent `write_snapshot(i) ▷ {i}` calls: at most one
+/// op can ever close with a singleton view, so `k ≥ 2` is unsatisfiable,
+/// but the point enumeration the interval checker must exhaust is large.
+fn disjoint_views_history(k: usize) -> History {
+    let o = ObjectId(0);
+    let ops: Vec<_> = (0..k)
+        .map(|i| write_snapshot_op(o, ThreadId(i as u32), i as i64, view(&[i as i64])))
+        .collect();
+    let mut actions = Vec::new();
+    actions.extend(ops.iter().map(|op| op.invocation()));
+    actions.extend(ops.iter().map(|op| op.response()));
+    History::from_actions(actions)
+}
+
+fn bench_seqlin() -> Series {
+    let h = History::from_actions(hard_cal_stack_block(ObjectId(0), 0, 8));
+    let spec = StackSpec::total(ObjectId(0));
+    let options = CheckOptions::default();
+
+    let seq = measure(|| {
+        let out = check_linearizable_with(&h, &spec, &options).unwrap();
+        assert!(matches!(out.verdict, Verdict::Cal(_)));
+    });
+
+    let par_options = CheckOptions { threads: THREADS, ..CheckOptions::default() };
+    let par = measure(|| {
+        let out = check_linearizable_par_with(&h, &spec, &par_options).unwrap();
+        assert!(matches!(out.verdict, Verdict::Cal(_)));
+    });
+
+    let stats = instrumented(THREADS, |o| {
+        check_linearizable_par_with(&h, &spec, o).expect("instrumented run")
+    });
+    Series::new("seqlin/frontier-stack-8", seq, par, stats)
+}
+
+fn bench_interval() -> Series {
+    let h = disjoint_views_history(6);
+    let spec = WriteSnapshotSpec::new(ObjectId(0), 4);
+    let options = CheckOptions::default();
+
+    let seq = measure(|| {
+        let out = check_interval_with(&h, &spec, &options).unwrap();
+        assert!(matches!(out.verdict, Verdict::NotCal));
+    });
+
+    let par_options = CheckOptions { threads: THREADS, ..CheckOptions::default() };
+    let par = measure(|| {
+        let out = check_interval_par_with(&h, &spec, &par_options).unwrap();
+        assert!(matches!(out.verdict, Verdict::NotCal));
+    });
+
+    let stats = instrumented(THREADS, |o| {
+        check_interval_par_with(&h, &spec, o).expect("instrumented run")
+    });
+    Series::new("interval/disjoint-views-6", seq, par, stats)
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let series = vec![bench_refute_last(), bench_all_cal(), bench_frontier()];
+    let series = vec![
+        bench_refute_last(),
+        bench_all_cal(),
+        bench_frontier(),
+        bench_seqlin(),
+        bench_interval(),
+    ];
 
     let mut json = String::from("{\n  \"benchmark\": \"parallel_checker\",\n");
     json.push_str(&format!("  \"threads\": {THREADS},\n  \"host_cores\": {cores},\n"));

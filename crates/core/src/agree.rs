@@ -151,8 +151,7 @@ impl AgreeSearch<'_> {
                 self.matched.insert(i);
                 self.assignment[i] = k;
             }
-            for c in 0..chosen.len() {
-                let i = chosen[c];
+            for &i in chosen.iter() {
                 for s in 0..self.succs[i].len() {
                     let j = self.succs[i][s];
                     self.pending[j] -= 1;
@@ -161,8 +160,7 @@ impl AgreeSearch<'_> {
             if self.element(k + 1) {
                 return true;
             }
-            for c in 0..chosen.len() {
-                let i = chosen[c];
+            for &i in chosen.iter() {
                 for s in 0..self.succs[i].len() {
                     let j = self.succs[i][s];
                     self.pending[j] += 1;

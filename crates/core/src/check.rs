@@ -12,298 +12,27 @@
 //! element (completing them with a spec-proposed return value) or remain
 //! unassigned (dropping them, per Def. 2's completions). Failed search
 //! states are memoized on `(matched-set, spec-state)`.
+//!
+//! This module is a thin *domain* over the shared search kernel
+//! ([`crate::engine`]): `CalDomain` enumerates candidate CA-elements,
+//! while budgets, deadlines, memoization, observability and parallelism
+//! live in the engine and are shared with the classical ([`crate::seqlin`])
+//! and interval ([`crate::interval`]) checkers.
 
-use std::collections::HashSet;
-use std::error::Error;
-use std::fmt;
-use std::hash::Hash;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::bitset::BitSet;
+use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
 use crate::history::{History, HistoryError, Span};
-use crate::obs::StatsSink;
+use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
 use crate::trace::{CaElement, CaTrace};
 
-/// A cooperative cancellation token shared between a checker run and the
-/// code supervising it.
-///
-/// Cloning yields a handle to the same token. The search polls it
-/// periodically; after [`CancelToken::cancel`] the run winds down and
-/// reports [`Verdict::Interrupted`] with partial [`CheckStats`].
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
-
-impl CancelToken {
-    /// Creates a token in the not-cancelled state.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Requests cancellation; safe to call from any thread, idempotent.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
-    }
-
-    /// Whether cancellation has been requested.
-    pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
-    }
-}
-
-/// Tuning knobs for the CAL search.
-///
-/// # Examples
-///
-/// Options compose via struct update syntax from [`CheckOptions::default`]:
-///
-/// ```
-/// use std::time::Duration;
-/// use cal_core::check::CheckOptions;
-///
-/// let options = CheckOptions {
-///     max_nodes: 100_000,
-///     threads: 4,
-///     ..CheckOptions::with_deadline(Duration::from_secs(5))
-/// };
-/// assert_eq!(options.max_nodes, 100_000);
-/// assert!(options.memoize); // on by default
-/// ```
-#[derive(Clone)]
-pub struct CheckOptions {
-    /// Maximum number of search nodes to expand before giving up with
-    /// [`Verdict::ResourcesExhausted`].
-    pub max_nodes: u64,
-    /// Memoize failed `(matched-set, spec-state)` pairs (Lowe's
-    /// optimization of the Wing–Gong search). On by default; the ablation
-    /// benchmark turns it off to quantify its effect.
-    pub memoize: bool,
-    /// Wall-clock budget for the search. When it elapses the search winds
-    /// down and reports [`Verdict::Interrupted`] with the stats gathered
-    /// so far. `None` (the default) means unbounded.
-    pub deadline: Option<Duration>,
-    /// Cooperative cancellation: when the token fires, the search winds
-    /// down and reports [`Verdict::Interrupted`]. `None` by default.
-    pub cancel: Option<CancelToken>,
-    /// Worker threads for the parallel checker
-    /// ([`crate::par::check_cal_par_with`]). The sequential entry points
-    /// ([`check_cal`], [`check_cal_with`]) ignore it. Defaults to 1.
-    pub threads: usize,
-    /// Observability sink the search reports events to
-    /// ([`crate::obs::StatsSink`]). `None` (the default) disables
-    /// observability entirely: each instrumentation point reduces to one
-    /// never-taken branch, no allocation, no atomics.
-    pub sink: Option<Arc<dyn StatsSink>>,
-}
-
-impl fmt::Debug for CheckOptions {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CheckOptions")
-            .field("max_nodes", &self.max_nodes)
-            .field("memoize", &self.memoize)
-            .field("deadline", &self.deadline)
-            .field("cancel", &self.cancel)
-            .field("threads", &self.threads)
-            .field("sink", &self.sink.as_ref().map(|_| "StatsSink"))
-            .finish()
-    }
-}
-
-impl CheckOptions {
-    /// The default node budget.
-    pub const DEFAULT_MAX_NODES: u64 = 4_000_000;
-
-    /// Returns the default options with a wall-clock `deadline`.
-    pub fn with_deadline(deadline: Duration) -> Self {
-        CheckOptions { deadline: Some(deadline), ..CheckOptions::default() }
-    }
-
-    /// Returns the default options with [`CheckOptions::threads`] set to
-    /// the machine's available parallelism.
-    pub fn parallel() -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        CheckOptions { threads, ..CheckOptions::default() }
-    }
-}
-
-impl Default for CheckOptions {
-    fn default() -> Self {
-        CheckOptions {
-            max_nodes: Self::DEFAULT_MAX_NODES,
-            memoize: true,
-            deadline: None,
-            cancel: None,
-            threads: 1,
-            sink: None,
-        }
-    }
-}
-
-/// Why a search stopped before reaching a decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InterruptReason {
-    /// The wall-clock deadline in [`CheckOptions::deadline`] elapsed.
-    DeadlineExceeded,
-    /// The [`CancelToken`] in [`CheckOptions::cancel`] fired.
-    Cancelled,
-}
-
-impl fmt::Display for InterruptReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            InterruptReason::DeadlineExceeded => f.write_str("deadline exceeded"),
-            InterruptReason::Cancelled => f.write_str("cancelled"),
-        }
-    }
-}
-
-/// The outcome of a CAL membership check.
-///
-/// # Examples
-///
-/// ```
-/// use cal_core::check::{InterruptReason, Verdict};
-/// use cal_core::trace::CaTrace;
-///
-/// let cal = Verdict::Cal(CaTrace::new());
-/// assert!(cal.is_cal() && !cal.is_undecided());
-/// assert!(cal.witness().is_some());
-///
-/// // Budget and interrupt outcomes are undecided, not refutations.
-/// let timed_out = Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded };
-/// assert!(timed_out.is_undecided());
-/// assert_eq!(Verdict::NotCal.witness(), None);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Verdict {
-    /// The history is CA-linearizable; the witness trace is attached.
-    Cal(CaTrace),
-    /// No completion/trace pair exists: the history violates the
-    /// specification.
-    NotCal,
-    /// The node budget was exhausted before the search completed.
-    ResourcesExhausted,
-    /// The search was stopped early by a deadline or cancellation; the
-    /// accompanying [`CheckStats`] cover the work done up to that point.
-    Interrupted {
-        /// What stopped the search.
-        reason: InterruptReason,
-    },
-}
-
-impl Verdict {
-    /// Returns `true` for [`Verdict::Cal`].
-    pub fn is_cal(&self) -> bool {
-        matches!(self, Verdict::Cal(_))
-    }
-
-    /// Returns `true` when the search stopped without deciding —
-    /// [`Verdict::ResourcesExhausted`] or [`Verdict::Interrupted`].
-    pub fn is_undecided(&self) -> bool {
-        matches!(self, Verdict::ResourcesExhausted | Verdict::Interrupted { .. })
-    }
-
-    /// The witness trace, if the verdict is [`Verdict::Cal`].
-    pub fn witness(&self) -> Option<&CaTrace> {
-        match self {
-            Verdict::Cal(t) => Some(t),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for Verdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Verdict::Cal(t) => write!(f, "CAL (witness: {t})"),
-            Verdict::NotCal => f.write_str("not CAL"),
-            Verdict::ResourcesExhausted => f.write_str("undecided: node budget exhausted"),
-            Verdict::Interrupted { reason } => write!(f, "undecided: interrupted ({reason})"),
-        }
-    }
-}
-
-/// Search statistics, for the checker-scalability experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CheckStats {
-    /// Search nodes expanded.
-    pub nodes: u64,
-    /// Candidate elements tried (spec `step` calls).
-    pub elements_tried: u64,
-    /// Failed states pruned via the memo table.
-    pub memo_hits: u64,
-}
-
-impl std::ops::AddAssign for CheckStats {
-    fn add_assign(&mut self, other: CheckStats) {
-        self.nodes += other.nodes;
-        self.elements_tried += other.elements_tried;
-        self.memo_hits += other.memo_hits;
-    }
-}
-
-/// A verdict together with search statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CheckOutcome {
-    /// The verdict.
-    pub verdict: Verdict,
-    /// Search statistics.
-    pub stats: CheckStats,
-}
-
-/// Errors reported by [`check_cal`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CheckError {
-    /// The input history is not well-formed.
-    IllFormed(HistoryError),
-    /// The specification panicked during a transition; the payload is the
-    /// panic message. The search state is discarded — a panicking spec
-    /// cannot be trusted to have left its `State` values consistent.
-    SpecPanicked(String),
-    /// A boolean convenience query ([`is_cal`]) could not be answered
-    /// because the underlying check stopped without deciding.
-    Undecided(Verdict),
-}
-
-impl fmt::Display for CheckError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CheckError::IllFormed(e) => write!(f, "ill-formed history: {e}"),
-            CheckError::SpecPanicked(msg) => write!(f, "specification panicked: {msg}"),
-            CheckError::Undecided(v) => write!(f, "check undecided: {v}"),
-        }
-    }
-}
-
-impl Error for CheckError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            CheckError::IllFormed(e) => Some(e),
-            CheckError::SpecPanicked(_) | CheckError::Undecided(_) => None,
-        }
-    }
-}
-
-/// Renders a `catch_unwind` payload as a message.
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-impl From<HistoryError> for CheckError {
-    fn from(e: HistoryError) -> Self {
-        CheckError::IllFormed(e)
-    }
-}
+pub use crate::engine::{
+    CancelToken, CheckError, CheckOptions, CheckOutcome, CheckStats, InterruptReason, Verdict,
+};
 
 /// Decides whether `history` is concurrency-aware linearizable with respect
 /// to `spec` (Def. 6), with default options.
@@ -350,36 +79,13 @@ pub fn check_cal_with<S: CaSpec>(
     spec: &S,
     options: &CheckOptions,
 ) -> Result<CheckOutcome, CheckError> {
-    let spans = history.try_spans()?;
-    let (succs, pending_preds) = realtime_order(&spans);
-    let mut search = Search::new(
-        &spans,
-        spec,
-        options,
-        succs,
-        pending_preds,
-        MemoTable::Local(HashSet::new()),
-        None,
-        None,
-        Instant::now(),
-    );
-    let mut matched = BitSet::new(spans.len().max(1));
-    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
-        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
-    let found = search.dfs(&mut matched, &initial);
-    if let Some(msg) = search.panicked {
-        return Err(CheckError::SpecPanicked(msg));
-    }
-    let verdict = if found {
-        Verdict::Cal(CaTrace::from_elements(std::mem::take(&mut search.witness)))
-    } else if let Some(reason) = search.interrupted {
-        Verdict::Interrupted { reason }
-    } else if search.exhausted {
-        Verdict::ResourcesExhausted
-    } else {
-        Verdict::NotCal
-    };
-    Ok(CheckOutcome { verdict, stats: search.stats })
+    let domain = CalDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search(&domain, options)?.map_witness(steps_to_trace))
+}
+
+/// Assembles the engine's step sequence into a [`CaTrace`] witness.
+pub(crate) fn steps_to_trace(steps: Vec<CalStep>) -> CaTrace {
+    CaTrace::from_elements(steps.into_iter().map(|s| s.element).collect())
 }
 
 /// Convenience predicate: `Ok(true)` iff the history is CAL w.r.t. `spec`.
@@ -432,7 +138,7 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
     }
     let spans = history.spans();
     // Multiset of witness operations, minus each complete operation.
-    let mut counts: std::collections::HashMap<Operation, i64> = std::collections::HashMap::new();
+    let mut counts: HashMap<Operation, i64> = HashMap::new();
     for op in witness.all_ops() {
         *counts.entry(op).or_insert(0) += 1;
     }
@@ -479,7 +185,7 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
         .iter()
         .enumerate()
         .filter(|(i, _)| !dropped.contains(i))
-        .map(|(_, a)| a.clone())
+        .map(|(_, a)| *a)
         .collect();
     for (_, op) in &completed_pending {
         actions.push(op.response());
@@ -488,305 +194,59 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
     crate::agree::agrees(&completion, witness).is_some()
 }
 
-/// How many search ticks (nodes or elements) pass between wall-clock and
-/// cancellation polls. A power of two; small enough that even slow spec
-/// transitions keep deadline overshoot well under the deadline itself.
-const POLL_INTERVAL_MASK: u64 = 255;
-
-/// Precomputes the real-time order over `spans`: `succs[i]` = spans that
-/// span `i` precedes; `pending_preds[i]` = number of predecessors of `i`.
-pub(crate) fn realtime_order(spans: &[Span]) -> (Vec<Vec<usize>>, Vec<usize>) {
-    let n = spans.len();
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut pending_preds: Vec<usize> = vec![0; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && History::spans_precede(&spans[i], &spans[j]) {
-                succs[i].push(j);
-                pending_preds[j] += 1;
-            }
-        }
-    }
-    (succs, pending_preds)
+/// One step of a CAL witness: the CA-element extracted plus the span
+/// indices it matched (used to interleave per-object witnesses under
+/// decomposition without re-deriving op↦span assignments).
+#[derive(Debug, Clone)]
+pub(crate) struct CalStep {
+    pub(crate) element: CaElement,
+    subset: Vec<usize>,
 }
 
-/// The failed-state table behind a search: thread-private for the
-/// sequential checker, a reference to a shared sharded table for the
-/// parallel one (so cross-worker pruning compounds).
-pub(crate) enum MemoTable<'m, K: Eq + Hash> {
-    /// A plain private hash set.
-    Local(HashSet<K>),
-    /// A shared mutex-striped table owned by the parallel driver.
-    Shared(&'m crate::par::ShardedMemo<K>),
+/// The CAL checker as a [`SearchDomain`]: nodes are `(matched-set,
+/// spec-state)` pairs (also the memo key), steps are CA-elements, and
+/// expansion enumerates subsets of minimal operations that are same-object,
+/// pairwise concurrent and accepted by the specification, completing
+/// pending members with spec-proposed return values.
+pub(crate) struct CalDomain<'a, S: CaSpec> {
+    spec: SpecRef<'a, S>,
+    history: Cow<'a, History>,
+    spans: Vec<Span>,
+    /// preds[i] = span indices that real-time-precede span i.
+    preds: Vec<Vec<usize>>,
 }
 
-impl<K: Eq + Hash> MemoTable<'_, K> {
-    /// The shard `key` lives in, for per-shard memo attribution: always 0
-    /// for the private table, the stripe index for the shared one.
-    fn shard_of(&self, key: &K) -> usize {
-        match self {
-            MemoTable::Local(_) => 0,
-            MemoTable::Shared(memo) => memo.shard_index(key),
-        }
-    }
-
-    fn contains(&self, key: &K) -> bool {
-        match self {
-            MemoTable::Local(set) => set.contains(key),
-            MemoTable::Shared(memo) => memo.contains(key),
-        }
-    }
-
-    fn insert(&mut self, key: K) {
-        match self {
-            MemoTable::Local(set) => {
-                set.insert(key);
-            }
-            MemoTable::Shared(memo) => {
-                memo.insert(key);
-            }
-        }
-    }
-}
-
-pub(crate) struct Search<'a, S: CaSpec> {
-    spans: &'a [Span],
-    spec: &'a S,
-    options: &'a CheckOptions,
-    pub(crate) stats: CheckStats,
-    failed: MemoTable<'a, (BitSet, S::State)>,
-    pub(crate) exhausted: bool,
-    pub(crate) witness: Vec<CaElement>,
-    /// Span indices matched by each witness element, parallel to
-    /// `witness`; the decomposition pre-pass uses them to interleave
-    /// per-object witnesses without re-deriving op↦span assignments.
-    pub(crate) witness_sets: Vec<Vec<usize>>,
-    /// succs[i] = span indices that span i real-time-precedes.
-    succs: Vec<Vec<usize>>,
-    /// Number of yet-unmatched predecessors per span.
-    pending_preds: Vec<usize>,
-    /// When the search started, for deadline accounting. Parallel workers
-    /// share the driver's start so the deadline is global.
-    start: Instant,
-    /// Monotone work counter driving periodic interrupt polls.
-    ticks: u64,
-    /// Set once a deadline/cancellation interrupt fires; makes the whole
-    /// recursion wind down without expanding further work.
-    pub(crate) interrupted: Option<InterruptReason>,
-    /// Set when the spec panics inside a guarded call; like `interrupted`
-    /// it drains the recursion, and the driver converts it to an error.
-    pub(crate) panicked: Option<String>,
-    /// Global node counter for parallel searches; when present it replaces
-    /// the private `stats.nodes` in the budget check, so `max_nodes`
-    /// bounds the *total* across workers.
-    shared_nodes: Option<&'a AtomicU64>,
-    /// Early-stop latch for parallel searches: fired by the driver when a
-    /// sibling worker found a witness (or panicked), making every other
-    /// worker wind down. Distinct from the user's [`CheckOptions::cancel`]
-    /// so an internal stop is never mistaken for a user cancellation.
-    stop: Option<&'a CancelToken>,
-    /// The observability sink from [`CheckOptions::sink`], pre-derefed so
-    /// the hot path branches on a thin `Option` instead of unwrapping an
-    /// `Arc` per event.
-    sink: Option<&'a dyn StatsSink>,
-}
-
-impl<'a, S: CaSpec> Search<'a, S> {
-    /// Assembles a search over precomputed spans and real-time order.
-    #[allow(clippy::too_many_arguments)]
+impl<'a, S: CaSpec> CalDomain<'a, S> {
+    /// Builds the domain, validating the history.
     pub(crate) fn new(
-        spans: &'a [Span],
-        spec: &'a S,
-        options: &'a CheckOptions,
-        succs: Vec<Vec<usize>>,
-        pending_preds: Vec<usize>,
-        failed: MemoTable<'a, (BitSet, S::State)>,
-        shared_nodes: Option<&'a AtomicU64>,
-        stop: Option<&'a CancelToken>,
-        start: Instant,
-    ) -> Self {
-        Search {
-            spans,
-            spec,
-            options,
-            stats: CheckStats::default(),
-            failed,
-            exhausted: false,
-            witness: Vec::new(),
-            witness_sets: Vec::new(),
-            succs,
-            pending_preds,
-            start,
-            ticks: 0,
-            interrupted: None,
-            panicked: None,
-            shared_nodes,
-            stop,
-            sink: options.sink.as_deref(),
-        }
+        history: Cow<'a, History>,
+        spec: SpecRef<'a, S>,
+    ) -> Result<Self, HistoryError> {
+        let spans = history.try_spans()?;
+        let preds = preds_of(&spans);
+        Ok(CalDomain { spec, history, spans, preds })
     }
 
-    /// `true` once the search must stop (interrupt already latched, spec
-    /// panicked, or a periodic poll observes deadline/cancellation).
-    fn should_stop(&mut self) -> bool {
-        if self.interrupted.is_some() || self.panicked.is_some() {
-            return true;
-        }
-        self.ticks += 1;
-        if self.ticks & POLL_INTERVAL_MASK == 0 {
-            if let Some(deadline) = self.options.deadline {
-                if self.start.elapsed() >= deadline {
-                    return self.latch_interrupt(InterruptReason::DeadlineExceeded);
-                }
-            }
-            if let Some(cancel) = &self.options.cancel {
-                if cancel.is_cancelled() {
-                    return self.latch_interrupt(InterruptReason::Cancelled);
-                }
-            }
-            if let Some(stop) = self.stop {
-                if stop.is_cancelled() {
-                    return self.latch_interrupt(InterruptReason::Cancelled);
-                }
-            }
-        }
-        false
-    }
-
-    /// Latches `reason`, reports it to the sink, and returns `true`.
-    fn latch_interrupt(&mut self, reason: InterruptReason) -> bool {
-        self.interrupted = Some(reason);
-        if let Some(sink) = self.sink {
-            sink.on_interrupt(reason);
-        }
-        true
-    }
-
-    /// Charges one node against the budget (the shared counter when
-    /// present, the private one otherwise) and latches `exhausted` when
-    /// the budget is spent.
-    fn charge_node(&mut self) -> bool {
-        let spent = match self.shared_nodes {
-            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.nodes,
-        };
-        if spent >= self.options.max_nodes {
-            if !self.exhausted {
-                if let Some(sink) = self.sink {
-                    sink.on_budget_exhausted(self.options.max_nodes);
-                }
-            }
-            self.exhausted = true;
-            return false;
-        }
-        self.stats.nodes += 1;
-        if let Some(sink) = self.sink {
-            sink.on_node();
-        }
-        true
-    }
-
-    /// [`CaSpec::step`] behind `catch_unwind`: a panicking spec reads as
-    /// a rejected transition and latches `panicked`.
-    fn step_guarded(&mut self, state: &S::State, element: &CaElement) -> Option<S::State> {
-        match catch_unwind(AssertUnwindSafe(|| self.spec.step(state, element))) {
-            Ok(next) => next,
-            Err(payload) => {
-                self.panicked = Some(panic_message(payload));
-                None
-            }
-        }
-    }
-
-    /// [`CaSpec::completions_among`] behind `catch_unwind`; a panic yields
-    /// no completions and latches `panicked`.
-    fn completions_guarded(&mut self, inv: &Invocation, peers: &[Invocation]) -> Vec<crate::ids::Value> {
-        match catch_unwind(AssertUnwindSafe(|| self.spec.completions_among(inv, peers))) {
-            Ok(values) => values,
-            Err(payload) => {
-                self.panicked = Some(panic_message(payload));
-                Vec::new()
-            }
-        }
-    }
-
-    pub(crate) fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
-        // Success: every *complete* operation explained; unmatched pending
-        // invocations are dropped by the chosen completion (Def. 2).
-        if (0..self.spans.len())
-            .all(|i| matched.contains(i) || !self.spans[i].is_complete())
-        {
-            return true;
-        }
-        if self.should_stop() {
-            return false;
-        }
-        if !self.charge_node() {
-            return false;
-        }
-        if self.options.memoize {
-            let key = (matched.clone(), state.clone());
-            if self.failed.contains(&key) {
-                self.stats.memo_hits += 1;
-                if let Some(sink) = self.sink {
-                    sink.on_memo_hit(self.failed.shard_of(&key));
-                }
-                return false;
-            }
-            if let Some(sink) = self.sink {
-                sink.on_memo_miss(self.failed.shard_of(&key));
-            }
-        }
-
-        // Minimal operations: unmatched, with every ≺H-predecessor matched
-        // (tracked incrementally via predecessor counts).
-        let minimal: Vec<usize> = (0..self.spans.len())
-            .filter(|&i| !matched.contains(i) && self.pending_preds[i] == 0)
-            .collect();
-        if let Some(sink) = self.sink {
-            sink.on_frontier(minimal.len());
-        }
-
-        let max_size = self.spec.max_element_size().max(1);
-        // Enumerate candidate elements: subsets of minimal ops, one object,
-        // pairwise concurrent, size 1..=max_size, each pending member
-        // completed with each spec-proposed return value.
-        let mut subset: Vec<usize> = Vec::with_capacity(max_size);
-        if self.try_subsets(&minimal, 0, max_size, &mut subset, matched, state) {
-            return true;
-        }
-        // An interrupted or panicked subtree is not a *proven* failure —
-        // only record states whose expansion genuinely completed.
-        if self.options.memoize
-            && self.interrupted.is_none()
-            && self.panicked.is_none()
-            && !self.exhausted
-        {
-            let key = (matched.clone(), state.clone());
-            if let Some(sink) = self.sink {
-                sink.on_memo_insert(self.failed.shard_of(&key));
-            }
-            self.failed.insert(key);
-        }
-        false
-    }
-
-    /// Grows `subset` over `minimal[from..]` and attempts every non-empty
-    /// prefix-closed choice as a CA-element.
-    fn try_subsets(
-        &mut self,
+    /// Grows `subset` over `minimal[from..]` and collects every non-empty
+    /// prefix-closed choice accepted as a CA-element. Returns `false` when
+    /// a cooperative stop was requested mid-enumeration.
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &self,
         minimal: &[usize],
         from: usize,
         max_size: usize,
         subset: &mut Vec<usize>,
-        matched: &mut BitSet,
+        matched: &BitSet,
         state: &S::State,
+        obs: &mut ExpandObs<'_, '_>,
+        out: &mut Vec<(CalStep, (BitSet, S::State))>,
     ) -> bool {
-        if !subset.is_empty() && self.try_element(subset, matched, state) {
-            return true;
+        if !subset.is_empty() && !self.collect_elements(subset, matched, state, obs, out) {
+            return false;
         }
         if subset.len() == max_size {
-            return false;
+            return true;
         }
         for (k, &i) in minimal.iter().enumerate().skip(from) {
             // Same object as the rest of the subset.
@@ -803,21 +263,25 @@ impl<'a, S: CaSpec> Search<'a, S> {
                 }
             }
             subset.push(i);
-            if self.try_subsets(minimal, k + 1, max_size, subset, matched, state) {
-                return true;
-            }
+            let keep = self.grow(minimal, k + 1, max_size, subset, matched, state, obs, out);
             subset.pop();
+            if !keep {
+                return false;
+            }
         }
-        false
+        true
     }
 
     /// Attempts `subset` as the next CA-element, enumerating completions
-    /// for pending members.
-    fn try_element(
-        &mut self,
+    /// for pending members and recording every accepted successor.
+    /// Returns `false` when a cooperative stop was requested.
+    fn collect_elements(
+        &self,
         subset: &[usize],
-        matched: &mut BitSet,
+        matched: &BitSet,
         state: &S::State,
+        obs: &mut ExpandObs<'_, '_>,
+        out: &mut Vec<(CalStep, (BitSet, S::State))>,
     ) -> bool {
         // Collect per-member candidate operations. Pending members are
         // completed with values proposed by the spec, which may depend on
@@ -842,59 +306,45 @@ impl<'a, S: CaSpec> Search<'a, S> {
                         .filter(|&(j, _)| j != k)
                         .map(|(_, inv)| *inv)
                         .collect();
-                    self.completions_guarded(&invocations[k], &peers)
+                    self.spec
+                        .get()
+                        .completions_among(&invocations[k], &peers)
                         .into_iter()
                         .map(|ret| s.operation_with_ret(ret))
                         .collect()
                 }
             };
+            if ops.is_empty() {
+                return true;
+            }
             choices.push(ops);
-        }
-        if choices.iter().any(Vec::is_empty) {
-            return false;
         }
         let mut pick = vec![0usize; subset.len()];
         loop {
-            if self.should_stop() {
+            if obs.should_stop() {
                 return false;
             }
             let ops: Vec<Operation> =
                 pick.iter().zip(&choices).map(|(&c, opts)| opts[c]).collect();
             let object = ops[0].object;
             if let Ok(element) = CaElement::new(object, ops) {
-                self.stats.elements_tried += 1;
-                if let Some(sink) = self.sink {
-                    sink.on_element_tried();
-                }
-                if let Some(next) = self.step_guarded(state, &element) {
+                obs.on_element_tried();
+                if let Some(next) = self.spec.get().step(state, &element) {
+                    let mut next_matched = matched.clone();
                     for &i in subset {
-                        matched.insert(i);
-                        for s in 0..self.succs[i].len() {
-                            let j = self.succs[i][s];
-                            self.pending_preds[j] -= 1;
-                        }
+                        next_matched.insert(i);
                     }
-                    self.witness.push(element);
-                    self.witness_sets.push(subset.to_vec());
-                    if self.dfs(matched, &next) {
-                        return true;
-                    }
-                    self.witness.pop();
-                    self.witness_sets.pop();
-                    for &i in subset {
-                        matched.remove(i);
-                        for s in 0..self.succs[i].len() {
-                            let j = self.succs[i][s];
-                            self.pending_preds[j] += 1;
-                        }
-                    }
+                    out.push((
+                        CalStep { element, subset: subset.to_vec() },
+                        (next_matched, next),
+                    ));
                 }
             }
             // Advance the mixed-radix counter over completion choices.
             let mut d = 0;
             loop {
                 if d == pick.len() {
-                    return false;
+                    return true;
                 }
                 pick[d] += 1;
                 if pick[d] < choices[d].len() {
@@ -904,6 +354,108 @@ impl<'a, S: CaSpec> Search<'a, S> {
                 d += 1;
             }
         }
+    }
+}
+
+/// Precomputes the real-time order: `preds[i]` = spans preceding span `i`.
+fn preds_of(spans: &[Span]) -> Vec<Vec<usize>> {
+    (0..spans.len())
+        .map(|i| {
+            (0..spans.len())
+                .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
+                .collect()
+        })
+        .collect()
+}
+
+impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
+    type Node = (BitSet, S::State);
+    type Step = CalStep;
+
+    fn initial(&self) -> Self::Node {
+        (BitSet::new(self.spans.len().max(1)), self.spec.get().initial())
+    }
+
+    fn is_goal(&self, node: &Self::Node) -> bool {
+        // Success: every *complete* operation explained; unmatched pending
+        // invocations are dropped by the chosen completion (Def. 2).
+        let (matched, _) = node;
+        (0..self.spans.len()).all(|i| matched.contains(i) || !self.spans[i].is_complete())
+    }
+
+    fn expand(
+        &self,
+        node: &Self::Node,
+        obs: &mut ExpandObs<'_, '_>,
+    ) -> Vec<(Self::Step, Self::Node)> {
+        let (matched, state) = node;
+        // Minimal operations: unmatched, with every ≺H-predecessor matched.
+        let minimal: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| {
+                !matched.contains(i) && self.preds[i].iter().all(|&j| matched.contains(j))
+            })
+            .collect();
+        obs.on_frontier(minimal.len());
+        let max_size = self.spec.get().max_element_size().max(1);
+        let mut out = Vec::new();
+        let mut subset: Vec<usize> = Vec::with_capacity(max_size);
+        self.grow(&minimal, 0, max_size, &mut subset, matched, state, obs, &mut out);
+        out
+    }
+
+    fn decompose(&self) -> Option<Vec<(ObjectId, Self)>> {
+        let objects = self.history.objects();
+        if objects.len() < 2 {
+            return None;
+        }
+        let parts: Option<Vec<(ObjectId, S)>> =
+            objects.iter().map(|&o| self.spec.get().restrict(o).map(|s| (o, s))).collect();
+        Some(
+            parts?
+                .into_iter()
+                .map(|(o, s)| {
+                    let sub = CalDomain::new(
+                        Cow::Owned(self.history.project_object(o)),
+                        SpecRef::Owned(s),
+                    )
+                    .expect("projection of a well-formed history is well-formed");
+                    (o, sub)
+                })
+                .collect(),
+        )
+    }
+
+    /// Interleaves per-object witnesses into a single sequence agreeing
+    /// with the full history's real-time order; see
+    /// [`engine::merge_by_order`] for the greedy argument. The k-th span
+    /// of `H|o` is the k-th object-`o` span of `H`: projection preserves
+    /// invocation order.
+    fn merge_witnesses(&self, parts: Vec<(ObjectId, Vec<CalStep>)>) -> Vec<CalStep> {
+        let mut by_object: HashMap<ObjectId, Vec<&Span>> = HashMap::new();
+        for span in &self.spans {
+            by_object.entry(span.object).or_default().push(span);
+        }
+        let queues: Vec<VecDeque<(CalStep, usize, usize)>> = parts
+            .into_iter()
+            .map(|(object, steps)| {
+                let object_spans = by_object.get(&object).map(Vec::as_slice).unwrap_or(&[]);
+                steps
+                    .into_iter()
+                    .map(|step| {
+                        let maxinv =
+                            step.subset.iter().map(|&k| object_spans[k].inv).max().unwrap_or(0);
+                        let minresp = step
+                            .subset
+                            .iter()
+                            .map(|&k| object_spans[k].resp.unwrap_or(usize::MAX))
+                            .min()
+                            .unwrap_or(usize::MAX);
+                        (step, maxinv, minresp)
+                    })
+                    .collect()
+            })
+            .collect();
+        engine::merge_by_order(queues)
     }
 }
 
@@ -1088,13 +640,14 @@ mod tests {
 
     #[test]
     fn verdict_display() {
-        assert_eq!(Verdict::NotCal.to_string(), "not CAL");
-        assert!(Verdict::ResourcesExhausted.to_string().contains("budget"));
-        let interrupted = Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded };
+        assert_eq!(Verdict::<CaTrace>::NotCal.to_string(), "not CAL");
+        assert!(Verdict::<CaTrace>::ResourcesExhausted.to_string().contains("budget"));
+        let interrupted =
+            Verdict::<CaTrace>::Interrupted { reason: InterruptReason::DeadlineExceeded };
         assert!(interrupted.to_string().contains("deadline"));
         assert!(interrupted.is_undecided());
-        assert!(Verdict::ResourcesExhausted.is_undecided());
-        assert!(!Verdict::NotCal.is_undecided());
+        assert!(Verdict::<CaTrace>::ResourcesExhausted.is_undecided());
+        assert!(!Verdict::<CaTrace>::NotCal.is_undecided());
     }
 
     /// A hard unsatisfiable workload: an odd number of identical

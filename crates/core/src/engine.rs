@@ -1,0 +1,1339 @@
+//! The generic membership-search kernel shared by every checker.
+//!
+//! The CAL checker ([`crate::check`]), the classical linearizability
+//! checker ([`crate::seqlin`]) and the interval-linearizability checker
+//! ([`crate::interval`]) are all instances of one problem: an ordered
+//! backtracking search for a *witness* — a sequence of steps accepted by a
+//! stateful specification that explains every complete operation of a
+//! history. They differ only in how candidate steps are enumerated and
+//! what a step is (a CA-element, a single operation, an interval point).
+//!
+//! This module owns everything that used to be triplicated across them:
+//!
+//! - the node budget ([`CheckOptions::max_nodes`]) with a private or
+//!   shared (cross-worker) counter;
+//! - deadline / cancellation polling at one tick cadence
+//!   ([`CheckOptions::deadline`], [`CancelToken`]);
+//! - failed-state memoization, thread-private (`MemoTable`) or shared
+//!   and mutex-striped ([`ShardedMemo`]);
+//! - [`crate::obs::StatsSink`] event emission;
+//! - the [`Verdict`] / [`InterruptReason`] outcome taxonomy;
+//! - the parallel driver: per-object decomposition and root-frontier
+//!   splitting ([`search_par`]).
+//!
+//! A checker plugs in by implementing [`SearchDomain`]: it names its
+//! search-node type (which doubles as the memo key — memo keys stay
+//! domain-local because what "same residual state" means differs per
+//! checker), enumerates successor steps, and optionally supports
+//! per-object decomposition with witness merging. In exchange it inherits
+//! sequential search, parallel search, the shared memo table, stats sinks
+//! and uniform interrupt semantics from one audited implementation.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::history::HistoryError;
+use crate::ids::ObjectId;
+use crate::obs::StatsSink;
+use crate::trace::CaTrace;
+
+/// A cooperative cancellation token shared between a checker run and the
+/// code supervising it.
+///
+/// Cloning yields a handle to the same token. The search polls it
+/// periodically; after [`CancelToken::cancel`] the run winds down and
+/// reports [`Verdict::Interrupted`] with partial [`CheckStats`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; safe to call from any thread, idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Tuning knobs for a membership search, shared by every checker.
+///
+/// # Examples
+///
+/// Options compose via struct update syntax from [`CheckOptions::default`]:
+///
+/// ```
+/// use std::time::Duration;
+/// use cal_core::check::CheckOptions;
+///
+/// let options = CheckOptions {
+///     max_nodes: 100_000,
+///     threads: 4,
+///     ..CheckOptions::with_deadline(Duration::from_secs(5))
+/// };
+/// assert_eq!(options.max_nodes, 100_000);
+/// assert!(options.memoize); // on by default
+/// ```
+#[derive(Clone)]
+pub struct CheckOptions {
+    /// Maximum number of search nodes to expand before giving up with
+    /// [`Verdict::ResourcesExhausted`].
+    pub max_nodes: u64,
+    /// Memoize failed search nodes (Lowe's optimization of the Wing–Gong
+    /// search, generalized to every domain's node type). On by default;
+    /// the ablation benchmark turns it off to quantify its effect.
+    pub memoize: bool,
+    /// Wall-clock budget for the search. When it elapses the search winds
+    /// down and reports [`Verdict::Interrupted`] with the stats gathered
+    /// so far. `None` (the default) means unbounded.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: when the token fires, the search winds
+    /// down and reports [`Verdict::Interrupted`]. `None` by default.
+    pub cancel: Option<CancelToken>,
+    /// Worker threads for the parallel drivers ([`search_par`], used by
+    /// [`crate::par::check_cal_par_with`] and the other `_par` entry
+    /// points). The sequential entry points ignore it. Defaults to 1.
+    pub threads: usize,
+    /// Observability sink the search reports events to
+    /// ([`crate::obs::StatsSink`]). `None` (the default) disables
+    /// observability entirely: each instrumentation point reduces to one
+    /// never-taken branch, no allocation, no atomics.
+    pub sink: Option<Arc<dyn StatsSink>>,
+}
+
+impl fmt::Debug for CheckOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckOptions")
+            .field("max_nodes", &self.max_nodes)
+            .field("memoize", &self.memoize)
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("threads", &self.threads)
+            .field("sink", &self.sink.as_ref().map(|_| "StatsSink"))
+            .finish()
+    }
+}
+
+impl CheckOptions {
+    /// The default node budget.
+    pub const DEFAULT_MAX_NODES: u64 = 4_000_000;
+
+    /// Returns the default options with a wall-clock `deadline`.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CheckOptions { deadline: Some(deadline), ..CheckOptions::default() }
+    }
+
+    /// Returns the default options with [`CheckOptions::threads`] set to
+    /// the machine's available parallelism.
+    pub fn parallel() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        CheckOptions { threads, ..CheckOptions::default() }
+    }
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            max_nodes: Self::DEFAULT_MAX_NODES,
+            memoize: true,
+            deadline: None,
+            cancel: None,
+            threads: 1,
+            sink: None,
+        }
+    }
+}
+
+/// Why a search stopped before reaching a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The wall-clock deadline in [`CheckOptions::deadline`] elapsed.
+    DeadlineExceeded,
+    /// The [`CancelToken`] in [`CheckOptions::cancel`] fired.
+    Cancelled,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+            InterruptReason::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+/// The outcome of a membership check, generic over the witness type `W`
+/// (a [`CaTrace`] for the CAL and linearizability checkers, an
+/// [`crate::interval::IntervalWitness`] for the interval checker).
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::check::{InterruptReason, Verdict};
+/// use cal_core::trace::CaTrace;
+///
+/// let cal = Verdict::Cal(CaTrace::new());
+/// assert!(cal.is_cal() && !cal.is_undecided());
+/// assert!(cal.witness().is_some());
+///
+/// // Budget and interrupt outcomes are undecided, not refutations.
+/// let timed_out: Verdict<CaTrace> =
+///     Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded };
+/// assert!(timed_out.is_undecided());
+/// assert_eq!(Verdict::<CaTrace>::NotCal.witness(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<W = CaTrace> {
+    /// The history is a member of the specification; the witness is
+    /// attached.
+    Cal(W),
+    /// No completion/witness pair exists: the history violates the
+    /// specification.
+    NotCal,
+    /// The node budget was exhausted before the search completed.
+    ResourcesExhausted,
+    /// The search was stopped early by a deadline or cancellation; the
+    /// accompanying [`CheckStats`] cover the work done up to that point.
+    Interrupted {
+        /// What stopped the search.
+        reason: InterruptReason,
+    },
+}
+
+impl<W> Verdict<W> {
+    /// Returns `true` for [`Verdict::Cal`].
+    pub fn is_cal(&self) -> bool {
+        matches!(self, Verdict::Cal(_))
+    }
+
+    /// Returns `true` when the search stopped without deciding —
+    /// [`Verdict::ResourcesExhausted`] or [`Verdict::Interrupted`].
+    pub fn is_undecided(&self) -> bool {
+        matches!(self, Verdict::ResourcesExhausted | Verdict::Interrupted { .. })
+    }
+
+    /// The witness, if the verdict is [`Verdict::Cal`].
+    pub fn witness(&self) -> Option<&W> {
+        match self {
+            Verdict::Cal(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Maps the witness type, leaving the other variants untouched.
+    pub fn map<U>(self, f: impl FnOnce(W) -> U) -> Verdict<U> {
+        match self {
+            Verdict::Cal(w) => Verdict::Cal(f(w)),
+            Verdict::NotCal => Verdict::NotCal,
+            Verdict::ResourcesExhausted => Verdict::ResourcesExhausted,
+            Verdict::Interrupted { reason } => Verdict::Interrupted { reason },
+        }
+    }
+}
+
+impl<W: fmt::Display> fmt::Display for Verdict<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Cal(w) => write!(f, "CAL (witness: {w})"),
+            Verdict::NotCal => f.write_str("not CAL"),
+            Verdict::ResourcesExhausted => f.write_str("undecided: node budget exhausted"),
+            Verdict::Interrupted { reason } => write!(f, "undecided: interrupted ({reason})"),
+        }
+    }
+}
+
+/// Search statistics, for the checker-scalability experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// Candidate steps tried (spec transition calls).
+    pub elements_tried: u64,
+    /// Failed states pruned via the memo table.
+    pub memo_hits: u64,
+}
+
+impl std::ops::AddAssign for CheckStats {
+    fn add_assign(&mut self, other: CheckStats) {
+        self.nodes += other.nodes;
+        self.elements_tried += other.elements_tried;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// A verdict together with search statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome<W = CaTrace> {
+    /// The verdict.
+    pub verdict: Verdict<W>,
+    /// Search statistics.
+    pub stats: CheckStats,
+}
+
+impl<W> CheckOutcome<W> {
+    /// Maps the witness type, preserving the stats.
+    pub fn map_witness<U>(self, f: impl FnOnce(W) -> U) -> CheckOutcome<U> {
+        CheckOutcome { verdict: self.verdict.map(f), stats: self.stats }
+    }
+}
+
+/// Errors reported by the checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The input history is not well-formed.
+    IllFormed(HistoryError),
+    /// The specification panicked during a transition; the payload is the
+    /// panic message. The search state is discarded — a panicking spec
+    /// cannot be trusted to have left its `State` values consistent.
+    SpecPanicked(String),
+    /// A boolean convenience query ([`crate::check::is_cal`]) could not be
+    /// answered because the underlying check stopped without deciding.
+    Undecided(Verdict),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::IllFormed(e) => write!(f, "ill-formed history: {e}"),
+            CheckError::SpecPanicked(msg) => write!(f, "specification panicked: {msg}"),
+            CheckError::Undecided(v) => write!(f, "check undecided: {v}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::IllFormed(e) => Some(e),
+            CheckError::SpecPanicked(_) | CheckError::Undecided(_) => None,
+        }
+    }
+}
+
+impl From<HistoryError> for CheckError {
+    fn from(e: HistoryError) -> Self {
+        CheckError::IllFormed(e)
+    }
+}
+
+/// Renders a `catch_unwind` payload as a message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How many search ticks (nodes or candidate steps) pass between
+/// wall-clock and cancellation polls. A power of two; small enough that
+/// even slow spec transitions keep deadline overshoot well under the
+/// deadline itself.
+const POLL_INTERVAL_MASK: u64 = 255;
+
+/// A concurrent failed-state table striped over N mutex-guarded shards.
+///
+/// Keys are domain search nodes; a key is inserted once the subtree below
+/// it has been exhaustively refuted, after which every worker prunes on
+/// it. Striping keeps the common case (distinct shards) contention-free
+/// without pulling in a lock-free map; see DESIGN.md for the rationale.
+pub struct ShardedMemo<K> {
+    shards: Box<[Mutex<HashSet<K>>]>,
+    mask: usize,
+}
+
+impl<K: Eq + Hash> ShardedMemo<K> {
+    /// Creates a table striped for `threads` workers (shard count is a
+    /// power of two, several shards per worker).
+    pub fn for_threads(threads: usize) -> Self {
+        Self::with_shards((threads.max(1) * 8).min(512))
+    }
+
+    /// Creates a table with `shards` stripes (rounded up to a power of
+    /// two, at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let stripes: Vec<Mutex<HashSet<K>>> = (0..n).map(|_| Mutex::new(HashSet::new())).collect();
+        ShardedMemo { shards: stripes.into_boxed_slice(), mask: n - 1 }
+    }
+
+    /// The stripe index `key` hashes to — stable for the table's lifetime,
+    /// and what per-shard memo statistics ([`crate::obs::StatsSink`]) are
+    /// keyed by.
+    pub fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & self.mask
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Whether `key` has been recorded as a refuted state.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).lock().contains(key)
+    }
+
+    /// Records a refuted state; returns `true` if it was new.
+    pub fn insert(&self, key: K) -> bool {
+        self.shard(&key).lock().insert(key)
+    }
+
+    /// Total number of recorded states.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K> fmt::Debug for ShardedMemo<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedMemo").field("shards", &self.shards.len()).finish()
+    }
+}
+
+/// The failed-state table behind a search: thread-private for the
+/// sequential driver, a reference to a shared sharded table for the
+/// parallel one (so cross-worker pruning compounds).
+pub(crate) enum MemoTable<'m, K: Eq + Hash> {
+    /// A plain private hash set.
+    Local(HashSet<K>),
+    /// A shared mutex-striped table owned by the parallel driver.
+    Shared(&'m ShardedMemo<K>),
+}
+
+impl<K: Eq + Hash> MemoTable<'_, K> {
+    /// The shard `key` lives in, for per-shard memo attribution: always 0
+    /// for the private table, the stripe index for the shared one.
+    fn shard_of(&self, key: &K) -> usize {
+        match self {
+            MemoTable::Local(_) => 0,
+            MemoTable::Shared(memo) => memo.shard_index(key),
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        match self {
+            MemoTable::Local(set) => set.contains(key),
+            MemoTable::Shared(memo) => memo.contains(key),
+        }
+    }
+
+    fn insert(&mut self, key: K) {
+        match self {
+            MemoTable::Local(set) => {
+                set.insert(key);
+            }
+            MemoTable::Shared(memo) => {
+                memo.insert(key);
+            }
+        }
+    }
+}
+
+/// A checker's view of one search problem: how to enumerate candidate
+/// steps and assemble witnesses. Everything else — budgets, deadlines,
+/// memoization, parallelism, stats — is the engine's job.
+///
+/// The three in-tree domains are the CAL checker ([`crate::check`],
+/// steps are CA-elements), the classical linearizability checker
+/// ([`crate::seqlin`], steps are single operations) and the
+/// interval-linearizability checker ([`crate::interval`], steps are
+/// interval points).
+pub trait SearchDomain {
+    /// A search node. Doubles as the failed-state memo key, which is why
+    /// it stays domain-local: the CAL and linearizability checkers key on
+    /// `(matched-set, spec-state)`, the interval checker additionally
+    /// carries its open-interval set — collapsing them onto one key type
+    /// would either lose pruning or conflate distinct residual states.
+    type Node: Clone + Eq + Hash + fmt::Debug;
+
+    /// One step of a witness (a CA-element, an operation, an interval
+    /// point).
+    type Step: Clone;
+
+    /// The root search node. May call specification code; the engine
+    /// guards the call with `catch_unwind` and surfaces panics as
+    /// [`CheckError::SpecPanicked`].
+    fn initial(&self) -> Self::Node;
+
+    /// Whether `node` explains every complete operation (unmatched
+    /// pending invocations are dropped by the chosen completion). Must
+    /// not call panicking specification code: the engine invokes it
+    /// unguarded on its hot path.
+    fn is_goal(&self, node: &Self::Node) -> bool;
+
+    /// Enumerates the successor steps of `node`, in the order the search
+    /// should try them. Domains call specification code *unguarded* here
+    /// — the engine wraps the whole call in `catch_unwind` and converts a
+    /// panic into [`CheckError::SpecPanicked`]. Long enumeration loops
+    /// should poll [`ExpandObs::should_stop`] and return early (with a
+    /// partial successor list) when it fires, and report candidate
+    /// transition attempts via [`ExpandObs::on_element_tried`].
+    fn expand(&self, node: &Self::Node, obs: &mut ExpandObs<'_, '_>) -> Vec<(Self::Step, Self::Node)>;
+
+    /// Splits the problem into independent per-object subdomains, when
+    /// the domain supports locality-based decomposition. `None` (the
+    /// default) means the parallel driver falls back to root-frontier
+    /// splitting. Implementations should return `None` rather than a
+    /// single-element partition. May call specification code; the engine
+    /// guards the call.
+    fn decompose(&self) -> Option<Vec<(ObjectId, Self)>>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Merges per-object witnesses (as returned by the subdomains from
+    /// [`SearchDomain::decompose`]) into one witness respecting the full
+    /// history's real-time order. The default concatenation is only
+    /// correct for domains that never decompose.
+    fn merge_witnesses(&self, parts: Vec<(ObjectId, Vec<Self::Step>)>) -> Vec<Self::Step> {
+        parts.into_iter().flat_map(|(_, steps)| steps).collect()
+    }
+}
+
+/// Non-generic per-search control state: budget, tick polling, interrupt
+/// latches and the stats sink.
+struct Ctl<'a> {
+    options: &'a CheckOptions,
+    sink: Option<&'a dyn StatsSink>,
+    start: Instant,
+    ticks: u64,
+    stats: CheckStats,
+    exhausted: bool,
+    interrupted: Option<InterruptReason>,
+    panicked: Option<String>,
+    /// Global node counter for parallel searches; when present it
+    /// replaces the private `stats.nodes` in the budget check, so
+    /// `max_nodes` bounds the *total* across workers.
+    shared_nodes: Option<&'a AtomicU64>,
+    /// Early-stop latch for parallel searches: fired by the driver when a
+    /// sibling worker found a witness (or panicked), making every other
+    /// worker wind down. Distinct from the user's [`CheckOptions::cancel`]
+    /// so an internal stop is never mistaken for a user cancellation.
+    stop: Option<&'a CancelToken>,
+}
+
+impl<'a> Ctl<'a> {
+    fn new(
+        options: &'a CheckOptions,
+        shared_nodes: Option<&'a AtomicU64>,
+        stop: Option<&'a CancelToken>,
+        start: Instant,
+    ) -> Self {
+        Ctl {
+            options,
+            sink: options.sink.as_deref(),
+            start,
+            ticks: 0,
+            stats: CheckStats::default(),
+            exhausted: false,
+            interrupted: None,
+            panicked: None,
+            shared_nodes,
+            stop,
+        }
+    }
+
+    /// `true` once the search must stop (interrupt already latched, spec
+    /// panicked, or a periodic poll observes deadline/cancellation).
+    fn should_stop(&mut self) -> bool {
+        if self.interrupted.is_some() || self.panicked.is_some() {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks & POLL_INTERVAL_MASK == 0 {
+            if let Some(deadline) = self.options.deadline {
+                if self.start.elapsed() >= deadline {
+                    return self.latch_interrupt(InterruptReason::DeadlineExceeded);
+                }
+            }
+            if let Some(cancel) = &self.options.cancel {
+                if cancel.is_cancelled() {
+                    return self.latch_interrupt(InterruptReason::Cancelled);
+                }
+            }
+            if let Some(stop) = self.stop {
+                if stop.is_cancelled() {
+                    return self.latch_interrupt(InterruptReason::Cancelled);
+                }
+            }
+        }
+        false
+    }
+
+    /// Latches `reason`, reports it to the sink, and returns `true`.
+    fn latch_interrupt(&mut self, reason: InterruptReason) -> bool {
+        self.interrupted = Some(reason);
+        if let Some(sink) = self.sink {
+            sink.on_interrupt(reason);
+        }
+        true
+    }
+
+    /// Charges one node against the budget (the shared counter when
+    /// present, the private one otherwise) and latches `exhausted` when
+    /// the budget is spent.
+    fn charge_node(&mut self) -> bool {
+        let spent = match self.shared_nodes {
+            Some(counter) => counter.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.nodes,
+        };
+        if spent >= self.options.max_nodes {
+            if !self.exhausted {
+                if let Some(sink) = self.sink {
+                    sink.on_budget_exhausted(self.options.max_nodes);
+                }
+            }
+            self.exhausted = true;
+            return false;
+        }
+        self.stats.nodes += 1;
+        if let Some(sink) = self.sink {
+            sink.on_node();
+        }
+        true
+    }
+}
+
+/// The engine-side observer a domain's [`SearchDomain::expand`] reports
+/// to: frontier widths, candidate attempts and cooperative-stop polls,
+/// all forwarded to the shared stats and the configured
+/// [`crate::obs::StatsSink`].
+pub struct ExpandObs<'e, 'a> {
+    ctl: &'e mut Ctl<'a>,
+}
+
+impl ExpandObs<'_, '_> {
+    /// Reports the width of the node's candidate frontier (called once
+    /// per expansion).
+    pub fn on_frontier(&mut self, width: usize) {
+        if let Some(sink) = self.ctl.sink {
+            sink.on_frontier(width);
+        }
+    }
+
+    /// Reports one candidate transition attempt against the spec.
+    pub fn on_element_tried(&mut self) {
+        self.ctl.stats.elements_tried += 1;
+        if let Some(sink) = self.ctl.sink {
+            sink.on_element_tried();
+        }
+    }
+
+    /// Polls the deadline / cancellation state at the shared tick
+    /// cadence. Once it returns `true` the domain should stop enumerating
+    /// and return the successors collected so far — the engine winds the
+    /// whole search down.
+    pub fn should_stop(&mut self) -> bool {
+        self.ctl.should_stop()
+    }
+}
+
+impl fmt::Debug for ExpandObs<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExpandObs").finish_non_exhaustive()
+    }
+}
+
+/// The full mutable state of one worker's DFS.
+struct Cx<'a, D: SearchDomain> {
+    ctl: Ctl<'a>,
+    failed: MemoTable<'a, D::Node>,
+    witness: Vec<D::Step>,
+}
+
+/// [`SearchDomain::expand`] behind `catch_unwind`: a panicking spec
+/// latches `panicked` and reads as a dead end.
+fn expand_guarded<D: SearchDomain>(
+    domain: &D,
+    cx: &mut Cx<'_, D>,
+    node: &D::Node,
+) -> Option<Vec<(D::Step, D::Node)>> {
+    let mut obs = ExpandObs { ctl: &mut cx.ctl };
+    match catch_unwind(AssertUnwindSafe(|| domain.expand(node, &mut obs))) {
+        Ok(succs) => Some(succs),
+        Err(payload) => {
+            cx.ctl.panicked = Some(panic_message(payload));
+            None
+        }
+    }
+}
+
+/// The one backtracking search every checker shares.
+fn dfs<D: SearchDomain>(domain: &D, cx: &mut Cx<'_, D>, node: &D::Node) -> bool {
+    if domain.is_goal(node) {
+        return true;
+    }
+    if cx.ctl.should_stop() {
+        return false;
+    }
+    if !cx.ctl.charge_node() {
+        return false;
+    }
+    if cx.ctl.options.memoize {
+        if cx.failed.contains(node) {
+            cx.ctl.stats.memo_hits += 1;
+            if let Some(sink) = cx.ctl.sink {
+                sink.on_memo_hit(cx.failed.shard_of(node));
+            }
+            return false;
+        }
+        if let Some(sink) = cx.ctl.sink {
+            sink.on_memo_miss(cx.failed.shard_of(node));
+        }
+    }
+    let Some(succs) = expand_guarded(domain, cx, node) else { return false };
+    for (step, next) in succs {
+        if cx.ctl.should_stop() {
+            return false;
+        }
+        cx.witness.push(step);
+        if dfs(domain, cx, &next) {
+            return true;
+        }
+        cx.witness.pop();
+    }
+    // An interrupted or panicked subtree is not a *proven* failure — only
+    // record states whose expansion genuinely completed.
+    if cx.ctl.options.memoize
+        && cx.ctl.interrupted.is_none()
+        && cx.ctl.panicked.is_none()
+        && !cx.ctl.exhausted
+    {
+        if let Some(sink) = cx.ctl.sink {
+            sink.on_memo_insert(cx.failed.shard_of(node));
+        }
+        cx.failed.insert(node.clone());
+    }
+    false
+}
+
+/// What one worker's search produced.
+struct RunResult<T> {
+    witness: Option<Vec<T>>,
+    stats: CheckStats,
+    interrupted: Option<InterruptReason>,
+    exhausted: bool,
+    panicked: Option<String>,
+}
+
+/// Runs one DFS from `root` to completion (or interruption).
+fn run_root<'m, D: SearchDomain>(
+    domain: &D,
+    options: &CheckOptions,
+    root: &D::Node,
+    failed: MemoTable<'m, D::Node>,
+    shared_nodes: Option<&'m AtomicU64>,
+    stop: Option<&'m CancelToken>,
+    start: Instant,
+) -> RunResult<D::Step> {
+    let mut cx: Cx<'_, D> =
+        Cx { ctl: Ctl::new(options, shared_nodes, stop, start), failed, witness: Vec::new() };
+    let found = dfs(domain, &mut cx, root);
+    RunResult {
+        witness: found.then(|| std::mem::take(&mut cx.witness)),
+        stats: cx.ctl.stats,
+        interrupted: cx.ctl.interrupted,
+        exhausted: cx.ctl.exhausted,
+        panicked: cx.ctl.panicked,
+    }
+}
+
+/// [`SearchDomain::initial`] behind `catch_unwind`.
+fn initial_guarded<D: SearchDomain>(domain: &D) -> Result<D::Node, CheckError> {
+    catch_unwind(AssertUnwindSafe(|| domain.initial()))
+        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))
+}
+
+/// Runs the sequential search over `domain`, returning the witness as the
+/// domain's step sequence.
+///
+/// # Errors
+///
+/// Returns [`CheckError::SpecPanicked`] if the domain's specification
+/// panics during the search.
+pub fn search<D: SearchDomain>(
+    domain: &D,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<Vec<D::Step>>, CheckError> {
+    let root = initial_guarded(domain)?;
+    let r = run_root(
+        domain,
+        options,
+        &root,
+        MemoTable::Local(HashSet::new()),
+        None,
+        None,
+        Instant::now(),
+    );
+    finish_run(r)
+}
+
+/// Converts one completed [`RunResult`] into a [`CheckOutcome`].
+fn finish_run<T>(r: RunResult<T>) -> Result<CheckOutcome<Vec<T>>, CheckError> {
+    if let Some(msg) = r.panicked {
+        return Err(CheckError::SpecPanicked(msg));
+    }
+    let verdict = if let Some(witness) = r.witness {
+        Verdict::Cal(witness)
+    } else if let Some(reason) = r.interrupted {
+        Verdict::Interrupted { reason }
+    } else if r.exhausted {
+        Verdict::ResourcesExhausted
+    } else {
+        Verdict::NotCal
+    };
+    Ok(CheckOutcome { verdict, stats: r.stats })
+}
+
+/// Per-worker aggregation of a frontier or decomposed run.
+#[derive(Default)]
+struct Tally {
+    stats: CheckStats,
+    deadline: bool,
+    user_cancelled: bool,
+    exhausted: bool,
+}
+
+impl Tally {
+    /// Folds one finished sub-search into the tally, classifying its
+    /// interrupt (an internal stop is *not* a user cancellation).
+    fn absorb<T>(&mut self, r: &RunResult<T>, options: &CheckOptions) {
+        self.stats += r.stats;
+        match r.interrupted {
+            Some(InterruptReason::DeadlineExceeded) => self.deadline = true,
+            Some(InterruptReason::Cancelled)
+                if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) =>
+            {
+                self.user_cancelled = true;
+            }
+            _ => {}
+        }
+        self.exhausted |= r.exhausted;
+    }
+}
+
+/// Runs the parallel search over `domain`: per-object decomposition when
+/// [`SearchDomain::decompose`] offers at least two parts, root-frontier
+/// splitting with a shared [`ShardedMemo`] otherwise.
+/// [`CheckOptions::threads`] sets the worker count; `max_nodes` bounds
+/// the *total* nodes across workers.
+///
+/// # Errors
+///
+/// Returns [`CheckError::SpecPanicked`] if the domain's specification
+/// panics during the search.
+pub fn search_par<D>(
+    domain: &D,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<Vec<D::Step>>, CheckError>
+where
+    D: SearchDomain + Sync,
+    D::Node: Send + Sync,
+    D::Step: Send + Sync,
+{
+    let parts = catch_unwind(AssertUnwindSafe(|| domain.decompose()))
+        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
+    match parts {
+        Some(parts) if parts.len() >= 2 => search_decomposed(domain, parts, options),
+        _ => frontier_search(domain, options),
+    }
+}
+
+/// Whole-problem search with the root frontier split across workers.
+fn frontier_search<D>(
+    domain: &D,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<Vec<D::Step>>, CheckError>
+where
+    D: SearchDomain + Sync,
+    D::Node: Send + Sync,
+    D::Step: Send + Sync,
+{
+    let start = Instant::now();
+    let root = initial_guarded(domain)?;
+    if domain.is_goal(&root) {
+        return Ok(CheckOutcome { verdict: Verdict::Cal(Vec::new()), stats: CheckStats::default() });
+    }
+    let sink = options.sink.as_deref();
+    if options.max_nodes == 0 {
+        if let Some(sink) = sink {
+            sink.on_budget_exhausted(0);
+        }
+        return Ok(CheckOutcome {
+            verdict: Verdict::ResourcesExhausted,
+            stats: CheckStats::default(),
+        });
+    }
+    // The root expansion is one node, mirroring the sequential search.
+    let mut root_ctl = Ctl::new(options, None, None, start);
+    root_ctl.stats.nodes = 1;
+    if let Some(sink) = sink {
+        sink.on_node();
+    }
+    let branches = {
+        let mut obs = ExpandObs { ctl: &mut root_ctl };
+        catch_unwind(AssertUnwindSafe(|| domain.expand(&root, &mut obs)))
+            .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?
+    };
+    let root_stats = root_ctl.stats;
+    if let Some(reason) = root_ctl.interrupted {
+        return Ok(CheckOutcome { verdict: Verdict::Interrupted { reason }, stats: root_stats });
+    }
+    if branches.is_empty() {
+        return Ok(CheckOutcome { verdict: Verdict::NotCal, stats: root_stats });
+    }
+
+    let workers = options.threads.max(1).min(branches.len());
+    if let Some(sink) = sink {
+        sink.on_root_frontier(branches.len(), workers);
+    }
+    let memo: ShardedMemo<D::Node> = ShardedMemo::for_threads(workers);
+    let nodes = AtomicU64::new(root_stats.nodes);
+    let stop = CancelToken::new();
+    let next = AtomicUsize::new(0);
+    let witness: Mutex<Option<Vec<D::Step>>> = Mutex::new(None);
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
+
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut tally = Tally::default();
+                    loop {
+                        if stop.is_cancelled() {
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((step, node)) = branches.get(idx) else { break };
+                        let mut r = run_root(
+                            domain,
+                            options,
+                            node,
+                            MemoTable::Shared(&memo),
+                            Some(&nodes),
+                            Some(&stop),
+                            start,
+                        );
+                        if let Some(msg) = r.panicked.take() {
+                            tally.stats += r.stats;
+                            let mut slot = panicked.lock();
+                            if slot.is_none() {
+                                *slot = Some(msg);
+                            }
+                            stop.cancel();
+                            break;
+                        }
+                        if let Some(tail) = r.witness.take() {
+                            tally.stats += r.stats;
+                            let mut full = Vec::with_capacity(tail.len() + 1);
+                            full.push(step.clone());
+                            full.extend(tail);
+                            let mut slot = witness.lock();
+                            if slot.is_none() {
+                                *slot = Some(full);
+                            }
+                            stop.cancel();
+                            break;
+                        }
+                        tally.absorb(&r, options);
+                        if r.interrupted.is_some() || r.exhausted {
+                            break;
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
+    });
+
+    if let Some(msg) = panicked.into_inner() {
+        return Err(CheckError::SpecPanicked(msg));
+    }
+    let mut stats = root_stats;
+    let mut deadline = false;
+    let mut user_cancelled = false;
+    let mut exhausted = false;
+    for tally in tallies {
+        stats += tally.stats;
+        deadline |= tally.deadline;
+        user_cancelled |= tally.user_cancelled;
+        exhausted |= tally.exhausted;
+    }
+    let verdict = if let Some(w) = witness.into_inner() {
+        Verdict::Cal(w)
+    } else if deadline {
+        Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded }
+    } else if user_cancelled {
+        Verdict::Interrupted { reason: InterruptReason::Cancelled }
+    } else if exhausted {
+        Verdict::ResourcesExhausted
+    } else {
+        Verdict::NotCal
+    };
+    Ok(CheckOutcome { verdict, stats })
+}
+
+/// One per-object subsearch's result under decomposition.
+struct SubResult<T> {
+    object: ObjectId,
+    witness: Option<Vec<T>>,
+    /// `true` when the subsearch completed and refuted the subproblem.
+    not_cal: bool,
+    tally: Tally,
+    panicked: Option<String>,
+}
+
+/// Classifies a finished subsearch for
+/// [`crate::obs::StatsSink::on_object_done`].
+fn classify_subresult<T>(result: &SubResult<T>) -> crate::obs::ObjectOutcome {
+    use crate::obs::ObjectOutcome;
+    if result.panicked.is_some() {
+        ObjectOutcome::SpecPanicked
+    } else if result.witness.is_some() {
+        ObjectOutcome::Cal
+    } else if result.not_cal {
+        ObjectOutcome::NotCal
+    } else if result.tally.exhausted {
+        ObjectOutcome::Exhausted
+    } else {
+        ObjectOutcome::Interrupted
+    }
+}
+
+/// Checks each decomposed part independently (locality), in parallel, and
+/// merges per-object witnesses via [`SearchDomain::merge_witnesses`].
+fn search_decomposed<D>(
+    parent: &D,
+    parts: Vec<(ObjectId, D)>,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<Vec<D::Step>>, CheckError>
+where
+    D: SearchDomain + Sync,
+    D::Node: Send + Sync,
+    D::Step: Send + Sync,
+{
+    let start = Instant::now();
+    let part_count = parts.len();
+    let workers = options.threads.max(1).min(part_count);
+    let sink = options.sink.as_deref();
+    let nodes = AtomicU64::new(0);
+    let stop = CancelToken::new();
+    let next = AtomicUsize::new(0);
+
+    let results: Vec<SubResult<D::Step>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<SubResult<D::Step>> = Vec::new();
+                    loop {
+                        if stop.is_cancelled() {
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((object, sub)) = parts.get(idx) else { break };
+                        if let Some(sink) = sink {
+                            sink.on_object_start(*object);
+                        }
+                        let sub_start = Instant::now();
+                        let result = check_part(*object, sub, options, &nodes, &stop, start);
+                        if let Some(sink) = sink {
+                            sink.on_object_done(
+                                *object,
+                                sub_start.elapsed(),
+                                classify_subresult(&result),
+                            );
+                        }
+                        let decisive_negative = result.not_cal
+                            || result.panicked.is_some()
+                            || result.tally.exhausted
+                            || result.tally.deadline
+                            || result.tally.user_cancelled;
+                        mine.push(result);
+                        if decisive_negative {
+                            // Siblings cannot change the aggregate verdict;
+                            // wind everyone down.
+                            stop.cancel();
+                            break;
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("checker worker panicked"))
+            .collect()
+    });
+
+    let mut stats = CheckStats::default();
+    let mut deadline = false;
+    let mut user_cancelled = false;
+    let mut exhausted = false;
+    let mut not_cal = false;
+    let mut witnesses: Vec<(ObjectId, Vec<D::Step>)> = Vec::new();
+    for result in results {
+        stats += result.tally.stats;
+        if let Some(msg) = result.panicked {
+            return Err(CheckError::SpecPanicked(msg));
+        }
+        deadline |= result.tally.deadline;
+        user_cancelled |= result.tally.user_cancelled;
+        exhausted |= result.tally.exhausted;
+        not_cal |= result.not_cal;
+        if let Some(steps) = result.witness {
+            witnesses.push((result.object, steps));
+        }
+    }
+    // A refuted subproblem is decisive regardless of interrupts elsewhere:
+    // membership implies per-object membership (locality).
+    let verdict = if not_cal {
+        Verdict::NotCal
+    } else if deadline {
+        Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded }
+    } else if user_cancelled {
+        Verdict::Interrupted { reason: InterruptReason::Cancelled }
+    } else if exhausted {
+        Verdict::ResourcesExhausted
+    } else {
+        debug_assert_eq!(witnesses.len(), part_count, "every subcheck must have decided");
+        Verdict::Cal(parent.merge_witnesses(witnesses))
+    };
+    Ok(CheckOutcome { verdict, stats })
+}
+
+/// Runs one decomposed part's DFS, charging the shared node budget and
+/// observing the shared stop latch.
+fn check_part<D: SearchDomain>(
+    object: ObjectId,
+    sub: &D,
+    options: &CheckOptions,
+    nodes: &AtomicU64,
+    stop: &CancelToken,
+    start: Instant,
+) -> SubResult<D::Step> {
+    let root = match catch_unwind(AssertUnwindSafe(|| sub.initial())) {
+        Ok(n) => n,
+        Err(p) => {
+            return SubResult {
+                object,
+                witness: None,
+                not_cal: false,
+                tally: Tally::default(),
+                panicked: Some(panic_message(p)),
+            }
+        }
+    };
+    let mut r = run_root(
+        sub,
+        options,
+        &root,
+        MemoTable::Local(HashSet::new()),
+        Some(nodes),
+        Some(stop),
+        start,
+    );
+    let mut tally = Tally::default();
+    let panicked = r.panicked.take();
+    let witness = r.witness.take();
+    tally.absorb(&r, options);
+    let not_cal = panicked.is_none()
+        && witness.is_none()
+        && r.interrupted.is_none()
+        && !r.exhausted;
+    SubResult { object, witness, not_cal, tally, panicked }
+}
+
+/// A reference to a domain's specification: borrowed at the top level,
+/// owned by decomposed subdomains (restriction yields an owned spec).
+pub(crate) enum SpecRef<'a, S> {
+    /// The caller's specification, borrowed.
+    Borrowed(&'a S),
+    /// A restricted per-object specification, owned by the subdomain.
+    Owned(S),
+}
+
+impl<S> SpecRef<'_, S> {
+    pub(crate) fn get(&self) -> &S {
+        match self {
+            SpecRef::Borrowed(s) => s,
+            SpecRef::Owned(s) => s,
+        }
+    }
+}
+
+/// Greedily interleaves per-object witness queues into one sequence
+/// respecting the full history's real-time order.
+///
+/// Each queue entry is `(step, maxinv, minresp)`: `maxinv` is the largest
+/// invocation index among the step's operations in the *full* history and
+/// `minresp` the smallest response index (`usize::MAX` for operations the
+/// checker completed). `F` must precede `E` in any agreeing witness iff
+/// `minresp(F) < maxinv(E)`. With `m` the minimum `minresp` over all
+/// remaining steps, any queue head with `maxinv ≤ m` can be emitted next
+/// — the queue holding the minimizing step always has one, because
+/// per-object witness order already respects the per-object real-time
+/// order.
+pub(crate) fn merge_by_order<T>(mut queues: Vec<VecDeque<(T, usize, usize)>>) -> Vec<T> {
+    let mut merged = Vec::new();
+    loop {
+        let m = queues.iter().flat_map(|q| q.iter().map(|item| item.2)).min();
+        let Some(m) = m else { break };
+        let q = queues
+            .iter()
+            .position(|q| q.front().is_some_and(|head| head.1 <= m))
+            .expect("per-object witnesses always have an emittable head");
+        let head = queues[q].pop_front().expect("chosen queue has a head");
+        merged.push(head.0);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy domain: count down from `n` to 0 by steps of 1 or 2; goal is
+    /// 0. Witness steps record the decrement taken.
+    struct Countdown {
+        n: u32,
+        /// Reject every transition (forces exhaustive refutation).
+        dead_end: bool,
+    }
+
+    impl SearchDomain for Countdown {
+        type Node = u32;
+        type Step = u32;
+
+        fn initial(&self) -> u32 {
+            self.n
+        }
+
+        fn is_goal(&self, node: &u32) -> bool {
+            *node == 0
+        }
+
+        fn expand(&self, node: &u32, obs: &mut ExpandObs<'_, '_>) -> Vec<(u32, u32)> {
+            let mut out = Vec::new();
+            obs.on_frontier(2);
+            for d in [1u32, 2] {
+                if obs.should_stop() {
+                    break;
+                }
+                obs.on_element_tried();
+                if !self.dead_end && d <= *node {
+                    out.push((d, *node - d));
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn sequential_search_finds_a_witness() {
+        let outcome =
+            search(&Countdown { n: 5, dead_end: false }, &CheckOptions::default()).unwrap();
+        let witness = outcome.verdict.witness().expect("witness").clone();
+        assert_eq!(witness.iter().sum::<u32>(), 5);
+        assert!(outcome.stats.nodes > 0);
+        assert!(outcome.stats.elements_tried > 0);
+    }
+
+    #[test]
+    fn dead_end_domain_is_refuted() {
+        let outcome =
+            search(&Countdown { n: 3, dead_end: true }, &CheckOptions::default()).unwrap();
+        assert_eq!(outcome.verdict, Verdict::NotCal);
+    }
+
+    #[test]
+    fn zero_budget_is_exhaustion() {
+        let options = CheckOptions { max_nodes: 0, ..CheckOptions::default() };
+        let outcome = search(&Countdown { n: 3, dead_end: false }, &options).unwrap();
+        assert_eq!(outcome.verdict, Verdict::ResourcesExhausted);
+    }
+
+    #[test]
+    fn parallel_frontier_matches_sequential() {
+        for threads in [1, 2, 8] {
+            let options = CheckOptions { threads, ..CheckOptions::default() };
+            let outcome = search_par(&Countdown { n: 6, dead_end: false }, &options).unwrap();
+            let witness = outcome.verdict.witness().expect("witness");
+            assert_eq!(witness.iter().sum::<u32>(), 6, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancelled_token_interrupts() {
+        let token = CancelToken::new();
+        token.cancel();
+        let options = CheckOptions {
+            cancel: Some(token),
+            memoize: false,
+            ..CheckOptions::default()
+        };
+        // Large enough that the tick poll fires before the search ends.
+        let outcome = search(&Countdown { n: 4_000, dead_end: false }, &options).unwrap();
+        assert_eq!(outcome.verdict, Verdict::Interrupted { reason: InterruptReason::Cancelled });
+    }
+
+    #[test]
+    fn panicking_domain_is_an_error() {
+        struct Panicky;
+        impl SearchDomain for Panicky {
+            type Node = u32;
+            type Step = u32;
+            fn initial(&self) -> u32 {
+                1
+            }
+            fn is_goal(&self, node: &u32) -> bool {
+                *node == 0
+            }
+            fn expand(&self, _: &u32, _: &mut ExpandObs<'_, '_>) -> Vec<(u32, u32)> {
+                panic!("domain bug")
+            }
+        }
+        match search(&Panicky, &CheckOptions::default()) {
+            Err(CheckError::SpecPanicked(msg)) => assert!(msg.contains("domain bug")),
+            other => panic!("expected SpecPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_by_order_respects_precedence() {
+        // Queue A's step responds before queue B's step is invoked.
+        let queues = vec![
+            VecDeque::from([("a", 0, 1)]),
+            VecDeque::from([("b", 2, 3)]),
+        ];
+        assert_eq!(merge_by_order(queues), vec!["a", "b"]);
+    }
+}

@@ -204,7 +204,7 @@ impl History {
     /// of invocations and responses starting with an invocation, each
     /// response immediately preceded by its matching invocation.
     pub fn is_sequential(&self) -> bool {
-        if self.actions.len() % 2 != 0 {
+        if !self.actions.len().is_multiple_of(2) {
             // A sequential history may end with a pending invocation; allow
             // an odd length only when the final action is an invocation.
             if let Some(last) = self.actions.last() {

@@ -16,19 +16,29 @@
 //! opening/active/closing sets, (ii) `i ≺H j ⟹ r_i < l_j`, and (iii)
 //! operations in one point are pairwise concurrent in `H`. CAL is the
 //! special case where every interval has length one.
+//!
+//! Like the other two checkers, this module is a thin domain over the
+//! shared search kernel ([`crate::engine`]): `IntervalDomain` enumerates
+//! candidate points, and budgets, deadlines, cancellation, memoization,
+//! [`crate::obs::StatsSink`] observability and the parallel driver
+//! ([`check_interval_par_with`]) come from the engine. The verdict is the
+//! common [`Verdict`] taxonomy with an [`IntervalWitness`] payload; the
+//! bespoke [`IntervalVerdict`] remains as a deprecated conversion target
+//! for one release.
 
-use std::collections::HashSet;
-use std::fmt::Debug;
+use std::fmt::{self, Debug};
 use std::hash::Hash;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 use crate::bitset::BitSet;
-use crate::check::{panic_message, CheckError, CheckOptions, InterruptReason};
-use crate::history::{History, Span};
-use crate::op::Operation;
-use crate::spec::Invocation;
+use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
+use crate::history::{History, HistoryError, Span};
 use crate::ids::Value;
+use crate::op::Operation;
+use crate::spec::{Invocation, SeqSpec};
+
+pub use crate::engine::{CheckError, CheckOptions, CheckOutcome, InterruptReason, Verdict};
+
+use std::borrow::Cow;
 
 /// An interval-sequential specification: a stateful acceptor over interval
 /// points.
@@ -74,7 +84,81 @@ pub struct IntervalPoint {
     pub closing: Vec<Operation>,
 }
 
-/// The outcome of an interval-linearizability check.
+fn join_ops(f: &mut fmt::Formatter<'_>, ops: &[Operation]) -> fmt::Result {
+    for (k, op) in ops.iter().enumerate() {
+        if k > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{op}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for IntervalPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{active: ")?;
+        join_ops(f, &self.active)?;
+        f.write_str("; opening: ")?;
+        join_ops(f, &self.opening)?;
+        f.write_str("; closing: ")?;
+        join_ops(f, &self.closing)?;
+        f.write_str("}")
+    }
+}
+
+/// An interval-linearization witness: the accepted point sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalWitness {
+    points: Vec<IntervalPoint>,
+}
+
+impl IntervalWitness {
+    /// Wraps a point sequence as a witness.
+    pub fn new(points: Vec<IntervalPoint>) -> Self {
+        IntervalWitness { points }
+    }
+
+    /// The witness points, in order.
+    pub fn points(&self) -> &[IntervalPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the witness has no points (empty or pending-only history).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Consumes the witness, yielding its points.
+    pub fn into_points(self) -> Vec<IntervalPoint> {
+        self.points
+    }
+}
+
+impl fmt::Display for IntervalWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.points.is_empty() {
+            return f.write_str("(empty)");
+        }
+        for (k, point) in self.points.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{point}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The bespoke outcome type of the pre-kernel interval checker.
+#[deprecated(
+    note = "use the common `Verdict<IntervalWitness>` returned by `check_interval`; \
+            convert with `IntervalVerdict::from` during migration"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IntervalVerdict {
     /// Interval-linearizable, with the witness point sequence.
@@ -90,6 +174,7 @@ pub enum IntervalVerdict {
     },
 }
 
+#[allow(deprecated)]
 impl IntervalVerdict {
     /// Returns `true` for [`IntervalVerdict::Linearizable`].
     pub fn is_linearizable(&self) -> bool {
@@ -97,7 +182,23 @@ impl IntervalVerdict {
     }
 }
 
+#[allow(deprecated)]
+impl From<Verdict<IntervalWitness>> for IntervalVerdict {
+    fn from(v: Verdict<IntervalWitness>) -> Self {
+        match v {
+            Verdict::Cal(w) => IntervalVerdict::Linearizable(w.into_points()),
+            Verdict::NotCal => IntervalVerdict::NotLinearizable,
+            Verdict::ResourcesExhausted => IntervalVerdict::ResourcesExhausted,
+            Verdict::Interrupted { reason } => IntervalVerdict::Interrupted { reason },
+        }
+    }
+}
+
 /// Decides interval-linearizability of `history` w.r.t. `spec`.
+///
+/// The outcome uses the common [`Verdict`] taxonomy with an
+/// [`IntervalWitness`] payload ([`Verdict::Cal`] meaning
+/// *interval-linearizable*), plus the engine's [`crate::check::CheckStats`].
 ///
 /// # Errors
 ///
@@ -105,7 +206,7 @@ impl IntervalVerdict {
 pub fn check_interval<S: IntervalSpec>(
     history: &History,
     spec: &S,
-) -> Result<IntervalVerdict, CheckError> {
+) -> Result<CheckOutcome<IntervalWitness>, CheckError> {
     check_interval_with(history, spec, &CheckOptions::default())
 }
 
@@ -118,39 +219,50 @@ pub fn check_interval_with<S: IntervalSpec>(
     history: &History,
     spec: &S,
     options: &CheckOptions,
-) -> Result<IntervalVerdict, CheckError> {
-    let spans = history.try_spans()?;
-    let n = spans.len();
-    let mut search = IntervalSearch {
-        spans: &spans,
-        spec,
-        options,
-        nodes: 0,
-        exhausted: false,
-        failed: HashSet::new(),
-        witness: Vec::new(),
-        start: Instant::now(),
-        ticks: 0,
-        interrupted: None,
-        panicked: None,
-    };
-    let mut done = BitSet::new(n.max(1));
-    let open: Vec<(usize, Operation)> = Vec::new();
-    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
-        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
-    let found = search.dfs(&mut done, &open, &initial);
-    if let Some(msg) = search.panicked {
-        return Err(CheckError::SpecPanicked(msg));
-    }
-    if found {
-        Ok(IntervalVerdict::Linearizable(search.witness))
-    } else if let Some(reason) = search.interrupted {
-        Ok(IntervalVerdict::Interrupted { reason })
-    } else if search.exhausted {
-        Ok(IntervalVerdict::ResourcesExhausted)
-    } else {
-        Ok(IntervalVerdict::NotLinearizable)
-    }
+) -> Result<CheckOutcome<IntervalWitness>, CheckError> {
+    let domain = IntervalDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search(&domain, options)?.map_witness(IntervalWitness::new))
+}
+
+/// Parallel interval-linearizability check with [`CheckOptions::parallel`];
+/// see [`check_interval_par_with`].
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed
+/// and [`CheckError::SpecPanicked`] if the specification panics.
+pub fn check_interval_par<S>(
+    history: &History,
+    spec: &S,
+) -> Result<CheckOutcome<IntervalWitness>, CheckError>
+where
+    S: IntervalSpec + Sync,
+    S::State: Send + Sync,
+{
+    check_interval_par_with(history, spec, &CheckOptions::parallel())
+}
+
+/// Like [`check_interval_with`], run on the engine's parallel driver
+/// ([`engine::search_par`]): the candidate first points are enumerated
+/// once and split across workers sharing one sharded memo table and a
+/// global node budget — inherited from the shared kernel, with the same
+/// verdict and interrupt semantics as the CAL checker.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed
+/// and [`CheckError::SpecPanicked`] if the specification panics.
+pub fn check_interval_par_with<S>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<IntervalWitness>, CheckError>
+where
+    S: IntervalSpec + Sync,
+    S::State: Send + Sync,
+{
+    let domain = IntervalDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search_par(&domain, options)?.map_witness(IntervalWitness::new))
 }
 
 /// Convenience predicate for [`check_interval`].
@@ -165,150 +277,128 @@ pub fn is_interval_linearizable<S: IntervalSpec>(
     history: &History,
     spec: &S,
 ) -> Result<bool, CheckError> {
-    use crate::check::Verdict;
-    match check_interval(history, spec)? {
-        IntervalVerdict::Linearizable(_) => Ok(true),
-        IntervalVerdict::NotLinearizable => Ok(false),
-        IntervalVerdict::ResourcesExhausted => {
-            Err(CheckError::Undecided(Verdict::ResourcesExhausted))
-        }
-        IntervalVerdict::Interrupted { reason } => {
+    match check_interval(history, spec)?.verdict {
+        Verdict::Cal(_) => Ok(true),
+        Verdict::NotCal => Ok(false),
+        Verdict::ResourcesExhausted => Err(CheckError::Undecided(Verdict::ResourcesExhausted)),
+        Verdict::Interrupted { reason } => {
             Err(CheckError::Undecided(Verdict::Interrupted { reason }))
         }
     }
 }
 
-/// Poll cadence for deadline/cancellation checks; see the CAL checker.
-const POLL_INTERVAL_MASK: u64 = 255;
-
-type MemoKey<St> = (BitSet, Vec<(usize, Operation)>, St);
-
-struct IntervalSearch<'a, S: IntervalSpec> {
-    spans: &'a [Span],
-    spec: &'a S,
-    options: &'a CheckOptions,
-    nodes: u64,
-    exhausted: bool,
-    failed: HashSet<MemoKey<S::State>>,
-    witness: Vec<IntervalPoint>,
-    start: Instant,
-    ticks: u64,
-    interrupted: Option<InterruptReason>,
-    panicked: Option<String>,
+/// A sequential specification viewed as an interval one: every operation's
+/// interval is a single point at which it both opens and closes, alone.
+/// A history is interval-linearizable w.r.t. `SeqAsInterval(spec)` iff it
+/// is linearizable w.r.t. `spec` — the cross-checker differential suite
+/// relies on this equivalence.
+#[derive(Debug, Clone)]
+pub struct SeqAsInterval<S> {
+    inner: S,
 }
 
-impl<S: IntervalSpec> IntervalSearch<'_, S> {
-    fn should_stop(&mut self) -> bool {
-        if self.interrupted.is_some() || self.panicked.is_some() {
-            return true;
-        }
-        self.ticks += 1;
-        if self.ticks & POLL_INTERVAL_MASK == 0 {
-            if let Some(deadline) = self.options.deadline {
-                if self.start.elapsed() >= deadline {
-                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
-                    return true;
-                }
-            }
-            if let Some(cancel) = &self.options.cancel {
-                if cancel.is_cancelled() {
-                    self.interrupted = Some(InterruptReason::Cancelled);
-                    return true;
-                }
-            }
-        }
-        false
+impl<S: SeqSpec> SeqAsInterval<S> {
+    /// Wraps a sequential specification.
+    pub fn new(inner: S) -> Self {
+        SeqAsInterval { inner }
     }
 
-    fn step_guarded(
-        &mut self,
+    /// The wrapped specification.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SeqSpec> IntervalSpec for SeqAsInterval<S> {
+    type State = S::State;
+
+    fn initial(&self) -> S::State {
+        self.inner.initial()
+    }
+
+    fn step(
+        &self,
         state: &S::State,
         active: &[Operation],
         opening: &[Operation],
         closing: &[Operation],
     ) -> Option<S::State> {
-        match catch_unwind(AssertUnwindSafe(|| self.spec.step(state, active, opening, closing))) {
-            Ok(next) => next,
-            Err(payload) => {
-                self.panicked = Some(panic_message(payload));
-                None
-            }
+        // Singleton intervals only: one operation, opening and closing at
+        // the same point.
+        match (active, opening, closing) {
+            ([op], [o], [c]) if o == op && c == op => self.inner.apply(state, op),
+            _ => None,
         }
     }
 
-    /// `open` holds (span index, chosen operation) pairs, sorted by index.
-    fn dfs(
-        &mut self,
-        done: &mut BitSet,
-        open: &[(usize, Operation)],
-        state: &S::State,
-    ) -> bool {
-        if open.is_empty()
-            && (0..self.spans.len())
-                .all(|i| done.contains(i) || !self.spans[i].is_complete())
-        {
-            return true;
-        }
-        if self.should_stop() {
-            return false;
-        }
-        if self.nodes >= self.options.max_nodes {
-            self.exhausted = true;
-            return false;
-        }
-        self.nodes += 1;
-        let key = (done.clone(), open.to_vec(), state.clone());
-        if self.options.memoize && self.failed.contains(&key) {
-            return false;
-        }
+    fn max_active(&self) -> usize {
+        1
+    }
 
-        // Operations that may open here: neither done nor open, and every
-        // ≺H-predecessor is already done (its interval closed earlier).
-        let openable: Vec<usize> = (0..self.spans.len())
-            .filter(|&i| !done.contains(i) && open.iter().all(|&(j, _)| j != i))
-            .filter(|&i| {
-                (0..self.spans.len()).all(|j| {
-                    done.contains(j) || !History::spans_precede(&self.spans[j], &self.spans[i])
-                })
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        self.inner.completions_of(inv)
+    }
+}
+
+/// A search node: closed operations, currently open intervals (span index
+/// plus the chosen operation, sorted by index) and the spec state. Also
+/// the memo key — the open set is part of the residual state, which is why
+/// interval memo keys cannot collapse onto the CAL checker's
+/// `(matched-set, state)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IntervalNode<St> {
+    done: BitSet,
+    open: Vec<(usize, Operation)>,
+    state: St,
+}
+
+/// The interval checker as a [`SearchDomain`]: steps are interval points,
+/// and expansion enumerates opening subsets (pairwise concurrent, bounded
+/// by [`IntervalSpec::max_active`]), completion choices for pending
+/// openers, and closing subsets, keeping every point the spec accepts.
+struct IntervalDomain<'a, S: IntervalSpec> {
+    spec: SpecRef<'a, S>,
+    spans: Vec<Span>,
+    /// preds[i] = span indices that real-time-precede span i.
+    preds: Vec<Vec<usize>>,
+}
+
+impl<'a, S: IntervalSpec> IntervalDomain<'a, S> {
+    fn new(history: Cow<'a, History>, spec: SpecRef<'a, S>) -> Result<Self, HistoryError> {
+        let spans = history.try_spans()?;
+        let preds = (0..spans.len())
+            .map(|i| {
+                (0..spans.len())
+                    .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
+                    .collect()
             })
             .collect();
-
-        let max_new = self.spec.max_active().saturating_sub(open.len());
-        // Enumerate opening subsets (including empty when something is
-        // already open), then closing subsets (non-trivial points only).
-        let mut opening: Vec<usize> = Vec::new();
-        if self.enumerate_openings(&openable, 0, max_new, &mut opening, done, open, state) {
-            return true;
-        }
-        if self.options.memoize
-            && self.interrupted.is_none()
-            && self.panicked.is_none()
-            && !self.exhausted
-        {
-            self.failed.insert(key);
-        }
-        false
+        Ok(IntervalDomain { spec, spans, preds })
     }
 
+    /// Grows the opening subset over `openable[from..]` and collects every
+    /// candidate point. Returns `false` when a cooperative stop was
+    /// requested mid-enumeration.
     #[allow(clippy::too_many_arguments)]
     fn enumerate_openings(
-        &mut self,
+        &self,
         openable: &[usize],
         from: usize,
         max_new: usize,
         opening: &mut Vec<usize>,
-        done: &mut BitSet,
-        open: &[(usize, Operation)],
-        state: &S::State,
+        node: &IntervalNode<S::State>,
+        obs: &mut ExpandObs<'_, '_>,
+        out: &mut Vec<(IntervalPoint, IntervalNode<S::State>)>,
     ) -> bool {
-        if !open.is_empty() || !opening.is_empty() {
-            // Candidate point with these openings; try closings.
-            if self.try_closings(opening, done, open, state) {
-                return true;
-            }
+        // A candidate point needs something active: either already-open
+        // intervals or at least one opener.
+        if (!node.open.is_empty() || !opening.is_empty())
+            && !self.collect_points(opening, node, obs, out)
+        {
+            return false;
         }
         if opening.len() == max_new {
-            return false;
+            return true;
         }
         for (k, &i) in openable.iter().enumerate().skip(from) {
             // New ops must be pairwise concurrent with the already-chosen
@@ -316,27 +406,32 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
             let concurrent = opening
                 .iter()
                 .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
-                && open
+                && node
+                    .open
                     .iter()
                     .all(|&(j, _)| History::spans_concurrent(&self.spans[i], &self.spans[j]));
             if !concurrent {
                 continue;
             }
             opening.push(i);
-            if self.enumerate_openings(openable, k + 1, max_new, opening, done, open, state) {
-                return true;
-            }
+            let keep = self.enumerate_openings(openable, k + 1, max_new, opening, node, obs, out);
             opening.pop();
+            if !keep {
+                return false;
+            }
         }
-        false
+        true
     }
 
-    fn try_closings(
-        &mut self,
+    /// Enumerates completion choices for the opening set and closing
+    /// subsets of the active set, collecting every point the spec accepts.
+    /// Returns `false` when a cooperative stop was requested.
+    fn collect_points(
+        &self,
         opening: &[usize],
-        done: &mut BitSet,
-        open: &[(usize, Operation)],
-        state: &S::State,
+        node: &IntervalNode<S::State>,
+        obs: &mut ExpandObs<'_, '_>,
+        out: &mut Vec<(IntervalPoint, IntervalNode<S::State>)>,
     ) -> bool {
         // Resolve the operations of the opening set (pending invocations
         // get spec-proposed completions).
@@ -348,6 +443,7 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                 None => {
                     let inv = Invocation::new(s.thread, s.object, s.method, s.arg);
                     self.spec
+                        .get()
                         .completions_of(&inv)
                         .into_iter()
                         .map(|ret| s.operation_with_ret(ret))
@@ -355,41 +451,39 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                 }
             };
             if choices.is_empty() {
-                return false;
+                return true;
             }
             opening_choices.push(choices);
         }
         let mut pick = vec![0usize; opening.len()];
         loop {
-            if self.should_stop() {
+            if obs.should_stop() {
                 return false;
             }
             let opening_ops: Vec<(usize, Operation)> = opening
                 .iter()
-                .zip(&pick)
-                .map(|(&i, &c)| (i, opening_choices[opening.iter().position(|&x| x == i).unwrap()][c]))
+                .enumerate()
+                .map(|(k, &i)| (i, opening_choices[k][pick[k]]))
                 .collect();
             // Active set = open ∪ opening.
-            let mut active: Vec<(usize, Operation)> = open.to_vec();
+            let mut active: Vec<(usize, Operation)> = node.open.clone();
             active.extend(opening_ops.iter().copied());
             // Enumerate closing subsets of the active set (2^|active|,
             // bounded by max_active).
             let m = active.len();
             for mask in 0..(1u32 << m) {
-                let closing: Vec<(usize, Operation)> = (0..m)
-                    .filter(|&b| mask & (1 << b) != 0)
-                    .map(|b| active[b])
-                    .collect();
+                let closing: Vec<(usize, Operation)> =
+                    (0..m).filter(|&b| mask & (1 << b) != 0).map(|b| active[b]).collect();
                 // A point must make progress: open or close something.
                 if opening.is_empty() && closing.is_empty() {
                     continue;
                 }
                 let active_ops: Vec<Operation> = active.iter().map(|&(_, o)| o).collect();
-                let opening_only: Vec<Operation> =
-                    opening_ops.iter().map(|&(_, o)| o).collect();
+                let opening_only: Vec<Operation> = opening_ops.iter().map(|&(_, o)| o).collect();
                 let closing_ops: Vec<Operation> = closing.iter().map(|&(_, o)| o).collect();
+                obs.on_element_tried();
                 if let Some(next) =
-                    self.step_guarded(state, &active_ops, &opening_only, &closing_ops)
+                    self.spec.get().step(&node.state, &active_ops, &opening_only, &closing_ops)
                 {
                     // Commit: move closings to done, keep the rest open.
                     let mut next_open: Vec<(usize, Operation)> = active
@@ -398,28 +492,25 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                         .copied()
                         .collect();
                     next_open.sort_unstable_by_key(|&(i, _)| i);
+                    let mut next_done = node.done.clone();
                     for &(i, _) in &closing {
-                        done.insert(i);
+                        next_done.insert(i);
                     }
-                    self.witness.push(IntervalPoint {
-                        active: active_ops,
-                        opening: opening_only,
-                        closing: closing_ops,
-                    });
-                    if self.dfs(done, &next_open, &next) {
-                        return true;
-                    }
-                    self.witness.pop();
-                    for &(i, _) in &closing {
-                        done.remove(i);
-                    }
+                    out.push((
+                        IntervalPoint {
+                            active: active_ops,
+                            opening: opening_only,
+                            closing: closing_ops,
+                        },
+                        IntervalNode { done: next_done, open: next_open, state: next },
+                    ));
                 }
             }
             // Advance completion choices.
             let mut d = 0;
             loop {
                 if d == pick.len() {
-                    return false;
+                    return true;
                 }
                 pick[d] += 1;
                 if pick[d] < opening_choices[d].len() {
@@ -429,6 +520,46 @@ impl<S: IntervalSpec> IntervalSearch<'_, S> {
                 d += 1;
             }
         }
+    }
+}
+
+impl<S: IntervalSpec> SearchDomain for IntervalDomain<'_, S> {
+    type Node = IntervalNode<S::State>;
+    type Step = IntervalPoint;
+
+    fn initial(&self) -> Self::Node {
+        IntervalNode {
+            done: BitSet::new(self.spans.len().max(1)),
+            open: Vec::new(),
+            state: self.spec.get().initial(),
+        }
+    }
+
+    fn is_goal(&self, node: &Self::Node) -> bool {
+        node.open.is_empty()
+            && (0..self.spans.len())
+                .all(|i| node.done.contains(i) || !self.spans[i].is_complete())
+    }
+
+    fn expand(
+        &self,
+        node: &Self::Node,
+        obs: &mut ExpandObs<'_, '_>,
+    ) -> Vec<(Self::Step, Self::Node)> {
+        // Operations that may open here: neither done nor open, and every
+        // ≺H-predecessor is already done (its interval closed earlier).
+        let openable: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| !node.done.contains(i) && node.open.iter().all(|&(j, _)| j != i))
+            .filter(|&i| self.preds[i].iter().all(|&j| node.done.contains(j)))
+            .collect();
+        obs.on_frontier(openable.len());
+        let max_new = self.spec.get().max_active().saturating_sub(node.open.len());
+        // Enumerate opening subsets (including empty when something is
+        // already open), then closing subsets (non-trivial points only).
+        let mut out = Vec::new();
+        let mut opening: Vec<usize> = Vec::new();
+        self.enumerate_openings(&openable, 0, max_new, &mut opening, node, obs, &mut out);
+        out
     }
 }
 
@@ -542,16 +673,16 @@ mod tests {
             c.response(),
             a.response(),
         ]);
-        let verdict = check_interval(&h, &WriteSnapshot).unwrap();
-        let IntervalVerdict::Linearizable(points) = verdict else {
-            panic!("expected interval-linearizable");
-        };
+        let outcome = check_interval(&h, &WriteSnapshot).unwrap();
+        assert!(outcome.stats.nodes > 0, "engine stats populated");
+        let witness = outcome.verdict.witness().expect("expected interval-linearizable");
         // A must be active at (at least) two points.
-        let a_points = points
+        let a_points = witness
+            .points()
             .iter()
             .filter(|p| p.active.iter().any(|op| op.thread == ThreadId(1)))
             .count();
-        assert!(a_points >= 2, "A's interval must span, witness: {points:?}");
+        assert!(a_points >= 2, "A's interval must span, witness: {witness}");
     }
 
     /// The same history is *not* CAL w.r.t. the natural one-point
@@ -635,5 +766,79 @@ mod tests {
     #[test]
     fn empty_history_is_interval_linearizable() {
         assert!(is_interval_linearizable(&History::new(), &WriteSnapshot).unwrap());
+    }
+
+    #[test]
+    fn parallel_interval_matches_sequential() {
+        let a = ws(1, 1, mask(&[1, 2, 3]));
+        let b = ws(2, 2, mask(&[1, 2]));
+        let c = ws(3, 3, mask(&[1, 2, 3]));
+        let h = History::from_actions(vec![
+            a.invocation(),
+            b.invocation(),
+            b.response(),
+            c.invocation(),
+            c.response(),
+            a.response(),
+        ]);
+        for threads in [1, 2, 8] {
+            let options = CheckOptions { threads, ..CheckOptions::default() };
+            let outcome = check_interval_par_with(&h, &WriteSnapshot, &options).unwrap();
+            assert!(outcome.verdict.is_cal(), "threads={threads}: {:?}", outcome.verdict);
+        }
+        // And a refutation, across thread counts.
+        let bad = ws(1, 1, mask(&[1, 5]));
+        let h = History::from_actions(vec![bad.invocation(), bad.response()]);
+        for threads in [1, 4] {
+            let options = CheckOptions { threads, ..CheckOptions::default() };
+            let outcome = check_interval_par_with(&h, &WriteSnapshot, &options).unwrap();
+            assert_eq!(outcome.verdict, Verdict::NotCal, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seq_as_interval_matches_linearizability() {
+        use crate::spec::SeqSpec;
+
+        /// A write-once flag: `set` then `get` returning 1.
+        #[derive(Debug)]
+        struct Flag;
+        impl SeqSpec for Flag {
+            type State = i64;
+            fn initial(&self) -> i64 {
+                0
+            }
+            fn apply(&self, state: &i64, op: &Operation) -> Option<i64> {
+                match op.method.0 {
+                    "set" => (op.ret == Value::Unit).then_some(1),
+                    "get" => (op.ret == Value::Int(*state)).then_some(*state),
+                    _ => None,
+                }
+            }
+            fn completions_of(&self, _: &Invocation) -> Vec<Value> {
+                vec![Value::Unit]
+            }
+        }
+
+        let set = Operation::new(ThreadId(1), O, Method("set"), Value::Unit, Value::Unit);
+        let get_new = Operation::new(ThreadId(2), O, Method("get"), Value::Unit, Value::Int(1));
+        let get_stale = Operation::new(ThreadId(2), O, Method("get"), Value::Unit, Value::Int(0));
+        let good = History::from_actions(vec![
+            set.invocation(),
+            set.response(),
+            get_new.invocation(),
+            get_new.response(),
+        ]);
+        let bad = History::from_actions(vec![
+            set.invocation(),
+            set.response(),
+            get_stale.invocation(),
+            get_stale.response(),
+        ]);
+        let spec = SeqAsInterval::new(Flag);
+        assert!(is_interval_linearizable(&good, &spec).unwrap());
+        assert!(!is_interval_linearizable(&bad, &spec).unwrap());
+        assert!(crate::seqlin::is_linearizable(&good, &Flag).unwrap());
+        assert!(!crate::seqlin::is_linearizable(&bad, &Flag).unwrap());
     }
 }

@@ -78,6 +78,7 @@ pub mod agree;
 pub mod bitset;
 pub mod check;
 pub mod compose;
+pub mod engine;
 pub mod gen;
 pub mod history;
 pub mod ids;

@@ -308,10 +308,11 @@ impl CountingSink {
     /// (node/element/memo-hit totals are taken from there, so the report
     /// agrees with the checker even if the sink was shared across runs);
     /// `options` supplies the budget and thread count; `wall` is the
-    /// caller-measured wall-clock of the run.
-    pub fn report(
+    /// caller-measured wall-clock of the run. Generic over the witness
+    /// type, so reports work for CAL, seqlin and interval outcomes alike.
+    pub fn report<W>(
         &self,
-        outcome: &CheckOutcome,
+        outcome: &CheckOutcome<W>,
         options: &CheckOptions,
         wall: Duration,
     ) -> SearchReport {
@@ -344,7 +345,7 @@ impl CountingSink {
 }
 
 /// The JSON-facing verdict name plus the interrupt cause, if any.
-fn verdict_strings(verdict: &Verdict) -> (String, Option<String>) {
+fn verdict_strings<W>(verdict: &Verdict<W>) -> (String, Option<String>) {
     match verdict {
         Verdict::Cal(_) => ("cal".to_string(), None),
         Verdict::NotCal => ("not-cal".to_string(), None),

@@ -15,103 +15,27 @@
 //!    cannot be decomposed (single object, or objects coupled through a
 //!    composed specification), the candidate *first* CA-elements are
 //!    enumerated once and distributed across workers, each running the
-//!    sequential DFS ([`crate::check`]) against one shared, mutex-striped
-//!    failed-state table ([`ShardedMemo`]) so pruning discovered by one
-//!    worker benefits all of them. A shared node counter makes
-//!    [`CheckOptions::max_nodes`] a global budget, and an internal stop
-//!    latch winds every worker down as soon as one finds a witness.
+//!    sequential DFS against one shared, mutex-striped failed-state table
+//!    ([`ShardedMemo`]) so pruning discovered by one worker benefits all
+//!    of them. A shared node counter makes [`CheckOptions::max_nodes`] a
+//!    global budget, and an internal stop latch winds every worker down as
+//!    soon as one finds a witness.
 //!
-//! Both paths reuse [`CheckOptions::deadline`] / [`CheckOptions::cancel`]
-//! for cooperative interruption and aggregate per-worker [`CheckStats`].
+//! Both drivers live in the shared search kernel ([`crate::engine`]) and
+//! are inherited by every checker; this module merely instantiates them
+//! for the CAL domain ([`crate::check`]). Both paths reuse
+//! [`CheckOptions::deadline`] / [`CheckOptions::cancel`] for cooperative
+//! interruption and aggregate per-worker [`CheckStats`].
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::borrow::Cow;
 
-use parking_lot::Mutex;
+use crate::check::{steps_to_trace, CalDomain};
+use crate::engine::{self, SpecRef};
+use crate::history::History;
+use crate::spec::CaSpec;
 
-use crate::bitset::BitSet;
-use crate::check::{
-    panic_message, realtime_order, CancelToken, CheckError, CheckOptions, CheckOutcome,
-    CheckStats, InterruptReason, MemoTable, Search, Verdict,
-};
-use crate::history::{History, Span};
-use crate::ids::ObjectId;
-use crate::obs::{ObjectOutcome, StatsSink};
-use crate::op::Operation;
-use crate::spec::{CaSpec, Invocation};
-use crate::trace::{CaElement, CaTrace};
-
-/// A concurrent failed-state table striped over N mutex-guarded shards.
-///
-/// Keys are `(matched-set, spec-state)` pairs; a key is inserted once the
-/// subtree below it has been exhaustively refuted, after which every
-/// worker prunes on it. Striping keeps the common case (distinct shards)
-/// contention-free without pulling in a lock-free map; see DESIGN.md for
-/// the rationale.
-pub struct ShardedMemo<K> {
-    shards: Box<[Mutex<HashSet<K>>]>,
-    mask: usize,
-}
-
-impl<K: Eq + Hash> ShardedMemo<K> {
-    /// Creates a table striped for `threads` workers (shard count is a
-    /// power of two, several shards per worker).
-    pub fn for_threads(threads: usize) -> Self {
-        Self::with_shards((threads.max(1) * 8).min(512))
-    }
-
-    /// Creates a table with `shards` stripes (rounded up to a power of
-    /// two, at least 1).
-    pub fn with_shards(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
-        let stripes: Vec<Mutex<HashSet<K>>> = (0..n).map(|_| Mutex::new(HashSet::new())).collect();
-        ShardedMemo { shards: stripes.into_boxed_slice(), mask: n - 1 }
-    }
-
-    /// The stripe index `key` hashes to — stable for the table's lifetime,
-    /// and what per-shard memo statistics ([`crate::obs::StatsSink`]) are
-    /// keyed by.
-    pub fn shard_index(&self, key: &K) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) & self.mask
-    }
-
-    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
-        &self.shards[self.shard_index(key)]
-    }
-
-    /// Whether `key` has been recorded as a refuted state.
-    pub fn contains(&self, key: &K) -> bool {
-        self.shard(key).lock().contains(key)
-    }
-
-    /// Records a refuted state; returns `true` if it was new.
-    pub fn insert(&self, key: K) -> bool {
-        self.shard(&key).lock().insert(key)
-    }
-
-    /// Total number of recorded states.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl<K> fmt::Debug for ShardedMemo<K> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ShardedMemo").field("shards", &self.shards.len()).finish()
-    }
-}
+pub use crate::check::{CheckError, CheckOptions, CheckOutcome, CheckStats};
+pub use crate::engine::ShardedMemo;
 
 /// Decides whether `history` is CAL w.r.t. `spec` using
 /// [`CheckOptions::parallel`] (one worker per available core).
@@ -187,606 +111,18 @@ where
     S: CaSpec + Sync,
     S::State: Send + Sync,
 {
-    // Validate up front so both paths see a well-formed history.
-    history.try_spans()?;
-    let objects = history.objects();
-    if objects.len() >= 2 {
-        let parts = catch_unwind(AssertUnwindSafe(|| {
-            objects
-                .iter()
-                .map(|&o| spec.restrict(o).map(|s| (o, s)))
-                .collect::<Option<Vec<(ObjectId, S)>>>()
-        }))
-        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
-        if let Some(parts) = parts {
-            return check_decomposed(history, parts, options);
-        }
-    }
-    frontier_search(history, spec, options)
-}
-
-/// One entry of the root frontier: a legal first CA-element, the span
-/// indices it matches, and the spec state it leads to.
-struct Branch<S: CaSpec> {
-    element: CaElement,
-    subset: Vec<usize>,
-    state: S::State,
-}
-
-/// Per-worker aggregation of a frontier or decomposed run.
-#[derive(Default)]
-struct WorkerTally {
-    stats: CheckStats,
-    deadline: bool,
-    user_cancelled: bool,
-    exhausted: bool,
-}
-
-impl WorkerTally {
-    /// Folds one finished sub-search into the tally, classifying its
-    /// interrupt (an internal stop is *not* a user cancellation).
-    fn absorb<S: CaSpec>(&mut self, search: &Search<'_, S>, options: &CheckOptions) {
-        self.stats += search.stats;
-        match search.interrupted {
-            Some(InterruptReason::DeadlineExceeded) => self.deadline = true,
-            Some(InterruptReason::Cancelled) => {
-                if options.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                    self.user_cancelled = true;
-                }
-            }
-            None => {}
-        }
-        self.exhausted |= search.exhausted;
-    }
-}
-
-/// Whole-history search with the top-level frontier split across workers.
-fn frontier_search<S>(
-    history: &History,
-    spec: &S,
-    options: &CheckOptions,
-) -> Result<CheckOutcome, CheckError>
-where
-    S: CaSpec + Sync,
-    S::State: Send + Sync,
-{
-    let start = Instant::now();
-    let spans = history.try_spans()?;
-    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
-        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
-    // Root success: no complete operation to explain.
-    if spans.iter().all(|s| !s.is_complete()) {
-        return Ok(CheckOutcome {
-            verdict: Verdict::Cal(CaTrace::new()),
-            stats: CheckStats::default(),
-        });
-    }
-    let sink = options.sink.as_deref();
-    let mut root_stats = CheckStats::default();
-    if options.max_nodes == 0 {
-        if let Some(sink) = sink {
-            sink.on_budget_exhausted(0);
-        }
-        return Ok(CheckOutcome { verdict: Verdict::ResourcesExhausted, stats: root_stats });
-    }
-    // The root expansion is one node, mirroring the sequential search.
-    root_stats.nodes = 1;
-    if let Some(sink) = sink {
-        sink.on_node();
-    }
-    let (succs, pending_preds) = realtime_order(&spans);
-    let branches =
-        collect_root_branches(&spans, &pending_preds, spec, &initial, &mut root_stats, sink)
-            .map_err(CheckError::SpecPanicked)?;
-    if branches.is_empty() {
-        return Ok(CheckOutcome { verdict: Verdict::NotCal, stats: root_stats });
-    }
-
-    let workers = options.threads.max(1).min(branches.len());
-    if let Some(sink) = sink {
-        sink.on_root_frontier(branches.len(), workers);
-    }
-    let memo: ShardedMemo<(BitSet, S::State)> = ShardedMemo::for_threads(workers);
-    let nodes = AtomicU64::new(root_stats.nodes);
-    let stop = CancelToken::new();
-    let next = AtomicUsize::new(0);
-    let witness: Mutex<Option<CaTrace>> = Mutex::new(None);
-    let panicked: Mutex<Option<String>> = Mutex::new(None);
-
-    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut tally = WorkerTally::default();
-                    loop {
-                        if stop.is_cancelled() {
-                            break;
-                        }
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(branch) = branches.get(idx) else { break };
-                        let mut preds = pending_preds.clone();
-                        let mut matched = BitSet::new(spans.len().max(1));
-                        for &i in &branch.subset {
-                            matched.insert(i);
-                            for &j in &succs[i] {
-                                preds[j] -= 1;
-                            }
-                        }
-                        let mut search = Search::new(
-                            &spans,
-                            spec,
-                            options,
-                            succs.clone(),
-                            preds,
-                            MemoTable::Shared(&memo),
-                            Some(&nodes),
-                            Some(&stop),
-                            start,
-                        );
-                        let found = search.dfs(&mut matched, &branch.state);
-                        if let Some(msg) = search.panicked.take() {
-                            tally.stats += search.stats;
-                            let mut slot = panicked.lock();
-                            if slot.is_none() {
-                                *slot = Some(msg);
-                            }
-                            stop.cancel();
-                            break;
-                        }
-                        if found {
-                            tally.stats += search.stats;
-                            let mut trace = vec![branch.element.clone()];
-                            trace.extend(std::mem::take(&mut search.witness));
-                            let mut slot = witness.lock();
-                            if slot.is_none() {
-                                *slot = Some(CaTrace::from_elements(trace));
-                            }
-                            stop.cancel();
-                            break;
-                        }
-                        tally.absorb(&search, options);
-                        if search.interrupted.is_some() || search.exhausted {
-                            break;
-                        }
-                    }
-                    tally
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("checker worker panicked")).collect()
-    });
-
-    if let Some(msg) = panicked.into_inner() {
-        return Err(CheckError::SpecPanicked(msg));
-    }
-    let mut stats = root_stats;
-    let mut deadline = false;
-    let mut user_cancelled = false;
-    let mut exhausted = false;
-    for tally in tallies {
-        stats += tally.stats;
-        deadline |= tally.deadline;
-        user_cancelled |= tally.user_cancelled;
-        exhausted |= tally.exhausted;
-    }
-    let verdict = if let Some(trace) = witness.into_inner() {
-        Verdict::Cal(trace)
-    } else if deadline {
-        Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded }
-    } else if user_cancelled {
-        Verdict::Interrupted { reason: InterruptReason::Cancelled }
-    } else if exhausted {
-        Verdict::ResourcesExhausted
-    } else {
-        Verdict::NotCal
-    };
-    Ok(CheckOutcome { verdict, stats })
-}
-
-/// Enumerates every legal first CA-element from the root state, in the
-/// same order the sequential DFS would try them. Counts each attempted
-/// element in `stats`. Returns the spec's panic message on panic.
-fn collect_root_branches<S: CaSpec>(
-    spans: &[Span],
-    pending_preds: &[usize],
-    spec: &S,
-    initial: &S::State,
-    stats: &mut CheckStats,
-    sink: Option<&dyn StatsSink>,
-) -> Result<Vec<Branch<S>>, String> {
-    let minimal: Vec<usize> =
-        (0..spans.len()).filter(|&i| pending_preds[i] == 0).collect();
-    if let Some(sink) = sink {
-        sink.on_frontier(minimal.len());
-    }
-    let max_size = catch_unwind(AssertUnwindSafe(|| spec.max_element_size()))
-        .map_err(panic_message)?
-        .max(1);
-    let mut out = Vec::new();
-    let mut subset: Vec<usize> = Vec::with_capacity(max_size);
-    grow_subsets(spans, spec, initial, &minimal, 0, max_size, &mut subset, stats, sink, &mut out)?;
-    Ok(out)
-}
-
-/// Mirror of `Search::try_subsets`, collecting branches instead of
-/// recursing into a DFS.
-#[allow(clippy::too_many_arguments)]
-fn grow_subsets<S: CaSpec>(
-    spans: &[Span],
-    spec: &S,
-    initial: &S::State,
-    minimal: &[usize],
-    from: usize,
-    max_size: usize,
-    subset: &mut Vec<usize>,
-    stats: &mut CheckStats,
-    sink: Option<&dyn StatsSink>,
-    out: &mut Vec<Branch<S>>,
-) -> Result<(), String> {
-    if !subset.is_empty() {
-        collect_elements(spans, spec, initial, subset, stats, sink, out)?;
-    }
-    if subset.len() == max_size {
-        return Ok(());
-    }
-    for (k, &i) in minimal.iter().enumerate().skip(from) {
-        if let Some(&first) = subset.first() {
-            if spans[i].object != spans[first].object {
-                continue;
-            }
-            if !subset.iter().all(|&j| History::spans_concurrent(&spans[i], &spans[j])) {
-                continue;
-            }
-        }
-        subset.push(i);
-        grow_subsets(spans, spec, initial, minimal, k + 1, max_size, subset, stats, sink, out)?;
-        subset.pop();
-    }
-    Ok(())
-}
-
-/// Mirror of `Search::try_element`: enumerates the completion choices of
-/// `subset` and records every element the spec accepts from the root.
-fn collect_elements<S: CaSpec>(
-    spans: &[Span],
-    spec: &S,
-    initial: &S::State,
-    subset: &[usize],
-    stats: &mut CheckStats,
-    sink: Option<&dyn StatsSink>,
-    out: &mut Vec<Branch<S>>,
-) -> Result<(), String> {
-    let invocations: Vec<Invocation> = subset
-        .iter()
-        .map(|&i| {
-            let s = &spans[i];
-            Invocation::new(s.thread, s.object, s.method, s.arg)
-        })
-        .collect();
-    let mut choices: Vec<Vec<Operation>> = Vec::with_capacity(subset.len());
-    for (k, &i) in subset.iter().enumerate() {
-        let s = &spans[i];
-        let ops = match s.operation() {
-            Some(op) => vec![op],
-            None => {
-                let peers: Vec<Invocation> = invocations
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != k)
-                    .map(|(_, inv)| *inv)
-                    .collect();
-                catch_unwind(AssertUnwindSafe(|| spec.completions_among(&invocations[k], &peers)))
-                    .map_err(panic_message)?
-                    .into_iter()
-                    .map(|ret| s.operation_with_ret(ret))
-                    .collect()
-            }
-        };
-        if ops.is_empty() {
-            return Ok(());
-        }
-        choices.push(ops);
-    }
-    let mut pick = vec![0usize; subset.len()];
-    loop {
-        let ops: Vec<Operation> = pick.iter().zip(&choices).map(|(&c, opts)| opts[c]).collect();
-        let object = ops[0].object;
-        if let Ok(element) = CaElement::new(object, ops) {
-            stats.elements_tried += 1;
-            if let Some(sink) = sink {
-                sink.on_element_tried();
-            }
-            let next = catch_unwind(AssertUnwindSafe(|| spec.step(initial, &element)))
-                .map_err(panic_message)?;
-            if let Some(state) = next {
-                out.push(Branch { element, subset: subset.to_vec(), state });
-            }
-        }
-        let mut d = 0;
-        loop {
-            if d == pick.len() {
-                return Ok(());
-            }
-            pick[d] += 1;
-            if pick[d] < choices[d].len() {
-                break;
-            }
-            pick[d] = 0;
-            d += 1;
-        }
-    }
-}
-
-/// One per-object subcheck's result.
-struct SubResult {
-    object: ObjectId,
-    /// Witness elements and the sub-span indices each matched, when CAL.
-    witness: Option<(Vec<CaElement>, Vec<Vec<usize>>)>,
-    /// `true` when the subsearch completed and refuted the subhistory.
-    not_cal: bool,
-    tally: WorkerTally,
-    panicked: Option<String>,
-}
-
-/// Checks each object's subhistory independently (CAL locality), in
-/// parallel, and merges per-object witnesses into one trace.
-fn check_decomposed<S>(
-    history: &History,
-    parts: Vec<(ObjectId, S)>,
-    options: &CheckOptions,
-) -> Result<CheckOutcome, CheckError>
-where
-    S: CaSpec + Sync,
-    S::State: Send + Sync,
-{
-    let start = Instant::now();
-    let subs: Vec<(ObjectId, S, History)> = parts
-        .into_iter()
-        .map(|(o, s)| {
-            let sub = history.project_object(o);
-            (o, s, sub)
-        })
-        .collect();
-    let workers = options.threads.max(1).min(subs.len());
-    let sink = options.sink.as_deref();
-    let nodes = AtomicU64::new(0);
-    let stop = CancelToken::new();
-    let next = AtomicUsize::new(0);
-
-    let results: Vec<SubResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine: Vec<SubResult> = Vec::new();
-                    loop {
-                        if stop.is_cancelled() {
-                            break;
-                        }
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((object, spec, sub)) = subs.get(idx) else { break };
-                        if let Some(sink) = sink {
-                            sink.on_object_start(*object);
-                        }
-                        let sub_start = Instant::now();
-                        let result = check_subhistory(sub, spec, options, &nodes, &stop, start);
-                        if let Some(sink) = sink {
-                            sink.on_object_done(
-                                *object,
-                                sub_start.elapsed(),
-                                classify_subresult(&result),
-                            );
-                        }
-                        let decisive_negative = result.not_cal
-                            || result.panicked.is_some()
-                            || result.tally.exhausted
-                            || result.tally.deadline
-                            || result.tally.user_cancelled;
-                        let _ = object;
-                        mine.push(result);
-                        if decisive_negative {
-                            // Siblings cannot change the aggregate verdict;
-                            // wind everyone down.
-                            stop.cancel();
-                            break;
-                        }
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("checker worker panicked"))
-            .collect()
-    });
-
-    let mut stats = CheckStats::default();
-    let mut deadline = false;
-    let mut user_cancelled = false;
-    let mut exhausted = false;
-    let mut not_cal = false;
-    let mut witnesses: Vec<(ObjectId, Vec<CaElement>, Vec<Vec<usize>>)> = Vec::new();
-    for result in results {
-        stats += result.tally.stats;
-        if let Some(msg) = result.panicked {
-            return Err(CheckError::SpecPanicked(msg));
-        }
-        deadline |= result.tally.deadline;
-        user_cancelled |= result.tally.user_cancelled;
-        exhausted |= result.tally.exhausted;
-        not_cal |= result.not_cal;
-        if let Some((elements, sets)) = result.witness {
-            witnesses.push((result.object, elements, sets));
-        }
-    }
-    // A refuted subhistory is decisive regardless of interrupts elsewhere:
-    // H CAL implies H|o CAL for every object o (locality).
-    let verdict = if not_cal {
-        Verdict::NotCal
-    } else if deadline {
-        Verdict::Interrupted { reason: InterruptReason::DeadlineExceeded }
-    } else if user_cancelled {
-        Verdict::Interrupted { reason: InterruptReason::Cancelled }
-    } else if exhausted {
-        Verdict::ResourcesExhausted
-    } else {
-        debug_assert_eq!(witnesses.len(), subs.len(), "every subcheck must have decided");
-        Verdict::Cal(merge_object_witnesses(history, witnesses))
-    };
-    Ok(CheckOutcome { verdict, stats })
-}
-
-/// Classifies a finished subcheck for [`StatsSink::on_object_done`].
-fn classify_subresult(result: &SubResult) -> ObjectOutcome {
-    if result.panicked.is_some() {
-        ObjectOutcome::SpecPanicked
-    } else if result.witness.is_some() {
-        ObjectOutcome::Cal
-    } else if result.not_cal {
-        ObjectOutcome::NotCal
-    } else if result.tally.exhausted {
-        ObjectOutcome::Exhausted
-    } else {
-        ObjectOutcome::Interrupted
-    }
-}
-
-/// Runs the sequential DFS on one object's subhistory, charging the
-/// shared node budget and observing the shared stop latch.
-fn check_subhistory<S: CaSpec>(
-    sub: &History,
-    spec: &S,
-    options: &CheckOptions,
-    nodes: &AtomicU64,
-    stop: &CancelToken,
-    start: Instant,
-) -> SubResult {
-    let object = sub.objects().first().copied().unwrap_or(ObjectId(0));
-    let mut result = SubResult {
-        object,
-        witness: None,
-        not_cal: false,
-        tally: WorkerTally::default(),
-        panicked: None,
-    };
-    let spans = match sub.try_spans() {
-        Ok(spans) => spans,
-        Err(e) => {
-            // Unreachable: a projection of a well-formed history is
-            // well-formed. Surface it as a spec-independent failure.
-            result.panicked = Some(format!("ill-formed subhistory: {e}"));
-            return result;
-        }
-    };
-    let initial = match catch_unwind(AssertUnwindSafe(|| spec.initial())) {
-        Ok(s) => s,
-        Err(p) => {
-            result.panicked = Some(panic_message(p));
-            return result;
-        }
-    };
-    let (succs, pending_preds) = realtime_order(&spans);
-    let mut search = Search::new(
-        &spans,
-        spec,
-        options,
-        succs,
-        pending_preds,
-        MemoTable::Local(HashSet::new()),
-        Some(nodes),
-        Some(stop),
-        start,
-    );
-    let mut matched = BitSet::new(spans.len().max(1));
-    let found = search.dfs(&mut matched, &initial);
-    if let Some(msg) = search.panicked.take() {
-        result.tally.stats += search.stats;
-        result.panicked = Some(msg);
-        return result;
-    }
-    if found {
-        result.tally.stats += search.stats;
-        result.witness =
-            Some((std::mem::take(&mut search.witness), std::mem::take(&mut search.witness_sets)));
-        return result;
-    }
-    result.tally.absorb(&search, options);
-    result.not_cal = search.interrupted.is_none() && !search.exhausted;
-    result
-}
-
-/// Interleaves per-object witnesses into a single trace agreeing with the
-/// full history's real-time order.
-///
-/// Element `E` occupies the index interval `(maxinv(E), minresp(E))`:
-/// `maxinv` is the largest invocation index among its operations and
-/// `minresp` the smallest response index (`∞` for operations the checker
-/// completed). `F` must precede `E` in any agreeing trace iff
-/// `minresp(F) < maxinv(E)`. The merge is greedy: with `m` the minimum
-/// `minresp` over all remaining elements, any queue head with
-/// `maxinv ≤ m` can be emitted next — the queue holding the minimizing
-/// element always has one, because per-object witness order already
-/// respects the per-object real-time order.
-fn merge_object_witnesses(
-    history: &History,
-    parts: Vec<(ObjectId, Vec<CaElement>, Vec<Vec<usize>>)>,
-) -> CaTrace {
-    let spans = history.spans();
-    let mut by_object: HashMap<ObjectId, Vec<&Span>> = HashMap::new();
-    for span in &spans {
-        by_object.entry(span.object).or_default().push(span);
-    }
-    struct Item {
-        element: CaElement,
-        maxinv: usize,
-        minresp: usize,
-    }
-    let mut queues: Vec<VecDeque<Item>> = parts
-        .into_iter()
-        .map(|(object, elements, sets)| {
-            let object_spans = by_object.get(&object).map(Vec::as_slice).unwrap_or(&[]);
-            elements
-                .into_iter()
-                .zip(sets)
-                .map(|(element, set)| {
-                    // The k-th span of H|o is the k-th object-o span of H:
-                    // projection preserves invocation order.
-                    let maxinv =
-                        set.iter().map(|&k| object_spans[k].inv).max().unwrap_or(0);
-                    let minresp = set
-                        .iter()
-                        .map(|&k| object_spans[k].resp.unwrap_or(usize::MAX))
-                        .min()
-                        .unwrap_or(usize::MAX);
-                    Item { element, maxinv, minresp }
-                })
-                .collect()
-        })
-        .collect();
-    let mut merged = CaTrace::new();
-    loop {
-        let m = queues
-            .iter()
-            .flat_map(|q| q.iter().map(|item| item.minresp))
-            .min();
-        let Some(m) = m else { break };
-        let q = queues
-            .iter()
-            .position(|q| q.front().is_some_and(|head| head.maxinv <= m))
-            .expect("per-object witnesses always have an emittable head");
-        let head = queues[q].pop_front().expect("chosen queue has a head");
-        merged.push(head.element);
-    }
-    merged
+    let domain = CalDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search_par(&domain, options)?.map_witness(steps_to_trace))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::action::Action;
-    use crate::check::{check_cal_with, witness_explains};
+    use crate::check::{check_cal_with, witness_explains, CancelToken, Verdict};
     use crate::ids::{Method, ObjectId, ThreadId, Value};
-    use crate::spec::PerObject;
+    use crate::spec::{CaSpec, Invocation, PerObject};
+    use crate::trace::CaElement;
 
     const EX: Method = Method("exchange");
 
@@ -1019,7 +355,7 @@ mod tests {
         let outcome = check_cal_par_with(&h, &MiniExchanger(o), &options).unwrap();
         assert_eq!(
             outcome.verdict,
-            Verdict::Interrupted { reason: InterruptReason::Cancelled }
+            Verdict::Interrupted { reason: crate::check::InterruptReason::Cancelled }
         );
     }
 

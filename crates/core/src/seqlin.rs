@@ -8,17 +8,26 @@
 //! spec-proposed return values or dropped, exactly as in the CAL checker —
 //! linearizability is the singleton-element special case of CAL, and the
 //! test-suite cross-validates the two implementations against each other.
+//!
+//! Like the CAL checker, this module is a thin domain over the shared
+//! search kernel ([`crate::engine`]): `SeqDomain` enumerates candidate
+//! minimal operations, and node budgets, deadlines, cancellation,
+//! memoization, [`crate::obs::StatsSink`] observability and the parallel
+//! drivers ([`check_linearizable_par_with`]) are inherited from the engine
+//! rather than re-implemented.
 
-use std::collections::HashSet;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
 
 use crate::bitset::BitSet;
-use crate::check::{panic_message, CheckError, CheckOptions, CheckOutcome, CheckStats, InterruptReason, Verdict};
-use crate::history::{History, Span};
+use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
+use crate::history::{History, HistoryError, Span};
+use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{Invocation, SeqSpec};
 use crate::trace::{CaElement, CaTrace};
+
+pub use crate::engine::{CheckError, CheckOptions, CheckOutcome, Verdict};
 
 /// Decides whether `history` is linearizable with respect to the sequential
 /// specification `spec`, with default options.
@@ -69,39 +78,52 @@ pub fn check_linearizable_with<S: SeqSpec>(
     spec: &S,
     options: &CheckOptions,
 ) -> Result<CheckOutcome, CheckError> {
-    let spans = history.try_spans()?;
-    let mut search = Search {
-        spans: &spans,
-        spec,
-        options,
-        stats: CheckStats::default(),
-        failed: HashSet::new(),
-        exhausted: false,
-        witness: Vec::new(),
-        start: Instant::now(),
-        ticks: 0,
-        interrupted: None,
-        panicked: None,
-    };
-    let mut matched = BitSet::new(spans.len().max(1));
-    let initial = catch_unwind(AssertUnwindSafe(|| spec.initial()))
-        .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
-    let found = search.dfs(&mut matched, &initial);
-    if let Some(msg) = search.panicked {
-        return Err(CheckError::SpecPanicked(msg));
-    }
-    let verdict = if found {
-        Verdict::Cal(CaTrace::from_elements(
-            std::mem::take(&mut search.witness).into_iter().map(CaElement::singleton).collect(),
-        ))
-    } else if let Some(reason) = search.interrupted {
-        Verdict::Interrupted { reason }
-    } else if search.exhausted {
-        Verdict::ResourcesExhausted
-    } else {
-        Verdict::NotCal
-    };
-    Ok(CheckOutcome { verdict, stats: search.stats })
+    let domain = SeqDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search(&domain, options)?.map_witness(steps_to_trace))
+}
+
+/// Parallel linearizability check using [`CheckOptions::parallel`]; see
+/// [`check_linearizable_par_with`].
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed
+/// and [`CheckError::SpecPanicked`] if the specification panics.
+pub fn check_linearizable_par<S>(history: &History, spec: &S) -> Result<CheckOutcome, CheckError>
+where
+    S: SeqSpec + Sync,
+    S::State: Send + Sync,
+{
+    check_linearizable_par_with(history, spec, &CheckOptions::parallel())
+}
+
+/// Like [`check_linearizable_with`], but run on the engine's parallel
+/// driver ([`engine::search_par`]): per-object decomposition when
+/// [`SeqSpec::restrict`] covers every object in the history, root-frontier
+/// splitting with a shared [`crate::par::ShardedMemo`] otherwise.
+/// Inherited from the shared kernel — the same driver the CAL checker
+/// uses, with identical verdict and interrupt semantics.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IllFormed`] if the history is not well-formed
+/// and [`CheckError::SpecPanicked`] if the specification panics.
+pub fn check_linearizable_par_with<S>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome, CheckError>
+where
+    S: SeqSpec + Sync,
+    S::State: Send + Sync,
+{
+    let domain = SeqDomain::new(Cow::Borrowed(history), SpecRef::Borrowed(spec))?;
+    Ok(engine::search_par(&domain, options)?.map_witness(steps_to_trace))
+}
+
+/// Assembles the engine's step sequence into a singleton-element trace.
+fn steps_to_trace(steps: Vec<SeqStep>) -> CaTrace {
+    CaTrace::from_elements(steps.into_iter().map(|s| CaElement::singleton(s.op)).collect())
 }
 
 /// Convenience predicate: `Ok(true)` iff the history is linearizable
@@ -122,88 +144,75 @@ pub fn is_linearizable<S: SeqSpec>(history: &History, spec: &S) -> Result<bool, 
     }
 }
 
-/// Poll cadence for deadline/cancellation checks; see the CAL checker.
-const POLL_INTERVAL_MASK: u64 = 255;
-
-struct Search<'a, S: SeqSpec> {
-    spans: &'a [Span],
-    spec: &'a S,
-    options: &'a CheckOptions,
-    stats: CheckStats,
-    failed: HashSet<(BitSet, S::State)>,
-    exhausted: bool,
-    witness: Vec<Operation>,
-    start: Instant,
-    ticks: u64,
-    interrupted: Option<InterruptReason>,
-    panicked: Option<String>,
+/// One step of a linearization: the chosen operation plus the span index
+/// it matched (used to interleave per-object witnesses under
+/// decomposition).
+#[derive(Debug, Clone)]
+struct SeqStep {
+    op: Operation,
+    span: usize,
 }
 
-impl<'a, S: SeqSpec> Search<'a, S> {
-    fn should_stop(&mut self) -> bool {
-        if self.interrupted.is_some() || self.panicked.is_some() {
-            return true;
-        }
-        self.ticks += 1;
-        if self.ticks & POLL_INTERVAL_MASK == 0 {
-            if let Some(deadline) = self.options.deadline {
-                if self.start.elapsed() >= deadline {
-                    self.interrupted = Some(InterruptReason::DeadlineExceeded);
-                    return true;
-                }
-            }
-            if let Some(cancel) = &self.options.cancel {
-                if cancel.is_cancelled() {
-                    self.interrupted = Some(InterruptReason::Cancelled);
-                    return true;
-                }
-            }
-        }
-        false
+/// The Wing–Gong search as a [`SearchDomain`]: nodes are `(matched-set,
+/// spec-state)` pairs (also the memo key) and steps extract one
+/// `≺H`-minimal operation, completing pending invocations with
+/// spec-proposed return values.
+struct SeqDomain<'a, S: SeqSpec> {
+    spec: SpecRef<'a, S>,
+    history: Cow<'a, History>,
+    spans: Vec<Span>,
+    /// preds[i] = span indices that real-time-precede span i.
+    preds: Vec<Vec<usize>>,
+}
+
+impl<'a, S: SeqSpec> SeqDomain<'a, S> {
+    fn new(history: Cow<'a, History>, spec: SpecRef<'a, S>) -> Result<Self, HistoryError> {
+        let spans = history.try_spans()?;
+        let preds = (0..spans.len())
+            .map(|i| {
+                (0..spans.len())
+                    .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
+                    .collect()
+            })
+            .collect();
+        Ok(SeqDomain { spec, history, spans, preds })
+    }
+}
+
+impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
+    type Node = (BitSet, S::State);
+    type Step = SeqStep;
+
+    fn initial(&self) -> Self::Node {
+        (BitSet::new(self.spans.len().max(1)), self.spec.get().initial())
     }
 
-    fn apply_guarded(&mut self, state: &S::State, op: &Operation) -> Option<S::State> {
-        match catch_unwind(AssertUnwindSafe(|| self.spec.apply(state, op))) {
-            Ok(next) => next,
-            Err(payload) => {
-                self.panicked = Some(panic_message(payload));
-                None
-            }
-        }
+    fn is_goal(&self, node: &Self::Node) -> bool {
+        let (matched, _) = node;
+        (0..self.spans.len()).all(|i| matched.contains(i) || !self.spans[i].is_complete())
     }
 
-    fn dfs(&mut self, matched: &mut BitSet, state: &S::State) -> bool {
-        if (0..self.spans.len()).all(|i| matched.contains(i) || !self.spans[i].is_complete()) {
-            return true;
-        }
-        if self.should_stop() {
-            return false;
-        }
-        if self.stats.nodes >= self.options.max_nodes {
-            self.exhausted = true;
-            return false;
-        }
-        self.stats.nodes += 1;
-        if self.options.memoize && self.failed.contains(&(matched.clone(), state.clone())) {
-            self.stats.memo_hits += 1;
-            return false;
-        }
-        for i in 0..self.spans.len() {
-            if matched.contains(i) {
-                continue;
-            }
-            let is_minimal = (0..self.spans.len()).all(|j| {
-                matched.contains(j) || !History::spans_precede(&self.spans[j], &self.spans[i])
-            });
-            if !is_minimal {
-                continue;
-            }
+    fn expand(
+        &self,
+        node: &Self::Node,
+        obs: &mut ExpandObs<'_, '_>,
+    ) -> Vec<(Self::Step, Self::Node)> {
+        let (matched, state) = node;
+        let minimal: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| {
+                !matched.contains(i) && self.preds[i].iter().all(|&j| matched.contains(j))
+            })
+            .collect();
+        obs.on_frontier(minimal.len());
+        let mut out = Vec::new();
+        for &i in &minimal {
             let span = &self.spans[i];
             let candidates: Vec<Operation> = match span.operation() {
                 Some(op) => vec![op],
                 None => {
                     let inv = Invocation::new(span.thread, span.object, span.method, span.arg);
                     self.spec
+                        .get()
                         .completions_of(&inv)
                         .into_iter()
                         .map(|ret| span.operation_with_ret(ret))
@@ -211,29 +220,64 @@ impl<'a, S: SeqSpec> Search<'a, S> {
                 }
             };
             for op in candidates {
-                if self.should_stop() {
-                    return false;
+                if obs.should_stop() {
+                    return out;
                 }
-                self.stats.elements_tried += 1;
-                if let Some(next) = self.apply_guarded(state, &op) {
-                    matched.insert(i);
-                    self.witness.push(op);
-                    if self.dfs(matched, &next) {
-                        return true;
-                    }
-                    self.witness.pop();
-                    matched.remove(i);
+                obs.on_element_tried();
+                if let Some(next) = self.spec.get().apply(state, &op) {
+                    let mut next_matched = matched.clone();
+                    next_matched.insert(i);
+                    out.push((SeqStep { op, span: i }, (next_matched, next)));
                 }
             }
         }
-        if self.options.memoize
-            && self.interrupted.is_none()
-            && self.panicked.is_none()
-            && !self.exhausted
-        {
-            self.failed.insert((matched.clone(), state.clone()));
+        out
+    }
+
+    fn decompose(&self) -> Option<Vec<(ObjectId, Self)>> {
+        let objects = self.history.objects();
+        if objects.len() < 2 {
+            return None;
         }
-        false
+        let parts: Option<Vec<(ObjectId, S)>> =
+            objects.iter().map(|&o| self.spec.get().restrict(o).map(|s| (o, s))).collect();
+        Some(
+            parts?
+                .into_iter()
+                .map(|(o, s)| {
+                    let sub = SeqDomain::new(
+                        Cow::Owned(self.history.project_object(o)),
+                        SpecRef::Owned(s),
+                    )
+                    .expect("projection of a well-formed history is well-formed");
+                    (o, sub)
+                })
+                .collect(),
+        )
+    }
+
+    /// Interleaves per-object linearizations respecting the full history's
+    /// real-time order; singleton elements make `maxinv`/`minresp` just the
+    /// matched span's own invocation and response indices.
+    fn merge_witnesses(&self, parts: Vec<(ObjectId, Vec<SeqStep>)>) -> Vec<SeqStep> {
+        let mut by_object: HashMap<ObjectId, Vec<&Span>> = HashMap::new();
+        for span in &self.spans {
+            by_object.entry(span.object).or_default().push(span);
+        }
+        let queues: Vec<VecDeque<(SeqStep, usize, usize)>> = parts
+            .into_iter()
+            .map(|(object, steps)| {
+                let object_spans = by_object.get(&object).map(Vec::as_slice).unwrap_or(&[]);
+                steps
+                    .into_iter()
+                    .map(|step| {
+                        let span = object_spans[step.span];
+                        (step, span.inv, span.resp.unwrap_or(usize::MAX))
+                    })
+                    .collect()
+            })
+            .collect();
+        engine::merge_by_order(queues)
     }
 }
 
@@ -250,7 +294,7 @@ mod tests {
 
     /// A sequential register: `read` returns the last written value
     /// (initially 0).
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Register;
 
     impl SeqSpec for Register {
@@ -279,6 +323,10 @@ mod tests {
                 READ => (0..8).map(Value::Int).collect(),
                 _ => vec![],
             }
+        }
+
+        fn restrict(&self, _: ObjectId) -> Option<Self> {
+            Some(self.clone())
         }
     }
 
@@ -394,13 +442,27 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_reported() {
-        let mut acts = Vec::new();
-        acts.extend(w(1, 5));
-        let h = History::from_actions(acts);
-        let outcome =
-            check_linearizable_with(&h, &Register, &CheckOptions { max_nodes: 0, ..CheckOptions::default() }).unwrap();
-        assert_eq!(outcome.verdict, Verdict::ResourcesExhausted);
+    fn parallel_matches_sequential_across_objects() {
+        // Two registers; object o1's write/read pair is independent of R's.
+        let o1 = ObjectId(1);
+        let h = History::from_actions(vec![
+            Action::invoke(ThreadId(1), R, WRITE, Value::Int(5)),
+            Action::response(ThreadId(1), R, WRITE, Value::Unit),
+            Action::invoke(ThreadId(2), o1, WRITE, Value::Int(7)),
+            Action::response(ThreadId(2), o1, WRITE, Value::Unit),
+            Action::invoke(ThreadId(1), R, READ, Value::Unit),
+            Action::response(ThreadId(1), R, READ, Value::Int(5)),
+            Action::invoke(ThreadId(2), o1, READ, Value::Unit),
+            Action::response(ThreadId(2), o1, READ, Value::Int(7)),
+        ]);
+        for threads in [1, 2, 4] {
+            let options = CheckOptions { threads, ..CheckOptions::default() };
+            let outcome = check_linearizable_par_with(&h, &Register, &options).unwrap();
+            assert!(outcome.verdict.is_cal(), "threads={threads}: {:?}", outcome.verdict);
+            let witness = outcome.verdict.witness().unwrap();
+            assert_eq!(witness.len(), 4, "threads={threads}");
+            assert!(witness.elements().iter().all(|e| e.len() == 1));
+        }
     }
 
     #[test]

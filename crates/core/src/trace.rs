@@ -335,7 +335,7 @@ mod tests {
         assert_eq!(t1.len(), 1);
         assert_eq!(t1.elements()[0], swap);
         let t3 = t.project_thread(ThreadId(3));
-        assert_eq!(t3.elements(), &[fail.clone()]);
+        assert_eq!(t3.elements(), std::slice::from_ref(&fail));
         assert_eq!(t.project_object(E).len(), 2);
         assert!(t.project_object(ObjectId(5)).is_empty());
     }

@@ -319,8 +319,7 @@ fn check_outline(
             }
             let last = execution.trace.elements()[..trace_len]
                 .iter()
-                .filter(|e| e.mentions_thread(u))
-                .next_back()
+                .rfind(|e| e.mentions_thread(u))
                 .expect("logged > 0");
             *last == swap_element(object, u, own_value, partner.tid, partner.data)
         };

@@ -33,7 +33,7 @@ struct ProgressSink {
 impl StatsSink for ProgressSink {
     fn on_node(&self) {
         let n = self.nodes.fetch_add(1, Ordering::Relaxed) + 1;
-        if n % 4096 == 0 {
+        if n.is_multiple_of(4096) {
             eprintln!("  ...{n} nodes expanded");
         }
     }

@@ -13,7 +13,7 @@
 //! ```
 
 use cal::core::check::is_cal;
-use cal::core::interval::{check_interval, IntervalVerdict};
+use cal::core::interval::{check_interval, Verdict};
 use cal::core::{History, ObjectId, ThreadId};
 use cal::objects::snapshot::ImmediateSnapshot;
 use cal::sim::models::snapshot::ImmediateSnapshotModel;
@@ -96,10 +96,11 @@ fn write_snapshot_separation() {
         c.response(),
         a.response(),
     ]);
-    match check_interval(&h, &WriteSnapshotSpec::new(O, 4)).unwrap() {
-        IntervalVerdict::Linearizable(points) => {
+    let outcome = check_interval(&h, &WriteSnapshotSpec::new(O, 4)).unwrap();
+    match outcome.verdict {
+        Verdict::Cal(witness) => {
             println!("write-snapshot separation history: interval-linearizable ✓");
-            for (k, p) in points.iter().enumerate() {
+            for (k, p) in witness.points().iter().enumerate() {
                 let names: Vec<String> =
                     p.active.iter().map(|op| format!("{}", op.thread)).collect();
                 println!("  point {k}: active {{{}}}", names.join(", "));

@@ -4,37 +4,50 @@
 //! history.
 //!
 //! ```text
-//! Usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]
+//! Usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]
+//!                  [--deadline-ms <N>] [--threads <N>]
 //!                  [--stats] [--stats-json <PATH>] [--explain]
-//!        cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]
+//!        cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]
+//!                  [--deadline-ms <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
 //!                  [--threads <N>] [--check-threads <N>] [--ops <N>]
 //!                  [--mode <M>] [--deadline-ms <N>]
 //!
 //!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
 //!            stack | failing-stack | register | counter      (sequential)
+//!            write-snapshot                                  (interval)
 //!   FILE     history file, or - for stdin
 //!   DIR      directory of history files, checked concurrently
 //!   PROFILE  light | heavy | starvation
 //!   T        exchanger | buggy-exchanger | treiber-stack | elim-stack |
 //!            dual-stack | sync-queue       (default exchanger)
-//!   M        deterministic | stress        (default deterministic)
+//!   M        file/batch mode: cal | seq | interval   (default cal)
+//!            chaos mode:      deterministic | stress (default deterministic)
+//!
+//! `--mode` selects the checker all three of which run on the shared
+//! search kernel: `cal` (concurrency-aware linearizability; sequential
+//! specs are lifted to singleton elements), `seq` (classical
+//! linearizability; sequential specs only) or `interval`
+//! (interval-linearizability; sequential specs become singleton-interval
+//! specs, plus the interval-native `write-snapshot`).
 //!
 //! In file mode `--threads` sets the checker's worker threads (the
-//! parallel checker engages above 1); in batch mode it sizes the pool of
-//! files checked concurrently; in chaos mode it sets the *workload*
-//! threads and `--check-threads` the checker's.
+//! parallel driver engages above 1, in every mode); in batch mode it
+//! sizes the pool of files checked concurrently; in chaos mode it sets
+//! the *workload* threads and `--check-threads` the checker's.
 //!
-//! Observability (file mode): `--stats` prints a one-line search summary
-//! to stderr, `--stats-json <PATH>` writes the full SearchReport as JSON
-//! (`-` for stdout), `--explain` prints a multi-line account of where the
-//! search spent its work and why an undecided verdict stopped.
+//! Observability (file mode, every `--mode`): `--stats` prints a one-line
+//! search summary to stderr, `--stats-json <PATH>` writes the full
+//! SearchReport as JSON (`-` for stdout), `--explain` prints a multi-line
+//! account of where the search spent its work and why an undecided
+//! verdict stopped.
 //!
 //! Exit status: 0 = accepted, 1 = rejected, 2 = undecided (budget,
 //! deadline or cancellation), 3 = input/parse/checker error, 4 = usage.
 //! Batch mode folds per-file results with the same codes (worst wins:
 //! 3 > 2 > 1 > 0). Chaos mode: 0 = passed, 1 = violation, 2 = undecided,
-//! 3 = checker error.
+//! 3 = checker error. A closed output pipe (e.g. `cal-check ... | head`)
+//! is not an error: the process exits 0 as soon as the pipe breaks.
 //! ```
 //!
 //! Example:
@@ -42,11 +55,12 @@
 //! ```bash
 //! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
 //!   | cargo run --bin cal-check -- exchanger - --deadline-ms 500 --stats
+//! cargo run --bin cal-check -- register history.txt --mode seq --stats
 //! cargo run --bin cal-check -- exchanger --batch tests/corpus --threads 4
 //! cargo run --bin cal-check -- --chaos heavy --seed 7 --target elim-stack
 //! ```
 
-use std::io::Read;
+use std::io::{self, Read, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -55,15 +69,21 @@ use std::time::{Duration, Instant};
 use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
 use cal::chaos::Profile;
 use cal::core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, Verdict};
+use cal::core::interval::{
+    check_interval_par_with, check_interval_with, IntervalSpec, IntervalWitness, SeqAsInterval,
+};
 use cal::core::obs::{CountingSink, SearchReport};
 use cal::core::par::check_cal_par_with;
-use cal::core::spec::{CaSpec, SeqAsCa};
+use cal::core::seqlin::{check_linearizable_par_with, check_linearizable_with};
+use cal::core::spec::{CaSpec, SeqAsCa, SeqSpec};
 use cal::core::text::{format_trace, parse_history};
+use cal::core::trace::CaTrace;
 use cal::core::{History, ObjectId};
 use cal::specs::dual_stack::DualStackSpec;
 use cal::specs::elim_array::ElimArraySpec;
 use cal::specs::exchanger::ExchangerSpec;
 use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::snapshot::WriteSnapshotSpec;
 use cal::specs::stack::StackSpec;
 use cal::specs::sync_queue::SyncQueueSpec;
 
@@ -75,32 +95,70 @@ const EXIT_UNDECIDED: u8 = 2;
 const EXIT_ERROR: u8 = 3;
 const EXIT_USAGE: u8 = 4;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: cal-check <SPEC> <FILE> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
+/// Broken-pipe-safe printing: all output goes through these macros, which
+/// bubble `io::Error` up to [`main`] where `BrokenPipe` becomes a clean
+/// exit 0 (so `cal-check ... | head` never panics).
+macro_rules! outln {
+    ($($t:tt)*) => { writeln!(io::stdout(), $($t)*) }
+}
+macro_rules! out {
+    ($($t:tt)*) => { write!(io::stdout(), $($t)*) }
+}
+macro_rules! errln {
+    ($($t:tt)*) => { writeln!(io::stderr(), $($t)*) }
+}
+
+fn usage() -> io::Result<ExitCode> {
+    errln!(
+        "usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]\n\
+         \x20                [--deadline-ms <N>] [--threads <N>]\n\
          \x20                [--stats] [--stats-json <PATH>] [--explain]\n\
-         \x20      cal-check <SPEC> --batch <DIR> [--object <N>] [--deadline-ms <N>] [--threads <N>]\n\
+         \x20      cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]\n\
+         \x20                [--deadline-ms <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
          \x20                [--threads <N>] [--check-threads <N>] [--ops <N>] [--mode <M>]\n\
          \x20                [--deadline-ms <N>]\n\
          \n\
-         SPEC:    exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack | register | counter\n\
+         SPEC:    exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack |\n\
+         \x20        register | counter | write-snapshot\n\
          FILE:    history in the cal text format, or - for stdin\n\
          DIR:     directory of history files, checked concurrently\n\
          PROFILE: light | heavy | starvation\n\
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
-         M:       deterministic | stress\n\
+         M:       cal | seq | interval (file/batch; default cal) — deterministic | stress (chaos)\n\
          \n\
          --stats        print a one-line search summary to stderr (file mode)\n\
          --stats-json   write the SearchReport as JSON to PATH, or - for stdout (file mode)\n\
          --explain      print why the verdict was slow or undecided (file mode)\n\
          \n\
          exit status: 0 accepted, 1 rejected, 2 undecided, 3 input/checker error, 4 usage"
-    );
-    ExitCode::from(EXIT_USAGE)
+    )?;
+    Ok(ExitCode::from(EXIT_USAGE))
+}
+
+/// Which checker a file/batch invocation runs. All three are thin domains
+/// over the same `cal_core::engine` search kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckerMode {
+    Cal,
+    Seq,
+    Interval,
 }
 
 fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        // A reader (head, a closed pager, …) hung up: that is a normal way
+        // for output to end, not an error.
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => ExitCode::from(EXIT_ACCEPTED),
+        Err(e) => {
+            let _ = writeln!(io::stderr(), "cal-check: io error: {e}");
+            ExitCode::from(EXIT_ERROR)
+        }
+    }
+}
+
+fn try_main() -> io::Result<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_name = None;
     let mut file = None;
@@ -113,7 +171,8 @@ fn main() -> ExitCode {
     let mut threads = None;
     let mut check_threads = None;
     let mut ops = None;
-    let mut mode = Mode::Deterministic;
+    let mut chaos_mode: Option<Mode> = None;
+    let mut checker_mode: Option<CheckerMode> = None;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut explain = false;
@@ -156,8 +215,16 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => ops = Some(n),
                 _ => return usage(),
             },
-            "--mode" => match it.next().and_then(|m| Mode::parse(m)) {
-                Some(m) => mode = m,
+            // `--mode` is overloaded: checker selection in file/batch mode,
+            // schedule selection in chaos mode. The value disambiguates.
+            "--mode" => match it.next().map(String::as_str) {
+                Some("cal") => checker_mode = Some(CheckerMode::Cal),
+                Some("seq") => checker_mode = Some(CheckerMode::Seq),
+                Some("interval") => checker_mode = Some(CheckerMode::Interval),
+                Some(m) => match Mode::parse(m) {
+                    Some(m) => chaos_mode = Some(m),
+                    None => return usage(),
+                },
                 None => return usage(),
             },
             "--stats" => stats = true,
@@ -174,12 +241,13 @@ fn main() -> ExitCode {
     }
 
     if let Some(profile) = chaos_profile {
-        if spec_name.is_some() || file.is_some() || batch.is_some() {
+        if spec_name.is_some() || file.is_some() || batch.is_some() || checker_mode.is_some() {
             return usage();
         }
         if stats || explain || stats_json.is_some() {
             return usage(); // stats flags are file-mode only
         }
+        let mode = chaos_mode.unwrap_or(Mode::Deterministic);
         let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
         if let Some(t) = threads {
             config.threads = t;
@@ -195,12 +263,20 @@ fn main() -> ExitCode {
         }
         return run_chaos(&config);
     }
+    if chaos_mode.is_some() {
+        return usage(); // deterministic|stress make sense only with --chaos
+    }
+    let mode = checker_mode.unwrap_or(CheckerMode::Cal);
 
     let Some(spec_name) = spec_name else {
         return usage();
     };
     if !known_spec(&spec_name) {
-        eprintln!("cal-check: unknown spec {spec_name:?}");
+        errln!("cal-check: unknown spec {spec_name:?}")?;
+        return usage();
+    }
+    if !spec_supports(&spec_name, mode) {
+        errln!("cal-check: spec {spec_name:?} is not checkable in this --mode")?;
         return usage();
     }
 
@@ -208,7 +284,7 @@ fn main() -> ExitCode {
         if file.is_some() || stats || explain || stats_json.is_some() {
             return usage();
         }
-        return run_batch(&spec_name, &dir, object, deadline, threads.unwrap_or(1));
+        return run_batch(&spec_name, mode, &dir, object, deadline, threads.unwrap_or(1));
     }
 
     let Some(file) = file else {
@@ -217,47 +293,48 @@ fn main() -> ExitCode {
     let input = match read_input(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cal-check: cannot read {file}: {e}");
-            return ExitCode::from(EXIT_ERROR);
+            errln!("cal-check: cannot read {file}: {e}")?;
+            return Ok(ExitCode::from(EXIT_ERROR));
         }
     };
     let options = CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
     let want_report = stats || explain || stats_json.is_some();
-    let (checked, report) = check_input(&spec_name, &input, object, &options, want_report);
+    let (checked, report) = check_input(&spec_name, mode, &input, object, &options, want_report);
     if let Some(report) = &report {
         if stats {
-            eprintln!("stats: {}", report.summary());
+            errln!("stats: {}", report.summary())?;
         }
         if explain {
-            eprintln!("{}", report.explain());
+            errln!("{}", report.explain())?;
         }
         if let Some(path) = &stats_json {
             let json = report.to_json();
             if path == "-" {
-                println!("{json}");
+                outln!("{json}")?;
             } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
-                eprintln!("cal-check: cannot write {path}: {e}");
-                return ExitCode::from(EXIT_ERROR);
+                errln!("cal-check: cannot write {path}: {e}")?;
+                return Ok(ExitCode::from(EXIT_ERROR));
             }
         }
     }
     match checked {
         Checked::Accepted { adjective, witness } => {
-            println!("{adjective}: yes");
-            print!("{witness}");
-            ExitCode::from(EXIT_ACCEPTED)
+            outln!("{adjective}: yes")?;
+            out!("{witness}")?;
+            io::stdout().flush()?;
+            Ok(ExitCode::from(EXIT_ACCEPTED))
         }
         Checked::Rejected { adjective } => {
-            println!("{adjective}: NO");
-            ExitCode::from(EXIT_REJECTED)
+            outln!("{adjective}: NO")?;
+            Ok(ExitCode::from(EXIT_REJECTED))
         }
         Checked::Undecided(why) => {
-            eprintln!("cal-check: undecided — {why}");
-            ExitCode::from(EXIT_UNDECIDED)
+            errln!("cal-check: undecided — {why}")?;
+            Ok(ExitCode::from(EXIT_UNDECIDED))
         }
         Checked::Error(e) => {
-            eprintln!("cal-check: {e}");
-            ExitCode::from(EXIT_ERROR)
+            errln!("cal-check: {e}")?;
+            Ok(ExitCode::from(EXIT_ERROR))
         }
     }
 }
@@ -273,30 +350,30 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 /// Runs one seeded chaos workload and reports the harvested history's
 /// verdict.
-fn run_chaos(config: &RunConfig) -> ExitCode {
+fn run_chaos(config: &RunConfig) -> io::Result<ExitCode> {
     let outcome = run_once(config);
-    println!(
+    outln!(
         "chaos run: seed={:#x} target={} threads={} ops/thread={} profile={} mode={} check-threads={}",
         config.seed, config.target, config.threads, config.ops_per_thread, config.profile,
         config.mode, config.check_threads,
-    );
-    println!("harvested history:");
+    )?;
+    outln!("harvested history:")?;
     for line in outcome.history.to_string().lines() {
-        println!("  {line}");
+        outln!("  {line}")?;
     }
-    println!("verdict: {}", outcome.verdict);
-    match outcome.verdict {
+    outln!("verdict: {}", outcome.verdict)?;
+    Ok(match outcome.verdict {
         ChaosVerdict::Passed(_) => ExitCode::from(EXIT_ACCEPTED),
         ChaosVerdict::Violation(_) => ExitCode::from(EXIT_REJECTED),
         ChaosVerdict::Undecided(..) => ExitCode::from(EXIT_UNDECIDED),
         ChaosVerdict::CheckerError(_) => ExitCode::from(EXIT_ERROR),
-    }
+    })
 }
 
-fn read_input(file: &str) -> std::io::Result<String> {
+fn read_input(file: &str) -> io::Result<String> {
     if file == "-" {
         let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf)?;
+        io::stdin().read_to_string(&mut buf)?;
         Ok(buf)
     } else {
         std::fs::read_to_string(file)
@@ -322,15 +399,29 @@ fn known_spec(name: &str) -> bool {
             | "failing-stack"
             | "register"
             | "counter"
+            | "write-snapshot"
     )
 }
 
-/// Parses `input` and checks it against the named specification. With
-/// `want_report` a [`CountingSink`] rides along and the checker's
-/// [`SearchReport`] is returned next to the result (absent when parsing
-/// or the checker itself failed).
+/// Which `--mode`s can check which spec: concurrency-aware specs are
+/// CAL-only, sequential specs work in every mode (lifted to singleton
+/// elements / singleton intervals), `write-snapshot` is interval-native.
+fn spec_supports(name: &str, mode: CheckerMode) -> bool {
+    match name {
+        "exchanger" | "elim-array" | "sync-queue" | "dual-stack" => mode == CheckerMode::Cal,
+        "stack" | "failing-stack" | "register" | "counter" => true,
+        "write-snapshot" => mode == CheckerMode::Interval,
+        _ => false,
+    }
+}
+
+/// Parses `input` and checks it against the named specification with the
+/// selected checker. With `want_report` a [`CountingSink`] rides along and
+/// the checker's [`SearchReport`] is returned next to the result (absent
+/// when parsing or the checker itself failed).
 fn check_input(
     spec_name: &str,
+    mode: CheckerMode,
     input: &str,
     object: Option<ObjectId>,
     options: &CheckOptions,
@@ -352,27 +443,95 @@ fn check_input(
     let start = Instant::now();
     const CA: &str = "concurrency-aware linearizable";
     const LIN: &str = "linearizable";
-    let (result, adjective) = match spec_name {
-        "exchanger" => (run_ca(&history, &ExchangerSpec::new(object), &options), CA),
-        "elim-array" => (run_ca(&history, &ElimArraySpec::new(object), &options), CA),
-        "sync-queue" => (run_ca(&history, &SyncQueueSpec::new(object), &options), CA),
-        "dual-stack" => (run_ca(&history, &DualStackSpec::with_timeouts(object), &options), CA),
-        "stack" => (run_ca(&history, &SeqAsCa::new(StackSpec::total(object)), &options), LIN),
-        "failing-stack" => {
-            (run_ca(&history, &SeqAsCa::new(StackSpec::failing(object)), &options), LIN)
+    const INT: &str = "interval-linearizable";
+    match mode {
+        CheckerMode::Cal => {
+            let (result, adjective) = match spec_name {
+                "exchanger" => (run_ca(&history, &ExchangerSpec::new(object), &options), CA),
+                "elim-array" => (run_ca(&history, &ElimArraySpec::new(object), &options), CA),
+                "sync-queue" => (run_ca(&history, &SyncQueueSpec::new(object), &options), CA),
+                "dual-stack" => {
+                    (run_ca(&history, &DualStackSpec::with_timeouts(object), &options), CA)
+                }
+                "stack" => {
+                    (run_ca(&history, &SeqAsCa::new(StackSpec::total(object)), &options), LIN)
+                }
+                "failing-stack" => {
+                    (run_ca(&history, &SeqAsCa::new(StackSpec::failing(object)), &options), LIN)
+                }
+                "register" => {
+                    (run_ca(&history, &SeqAsCa::new(RegisterSpec::new(object)), &options), LIN)
+                }
+                "counter" => {
+                    (run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), &options), LIN)
+                }
+                other => return (Checked::Error(format!("unknown spec {other:?}")), None),
+            };
+            render(result, adjective, format_trace, &sink, &options, start)
         }
-        "register" => (run_ca(&history, &SeqAsCa::new(RegisterSpec::new(object)), &options), LIN),
-        "counter" => (run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), &options), LIN),
-        other => return (Checked::Error(format!("unknown spec {other:?}")), None),
-    };
-    let report = match (&sink, &result) {
-        (Some(sink), Ok(outcome)) => Some(sink.report(outcome, &options, start.elapsed())),
+        CheckerMode::Seq => {
+            let result = match spec_name {
+                "stack" => run_seq(&history, &StackSpec::total(object), &options),
+                "failing-stack" => run_seq(&history, &StackSpec::failing(object), &options),
+                "register" => run_seq(&history, &RegisterSpec::new(object), &options),
+                "counter" => run_seq(&history, &CounterSpec::new(object), &options),
+                other => {
+                    return (Checked::Error(format!("spec {other:?} is not sequential")), None)
+                }
+            };
+            render(result, LIN, format_trace, &sink, &options, start)
+        }
+        CheckerMode::Interval => {
+            let result = match spec_name {
+                "write-snapshot" => {
+                    run_interval(&history, &WriteSnapshotSpec::new(object, 4), &options)
+                }
+                "stack" => {
+                    run_interval(&history, &SeqAsInterval::new(StackSpec::total(object)), &options)
+                }
+                "failing-stack" => run_interval(
+                    &history,
+                    &SeqAsInterval::new(StackSpec::failing(object)),
+                    &options,
+                ),
+                "register" => run_interval(
+                    &history,
+                    &SeqAsInterval::new(RegisterSpec::new(object)),
+                    &options,
+                ),
+                "counter" => {
+                    run_interval(&history, &SeqAsInterval::new(CounterSpec::new(object)), &options)
+                }
+                other => {
+                    return (
+                        Checked::Error(format!("spec {other:?} has no interval reading")),
+                        None,
+                    )
+                }
+            };
+            render(result, INT, format_interval_witness, &sink, &options, start)
+        }
+    }
+}
+
+/// Folds a checker outcome (any witness type) into a renderable
+/// [`Checked`] plus, if a sink rode along, its [`SearchReport`].
+fn render<W>(
+    result: Result<CheckOutcome<W>, CheckError>,
+    adjective: &'static str,
+    format_witness: impl Fn(&W) -> String,
+    sink: &Option<Arc<CountingSink>>,
+    options: &CheckOptions,
+    start: Instant,
+) -> (Checked, Option<SearchReport>) {
+    let report = match (sink, &result) {
+        (Some(sink), Ok(outcome)) => Some(sink.report(outcome, options, start.elapsed())),
         _ => None,
     };
     let checked = match result {
         Ok(outcome) => match outcome.verdict {
             Verdict::Cal(witness) => {
-                Checked::Accepted { adjective, witness: format_trace(&witness) }
+                Checked::Accepted { adjective, witness: format_witness(&witness) }
             }
             Verdict::NotCal => Checked::Rejected { adjective },
             Verdict::ResourcesExhausted => Checked::Undecided("node budget exhausted".to_string()),
@@ -383,7 +542,13 @@ fn check_input(
     (checked, report)
 }
 
-/// Dispatches to the sequential or parallel checker per
+/// One witness point per line, matching the trace format's line-oriented
+/// style.
+fn format_interval_witness(witness: &IntervalWitness) -> String {
+    witness.points().iter().map(|p| format!("{p}\n")).collect()
+}
+
+/// Dispatches to the sequential or parallel CAL checker per
 /// [`CheckOptions::threads`].
 fn run_ca<S>(
     history: &History,
@@ -401,16 +566,51 @@ where
     }
 }
 
+/// Like [`run_ca`] for the classical linearizability checker.
+fn run_seq<S>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<CaTrace>, CheckError>
+where
+    S: SeqSpec + Sync,
+    S::State: Send + Sync,
+{
+    if options.threads > 1 {
+        check_linearizable_par_with(history, spec, options)
+    } else {
+        check_linearizable_with(history, spec, options)
+    }
+}
+
+/// Like [`run_ca`] for the interval-linearizability checker.
+fn run_interval<S>(
+    history: &History,
+    spec: &S,
+    options: &CheckOptions,
+) -> Result<CheckOutcome<IntervalWitness>, CheckError>
+where
+    S: IntervalSpec + Sync,
+    S::State: Send + Sync,
+{
+    if options.threads > 1 {
+        check_interval_par_with(history, spec, options)
+    } else {
+        check_interval_with(history, spec, options)
+    }
+}
+
 /// Checks every regular file under `dir` against the named specification,
 /// spreading files across `threads` workers (each file is checked with a
 /// single-threaded search — the parallelism is across files).
 fn run_batch(
     spec_name: &str,
+    mode: CheckerMode,
     dir: &str,
     object: Option<ObjectId>,
     deadline: Option<Duration>,
     threads: usize,
-) -> ExitCode {
+) -> io::Result<ExitCode> {
     let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
         Ok(entries) => entries
             .filter_map(|e| e.ok())
@@ -418,14 +618,14 @@ fn run_batch(
             .filter(|p| p.is_file())
             .collect(),
         Err(e) => {
-            eprintln!("cal-check: cannot read directory {dir}: {e}");
-            return ExitCode::from(EXIT_ERROR);
+            errln!("cal-check: cannot read directory {dir}: {e}")?;
+            return Ok(ExitCode::from(EXIT_ERROR));
         }
     };
     files.sort();
     if files.is_empty() {
-        eprintln!("cal-check: no files in {dir}");
-        return ExitCode::from(EXIT_ERROR);
+        errln!("cal-check: no files in {dir}")?;
+        return Ok(ExitCode::from(EXIT_ERROR));
     }
     let options = CheckOptions { deadline, threads: 1, ..CheckOptions::default() };
     let results: Mutex<Vec<Option<Checked>>> = Mutex::new((0..files.len()).map(|_| None).collect());
@@ -437,7 +637,7 @@ fn run_batch(
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(path) = files.get(idx) else { break };
                 let checked = match std::fs::read_to_string(path) {
-                    Ok(input) => check_input(spec_name, &input, object, &options, false).0,
+                    Ok(input) => check_input(spec_name, mode, &input, object, &options, false).0,
                     Err(e) => Checked::Error(format!("cannot read: {e}")),
                 };
                 results.lock().unwrap()[idx] = Some(checked);
@@ -451,29 +651,29 @@ fn run_batch(
     for (path, checked) in files.iter().zip(results) {
         let name = path.display();
         match checked.expect("every file was checked") {
-            Checked::Accepted { adjective, .. } => println!("{name}: {adjective}: yes"),
+            Checked::Accepted { adjective, .. } => outln!("{name}: {adjective}: yes")?,
             Checked::Rejected { adjective } => {
-                println!("{name}: {adjective}: NO");
+                outln!("{name}: {adjective}: NO")?;
                 rejected += 1;
             }
             Checked::Undecided(why) => {
-                println!("{name}: undecided — {why}");
+                outln!("{name}: undecided — {why}")?;
                 undecided += 1;
             }
             Checked::Error(e) => {
-                println!("{name}: error — {e}");
+                outln!("{name}: error — {e}")?;
                 errors += 1;
             }
         }
     }
-    println!(
+    outln!(
         "batch: {} files, {} rejected, {} undecided, {} error(s)",
         files.len(),
         rejected,
         undecided,
         errors
-    );
-    if errors > 0 {
+    )?;
+    Ok(if errors > 0 {
         ExitCode::from(EXIT_ERROR)
     } else if undecided > 0 {
         ExitCode::from(EXIT_UNDECIDED)
@@ -481,5 +681,5 @@ fn run_batch(
         ExitCode::from(EXIT_REJECTED)
     } else {
         ExitCode::from(EXIT_ACCEPTED)
-    }
+    })
 }

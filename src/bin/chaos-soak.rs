@@ -78,7 +78,7 @@ impl TargetAgg {
         self.memo_hits += stats.memo_hits;
         self.first_seed.get_or_insert(seed);
         self.last_seed = seed;
-        if self.worst.map_or(true, |(_, n)| stats.nodes > n) {
+        if self.worst.is_none_or(|(_, n)| stats.nodes > n) {
             self.worst = Some((seed, stats.nodes));
         }
     }

@@ -1,14 +1,20 @@
 //! E15 — deadline regression: on a state space far beyond the node
 //! budget, `check_cal_with` honours a ~50 ms wall-clock deadline within
 //! 2×, returns partial statistics instead of panicking, and reports the
-//! interruption as such.
+//! interruption as such. Since all three checkers run on the shared
+//! search kernel, the same properties are asserted for the seqlin and
+//! interval checkers on their own hard instances.
 
 use std::time::{Duration, Instant};
 
 use cal::core::check::{check_cal_with, CheckOptions, Verdict};
+use cal::core::interval::check_interval_with;
+use cal::core::seqlin::check_linearizable_with;
 use cal::core::text::parse_history;
-use cal::core::History;
+use cal::core::{History, ObjectId, ThreadId};
 use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::register::{read_op, write_op, RegisterSpec};
+use cal::specs::snapshot::{view, write_snapshot_op, WriteSnapshotSpec};
 
 /// `k` pairwise-concurrent `exchange(0) -> (true, 0)` calls: every pair
 /// of them can explain each other, but an odd `k` leaves one call that no
@@ -109,4 +115,90 @@ fn node_budget_exhaustion_is_a_result_not_a_panic() {
     let outcome = check_cal_with(&history, &spec, &options).expect("exhaustion is an outcome");
     assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));
     assert!(outcome.stats.nodes >= 10_000);
+}
+
+/// `k` pairwise-concurrent register writes of distinct values plus one
+/// concurrent read of a never-written value: unsatisfiable, so the
+/// (memoization-free) search must refute every write order.
+fn hard_seq_history(k: usize) -> History {
+    let r = ObjectId(0);
+    let writes: Vec<_> = (0..k).map(|i| write_op(r, ThreadId(i as u32), i as i64)).collect();
+    let read = read_op(r, ThreadId(k as u32), 99);
+    let mut actions = Vec::new();
+    actions.extend(writes.iter().map(|op| op.invocation()));
+    actions.push(read.invocation());
+    actions.extend(writes.iter().map(|op| op.response()));
+    actions.push(read.response());
+    History::from_actions(actions)
+}
+
+#[test]
+fn seqlin_deadline_is_honoured_within_2x() {
+    let history = hard_seq_history(11);
+    let spec = RegisterSpec::new(ObjectId(0));
+    let deadline = Duration::from_millis(50);
+    let start = Instant::now();
+    let outcome = check_linearizable_with(&history, &spec, &hard_options(deadline))
+        .expect("interrupted checks are outcomes, not errors");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(outcome.verdict, Verdict::Interrupted { .. }),
+        "expected an interrupt, got {:?} after {elapsed:?}",
+        outcome.verdict
+    );
+    assert!(outcome.stats.nodes > 0, "partial stats must reflect work done");
+    assert!(elapsed <= deadline * 2, "deadline overshoot: {elapsed:?}");
+}
+
+#[test]
+fn seqlin_budget_exhaustion_is_a_result_not_a_panic() {
+    let history = hard_seq_history(11);
+    let spec = RegisterSpec::new(ObjectId(0));
+    let options = CheckOptions { max_nodes: 10_000, memoize: false, ..CheckOptions::default() };
+    let outcome =
+        check_linearizable_with(&history, &spec, &options).expect("exhaustion is an outcome");
+    assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));
+    assert!(outcome.stats.nodes >= 10_000);
+}
+
+/// `k` pairwise-concurrent `write_snapshot(i) ▷ {i}` calls: at most one of
+/// them can ever close with a singleton view, so for `k ≥ 2` the instance
+/// is unsatisfiable — but the point enumeration (opening subsets up to
+/// `max_active`, closing subsets of the active set) is enormous.
+fn hard_interval_history(k: usize) -> History {
+    let o = ObjectId(0);
+    let ops: Vec<_> =
+        (0..k).map(|i| write_snapshot_op(o, ThreadId(i as u32), i as i64, view(&[i as i64]))).collect();
+    let mut actions = Vec::new();
+    actions.extend(ops.iter().map(|op| op.invocation()));
+    actions.extend(ops.iter().map(|op| op.response()));
+    History::from_actions(actions)
+}
+
+#[test]
+fn interval_deadline_is_honoured_within_2x() {
+    let history = hard_interval_history(10);
+    let spec = WriteSnapshotSpec::new(ObjectId(0), 4);
+    let deadline = Duration::from_millis(50);
+    let start = Instant::now();
+    let outcome = check_interval_with(&history, &spec, &hard_options(deadline))
+        .expect("interrupted checks are outcomes, not errors");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(outcome.verdict, Verdict::Interrupted { .. }),
+        "expected an interrupt, got {:?} after {elapsed:?}",
+        outcome.verdict
+    );
+    assert!(outcome.stats.nodes > 0, "partial stats must reflect work done");
+    assert!(elapsed <= deadline * 2, "deadline overshoot: {elapsed:?}");
+}
+
+#[test]
+fn interval_budget_exhaustion_is_a_result_not_a_panic() {
+    let history = hard_interval_history(10);
+    let spec = WriteSnapshotSpec::new(ObjectId(0), 4);
+    let options = CheckOptions { max_nodes: 5_000, memoize: false, ..CheckOptions::default() };
+    let outcome = check_interval_with(&history, &spec, &options).expect("exhaustion is an outcome");
+    assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));
+    assert!(outcome.stats.nodes >= 5_000);
 }
