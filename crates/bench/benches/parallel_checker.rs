@@ -27,6 +27,10 @@
 //! - **interval/disjoint-views**: the interval checker refuting k
 //!   pairwise-concurrent `write_snapshot(i) ▷ {i}` calls (at most one op
 //!   can close with a singleton view, so k ≥ 2 is unsatisfiable).
+//! - **stream/replay-throughput**: the streaming checker replaying a
+//!   long concurrent exchange stream through a 64-entry window at
+//!   verdict parity with the batch checker; its stats column records
+//!   events/sec and the retirement counters.
 //!
 //! Writes `BENCH_checker.json` at the workspace root.
 
@@ -329,6 +333,79 @@ fn bench_interval() -> Series {
     Series::new("interval/disjoint-views-6", seq, par, stats)
 }
 
+/// `pairs` overlapping exchange rendezvous on one object: the canonical
+/// streaming workload (each pair closes a retirement boundary, but every
+/// segment is genuinely concurrent and goes through the real search).
+fn stream_replay_history(pairs: u64) -> History {
+    let ex = cal_specs::vocab::EXCHANGE;
+    let o = ObjectId(0);
+    let mut actions = Vec::with_capacity(4 * pairs as usize);
+    for i in 0..pairs {
+        let (a, b) = (ThreadId(0), ThreadId(1));
+        let (va, vb) = ((i % 100) as i64, ((i + 1) % 100) as i64);
+        actions.push(Action::invoke(a, o, ex, Value::Int(va)));
+        actions.push(Action::invoke(b, o, ex, Value::Int(vb)));
+        actions.push(Action::response(a, o, ex, Value::Pair(true, vb)));
+        actions.push(Action::response(b, o, ex, Value::Pair(true, va)));
+    }
+    History::from_actions(actions)
+}
+
+/// Streaming replay throughput at verdict parity: the same history is
+/// decided by the batch checker (`seq` arm) and replayed through
+/// [`StreamChecker`] with a bounded window (`par` arm); both must say
+/// consistent. The stats column records events/sec and the retirement
+/// counters instead of a `SearchReport` — the interesting shape here is
+/// the window's, not one search's.
+fn bench_stream_replay() -> Series {
+    use cal_core::stream::{Push, StreamChecker, StreamOptions, StreamVerdict};
+
+    // Sized by the *batch* arm: its witness search is superlinear in
+    // history length (~0.6 s at 800 pairs, minutes at 10k), while the
+    // streaming arm is linear — which is the point of the series. The
+    // 10M-event streaming-only numbers live in EXPERIMENTS E16.
+    let pairs = 1_000u64;
+    let h = stream_replay_history(pairs);
+    let spec = ExchangerSpec::new(ObjectId(0));
+    let options = CheckOptions::default();
+
+    let seq = measure(|| {
+        let out = check_cal_with(&h, &spec, &options).unwrap();
+        assert!(matches!(out.verdict, Verdict::Cal(_)), "batch arm must accept");
+    });
+
+    let stream_opts =
+        StreamOptions { max_window: 64, checkpoint_every: 256, ..StreamOptions::default() };
+    let replay = || {
+        let mut c = StreamChecker::new(spec, stream_opts.clone());
+        for action in h.actions() {
+            assert_eq!(c.push(*action), Push::Admitted);
+        }
+        assert_eq!(c.finish(), StreamVerdict::Consistent, "stream arm must agree");
+        c
+    };
+    let par = measure(|| {
+        replay();
+    });
+
+    let c = replay();
+    let s = c.stats();
+    let events = s.events;
+    let ops_per_sec = (events / 2) as f64 / par.as_secs_f64();
+    let stats = format!(
+        "{{\"events\": {events}, \"ops_per_sec\": {ops_per_sec:.0}, \
+         \"max_window\": {}, \"peak_window\": {}, \"retired_actions\": {}, \
+         \"retired_segments\": {}, \"checkpoints\": {}, \"saturated\": {}}}",
+        stream_opts.max_window,
+        s.peak_window,
+        s.retired_actions,
+        s.retired_segments,
+        s.checkpoints,
+        s.saturated,
+    );
+    Series::new("stream/replay-throughput", seq, par, stats)
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let series = vec![
@@ -337,6 +414,7 @@ fn main() {
         bench_frontier(),
         bench_seqlin(),
         bench_interval(),
+        bench_stream_replay(),
     ];
 
     let mut json = String::from("{\n  \"benchmark\": \"parallel_checker\",\n");

@@ -485,11 +485,30 @@ pub fn soak(config: &RunConfig, budget: Duration) -> SoakResult {
 pub fn soak_with(
     config: &RunConfig,
     budget: Duration,
+    on_run: impl FnMut(&RunOutcome, Duration),
+) -> SoakResult {
+    soak_interruptible(config, budget, || false, on_run)
+}
+
+/// Like [`soak_with`], additionally polling `stop` between runs: when it
+/// returns `true` the soak ends early with a [`SoakResult::Clean`] tally
+/// of the runs completed so far. This is the cancellation point the
+/// `chaos-soak` binary wires its SIGINT/SIGTERM flag into, so an
+/// interrupted soak still flushes its per-target aggregates instead of
+/// dying mid-loop. `stop` is checked *before* each run, never mid-run —
+/// a run that has started always completes and is observed by `on_run`.
+pub fn soak_interruptible(
+    config: &RunConfig,
+    budget: Duration,
+    stop: impl Fn() -> bool,
     mut on_run: impl FnMut(&RunOutcome, Duration),
 ) -> SoakResult {
     let start = Instant::now();
     let mut runs = 0u64;
     loop {
+        if stop() {
+            return SoakResult::Clean { runs };
+        }
         let mut cfg = config.clone();
         cfg.seed = config.seed.wrapping_add(runs);
         let outcome = run_once(&cfg);

@@ -43,6 +43,7 @@ pub mod faults;
 pub mod injector;
 pub mod report;
 pub mod shrink;
+pub mod stream_faults;
 
 pub use driver::{run_once, soak, Mode, RunConfig, RunOutcome, SoakResult, TargetKind};
 pub use faults::Profile;

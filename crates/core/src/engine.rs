@@ -795,6 +795,92 @@ pub fn search<D: SearchDomain>(
     finish_run(r)
 }
 
+/// Every distinct end state of an exhaustive exploration: the result of
+/// [`enumerate_goals`].
+#[derive(Debug, Clone)]
+pub struct Enumeration<N> {
+    /// The distinct goal nodes reached, in discovery order.
+    pub goals: Vec<N>,
+    /// `true` when the exploration ran to exhaustion: every node
+    /// reachable from the root was visited, so `goals` is the *complete*
+    /// set. `false` when the node budget, the deadline or a cancellation
+    /// stopped it early — the caller must not treat `goals` as closed.
+    pub complete: bool,
+    /// Work accounting, in the same units as a [`search`] run.
+    pub stats: CheckStats,
+}
+
+/// Exhaustively enumerates the distinct *goal* nodes reachable from the
+/// domain's initial node.
+///
+/// Where [`search`] stops at the first witness, this keeps exploring and
+/// collects every distinct goal node. It is the window-retirement hook the
+/// streaming checker ([`crate::stream`]) builds on: the goal nodes of a
+/// decided window prefix carry every specification state the prefix can
+/// end in, after which the prefix's actions — and every memoized search
+/// node referring to them — can be garbage-collected. (Failed-node memo
+/// entries must *not* survive a retirement boundary: a node refuted
+/// against one window can become satisfiable once new events extend it,
+/// which is why the streaming checker runs each per-checkpoint search with
+/// a fresh memo and uses this enumeration, whose visited set lives and
+/// dies with the call, at the boundary itself.)
+///
+/// The full visited set doubles as the memo table here (completeness
+/// requires one), so [`CheckOptions::memoize`] is ignored; revisits are
+/// counted as `memo_hits`. Budget, deadline and cancellation are honoured
+/// exactly as in [`search`]; when any of them fires, the partial result is
+/// returned with `complete = false`.
+///
+/// # Errors
+///
+/// Returns [`CheckError::SpecPanicked`] if the domain's specification
+/// panics during the enumeration.
+pub fn enumerate_goals<D: SearchDomain>(
+    domain: &D,
+    options: &CheckOptions,
+) -> Result<Enumeration<D::Node>, CheckError> {
+    let root = initial_guarded(domain)?;
+    let mut ctl = Ctl::new(options, None, None, Instant::now());
+    let mut visited: HashSet<D::Node> = HashSet::new();
+    let mut goals: Vec<D::Node> = Vec::new();
+    let mut stack: Vec<D::Node> = vec![root];
+    while let Some(node) = stack.pop() {
+        if !visited.insert(node.clone()) {
+            ctl.stats.memo_hits += 1;
+            continue;
+        }
+        if ctl.should_stop() {
+            break;
+        }
+        if !ctl.charge_node() {
+            break;
+        }
+        if domain.is_goal(&node) {
+            goals.push(node.clone());
+        }
+        let succs = {
+            let mut obs = ExpandObs { ctl: &mut ctl };
+            match catch_unwind(AssertUnwindSafe(|| domain.expand(&node, &mut obs))) {
+                Ok(succs) => succs,
+                Err(payload) => {
+                    ctl.panicked = Some(panic_message(payload));
+                    break;
+                }
+            }
+        };
+        for (_, next) in succs {
+            if !visited.contains(&next) {
+                stack.push(next);
+            }
+        }
+    }
+    if let Some(msg) = ctl.panicked {
+        return Err(CheckError::SpecPanicked(msg));
+    }
+    let complete = ctl.interrupted.is_none() && !ctl.exhausted && stack.is_empty();
+    Ok(Enumeration { goals, complete, stats: ctl.stats })
+}
+
 /// Converts one completed [`RunResult`] into a [`CheckOutcome`].
 fn finish_run<T>(r: RunResult<T>) -> Result<CheckOutcome<Vec<T>>, CheckError> {
     if let Some(msg) = r.panicked {

@@ -88,6 +88,7 @@ pub mod op;
 pub mod par;
 pub mod seqlin;
 pub mod spec;
+pub mod stream;
 pub mod text;
 pub mod trace;
 

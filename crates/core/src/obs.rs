@@ -602,7 +602,9 @@ impl fmt::Display for SearchReport {
     }
 }
 
-fn push_field(out: &mut String, key: &str, value: &str) {
+/// Appends one `"key": value, ` JSON field; shared with the streaming
+/// report so `cal-serve` and `cal-check` emit the same wire style.
+pub(crate) fn push_field(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\": ");

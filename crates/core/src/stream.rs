@@ -1,0 +1,943 @@
+//! Online (streaming) CAL checking with bounded memory.
+//!
+//! The batch checkers ([`crate::check`], [`crate::seqlin`],
+//! [`crate::interval`]) need the complete history up front, so a live
+//! deployment must either buffer unboundedly or not check at all while
+//! traffic flows. [`StreamChecker`] closes that gap: events are pushed
+//! one [`Action`] at a time, the checker keeps only a bounded *window* of
+//! not-yet-decided actions, and everything before the window is
+//! *retired* — collapsed into the set of specification states reachable
+//! by some witness of the retired prefix. Steady-state memory is
+//! `O(window + states)`, not `O(history)`.
+//!
+//! ## The retirement invariant
+//!
+//! Let `R` be the retired prefix and `W` the current window, so the
+//! admitted history is `R · W`. The checker maintains:
+//!
+//! > `states` is exactly the set of spec states `q` such that some
+//! > CA-trace witnessing `R` (Def. 5 agreement + spec acceptance) leaves
+//! > the specification in `q`.
+//!
+//! Retirement happens only at *closed boundaries*: window cuts where
+//! every operation invoked before the cut has responded (or, under
+//! forced retirement, was explicitly abandoned) before it. Real-time
+//! order then forces every
+//! CA-element of any witness to fall entirely on one side of the cut, so
+//! witnesses of `R · seg` factor as (witness of `R`) · (witness of `seg`
+//! from the reached state) — the invariant is preserved *exactly* by
+//! taking the union, over current states, of the end states of an
+//! exhaustive segment enumeration ([`crate::engine::enumerate_goals`]).
+//! Consequences:
+//!
+//! - `states = ∅` means no completion of `R` is explainable; since CAL
+//!   is prefix-closed (for the prefix-closed specifications this crate
+//!   ships), **no extension can recover** — the violation verdict is
+//!   final and the stream is refused.
+//! - A checkpoint verdict for `R · W` is computed by searching only `W`
+//!   from each reachable state: exact parity with a batch check of the
+//!   full history.
+//! - Failed-node memo entries never survive a boundary: each
+//!   per-checkpoint search runs with a fresh memo (a node refuted
+//!   against one window can become satisfiable when new events arrive),
+//!   and the enumeration's visited set lives and dies with the call.
+//!
+//! ## Graceful degradation
+//!
+//! Everything that can go wrong is a *result*, never a panic or an
+//! abort:
+//!
+//! - **Ill-formed events** (nested invocation, orphan response) are
+//!   rejected with the matching [`HistoryError`] and do not perturb the
+//!   window ([`Push::Rejected`]).
+//! - **Window saturation**: when the invocation cap is reached and
+//!   retirement cannot free space, [`StreamChecker::push`] returns
+//!   [`Push::Saturated`] so the caller can apply backpressure (pause
+//!   reads, NAK clients). If the caller gives up it calls
+//!   [`StreamChecker::degrade`], latching the explicit
+//!   `undecided: window exceeded` verdict instead of growing without
+//!   bound. Admitted events are never dropped, so a violation found in
+//!   the frozen window is still sound.
+//! - **Abandoned clients** ([`StreamChecker::abandon_thread`]): a
+//!   pending operation whose client died rides in the window with the
+//!   exact batch pending-op semantics — the search may complete it with
+//!   the specification's proposed return values (Def. 2's completions;
+//!   for the dual stack with timeouts this is exactly the
+//!   `CANCEL_SENTINEL` timeout-admission path) or drop it — for as long
+//!   as memory allows, so a late-arriving rendezvous partner can still
+//!   explain it. Only under real window pressure is it *sealed*: a
+//!   forced retirement boundary commits it against events up to that
+//!   boundary only. Sealing can under-approximate acceptance (a later
+//!   partner could have explained the op), so under pressure a
+//!   rendezvous spec may see a false violation — never a false
+//!   acceptance.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::action::Action;
+use crate::check::CalDomain;
+use crate::engine::{self, CheckOptions, CheckStats, InterruptReason, SpecRef, Verdict};
+use crate::history::{History, HistoryError};
+use crate::ids::{ThreadId, Value};
+use crate::obs::push_field;
+use crate::op::Operation;
+use crate::spec::{CaSpec, Invocation};
+use crate::trace::{CaElement, CaTrace};
+
+/// Tuning knobs for a [`StreamChecker`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Hard cap on *open or undecided invocations* buffered in the
+    /// window, in actions (each op contributes its invocation and, once
+    /// it arrives, its response, so the window holds at most
+    /// `2 * max_window` actions). `0` means unbounded. When the cap is
+    /// hit and retirement cannot free space, `push` returns
+    /// [`Push::Saturated`]. Responses are always admitted — they only
+    /// ever help the window drain.
+    pub max_window: usize,
+    /// Run a [`StreamChecker::checkpoint`] automatically every this many
+    /// admitted actions. `0` disables automatic checkpoints (the caller
+    /// drives them, e.g. on a timer).
+    pub checkpoint_every: usize,
+    /// Upper bound on the reachable-state set carried across a
+    /// retirement boundary. A segment whose enumeration exceeds it is
+    /// kept in the window instead (bounded memory beats eager GC).
+    pub max_states: usize,
+    /// Budget/deadline/sink for each per-checkpoint search and each
+    /// retirement enumeration.
+    pub check: CheckOptions,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            max_window: 4096,
+            checkpoint_every: 128,
+            max_states: 64,
+            check: CheckOptions::default(),
+        }
+    }
+}
+
+/// What happened to one pushed event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Push {
+    /// The event entered the window.
+    Admitted,
+    /// The event does not extend a well-formed history; it was
+    /// quarantined and the window is unchanged.
+    Rejected(HistoryError),
+    /// The invocation cap is reached and retirement could not free
+    /// space. The event was *not* admitted: apply backpressure and retry
+    /// it, or give up via [`StreamChecker::degrade`].
+    Saturated,
+    /// The stream is closed: the verdict is final (violation) or the
+    /// checker has degraded. The event was not admitted.
+    Refused,
+}
+
+/// Why a stream is (currently) undecided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndecidedWhy {
+    /// The window cap was hit, backpressure failed, and the caller chose
+    /// explicit degradation over unbounded growth.
+    WindowExceeded,
+    /// A per-checkpoint search ran out of node budget.
+    ResourcesExhausted,
+    /// A per-checkpoint search was interrupted (deadline/cancellation).
+    Interrupted(InterruptReason),
+    /// The specification panicked during a search; see
+    /// [`StreamChecker::last_error`].
+    CheckerError,
+}
+
+impl fmt::Display for UndecidedWhy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UndecidedWhy::WindowExceeded => f.write_str("window exceeded"),
+            UndecidedWhy::ResourcesExhausted => f.write_str("node budget exhausted"),
+            UndecidedWhy::Interrupted(r) => write!(f, "interrupted ({r})"),
+            UndecidedWhy::CheckerError => f.write_str("checker error"),
+        }
+    }
+}
+
+/// The stream's verdict as of the last checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamVerdict {
+    /// Every admitted event is explainable: some witness covers the
+    /// retired prefix and the current window.
+    Consistent,
+    /// No witness explains some admitted prefix. Final: CAL is
+    /// prefix-closed, so no future event can repair it.
+    Violation,
+    /// Not (currently) decidable, for the stated reason. Unlike
+    /// [`StreamVerdict::Violation`] this can resolve at a later
+    /// checkpoint — except `WindowExceeded`, which latches.
+    Undecided(UndecidedWhy),
+}
+
+impl fmt::Display for StreamVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamVerdict::Consistent => f.write_str("consistent"),
+            StreamVerdict::Violation => f.write_str("violation"),
+            StreamVerdict::Undecided(why) => write!(f, "undecided: {why}"),
+        }
+    }
+}
+
+/// Monotone counters describing a stream's life so far. The
+/// `retired_*` counters are how tests verify the memory bound without
+/// measuring RSS: `retired_actions + window == events`, always.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events admitted into the window.
+    pub events: u64,
+    /// Ill-formed events quarantined ([`Push::Rejected`]).
+    pub rejected: u64,
+    /// Events turned away because the window was saturated
+    /// ([`Push::Saturated`]).
+    pub saturated: u64,
+    /// Events turned away after the stream closed ([`Push::Refused`]).
+    pub refused: u64,
+    /// Current window size, in actions.
+    pub window: usize,
+    /// High-water mark of `window`.
+    pub peak_window: usize,
+    /// Current reachable-state set size.
+    pub states: usize,
+    /// High-water mark of `states`.
+    pub peak_states: usize,
+    /// Operations garbage-collected out of the window.
+    pub retired_ops: u64,
+    /// Actions garbage-collected out of the window.
+    pub retired_actions: u64,
+    /// Closed segments retired.
+    pub retired_segments: u64,
+    /// Checkpoints run (automatic + explicit + final).
+    pub checkpoints: u64,
+    /// Pending operations sealed because their client abandoned them.
+    pub abandoned: u64,
+    /// Accumulated search-kernel work across every checkpoint search and
+    /// retirement enumeration.
+    pub search: CheckStats,
+}
+
+/// A point-in-time snapshot of a stream, in the same spirit (and JSON
+/// wire style) as [`crate::obs::SearchReport`].
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The verdict, rendered ([`StreamVerdict`]'s `Display`).
+    pub verdict: String,
+    /// Wall-clock milliseconds the stream has been running.
+    pub wall_ms: f64,
+    /// The configured invocation cap (0 = unbounded).
+    pub max_window: usize,
+    /// The counters at snapshot time.
+    pub stats: StreamStats,
+}
+
+impl StreamReport {
+    /// Renders the report as a single-line JSON object, the
+    /// `--stats-json` wire format of `cal-serve`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_field(&mut out, "verdict", &format!("\"{}\"", self.verdict));
+        push_field(&mut out, "wall_ms", &format!("{:.3}", self.wall_ms));
+        push_field(&mut out, "max_window", &self.max_window.to_string());
+        let s = &self.stats;
+        push_field(&mut out, "events", &s.events.to_string());
+        push_field(&mut out, "rejected", &s.rejected.to_string());
+        push_field(&mut out, "saturated", &s.saturated.to_string());
+        push_field(&mut out, "refused", &s.refused.to_string());
+        push_field(&mut out, "window", &s.window.to_string());
+        push_field(&mut out, "peak_window", &s.peak_window.to_string());
+        push_field(&mut out, "states", &s.states.to_string());
+        push_field(&mut out, "peak_states", &s.peak_states.to_string());
+        push_field(&mut out, "retired_ops", &s.retired_ops.to_string());
+        push_field(&mut out, "retired_actions", &s.retired_actions.to_string());
+        push_field(&mut out, "retired_segments", &s.retired_segments.to_string());
+        push_field(&mut out, "checkpoints", &s.checkpoints.to_string());
+        push_field(&mut out, "abandoned", &s.abandoned.to_string());
+        push_field(&mut out, "nodes", &s.search.nodes.to_string());
+        push_field(&mut out, "elements_tried", &s.search.elements_tried.to_string());
+        push_field(&mut out, "memo_hits", &s.search.memo_hits.to_string());
+        out.truncate(out.len() - 2);
+        out.push('}');
+        out
+    }
+
+    /// One compact human line: verdict plus headline counters.
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{} in {:.1}ms: {} events, window {} (peak {}), {} states (peak {}), \
+             {} ops retired in {} segments, {} checkpoints, {} nodes",
+            self.verdict,
+            self.wall_ms,
+            s.events,
+            s.window,
+            s.peak_window,
+            s.states,
+            s.peak_states,
+            s.retired_ops,
+            s.retired_segments,
+            s.checkpoints,
+            s.search.nodes,
+        )
+    }
+}
+
+/// A [`CaSpec`] started from an arbitrary state: the wrapper that lets
+/// window segments be searched "from the middle" of the retired prefix.
+struct ResumeSpec<'s, S: CaSpec> {
+    inner: &'s S,
+    start: S::State,
+}
+
+impl<S: CaSpec> CaSpec for ResumeSpec<'_, S> {
+    type State = S::State;
+
+    fn initial(&self) -> S::State {
+        self.start.clone()
+    }
+
+    fn step(&self, state: &S::State, element: &CaElement) -> Option<S::State> {
+        self.inner.step(state, element)
+    }
+
+    fn max_element_size(&self) -> usize {
+        self.inner.max_element_size()
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        self.inner.completions_of(inv)
+    }
+
+    fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+        self.inner.completions_among(inv, peers)
+    }
+}
+
+/// The incremental checker: push events, read verdicts, stay within a
+/// memory bound. See the module docs for the invariant.
+pub struct StreamChecker<S: CaSpec> {
+    spec: S,
+    opts: StreamOptions,
+    /// Undecided suffix of the admitted history.
+    window: Vec<Action>,
+    /// Spec states reachable by some witness of the retired prefix.
+    states: Vec<S::State>,
+    /// Open invocations: `(thread, index into window)`.
+    pending: Vec<(ThreadId, usize)>,
+    /// Window indices of pending invocations whose client is gone.
+    abandoned: Vec<usize>,
+    violated: bool,
+    degraded: bool,
+    /// Verdict of the last window evaluation (Consistent or a
+    /// search-shaped Undecided); `violated`/`degraded` override it.
+    last_eval: StreamVerdict,
+    last_error: Option<String>,
+    since_checkpoint: usize,
+    stats: StreamStats,
+}
+
+impl<S: CaSpec> fmt::Debug for StreamChecker<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamChecker")
+            .field("window", &self.window.len())
+            .field("states", &self.states.len())
+            .field("verdict", &self.verdict())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: CaSpec> StreamChecker<S> {
+    /// Creates a checker with an empty window and the spec's initial
+    /// state as the only reachable state.
+    pub fn new(spec: S, opts: StreamOptions) -> Self {
+        let states = vec![spec.initial()];
+        let stats = StreamStats { states: 1, peak_states: 1, ..StreamStats::default() };
+        StreamChecker {
+            spec,
+            opts,
+            window: Vec::new(),
+            states,
+            pending: Vec::new(),
+            abandoned: Vec::new(),
+            violated: false,
+            degraded: false,
+            last_eval: StreamVerdict::Consistent,
+            last_error: None,
+            since_checkpoint: 0,
+            stats,
+        }
+    }
+
+    /// Offers one event to the stream. See [`Push`] for the outcomes;
+    /// only [`Push::Admitted`] consumes the event.
+    pub fn push(&mut self, action: Action) -> Push {
+        if self.violated || self.degraded {
+            self.stats.refused += 1;
+            return Push::Refused;
+        }
+        // Incremental well-formedness: mirror `History::validate` so an
+        // ill-formed event never reaches (and never corrupts) the window.
+        // Error indices count admitted events, i.e. the index the action
+        // would have had in the admitted history.
+        let index = self.stats.events as usize;
+        let thread = action.thread();
+        let mut closes: Option<usize> = None;
+        if action.is_invoke() {
+            if self.pending.iter().any(|&(t, _)| t == thread) {
+                self.stats.rejected += 1;
+                return Push::Rejected(HistoryError::NestedInvocation { index, thread });
+            }
+        } else {
+            match self.pending.iter().position(|&(t, _)| t == thread) {
+                None => {
+                    self.stats.rejected += 1;
+                    return Push::Rejected(HistoryError::ResponseWithoutInvocation {
+                        index,
+                        thread,
+                    });
+                }
+                Some(p) => {
+                    let inv = self.window[self.pending[p].1];
+                    if inv.object() != action.object() || inv.method() != action.method() {
+                        self.stats.rejected += 1;
+                        return Push::Rejected(HistoryError::MismatchedResponse { index, thread });
+                    }
+                    closes = Some(p);
+                }
+            }
+        }
+        // The cap counts open-or-undecided *invocations*; responses are
+        // always admitted, since they only ever enable retirement.
+        if action.is_invoke() && self.opts.max_window > 0 {
+            let cap = self.opts.max_window;
+            let full = |w: &[Action]| w.iter().filter(|a| a.is_invoke()).count() >= cap;
+            if full(&self.window) {
+                self.retire(false);
+                if !self.violated && full(&self.window) {
+                    // Real memory pressure: now (and only now) seal
+                    // abandoned operations at a forced boundary to
+                    // reclaim space.
+                    self.retire(true);
+                }
+                if self.violated {
+                    self.stats.refused += 1;
+                    return Push::Refused;
+                }
+                if full(&self.window) {
+                    self.stats.saturated += 1;
+                    return Push::Saturated;
+                }
+            }
+        }
+        let at = self.window.len();
+        self.window.push(action);
+        match closes {
+            Some(p) => {
+                let inv_at = self.pending[p].1;
+                // A response for an op previously abandoned: the client
+                // came back after all — un-seal it.
+                self.abandoned.retain(|&a| a != inv_at);
+                self.pending.swap_remove(p);
+            }
+            None => self.pending.push((thread, at)),
+        }
+        self.stats.events += 1;
+        self.stats.window = self.window.len();
+        self.stats.peak_window = self.stats.peak_window.max(self.window.len());
+        self.since_checkpoint += 1;
+        if self.opts.checkpoint_every > 0 && self.since_checkpoint >= self.opts.checkpoint_every {
+            self.checkpoint();
+        }
+        Push::Admitted
+    }
+
+    /// Declares that `thread`'s client is gone. Its pending invocation
+    /// (if any) rides in the window with exact batch pending-op
+    /// semantics — droppable, or completable with the spec's proposed
+    /// return values (the timeout-admission path) — for as long as
+    /// memory allows; only under window pressure is it *sealed* at a
+    /// forced retirement boundary, committing it against events up to
+    /// that boundary only.
+    pub fn abandon_thread(&mut self, thread: ThreadId) {
+        if self.violated || self.degraded {
+            return;
+        }
+        if let Some(&(_, at)) = self.pending.iter().find(|&&(t, _)| t == thread) {
+            if !self.abandoned.contains(&at) {
+                self.abandoned.push(at);
+                self.stats.abandoned += 1;
+            }
+        }
+    }
+
+    /// Gives up on backpressure: latches the explicit
+    /// `undecided: window exceeded` verdict. Admitted events are kept
+    /// (and a later violation found among them is still sound), but no
+    /// further event is admitted.
+    pub fn degrade(&mut self) {
+        if !self.violated {
+            self.degraded = true;
+        }
+    }
+
+    /// Retires every decided prefix, then re-evaluates the residual
+    /// window. Returns the resulting verdict.
+    pub fn checkpoint(&mut self) -> StreamVerdict {
+        self.since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        self.retire(false);
+        if !self.violated {
+            self.evaluate();
+        }
+        self.verdict()
+    }
+
+    /// Runs a final checkpoint and returns the stream's closing verdict.
+    pub fn finish(&mut self) -> StreamVerdict {
+        self.checkpoint()
+    }
+
+    /// The verdict as of the last checkpoint (events pushed since then
+    /// are not yet reflected unless they triggered one).
+    pub fn verdict(&self) -> StreamVerdict {
+        if self.violated {
+            StreamVerdict::Violation
+        } else if self.degraded {
+            StreamVerdict::Undecided(UndecidedWhy::WindowExceeded)
+        } else {
+            self.last_eval.clone()
+        }
+    }
+
+    /// The panic message of the most recent specification panic, if a
+    /// checkpoint ever reported [`UndecidedWhy::CheckerError`].
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    /// The stream's counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Snapshots a [`StreamReport`] after `wall` of runtime.
+    pub fn report(&self, wall: Duration) -> StreamReport {
+        StreamReport {
+            verdict: self.verdict().to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            max_window: self.opts.max_window,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// The earliest closed boundary: the smallest `c > 0` such that every
+    /// operation invoked in `window[..c]` responds in `window[..c]`.
+    ///
+    /// Abandoned invocations block a cut unless `force`: sealing one
+    /// commits it against the segment's events only, and its rendezvous
+    /// partner may not have invoked yet — so the checker holds on to it
+    /// until memory pressure leaves no choice (at [`finish`] an unsealed
+    /// abandoned op simply gets the exact batch pending-op treatment).
+    ///
+    /// [`finish`]: StreamChecker::finish
+    fn first_cut(&self, force: bool) -> Option<usize> {
+        let mut depth = 0usize;
+        for (i, a) in self.window.iter().enumerate() {
+            if a.is_invoke() {
+                if !(force && self.abandoned.contains(&i)) {
+                    depth += 1;
+                }
+            } else {
+                // Every response in the window closes a non-abandoned
+                // invocation in the window (admission un-seals on reply).
+                depth = depth.saturating_sub(1);
+            }
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Retires closed segments off the front of the window until none
+    /// remains, a segment resists (budget, deadline, or a state set over
+    /// `max_states`), or the state set empties (violation — final).
+    /// `force` additionally seals abandoned operations at the boundary
+    /// (see [`StreamChecker::first_cut`]).
+    fn retire(&mut self, force: bool) {
+        while !self.violated {
+            let Some(cut) = self.first_cut(force) else { break };
+            let Some(next) = self.segment_states(cut) else { break };
+            if next.len() > self.opts.max_states {
+                break;
+            }
+            if next.is_empty() {
+                self.violated = true;
+                break;
+            }
+            let ops = self.window[..cut].iter().filter(|a| a.is_invoke()).count();
+            self.states = next;
+            self.stats.states = self.states.len();
+            self.stats.peak_states = self.stats.peak_states.max(self.states.len());
+            self.stats.retired_segments += 1;
+            self.stats.retired_actions += cut as u64;
+            self.stats.retired_ops += ops as u64;
+            self.window.drain(..cut);
+            // Pending entries below the cut are exactly the sealed
+            // abandoned ops: they were decided with the segment.
+            self.pending.retain(|&(_, at)| at >= cut);
+            for p in &mut self.pending {
+                p.1 -= cut;
+            }
+            self.abandoned.retain(|&at| at >= cut);
+            for a in &mut self.abandoned {
+                *a -= cut;
+            }
+        }
+        self.stats.window = self.window.len();
+    }
+
+    /// The exact end-state set of `window[..cut]` from the current
+    /// states, or `None` when the enumeration could not be completed
+    /// (budget, deadline, or a panicking spec) and the segment must stay.
+    fn segment_states(&mut self, cut: usize) -> Option<Vec<S::State>> {
+        // Fast path: a single complete op admits exactly one witness
+        // element (complete ops cannot be dropped and have no one to
+        // share an element with), so step the spec directly instead of
+        // building a search domain. This is what makes a mostly-
+        // sequential replay stream at millions of ops without search
+        // overhead.
+        if cut == 2 && self.window[0].is_invoke() && !self.window[1].is_invoke() {
+            let (inv, res) = (self.window[0], self.window[1]);
+            let op = Operation::new(
+                inv.thread(),
+                inv.object(),
+                inv.method(),
+                inv.arg().expect("invocations carry an argument"),
+                res.ret().expect("responses carry a return value"),
+            );
+            let element = CaElement::singleton(op);
+            let mut next: Vec<S::State> = Vec::new();
+            for q in &self.states {
+                self.stats.search.elements_tried += 1;
+                match catch_unwind(AssertUnwindSafe(|| self.spec.step(q, &element))) {
+                    Ok(Some(q2)) => {
+                        if !next.contains(&q2) {
+                            next.push(q2);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(payload) => {
+                        self.last_error = Some(crate::engine::panic_message(payload));
+                        return None;
+                    }
+                }
+            }
+            return Some(next);
+        }
+        let segment = History::from_actions(self.window[..cut].to_vec());
+        let mut next: Vec<S::State> = Vec::new();
+        for q in &self.states {
+            let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
+            let domain = match CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume)) {
+                Ok(d) => d,
+                // Unreachable: admission keeps the window well-formed.
+                Err(_) => return None,
+            };
+            match engine::enumerate_goals(&domain, &self.opts.check) {
+                Ok(e) => {
+                    self.stats.search += e.stats;
+                    if !e.complete {
+                        return None;
+                    }
+                    for (_, state) in e.goals {
+                        if !next.contains(&state) {
+                            next.push(state);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.last_error = Some(e.to_string());
+                    return None;
+                }
+            }
+        }
+        Some(next)
+    }
+
+    /// Re-checks the residual window from each reachable state, setting
+    /// `last_eval` (or latching the violation when every state refutes).
+    fn evaluate(&mut self) {
+        if self.window.is_empty() {
+            self.last_eval = StreamVerdict::Consistent;
+            return;
+        }
+        let segment = History::from_actions(self.window.clone());
+        let mut why: Option<UndecidedWhy> = None;
+        for q in &self.states {
+            let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
+            let domain = match CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume)) {
+                Ok(d) => d,
+                Err(_) => return, // unreachable: the window is well-formed
+            };
+            match engine::search(&domain, &self.opts.check) {
+                Ok(outcome) => {
+                    self.stats.search += outcome.stats;
+                    match outcome.verdict {
+                        Verdict::Cal(_) => {
+                            self.last_eval = StreamVerdict::Consistent;
+                            return;
+                        }
+                        Verdict::NotCal => {}
+                        Verdict::ResourcesExhausted => {
+                            why.get_or_insert(UndecidedWhy::ResourcesExhausted);
+                        }
+                        Verdict::Interrupted { reason } => {
+                            why.get_or_insert(UndecidedWhy::Interrupted(reason));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.last_error = Some(e.to_string());
+                    why.get_or_insert(UndecidedWhy::CheckerError);
+                }
+            }
+        }
+        match why {
+            // Every reachable state *refuted* the window: no completion
+            // of the admitted history is explainable, and prefix closure
+            // makes that final.
+            None => self.violated = true,
+            Some(why) => self.last_eval = StreamVerdict::Undecided(why),
+        }
+    }
+
+    /// Searches the *residual window* for one witness (the retired
+    /// prefix's witness is gone by design). Only meaningful while the
+    /// verdict is [`StreamVerdict::Consistent`].
+    pub fn window_witness(&mut self) -> Option<CaTrace> {
+        if self.window.is_empty() {
+            return Some(CaTrace::new());
+        }
+        let segment = History::from_actions(self.window.clone());
+        for q in &self.states {
+            let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
+            let Ok(domain) = CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume))
+            else {
+                return None;
+            };
+            if let Ok(outcome) = engine::search(&domain, &self.opts.check) {
+                self.stats.search += outcome.stats;
+                if let Verdict::Cal(steps) = outcome.verdict {
+                    return Some(crate::check::steps_to_trace(steps));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_cal;
+    use crate::ids::ObjectId;
+    use crate::spec::SeqAsCa;
+    use crate::text::parse_history;
+    use crate::Method;
+
+    /// A tiny sequential register spec for self-contained tests.
+    #[derive(Debug, Clone)]
+    struct Reg;
+    impl crate::spec::SeqSpec for Reg {
+        type State = i64;
+        fn initial(&self) -> i64 {
+            0
+        }
+        fn apply(&self, state: &i64, op: &Operation) -> Option<i64> {
+            match (op.method, op.arg, op.ret) {
+                (Method("write"), Value::Int(v), Value::Unit) => Some(v),
+                (Method("read"), Value::Unit, Value::Int(v)) if v == *state => Some(*state),
+                _ => None,
+            }
+        }
+        fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+            match inv.method {
+                Method("write") => vec![Value::Unit],
+                _ => vec![],
+            }
+        }
+    }
+
+    fn reg_checker(opts: StreamOptions) -> StreamChecker<SeqAsCa<Reg>> {
+        StreamChecker::new(SeqAsCa::new(Reg), opts)
+    }
+
+    fn feed(checker: &mut StreamChecker<SeqAsCa<Reg>>, text: &str) {
+        for action in parse_history(text).unwrap().actions() {
+            assert_eq!(checker.push(*action), Push::Admitted);
+        }
+    }
+
+    #[test]
+    fn sequential_stream_retires_everything() {
+        let mut c = reg_checker(StreamOptions {
+            checkpoint_every: 4,
+            ..StreamOptions::default()
+        });
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("t0 inv o0.write {i}\nt0 res o0.write ()\n"));
+            text.push_str(&format!("t1 inv o0.read ()\nt1 res o0.read {i}\n"));
+        }
+        feed(&mut c, &text);
+        assert_eq!(c.finish(), StreamVerdict::Consistent);
+        let s = c.stats();
+        assert_eq!(s.events, 400);
+        assert_eq!(s.retired_actions + s.window as u64, s.events);
+        assert_eq!(s.retired_ops, 200);
+        assert!(s.peak_window <= 8, "peak window {} for checkpoint_every=4", s.peak_window);
+        assert_eq!(s.states, 1);
+    }
+
+    #[test]
+    fn violation_is_latched_and_refuses_the_stream() {
+        let mut c = reg_checker(StreamOptions::default());
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\n");
+        // Stale read: register holds 1, reading 7 is unexplainable.
+        feed(&mut c, "t1 inv o0.read ()\nt1 res o0.read 7\n");
+        assert_eq!(c.finish(), StreamVerdict::Violation);
+        let next = Action::invoke(ThreadId(2), ObjectId(0), Method("read"), Value::Unit);
+        assert_eq!(c.push(next), Push::Refused);
+        assert_eq!(c.verdict(), StreamVerdict::Violation);
+        assert_eq!(c.stats().refused, 1);
+    }
+
+    #[test]
+    fn ill_formed_events_are_quarantined_without_perturbing_the_window() {
+        let mut c = reg_checker(StreamOptions::default());
+        feed(&mut c, "t0 inv o0.write 1\n");
+        let nested = Action::invoke(ThreadId(0), ObjectId(0), Method("write"), Value::Int(2));
+        assert!(matches!(
+            c.push(nested),
+            Push::Rejected(HistoryError::NestedInvocation { .. })
+        ));
+        let orphan = Action::response(ThreadId(9), ObjectId(0), Method("read"), Value::Int(0));
+        assert!(matches!(
+            c.push(orphan),
+            Push::Rejected(HistoryError::ResponseWithoutInvocation { .. })
+        ));
+        let mismatched = Action::response(ThreadId(0), ObjectId(0), Method("read"), Value::Int(0));
+        assert!(matches!(
+            c.push(mismatched),
+            Push::Rejected(HistoryError::MismatchedResponse { .. })
+        ));
+        feed(&mut c, "t0 res o0.write ()\n");
+        assert_eq!(c.finish(), StreamVerdict::Consistent);
+        assert_eq!(c.stats().rejected, 3);
+        assert_eq!(c.stats().events, 2);
+    }
+
+    #[test]
+    fn saturation_backpressure_then_explicit_degradation() {
+        // Window cap of 2 open invocations; three concurrent ops that
+        // never respond can never be retired.
+        let mut c = reg_checker(StreamOptions {
+            max_window: 2,
+            checkpoint_every: 0,
+            ..StreamOptions::default()
+        });
+        feed(&mut c, "t0 inv o0.write 1\nt1 inv o0.write 2\n");
+        let third = Action::invoke(ThreadId(2), ObjectId(0), Method("write"), Value::Int(3));
+        assert_eq!(c.push(third), Push::Saturated);
+        assert_eq!(c.push(third), Push::Saturated);
+        // Responses are always admitted: the window can drain, and once
+        // both ops close, retirement frees the cap.
+        feed(&mut c, "t0 res o0.write ()\nt1 res o0.write ()\n");
+        c.checkpoint();
+        assert_eq!(c.stats().window, 0, "both closed ops retire");
+        assert_eq!(c.push(third), Push::Admitted);
+        let fourth = Action::invoke(ThreadId(3), ObjectId(0), Method("write"), Value::Int(4));
+        assert_eq!(c.push(fourth), Push::Admitted);
+        // Two open invocations again: saturate again, then give up.
+        let fifth = Action::invoke(ThreadId(4), ObjectId(0), Method("write"), Value::Int(5));
+        assert_eq!(c.push(fifth), Push::Saturated);
+        c.degrade();
+        assert_eq!(c.verdict(), StreamVerdict::Undecided(UndecidedWhy::WindowExceeded));
+        assert_eq!(c.verdict().to_string(), "undecided: window exceeded");
+        assert_eq!(c.push(fifth), Push::Refused);
+        // Degradation latches across further checkpoints.
+        assert_eq!(c.finish(), StreamVerdict::Undecided(UndecidedWhy::WindowExceeded));
+    }
+
+    #[test]
+    fn abandoned_pending_op_is_sealed_via_spec_completions() {
+        // t0's write is abandoned mid-flight. Unsealed it blocks
+        // retirement (its rendezvous partner could still be coming), but
+        // under window pressure it is force-sealed: the segment
+        // enumeration admits both "the write happened" (the spec's `()`
+        // completion) and "the write was dropped".
+        let mut c = reg_checker(StreamOptions {
+            max_window: 1,
+            checkpoint_every: 0,
+            ..StreamOptions::default()
+        });
+        feed(&mut c, "t0 inv o0.write 5\n");
+        c.abandon_thread(ThreadId(0));
+        assert_eq!(c.checkpoint(), StreamVerdict::Consistent);
+        assert_eq!(c.stats().abandoned, 1);
+        // No pressure yet: the abandoned op still occupies the window.
+        assert_eq!(c.stats().window, 1);
+        // The next invocation hits the cap and forces the seal.
+        feed(&mut c, "t1 inv o0.read ()\n");
+        assert_eq!(c.stats().saturated, 0, "forced sealing freed the window");
+        assert_eq!(c.stats().states, 2, "both completion and drop survive");
+        feed(&mut c, "t1 res o0.read 5\n");
+        assert_eq!(c.checkpoint(), StreamVerdict::Consistent);
+        // After observing the read of 5, only the "write happened"
+        // branch survives retirement.
+        assert_eq!(c.stats().states, 1);
+        feed(&mut c, "t2 inv o0.read ()\nt2 res o0.read 0\n");
+        assert_eq!(c.finish(), StreamVerdict::Violation);
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_a_concurrent_history() {
+        let text = "t1 inv o0.write 1\nt2 inv o0.write 2\nt1 res o0.write ()\n\
+                    t2 res o0.write ()\nt3 inv o0.read ()\nt3 res o0.read 1\n";
+        let history = parse_history(text).unwrap();
+        let batch = check_cal(&history, &SeqAsCa::new(Reg)).unwrap();
+        assert!(matches!(batch.verdict, Verdict::Cal(_)));
+        for chunk in [1usize, 2, 3, 6] {
+            let mut c = reg_checker(StreamOptions {
+                checkpoint_every: chunk,
+                ..StreamOptions::default()
+            });
+            feed(&mut c, text);
+            assert_eq!(c.finish(), StreamVerdict::Consistent, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_single_line_and_carries_retirement_counters() {
+        let mut c = reg_checker(StreamOptions::default());
+        feed(&mut c, "t0 inv o0.write 3\nt0 res o0.write ()\n");
+        c.finish();
+        let json = c.report(Duration::from_millis(12)).to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"verdict\": \"consistent\""), "{json}");
+        assert!(json.contains("\"retired_ops\": 1"), "{json}");
+        assert!(json.contains("\"max_window\": 4096"), "{json}");
+    }
+}

@@ -136,35 +136,60 @@ fn parse_value(line: usize, s: &str) -> Result<Value, ParseError> {
 pub fn parse_history(input: &str) -> Result<History, ParseError> {
     let mut actions = Vec::new();
     for (i, raw) in input.lines().enumerate() {
-        let line = i + 1;
-        let text = raw.split('#').next().unwrap_or("").trim();
-        if text.is_empty() {
-            continue;
+        if let Some(action) = parse_action_line(i + 1, raw)? {
+            actions.push(action);
         }
-        let mut parts = text.split_whitespace();
-        let (Some(t), Some(kind), Some(target), Some(value)) =
-            (parts.next(), parts.next(), parts.next(), parts.next())
-        else {
-            return err(line, "expected: <thread> inv|res <object>.<method> <value>");
-        };
-        if parts.next().is_some() {
-            return err(line, "trailing tokens");
-        }
-        let thread = parse_thread(line, t)?;
-        let Some((obj, meth)) = target.split_once('.') else {
-            return err(line, format!("expected <object>.<method>, found {target:?}"));
-        };
-        let object = parse_object(line, obj)?;
-        let method = parse_method(line, meth)?;
-        let value = parse_value(line, value)?;
-        let action = match kind {
-            "inv" => Action::invoke(thread, object, method, value),
-            "res" => Action::response(thread, object, method, value),
-            other => return err(line, format!("expected inv or res, found {other:?}")),
-        };
-        actions.push(action);
     }
     Ok(History::from_actions(actions))
+}
+
+/// Parses one line of the history format into an action, or `None` for a
+/// blank or comment-only line. `line` is the 1-based line number embedded
+/// in errors.
+///
+/// This is the unit of the `cal-serve` wire protocol: the streaming
+/// daemon feeds each received line through it, so a file checked by
+/// `cal-check` and a live event stream speak exactly the same format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming `line` when the line is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::text::parse_action_line;
+/// assert!(parse_action_line(1, "# comment")?.is_none());
+/// assert!(parse_action_line(2, "t0 inv o0.push 5")?.is_some());
+/// # Ok::<(), cal_core::text::ParseError>(())
+/// ```
+pub fn parse_action_line(line: usize, raw: &str) -> Result<Option<Action>, ParseError> {
+    let text = raw.split('#').next().unwrap_or("").trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = text.split_whitespace();
+    let (Some(t), Some(kind), Some(target), Some(value)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return err(line, "expected: <thread> inv|res <object>.<method> <value>");
+    };
+    if parts.next().is_some() {
+        return err(line, "trailing tokens");
+    }
+    let thread = parse_thread(line, t)?;
+    let Some((obj, meth)) = target.split_once('.') else {
+        return err(line, format!("expected <object>.<method>, found {target:?}"));
+    };
+    let object = parse_object(line, obj)?;
+    let method = parse_method(line, meth)?;
+    let value = parse_value(line, value)?;
+    let action = match kind {
+        "inv" => Action::invoke(thread, object, method, value),
+        "res" => Action::response(thread, object, method, value),
+        other => return err(line, format!("expected inv or res, found {other:?}")),
+    };
+    Ok(Some(action))
 }
 
 /// Formats a history in the line format (round-trips through

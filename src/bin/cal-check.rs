@@ -87,13 +87,9 @@ use cal::specs::snapshot::WriteSnapshotSpec;
 use cal::specs::stack::StackSpec;
 use cal::specs::sync_queue::SyncQueueSpec;
 
-/// Exit codes, one per distinguishable outcome. Asserted by
-/// `tests/cli_exit_codes.rs` and documented in the README.
-const EXIT_ACCEPTED: u8 = 0;
-const EXIT_REJECTED: u8 = 1;
-const EXIT_UNDECIDED: u8 = 2;
-const EXIT_ERROR: u8 = 3;
-const EXIT_USAGE: u8 = 4;
+use cal::cli::{
+    parse_seed, EXIT_ACCEPTED, EXIT_ERROR, EXIT_REJECTED, EXIT_UNDECIDED, EXIT_USAGE,
+};
 
 /// Broken-pipe-safe printing: all output goes through these macros, which
 /// bubble `io::Error` up to [`main`] where `BrokenPipe` becomes a clean
@@ -336,15 +332,6 @@ fn try_main() -> io::Result<ExitCode> {
             errln!("cal-check: {e}")?;
             Ok(ExitCode::from(EXIT_ERROR))
         }
-    }
-}
-
-/// Accepts decimal or `0x`-prefixed hex seeds.
-fn parse_seed(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
     }
 }
 

@@ -1,0 +1,664 @@
+//! `cal-serve` — a long-running streaming checker daemon: ingest
+//! invoke/response events line-by-line over stdin or a TCP socket, check
+//! them online against a built-in specification with bounded memory
+//! ([`cal::core::stream`]), and emit verdicts plus stream reports
+//! continuously in the `--stats-json` wire format.
+//!
+//! ```text
+//! Usage: cal-serve <SPEC> [--object <N>] [--window <N>] [--checkpoint-every <N>]
+//!                  [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]
+//!                  [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]
+//!                  [--stats-json <PATH|->] [--stats-every <N>] [--quiet]
+//!
+//!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
+//!            stack | failing-stack | register | counter      (sequential)
+//!
+//!   --window <N>            cap on open-or-undecided invocations buffered
+//!                           in the search window (default 4096, 0 = unbounded)
+//!   --checkpoint-every <N>  retire + re-evaluate every N admitted events
+//!                           (default 128)
+//!   --max-states <N>        cap on reachable states carried across a
+//!                           retirement boundary (default 64)
+//!   --max-nodes / --deadline-ms   per-checkpoint search budget
+//!   --error-budget <N>      malformed or ill-formed events tolerated before
+//!                           the stream is refused (default 16)
+//!   --listen <ADDR:PORT>    serve TCP clients instead of stdin (port 0 picks
+//!                           a free port; the bound address is printed first)
+//!   --ack                   acknowledge every line: ok | ign | rej <why> |
+//!                           nak saturated | refused <verdict>
+//!   --stats-json <PATH|->   write the stream report JSON to PATH (latest
+//!                           snapshot) or append lines to stdout with -
+//!   --stats-every <N>       also emit a report every N admitted events
+//!   --quiet                 suppress verdict-transition and summary lines
+//! ```
+//!
+//! ## Wire format
+//!
+//! One event per line, exactly the `cal_core::text` history format:
+//! `t<N> inv <object>.<method> <value>` / `t<N> res <object>.<method>
+//! <value>`. Blank lines and `#` comments are ignored. Two control lines
+//! ride along: `bye` ends the stream (TCP: closes the session cleanly)
+//! and `abandon t<N>` declares thread N's client dead, sealing its
+//! pending operation via the specification's timeout-admission
+//! completions at the next retirement boundary.
+//!
+//! ## Backpressure and degradation
+//!
+//! When the window cap is hit and retirement cannot free space, TCP
+//! clients running with `--ack` are NAKed (`nak saturated`) and expected
+//! to retry — the event is not admitted, reads continue. Without an ack
+//! channel (stdin, or TCP without `--ack`) the daemon forces a
+//! checkpoint, retries once, and then degrades explicitly: the verdict
+//! latches `undecided: window exceeded`, admitted events are kept, and
+//! the rest of the stream is drained without admission — bounded memory,
+//! never an abort.
+//!
+//! A TCP client that disconnects (or says `bye`) with operations still
+//! pending has them abandoned automatically. An interrupting SIGINT or
+//! SIGTERM flushes a final report before exiting.
+//!
+//! Exit status (the audited contract, shared with `cal-check`):
+//! 0 = consistent, 1 = violation, 2 = undecided (budget, deadline or
+//! window exceeded), 3 = input/checker error (including an exceeded
+//! error budget), 4 = usage. A closed stdout pipe exits 0.
+//!
+//! Example:
+//!
+//! ```bash
+//! printf 't1 inv o0.exchange 3\nt2 inv o0.exchange 4\nt1 res o0.exchange (true,4)\nt2 res o0.exchange (true,3)\n' \
+//!   | cargo run --bin cal-serve -- exchanger --stats-json -
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cal::cli::{
+    install_shutdown_handler, parse_seed, shutdown_requested, EXIT_ACCEPTED, EXIT_ERROR,
+    EXIT_REJECTED, EXIT_UNDECIDED, EXIT_USAGE,
+};
+use cal::core::check::CheckOptions;
+use cal::core::spec::{CaSpec, SeqAsCa};
+use cal::core::stream::{Push, StreamChecker, StreamOptions, StreamVerdict, UndecidedWhy};
+use cal::core::text::parse_action_line;
+use cal::core::{ObjectId, ThreadId};
+use cal::specs::dual_stack::DualStackSpec;
+use cal::specs::elim_array::ElimArraySpec;
+use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::stack::StackSpec;
+use cal::specs::sync_queue::SyncQueueSpec;
+use parking_lot::Mutex;
+
+/// Broken-pipe-safe printing, same contract as `cal-check`: `io::Error`
+/// bubbles to [`main`], where `BrokenPipe` is a clean exit 0.
+macro_rules! outln {
+    ($($t:tt)*) => { writeln!(io::stdout(), $($t)*) }
+}
+macro_rules! errln {
+    ($($t:tt)*) => { writeln!(io::stderr(), $($t)*) }
+}
+
+fn usage() -> io::Result<ExitCode> {
+    errln!(
+        "usage: cal-serve <SPEC> [--object <N>] [--window <N>] [--checkpoint-every <N>]\n\
+         \x20                [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]\n\
+         \x20                [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]\n\
+         \x20                [--stats-json <PATH|->] [--stats-every <N>] [--quiet]\n\
+         \n\
+         SPEC: exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack |\n\
+         \x20     register | counter\n\
+         \n\
+         events on stdin (or per TCP client): the cal text format, one action per line;\n\
+         control lines: 'bye' (end of stream), 'abandon t<N>' (client death)\n\
+         \n\
+         exit status: 0 consistent, 1 violation, 2 undecided, 3 input/checker error, 4 usage"
+    )?;
+    Ok(ExitCode::from(EXIT_USAGE))
+}
+
+/// Parsed command line.
+struct Cfg {
+    object: ObjectId,
+    window: usize,
+    checkpoint_every: usize,
+    max_states: usize,
+    max_nodes: u64,
+    deadline: Option<Duration>,
+    error_budget: u64,
+    listen: Option<String>,
+    ack: bool,
+    stats_json: Option<String>,
+    stats_every: u64,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => ExitCode::from(EXIT_ACCEPTED),
+        Err(e) => {
+            let _ = writeln!(io::stderr(), "cal-serve: io error: {e}");
+            ExitCode::from(EXIT_ERROR)
+        }
+    }
+}
+
+fn try_main() -> io::Result<ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_name: Option<String> = None;
+    let mut cfg = Cfg {
+        object: ObjectId(0),
+        window: 4096,
+        checkpoint_every: 128,
+        max_states: 64,
+        max_nodes: CheckOptions::default().max_nodes,
+        deadline: None,
+        error_budget: 16,
+        listen: None,
+        ack: false,
+        stats_json: None,
+        stats_every: 0,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--object" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => cfg.object = ObjectId(n),
+                None => return usage(),
+            },
+            "--window" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => cfg.window = n,
+                None => return usage(),
+            },
+            "--checkpoint-every" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.checkpoint_every = n,
+                _ => return usage(),
+            },
+            "--max-states" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.max_states = n,
+                _ => return usage(),
+            },
+            "--max-nodes" => match it.next().and_then(|n| parse_seed(n)) {
+                Some(n) if n > 0 => cfg.max_nodes = n,
+                _ => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(ms) => cfg.deadline = Some(Duration::from_millis(ms)),
+                None => return usage(),
+            },
+            "--error-budget" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cfg.error_budget = n,
+                None => return usage(),
+            },
+            "--listen" => match it.next() {
+                Some(addr) => cfg.listen = Some(addr.clone()),
+                None => return usage(),
+            },
+            "--ack" => cfg.ack = true,
+            "--stats-json" => match it.next() {
+                Some(p) => cfg.stats_json = Some(p.clone()),
+                None => return usage(),
+            },
+            "--stats-every" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cfg.stats_every = n,
+                None => return usage(),
+            },
+            "--quiet" => cfg.quiet = true,
+            "-h" | "--help" => return usage(),
+            _ if spec_name.is_none() => spec_name = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(spec_name) = spec_name else {
+        return usage();
+    };
+    install_shutdown_handler();
+    let o = cfg.object;
+    match spec_name.as_str() {
+        "exchanger" => run(ExchangerSpec::new(o), &cfg),
+        "elim-array" => run(ElimArraySpec::new(o), &cfg),
+        "sync-queue" => run(SyncQueueSpec::new(o), &cfg),
+        "dual-stack" => run(DualStackSpec::with_timeouts(o), &cfg),
+        "stack" => run(SeqAsCa::new(StackSpec::total(o)), &cfg),
+        "failing-stack" => run(SeqAsCa::new(StackSpec::failing(o)), &cfg),
+        "register" => run(SeqAsCa::new(RegisterSpec::new(o)), &cfg),
+        "counter" => run(SeqAsCa::new(CounterSpec::new(o)), &cfg),
+        other => {
+            errln!("cal-serve: unknown spec {other:?}")?;
+            usage()
+        }
+    }
+}
+
+fn run<S>(spec: S, cfg: &Cfg) -> io::Result<ExitCode>
+where
+    S: CaSpec + Send + 'static,
+    S::State: Send,
+{
+    let options = StreamOptions {
+        max_window: cfg.window,
+        checkpoint_every: cfg.checkpoint_every,
+        max_states: cfg.max_states,
+        check: CheckOptions {
+            max_nodes: cfg.max_nodes,
+            deadline: cfg.deadline,
+            ..CheckOptions::default()
+        },
+    };
+    let checker = StreamChecker::new(spec, options);
+    match &cfg.listen {
+        None => serve_stdin(checker, cfg),
+        Some(addr) => serve_tcp(checker, cfg, addr),
+    }
+}
+
+/// What one input line did to the stream.
+enum Reply {
+    /// Blank, comment, or a handled control line.
+    Ignored,
+    /// The event entered the window.
+    Admitted,
+    /// Quarantined (ill-formed event or parse error): counts against the
+    /// error budget.
+    Quarantined(String),
+    /// Window saturated; the event was not admitted and may be retried.
+    Saturated,
+    /// The stream is closed (final verdict or degradation).
+    Refused,
+    /// The client said `bye`.
+    Bye,
+}
+
+/// Feeds one raw line to the checker. `line_no` is only for error
+/// messages.
+fn apply_line<S: CaSpec>(checker: &mut StreamChecker<S>, line_no: u64, raw: &str) -> Reply {
+    let text = raw.trim();
+    if text == "bye" {
+        return Reply::Bye;
+    }
+    if let Some(rest) = text.strip_prefix("abandon ") {
+        match rest.trim().strip_prefix('t').and_then(|n| n.parse::<u32>().ok()) {
+            Some(n) => {
+                checker.abandon_thread(ThreadId(n));
+                return Reply::Ignored;
+            }
+            None => {
+                return Reply::Quarantined(format!("line {line_no}: bad abandon target {rest:?}"))
+            }
+        }
+    }
+    match parse_action_line(line_no as usize, raw) {
+        Ok(None) => Reply::Ignored,
+        Err(e) => Reply::Quarantined(e.to_string()),
+        Ok(Some(action)) => match checker.push(action) {
+            Push::Admitted => Reply::Admitted,
+            Push::Rejected(e) => Reply::Quarantined(e.to_string()),
+            Push::Saturated => Reply::Saturated,
+            Push::Refused => Reply::Refused,
+        },
+    }
+}
+
+/// Saturation policy when there is no ack channel to NAK over: force a
+/// checkpoint, retry once, then degrade explicitly.
+fn admit_or_degrade<S: CaSpec>(checker: &mut StreamChecker<S>, line_no: u64, raw: &str) -> Reply {
+    checker.checkpoint();
+    match apply_line(checker, line_no, raw) {
+        Reply::Saturated => {
+            checker.degrade();
+            Reply::Refused
+        }
+        other => other,
+    }
+}
+
+/// Emits the report to the `--stats-json` target: `-` appends a line to
+/// stdout (a report *stream*), a path is overwritten with the latest
+/// snapshot.
+fn emit_report(cfg: &Cfg, json: &str) -> io::Result<()> {
+    match cfg.stats_json.as_deref() {
+        Some("-") => {
+            outln!("{json}")?;
+            io::stdout().flush()
+        }
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .or_else(|e| errln!("cal-serve: cannot write {path}: {e}"))
+        }
+        None => Ok(()),
+    }
+}
+
+/// Folds the final state into the exit-code contract.
+fn exit_for(verdict: &StreamVerdict, budget_exceeded: bool) -> ExitCode {
+    ExitCode::from(if budget_exceeded {
+        EXIT_ERROR
+    } else {
+        match verdict {
+            StreamVerdict::Consistent => EXIT_ACCEPTED,
+            StreamVerdict::Violation => EXIT_REJECTED,
+            StreamVerdict::Undecided(UndecidedWhy::CheckerError) => EXIT_ERROR,
+            StreamVerdict::Undecided(_) => EXIT_UNDECIDED,
+        }
+    })
+}
+
+/// The single-session mode: events arrive on stdin; backpressure means
+/// pausing reads (the pipe fills) and, if that cannot help, explicit
+/// degradation.
+fn serve_stdin<S: CaSpec>(mut checker: StreamChecker<S>, cfg: &Cfg) -> io::Result<ExitCode> {
+    let start = Instant::now();
+    // A reader thread forwards lines over a channel so the main loop can
+    // poll the shutdown flag: std's blocking read retries EINTR, so a
+    // signal would otherwise go unnoticed until the next line. The
+    // channel is bounded: when the checker falls behind, the reader
+    // blocks on send, stops draining stdin, and the pipe fills — that
+    // *is* the backpressure, and it keeps ingest memory O(1) instead of
+    // buffering an unbounded backlog of a fast producer's lines.
+    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(1024);
+    std::thread::spawn(move || {
+        for line in io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let mut lines = 0u64;
+    let mut faults = 0u64;
+    let mut budget_exceeded = false;
+    let mut last_verdict = checker.verdict();
+    'ingest: loop {
+        if shutdown_requested() {
+            if !cfg.quiet {
+                errln!("cal-serve: shutdown signal, flushing final report")?;
+            }
+            break;
+        }
+        let line = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => line,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        lines += 1;
+        let mut reply = apply_line(&mut checker, lines, &line);
+        if matches!(reply, Reply::Saturated) {
+            reply = admit_or_degrade(&mut checker, lines, &line);
+        }
+        match &reply {
+            Reply::Bye => {
+                ack(cfg, &mut io::stdout(), "ok")?;
+                break;
+            }
+            Reply::Ignored => ack(cfg, &mut io::stdout(), "ign")?,
+            Reply::Admitted => ack(cfg, &mut io::stdout(), "ok")?,
+            Reply::Quarantined(why) => {
+                faults += 1;
+                if !cfg.quiet {
+                    errln!("cal-serve: quarantined: {why}")?;
+                }
+                ack(cfg, &mut io::stdout(), &format!("rej {why}"))?;
+                if faults > cfg.error_budget {
+                    errln!(
+                        "cal-serve: error budget exceeded ({faults} > {}), refusing stream",
+                        cfg.error_budget
+                    )?;
+                    budget_exceeded = true;
+                    break;
+                }
+            }
+            Reply::Saturated => unreachable!("admit_or_degrade resolves saturation"),
+            Reply::Refused => {
+                ack(cfg, &mut io::stdout(), &format!("refused {}", checker.verdict()))?;
+                // A refused stream can only end one way; drain nothing.
+                break;
+            }
+        }
+        let verdict = checker.verdict();
+        if verdict != last_verdict {
+            if !cfg.quiet {
+                outln!("verdict: {verdict} ({} events)", checker.stats().events)?;
+                io::stdout().flush()?;
+            }
+            if verdict == StreamVerdict::Violation {
+                break 'ingest;
+            }
+            last_verdict = verdict;
+        }
+        if cfg.stats_every > 0 && checker.stats().events.is_multiple_of(cfg.stats_every) {
+            emit_report(cfg, &checker.report(start.elapsed()).to_json())?;
+        }
+    }
+    let verdict = checker.finish();
+    let report = checker.report(start.elapsed());
+    emit_report(cfg, &report.to_json())?;
+    if !cfg.quiet {
+        errln!("cal-serve: {}", report.summary())?;
+        outln!("verdict: {verdict} ({} events)", checker.stats().events)?;
+        io::stdout().flush()?;
+    }
+    Ok(exit_for(&verdict, budget_exceeded))
+}
+
+fn ack(cfg: &Cfg, sink: &mut impl Write, text: &str) -> io::Result<()> {
+    if cfg.ack {
+        writeln!(sink, "{text}")?;
+        sink.flush()?;
+    }
+    Ok(())
+}
+
+/// State shared between the TCP accept loop and the per-client threads.
+struct Shared<S: CaSpec> {
+    checker: Mutex<StreamChecker<S>>,
+    /// Which session an event thread last invoked from, for disconnect
+    /// handling.
+    owners: Mutex<HashMap<ThreadId, u64>>,
+    /// Live connections, so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    lines: Mutex<u64>,
+    faults: Mutex<u64>,
+    /// Raised on violation, degradation or an exceeded error budget:
+    /// stop accepting, wind clients down.
+    fatal: AtomicBool,
+    budget_exceeded: AtomicBool,
+    start: Instant,
+}
+
+/// The multi-client mode: every connection is a session whose pending
+/// operations are abandoned if it disconnects; saturation NAKs the
+/// offending client (with `--ack`) instead of degrading the stream.
+fn serve_tcp<S>(checker: StreamChecker<S>, cfg: &Cfg, addr: &str) -> io::Result<ExitCode>
+where
+    S: CaSpec + Send + 'static,
+    S::State: Send,
+{
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    // Port 0 picks a free port; announce the real address first so
+    // clients (and tests) can find it.
+    outln!("cal-serve: listening on {}", listener.local_addr()?)?;
+    io::stdout().flush()?;
+    let shared = Arc::new(Shared {
+        checker: Mutex::new(checker),
+        owners: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        lines: Mutex::new(0),
+        faults: Mutex::new(0),
+        fatal: AtomicBool::new(false),
+        budget_exceeded: AtomicBool::new(false),
+        start: Instant::now(),
+    });
+    let mut handles = Vec::new();
+    let mut sessions = 0u64;
+    while !shutdown_requested() && !shared.fatal.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                sessions += 1;
+                let session = sessions;
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().push(clone);
+                }
+                let shared = Arc::clone(&shared);
+                let cfg = CfgLite::of(cfg);
+                handles.push(std::thread::spawn(move || client(shared, cfg, stream, session)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                errln!("cal-serve: accept error: {e}")?;
+                break;
+            }
+        }
+    }
+    // Unblock every client reader, then wait for them to finish their
+    // disconnect handling (abandoning pending ops).
+    for conn in shared.conns.lock().iter() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let mut checker = shared.checker.lock();
+    let verdict = checker.finish();
+    let report = checker.report(shared.start.elapsed());
+    emit_report(cfg, &report.to_json())?;
+    if !cfg.quiet {
+        errln!("cal-serve: {sessions} sessions served")?;
+        errln!("cal-serve: {}", report.summary())?;
+        outln!("verdict: {verdict} ({} events)", checker.stats().events)?;
+        io::stdout().flush()?;
+    }
+    Ok(exit_for(&verdict, shared.budget_exceeded.load(Ordering::SeqCst)))
+}
+
+/// The slice of [`Cfg`] a client thread needs (cheap to clone per
+/// connection).
+#[derive(Clone)]
+struct CfgLite {
+    ack: bool,
+    quiet: bool,
+    error_budget: u64,
+}
+
+impl CfgLite {
+    fn of(cfg: &Cfg) -> Self {
+        CfgLite { ack: cfg.ack, quiet: cfg.quiet, error_budget: cfg.error_budget }
+    }
+}
+
+/// One client session: feed its lines to the shared checker, ack per the
+/// policy, and abandon its pending operations when it goes away.
+fn client<S: CaSpec>(shared: Arc<Shared<S>>, cfg: CfgLite, stream: TcpStream, session: u64) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut threads: HashSet<ThreadId> = HashSet::new();
+    loop {
+        if shutdown_requested() || shared.fatal.load(Ordering::SeqCst) {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Err(_) => break,
+            Ok(_) => {}
+        }
+        // Remember which threads this session drives *before* admission,
+        // so even a still-pending first invocation is abandoned on
+        // disconnect.
+        if let Ok(Some(action)) = parse_action_line(1, &line) {
+            if action.is_invoke() {
+                threads.insert(action.thread());
+                shared.owners.lock().insert(action.thread(), session);
+            }
+        }
+        let line_no = {
+            let mut lines = shared.lines.lock();
+            *lines += 1;
+            *lines
+        };
+        let reply = {
+            let mut checker = shared.checker.lock();
+            apply_line(&mut checker, line_no, &line)
+        };
+        let closed = match &reply {
+            Reply::Bye => {
+                let _ = ack_to(&cfg, &mut writer, "ok");
+                break;
+            }
+            Reply::Ignored => {
+                let _ = ack_to(&cfg, &mut writer, "ign");
+                false
+            }
+            Reply::Admitted => {
+                let _ = ack_to(&cfg, &mut writer, "ok");
+                false
+            }
+            Reply::Quarantined(why) => {
+                let _ = ack_to(&cfg, &mut writer, &format!("rej {why}"));
+                if !cfg.quiet {
+                    let _ = errln!("cal-serve: quarantined: {why}");
+                }
+                let mut faults = shared.faults.lock();
+                *faults += 1;
+                if *faults > cfg.error_budget {
+                    let _ = errln!(
+                        "cal-serve: error budget exceeded ({} > {}), refusing stream",
+                        *faults,
+                        cfg.error_budget
+                    );
+                    shared.budget_exceeded.store(true, Ordering::SeqCst);
+                    true
+                } else {
+                    false
+                }
+            }
+            // With an ack channel, saturation is the client's problem:
+            // NAK and let it retry. Without one, degrade like stdin mode.
+            Reply::Saturated if cfg.ack => {
+                let _ = ack_to(&cfg, &mut writer, "nak saturated");
+                false
+            }
+            Reply::Saturated => {
+                let mut checker = shared.checker.lock();
+                let reply = admit_or_degrade(&mut checker, line_no, &line);
+                matches!(reply, Reply::Refused)
+            }
+            Reply::Refused => true,
+        };
+        let verdict = shared.checker.lock().verdict();
+        if closed || verdict == StreamVerdict::Violation {
+            let _ = ack_to(&cfg, &mut writer, &format!("refused {verdict}"));
+            shared.fatal.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    // Session over (clean or crashed): no one will ever respond to its
+    // in-flight operations — seal them.
+    let owners = shared.owners.lock();
+    let mut checker = shared.checker.lock();
+    for t in threads {
+        if owners.get(&t) == Some(&session) {
+            checker.abandon_thread(t);
+        }
+    }
+}
+
+fn ack_to(cfg: &CfgLite, writer: &mut TcpStream, text: &str) -> io::Result<()> {
+    if cfg.ack {
+        writeln!(writer, "{text}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

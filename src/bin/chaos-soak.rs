@@ -25,8 +25,10 @@
 //! seed range covered, total / mean search nodes, and the most expensive
 //! seed (the one whose check expanded the most nodes).
 //!
-//! Exit status: 0 = every run passed, 1 = a failure was found (reproducer
-//! printed), 2 = usage error.
+//! Exit status (the contract shared with `cal-check` and `cal-serve`):
+//! 0 = every run passed (including a SIGINT/SIGTERM-interrupted soak,
+//! which flushes its per-target aggregates first), 1 = a failure was
+//! found (reproducer printed), 4 = usage error.
 //! ```
 //!
 //! Examples:
@@ -39,8 +41,11 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use cal::chaos::driver::{soak_with, Mode, RunConfig, SoakResult, TargetKind};
+use cal::chaos::driver::{soak_interruptible, Mode, RunConfig, SoakResult, TargetKind};
 use cal::chaos::Profile;
+use cal::cli::{
+    install_shutdown_handler, parse_seed, shutdown_requested, EXIT_REJECTED, EXIT_USAGE,
+};
 use cal::core::check::CheckStats;
 
 fn usage() -> ExitCode {
@@ -54,7 +59,7 @@ fn usage() -> ExitCode {
          M: deterministic | stress\n\
          --stats: periodic progress lines + per-target search-cost aggregate keyed by seed"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// Per-target aggregation of checker statistics across seeded runs.
@@ -154,6 +159,10 @@ fn main() -> ExitCode {
         }
     }
 
+    // SIGINT/SIGTERM raise a flag checked between runs: an interrupted
+    // soak still flushes its per-target aggregates and exits clean.
+    install_shutdown_handler();
+
     // The planted bug is opt-in: `all` soaks only the healthy objects.
     let targets = targets.unwrap_or_else(|| {
         TargetKind::ALL.into_iter().filter(|t| *t != TargetKind::BuggyExchanger).collect()
@@ -174,7 +183,7 @@ fn main() -> ExitCode {
         );
         let mut agg = TargetAgg::default();
         let mut last_progress = Instant::now();
-        let result = soak_with(&cfg, per_target, |outcome, elapsed| {
+        let result = soak_interruptible(&cfg, per_target, shutdown_requested, |outcome, elapsed| {
             if let Some(s) = outcome.verdict.stats() {
                 agg.add(outcome.config.seed, s);
             }
@@ -196,6 +205,10 @@ fn main() -> ExitCode {
                 if stats {
                     agg.print(target);
                 }
+                if shutdown_requested() {
+                    println!("soak interrupted: {total_runs} runs completed, aggregates flushed");
+                    return ExitCode::SUCCESS;
+                }
             }
             SoakResult::Failed { runs, report } => {
                 println!("  failure on run {runs}; shrunk to a minimal reproducer:");
@@ -203,19 +216,10 @@ fn main() -> ExitCode {
                 if stats {
                     agg.print(target);
                 }
-                return ExitCode::from(1);
+                return ExitCode::from(EXIT_REJECTED);
             }
         }
     }
     println!("soak clean: {total_runs} runs, every history explainable");
     ExitCode::SUCCESS
-}
-
-/// Accepts decimal or `0x`-prefixed hex seeds.
-fn parse_seed(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
 }

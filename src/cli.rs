@@ -1,0 +1,90 @@
+//! Shared plumbing for the `cal-*` command-line binaries: the audited
+//! exit-code contract, seed parsing, and a minimal signal flag for clean
+//! SIGINT/SIGTERM shutdown.
+//!
+//! Lives in the umbrella crate (not `cal-core`) because it is CLI policy,
+//! not formalism: the library reports rich outcomes, the binaries fold
+//! them into this one process-level contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit codes, one per distinguishable outcome, shared by `cal-check`,
+/// `cal-serve` and `chaos-soak`. Asserted by `tests/cli_exit_codes.rs`
+/// and `tests/stream_serve.rs`, documented in the README.
+///
+/// The verdict was "accepted"/"consistent" (or the run completed clean).
+pub const EXIT_ACCEPTED: u8 = 0;
+/// The verdict was "rejected"/"violation".
+pub const EXIT_REJECTED: u8 = 1;
+/// Undecided: budget, deadline, cancellation or window exceeded.
+pub const EXIT_UNDECIDED: u8 = 2;
+/// Input, parse or checker error (including an exceeded error budget).
+pub const EXIT_ERROR: u8 = 3;
+/// Command-line usage error.
+pub const EXIT_USAGE: u8 = 4;
+
+/// Accepts decimal or `0x`-prefixed hex seeds.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT/SIGTERM handler that sets a process-wide flag
+/// instead of killing the process, so long-running binaries (`cal-serve`,
+/// `chaos-soak`) can flush their reports and exit under the exit-code
+/// contract. Idempotent; a no-op on non-Unix targets (where the flag
+/// simply never fires).
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    {
+        // Hand-rolled libc binding: the build environment is offline, so
+        // no `libc` crate — `signal(2)` is in every libc we target.
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Whether a shutdown signal has been received since
+/// [`install_shutdown_handler`] ran.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Test/embedding hook: raises the shutdown flag as if a signal arrived.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_parse_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xCA11"), Some(0xCA11));
+        assert_eq!(parse_seed("0XCA11"), Some(0xCA11));
+        assert_eq!(parse_seed("zebra"), None);
+    }
+
+    #[test]
+    fn shutdown_flag_round_trips() {
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

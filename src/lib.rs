@@ -21,6 +21,8 @@
 //! See the repository `README.md` for a tour and `EXPERIMENTS.md` for the
 //! reproduction results.
 
+pub mod cli;
+
 pub use cal_chaos as chaos;
 pub use cal_core as core;
 pub use cal_objects as objects;

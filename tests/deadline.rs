@@ -202,3 +202,129 @@ fn interval_budget_exhaustion_is_a_result_not_a_panic() {
     assert!(matches!(outcome.verdict, Verdict::ResourcesExhausted));
     assert!(outcome.stats.nodes >= 5_000);
 }
+
+// --- CLI paths -------------------------------------------------------------
+//
+// `cal-check` runs with memoization on, so the CLI instances below are
+// sized up until even the memoized search cannot decide them quickly;
+// the tests then pin that `--deadline-ms` reaches every `--mode` and the
+// batch fold: exit status 2 (undecided) with a reason that names the
+// deadline, rather than a node-budget exhaustion or a hang.
+
+mod cli {
+    use std::process::{Command, Output};
+    use std::time::{Duration, Instant};
+
+    use cal::core::text::format_history;
+    use cal::core::History;
+
+    const EXE: &str = env!("CARGO_BIN_EXE_cal-check");
+
+    /// Fresh per-test scratch dir under the target-dir tmp space.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn write_history(path: &std::path::Path, history: &History) {
+        std::fs::write(path, format_history(history)).expect("history file");
+    }
+
+    /// Runs `cal-check` and asserts it came back well before the node
+    /// budget could plausibly have been the stopping reason.
+    fn run_timed(args: &[&str]) -> (Output, Duration) {
+        let start = Instant::now();
+        let out = Command::new(EXE).args(args).output().expect("cal-check runs");
+        (out, start.elapsed())
+    }
+
+    fn assert_deadline_undecided(out: &Output, elapsed: Duration, what: &str) {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{what}: expected exit 2, stderr: {stderr}");
+        assert!(
+            stderr.contains("deadline"),
+            "{what}: the undecided reason must name the deadline, got: {stderr}"
+        );
+        // Generous spawn/parse slack, but far below what burning the full
+        // 4M-node default budget would take.
+        assert!(elapsed < Duration::from_secs(10), "{what}: took {elapsed:?}");
+    }
+
+    #[test]
+    fn cal_mode_honours_deadline_ms() {
+        let dir = scratch("deadline-cal");
+        let file = dir.join("hard.hist");
+        write_history(&file, &super::hard_history(25));
+        let (out, elapsed) =
+            run_timed(&["exchanger", file.to_str().unwrap(), "--deadline-ms", "40"]);
+        assert_deadline_undecided(&out, elapsed, "--mode cal");
+    }
+
+    #[test]
+    fn seq_mode_honours_deadline_ms() {
+        let dir = scratch("deadline-seq");
+        let file = dir.join("hard.hist");
+        write_history(&file, &super::hard_seq_history(20));
+        let (out, elapsed) = run_timed(&[
+            "register",
+            file.to_str().unwrap(),
+            "--mode",
+            "seq",
+            "--deadline-ms",
+            "40",
+        ]);
+        assert_deadline_undecided(&out, elapsed, "--mode seq");
+    }
+
+    #[test]
+    fn interval_mode_honours_deadline_ms() {
+        let dir = scratch("deadline-interval");
+        let file = dir.join("hard.hist");
+        write_history(&file, &super::hard_interval_history(14));
+        let (out, elapsed) = run_timed(&[
+            "write-snapshot",
+            file.to_str().unwrap(),
+            "--mode",
+            "interval",
+            "--deadline-ms",
+            "40",
+        ]);
+        assert_deadline_undecided(&out, elapsed, "--mode interval");
+    }
+
+    /// The batch fold is worst-wins: one hard file among easy ones must
+    /// surface the deadline interrupt as the directory's exit status.
+    #[test]
+    fn batch_fold_surfaces_deadline_undecided() {
+        let dir = scratch("deadline-batch");
+        write_history(&dir.join("hard.hist"), &super::hard_seq_history(20));
+        std::fs::write(
+            dir.join("easy.hist"),
+            "t0 inv o0.write 1\nt0 res o0.write ()\nt0 inv o0.read ()\nt0 res o0.read 1\n",
+        )
+        .expect("easy file");
+        let (out, elapsed) = run_timed(&[
+            "register",
+            "--batch",
+            dir.to_str().unwrap(),
+            "--mode",
+            "seq",
+            "--deadline-ms",
+            "40",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "worst-wins fold must surface the undecided file, stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("undecided") && stdout.contains("deadline"),
+            "per-file line should report the deadline interrupt: {stdout}"
+        );
+        assert!(elapsed < Duration::from_secs(10), "batch took {elapsed:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Differential validation of the streaming checker: pushing a history
+//! through [`cal::core::stream::StreamChecker`] — with checkpoints forced
+//! at random chunk boundaries, so retirement happens at arbitrary
+//! moments — must reach exactly the batch [`check_cal`] verdict. Runs
+//! over every spec family (a rendezvous spec, a queue spec, and two
+//! lifted sequential specs) at 1, 2 and 4 threads, on both consistent
+//! and corrupted histories.
+
+use cal::core::check::{check_cal, Verdict};
+use cal::core::gen::{interleave, mutate, render_loose, Mutation};
+use cal::core::spec::{CaSpec, SeqAsCa};
+use cal::core::stream::{Push, StreamChecker, StreamOptions, StreamVerdict};
+use cal::core::{Action, History, Method, ObjectId, ThreadId, Value};
+use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::gen::{random_exchanger_trace, random_sync_queue_trace};
+use cal::specs::register::{CounterSpec, RegisterSpec};
+use cal::specs::sync_queue::SyncQueueSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const OBJ: ObjectId = ObjectId(0);
+
+/// Streams `history` through a fresh checker, checkpointing after
+/// rng-sized chunks, and returns the closing verdict. Panics on
+/// rejected events: every generated history is well-formed.
+fn stream_verdict<S: CaSpec>(spec: S, history: &History, rng: &mut StdRng) -> StreamVerdict {
+    let opts = StreamOptions {
+        // Manual checkpoints only: the chunking is the thing under test.
+        checkpoint_every: 0,
+        ..StreamOptions::default()
+    };
+    let mut checker = StreamChecker::new(spec, opts);
+    let mut until_checkpoint = rng.gen_range(1usize..6);
+    for action in history.actions() {
+        match checker.push(*action) {
+            Push::Admitted => {}
+            Push::Refused => return checker.verdict(), // violation latched mid-stream
+            other => panic!("well-formed event not admitted: {other:?}"),
+        }
+        until_checkpoint -= 1;
+        if until_checkpoint == 0 {
+            checker.checkpoint();
+            until_checkpoint = rng.gen_range(1usize..6);
+        }
+    }
+    checker.finish()
+}
+
+/// Asserts verdict parity between the batch checker and a chunked
+/// streaming replay of the same history.
+fn assert_parity<S: CaSpec + Clone>(spec: S, history: &History, rng: &mut StdRng) {
+    let batch = check_cal(history, &spec).expect("batch check must not error");
+    let streamed = stream_verdict(spec, history, rng);
+    match batch.verdict {
+        Verdict::Cal(_) => assert_eq!(
+            streamed,
+            StreamVerdict::Consistent,
+            "batch accepted but stream said {streamed}:\n{history}"
+        ),
+        Verdict::NotCal => assert_eq!(
+            streamed,
+            StreamVerdict::Violation,
+            "batch rejected but stream said {streamed}:\n{history}"
+        ),
+        // Budget-bound batch outcomes have no parity obligation.
+        Verdict::ResourcesExhausted | Verdict::Interrupted { .. } => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exchanger (rendezvous) family, 2/4 threads (a rendezvous needs
+    /// two), loosened renderings. Single-thread coverage comes from the
+    /// lifted sequential families below.
+    #[test]
+    fn exchanger_streams_match_batch(seed in 0u64..5_000, size in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for threads in [2u32, 4] {
+            let trace = random_exchanger_trace(&mut rng, OBJ, threads, size);
+            let h = render_loose(&trace, &mut rng, 25);
+            assert_parity(ExchangerSpec::new(OBJ), &h, &mut rng);
+        }
+    }
+
+    /// Corrupted exchanger histories: violation parity.
+    #[test]
+    fn corrupted_exchanger_streams_match_batch(seed in 0u64..5_000, size in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = random_exchanger_trace(&mut rng, OBJ, 3, size);
+        let h = render_loose(&trace, &mut rng, 25);
+        if let Some(bad) = mutate(&h, Mutation::CorruptReturn, &mut rng,
+                                  |_| Value::Pair(true, 777_777_777)) {
+            assert_parity(ExchangerSpec::new(OBJ), &bad, &mut rng);
+        }
+    }
+
+    /// Synchronous queue family.
+    #[test]
+    fn sync_queue_streams_match_batch(seed in 0u64..5_000, size in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for threads in [2u32, 4] {
+            let trace = random_sync_queue_trace(&mut rng, OBJ, threads, size);
+            let h = render_loose(&trace, &mut rng, 25);
+            assert_parity(SyncQueueSpec::new(OBJ), &h, &mut rng);
+        }
+    }
+
+    /// Lifted sequential counter: each `inc` returns the pre-increment
+    /// count, assigned along a random global order, then re-interleaved —
+    /// the re-interleaving sometimes contradicts real-time order, so both
+    /// verdicts are exercised through the same generator.
+    #[test]
+    fn counter_streams_match_batch(seed in 0u64..5_000, per_thread in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for threads in [1usize, 2, 4] {
+            // A random global sequence of thread slots fixes the returns.
+            let mut slots: Vec<usize> =
+                (0..threads).flat_map(|t| std::iter::repeat_n(t, per_thread)).collect();
+            for i in (1..slots.len()).rev() {
+                slots.swap(i, rng.gen_range(0..=i));
+            }
+            let mut per: Vec<Vec<Action>> = vec![Vec::new(); threads];
+            for (count, &t) in slots.iter().enumerate() {
+                let tid = ThreadId(t as u32);
+                per[t].push(Action::invoke(tid, OBJ, Method("inc"), Value::Unit));
+                per[t].push(Action::response(tid, OBJ, Method("inc"), Value::Int(count as i64)));
+            }
+            let h = interleave(&per, &mut rng);
+            assert_parity(SeqAsCa::new(CounterSpec::new(OBJ)), &h, &mut rng);
+        }
+    }
+
+    /// Lifted sequential register with reads that may or may not be
+    /// justified — exercises both verdicts through the same generator.
+    #[test]
+    fn register_streams_match_batch(seed in 0u64..5_000, ops in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for threads in [1usize, 2, 4] {
+            let per: Vec<Vec<Action>> = (0..threads)
+                .map(|t| {
+                    let tid = ThreadId(t as u32);
+                    (0..ops)
+                        .flat_map(|_| {
+                            if rng.gen_bool(0.5) {
+                                let v = rng.gen_range(0i64..3);
+                                [
+                                    Action::invoke(tid, OBJ, Method("write"), Value::Int(v)),
+                                    Action::response(tid, OBJ, Method("write"), Value::Unit),
+                                ]
+                            } else {
+                                let v = rng.gen_range(0i64..3);
+                                [
+                                    Action::invoke(tid, OBJ, Method("read"), Value::Unit),
+                                    Action::response(tid, OBJ, Method("read"), Value::Int(v)),
+                                ]
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let h = interleave(&per, &mut rng);
+            assert_parity(SeqAsCa::new(RegisterSpec::new(OBJ)), &h, &mut rng);
+        }
+    }
+}
