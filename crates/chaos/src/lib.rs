@@ -40,6 +40,7 @@
 
 pub mod driver;
 pub mod faults;
+pub mod foreign_faults;
 pub mod injector;
 pub mod report;
 pub mod shrink;

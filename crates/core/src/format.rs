@@ -1,0 +1,1396 @@
+//! Foreign-history interop: pluggable parsers for external trace formats.
+//!
+//! The native line format ([`crate::text`]) is what our own recorders emit;
+//! the rest of the world logs histories differently. This module ingests
+//! the two foreign families the linearizability-checking literature
+//! actually uses as evaluation substrate, and serializes back out to them
+//! so differential round-trip tests can pin every parser to the engines:
+//!
+//! - **`jepsen`** — porcupine/Jepsen-style operation records, one per
+//!   line, in either EDN (`{:process 0, :type :invoke, :f :write,
+//!   :value 3}`) or JSON-ish (`{"process": 0, "type": "invoke", "f":
+//!   "write", "value": 3}`) spelling. This is the shape of histories
+//!   harvested from etcd-under-Jepsen and similar distributed-system
+//!   test rigs.
+//! - **`kvlog`** — simple timestamped Put/Get logs: one operation per
+//!   line as `<start> <end> <client> put|get <key> [<value>]`, the shape
+//!   of the flat key-value traces used by lock-free-structure checkers.
+//!
+//! Every parser produces a typed [`History`] or a line/field-anchored
+//! [`FormatError`] — never a panic, whatever the input bytes. Formats are
+//! auto-detected by sniffing ([`detect`]); an explicit format always wins.
+//!
+//! ## Jepsen record semantics
+//!
+//! - `:invoke` begins an operation for `:process`; a second `:invoke`
+//!   while one is pending is an error (Jepsen processes are logical
+//!   threads).
+//! - `:ok` completes the pending operation. For `:f write`/`:f put` the
+//!   completion value is normalized to unit even when the trace echoes
+//!   the written value (the etcd convention); symmetrically `:invoke`
+//!   arguments for `:f read`/`:f get` are normalized to unit.
+//! - `:fail` asserts the operation definitely did **not** take effect:
+//!   the pending invocation is retracted from the history.
+//! - `:info` means the outcome is unknown (timeout, crash, partition):
+//!   the invocation stays pending — the checker explores both dropping it
+//!   and completing it — and the process id is retired; re-invoking a
+//!   retired process is an error.
+//! - `:key` selects the object: integer keys map to object ids directly,
+//!   string keys are interned in first-use order; mixing both in one
+//!   history is an error. Unknown fields (`:time`, `:index`, …) are
+//!   ignored.
+//!
+//! ## kvlog timestamp semantics
+//!
+//! Events are ordered by timestamp; an operation whose response stamp is
+//! `-` or `?` is pending. Intervals are closed: an operation ending at
+//! `t` and one starting at `t` are considered concurrent. Ties between
+//! equal stamps of the same rank are broken by line order, so the order
+//! is deterministic.
+//!
+//! ```
+//! use cal_core::format::{parse_auto, Format};
+//! let (fmt, h) = parse_auto(
+//!     "{:process 0, :type :invoke, :f :write, :value 3}\n\
+//!      {:process 0, :type :ok, :f :write, :value 3}\n",
+//! )?;
+//! assert_eq!(fmt, Format::Jepsen);
+//! assert_eq!(h.len(), 2);
+//! assert!(h.is_complete());
+//! # Ok::<(), cal_core::format::FormatError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::action::Action;
+use crate::history::{History, HistoryError};
+use crate::ids::{Method, ObjectId, ThreadId, Value};
+use crate::text::{self, ParseError};
+
+/// A history trace format understood by [`parse_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// The native line format of [`crate::text`].
+    Native,
+    /// Porcupine/Jepsen-style operation records (EDN or JSON spelling).
+    Jepsen,
+    /// Timestamped Put/Get logs: `<start> <end> <client> put|get <key> [<value>]`.
+    KvLog,
+}
+
+impl Format {
+    /// All formats, in auto-detection (sniffing) order. Native is the
+    /// fallback: its sniff accepts anything, so it must come last.
+    pub const ALL: [Format; 3] = [Format::Jepsen, Format::KvLog, Format::Native];
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Native => "native",
+            Format::Jepsen => "jepsen",
+            Format::KvLog => "kvlog",
+        })
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "native" => Ok(Format::Native),
+            "jepsen" | "edn" | "porcupine" => Ok(Format::Jepsen),
+            "kvlog" | "kv-log" => Ok(Format::KvLog),
+            other => Err(format!("unknown format {other:?} (expected native, jepsen, or kvlog)")),
+        }
+    }
+}
+
+/// A parse failure in a foreign (or native) trace, anchored to the 1-based
+/// source line and, when known, the offending field.
+///
+/// `line == 0` means the error is not tied to a source line (it arose
+/// while *serializing* a history, or while validating an empty input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based source line of the offending input, or 0 if none applies.
+    pub line: usize,
+    /// The record field at fault, e.g. `":process"` or `"end"`, if known.
+    pub field: Option<&'static str>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        if let Some(field) = self.field {
+            write!(f, "field {field}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for FormatError {}
+
+impl From<ParseError> for FormatError {
+    fn from(e: ParseError) -> Self {
+        FormatError { line: e.line, field: None, message: e.message }
+    }
+}
+
+fn fail<T>(line: usize, field: Option<&'static str>, message: impl Into<String>) -> Result<T, FormatError> {
+    Err(FormatError { line, field, message: message.into() })
+}
+
+/// One pluggable history parser. The three built-in implementations are
+/// [`NativeParser`], [`JepsenParser`] and [`KvLogParser`]; [`parsers`]
+/// returns them in sniffing order so [`detect`] picks the first whose
+/// [`sniff`](HistoryParser::sniff) accepts the input.
+pub trait HistoryParser {
+    /// The format this parser implements.
+    fn format(&self) -> Format;
+
+    /// Cheap shape test on the raw input: does this look like my format?
+    /// Only the first contentful line is consulted; sniffs must be fast
+    /// and must not allocate proportional to the input.
+    fn sniff(&self, input: &str) -> bool;
+
+    /// Parses the full input into a validated [`History`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a line/field-anchored [`FormatError`] on malformed input —
+    /// including ill-formed histories (nested invocations, mismatched
+    /// responses), whose errors are mapped back to the source line of the
+    /// offending action.
+    fn parse(&self, input: &str) -> Result<History, FormatError>;
+}
+
+/// Parser for the native line format ([`crate::text`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeParser;
+
+/// Parser for porcupine/Jepsen-style operation records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JepsenParser;
+
+/// Parser for timestamped Put/Get logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvLogParser;
+
+impl HistoryParser for NativeParser {
+    fn format(&self) -> Format {
+        Format::Native
+    }
+
+    fn sniff(&self, _input: &str) -> bool {
+        true // fallback: anything that is not jepsen or kvlog
+    }
+
+    fn parse(&self, input: &str) -> Result<History, FormatError> {
+        let (actions, lines) = parse_native(input)?;
+        finish(actions, &lines)
+    }
+}
+
+impl HistoryParser for JepsenParser {
+    fn format(&self) -> Format {
+        Format::Jepsen
+    }
+
+    fn sniff(&self, input: &str) -> bool {
+        first_content_line(input).is_some_and(|t| sniff_line(t) == Format::Jepsen)
+    }
+
+    fn parse(&self, input: &str) -> Result<History, FormatError> {
+        let (actions, lines) = parse_jepsen(input)?;
+        finish(actions, &lines)
+    }
+}
+
+impl HistoryParser for KvLogParser {
+    fn format(&self) -> Format {
+        Format::KvLog
+    }
+
+    fn sniff(&self, input: &str) -> bool {
+        first_content_line(input).is_some_and(|t| sniff_line(t) == Format::KvLog)
+    }
+
+    fn parse(&self, input: &str) -> Result<History, FormatError> {
+        let (actions, lines) = parse_kvlog(input)?;
+        finish(actions, &lines)
+    }
+}
+
+/// The built-in parsers in sniffing order: jepsen, kvlog, then native as
+/// the unconditional fallback.
+pub fn parsers() -> [&'static dyn HistoryParser; 3] {
+    [&JepsenParser, &KvLogParser, &NativeParser]
+}
+
+/// Auto-detects the format of `input` by sniffing its first contentful
+/// line: a line opening with `{` or `[` is jepsen; a line whose first
+/// token is an integer timestamp followed by an integer-or-`-` stamp
+/// (with at least five tokens) is kvlog; anything else — including empty
+/// input — is native.
+pub fn detect(input: &str) -> Format {
+    for p in parsers() {
+        if p.sniff(input) {
+            return p.format();
+        }
+    }
+    Format::Native
+}
+
+/// Parses `input` in the given format into a validated [`History`].
+///
+/// # Errors
+///
+/// Returns a line/field-anchored [`FormatError`] on any malformed input;
+/// never panics, whatever the bytes.
+pub fn parse_as(format: Format, input: &str) -> Result<History, FormatError> {
+    let (actions, lines) = match format {
+        Format::Native => parse_native(input)?,
+        Format::Jepsen => parse_jepsen(input)?,
+        Format::KvLog => parse_kvlog(input)?,
+    };
+    finish(actions, &lines)
+}
+
+/// Sniffs the format ([`detect`]) and parses. Returns the detected format
+/// alongside the history so callers can report what they ingested.
+///
+/// # Errors
+///
+/// As [`parse_as`], for the detected format.
+pub fn parse_auto(input: &str) -> Result<(Format, History), FormatError> {
+    let format = detect(input);
+    parse_as(format, input).map(|h| (format, h))
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------------
+
+/// Strips a `#` comment, ignoring `#` inside double-quoted strings (jepsen
+/// records may carry string keys).
+fn strip_comment(text: &str) -> &str {
+    let (mut in_str, mut esc) = (false, false);
+    for (i, c) in text.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &text[..i],
+            _ => {}
+        }
+    }
+    text
+}
+
+fn first_content_line(input: &str) -> Option<&str> {
+    for raw in input.lines() {
+        let text = strip_comment(raw).trim();
+        if text.is_empty() || text.starts_with(';') {
+            continue;
+        }
+        return Some(text);
+    }
+    None
+}
+
+/// Format of a single contentful line (the sniffing unit, also used by
+/// [`StreamDecoder`] in auto mode).
+fn sniff_line(text: &str) -> Format {
+    if text.starts_with('{') || text.starts_with('[') {
+        return Format::Jepsen;
+    }
+    let mut toks = text.split_whitespace();
+    let (first, second) = (toks.next(), toks.next());
+    let rest = toks.count();
+    if let (Some(a), Some(b)) = (first, second) {
+        let stampish = |t: &str| t == "-" || t == "?" || t.parse::<u64>().is_ok();
+        if rest >= 3 && a.parse::<u64>().is_ok() && stampish(b) {
+            return Format::KvLog;
+        }
+    }
+    Format::Native
+}
+
+/// Validates the assembled actions, mapping any [`HistoryError`] (which
+/// carries an action *index*) back to the source *line* of that action.
+fn finish(actions: Vec<Action>, lines: &[usize]) -> Result<History, FormatError> {
+    let history = History::from_actions(actions);
+    if let Err(e) = history.validate() {
+        let index = match &e {
+            HistoryError::ResponseWithoutInvocation { index, .. }
+            | HistoryError::NestedInvocation { index, .. }
+            | HistoryError::MismatchedResponse { index, .. } => *index,
+        };
+        let line = lines.get(index).copied().unwrap_or(0);
+        return fail(line, None, format!("ill-formed history: {e}"));
+    }
+    Ok(history)
+}
+
+/// First-use-order interning of object keys. Integer keys map to object
+/// ids directly; string keys are assigned ids 0, 1, … in order of first
+/// appearance. Mixing the two in one history would silently alias objects,
+/// so it is an error.
+#[derive(Debug, Default, Clone)]
+struct KeyMap {
+    names: Vec<String>,
+    saw_int: bool,
+}
+
+impl KeyMap {
+    fn int_key(&mut self, line: usize, field: Option<&'static str>, n: i64) -> Result<ObjectId, FormatError> {
+        if !self.names.is_empty() {
+            return fail(line, field, "cannot mix integer and string keys in one history");
+        }
+        self.saw_int = true;
+        match u32::try_from(n) {
+            Ok(id) => Ok(ObjectId(id)),
+            Err(_) => fail(line, field, format!("key {n} out of range (expected 0..=u32::MAX)")),
+        }
+    }
+
+    fn name_key(&mut self, line: usize, field: Option<&'static str>, name: &str) -> Result<ObjectId, FormatError> {
+        if self.saw_int {
+            return fail(line, field, "cannot mix integer and string keys in one history");
+        }
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Ok(ObjectId(i as u32));
+        }
+        self.names.push(name.to_string());
+        Ok(ObjectId((self.names.len() - 1) as u32))
+    }
+}
+
+fn intern_method(line: usize, name: &str) -> Result<Method, FormatError> {
+    text::parse_method(line, name).map_err(FormatError::from)
+}
+
+// ---------------------------------------------------------------------------
+// Native
+// ---------------------------------------------------------------------------
+
+fn parse_native(input: &str) -> Result<(Vec<Action>, Vec<usize>), FormatError> {
+    let mut actions = Vec::new();
+    let mut lines = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        if let Some(action) = text::parse_action_line(i + 1, raw)? {
+            actions.push(action);
+            lines.push(i + 1);
+        }
+    }
+    Ok((actions, lines))
+}
+
+// ---------------------------------------------------------------------------
+// Jepsen
+// ---------------------------------------------------------------------------
+
+/// A parsed EDN/JSON scalar or vector from one jepsen record field.
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Nil,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Kw(String),
+    Vec(Vec<JVal>),
+}
+
+impl fmt::Display for JVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JVal::Nil => f.write_str("nil"),
+            JVal::Bool(b) => write!(f, "{b}"),
+            JVal::Int(n) => write!(f, "{n}"),
+            JVal::Str(s) => write!(f, "{s:?}"),
+            JVal::Kw(w) => write!(f, ":{w}"),
+            JVal::Vec(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '/' | '?' | '!' | '*' | '+')
+}
+
+/// A character cursor over one record line, carrying the source line
+/// number for error anchoring.
+struct Scan<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(line: usize, src: &'a str) -> Self {
+        Scan { src, pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// EDN treats commas as whitespace, which also covers JSON separators.
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() || c == ',' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if f(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+
+    fn err(&self, field: Option<&'static str>, message: impl Into<String>) -> FormatError {
+        FormatError { line: self.line, field, message: message.into() }
+    }
+}
+
+fn jval(s: &mut Scan<'_>) -> Result<JVal, FormatError> {
+    s.skip_ws();
+    match s.peek() {
+        Some('[') => {
+            s.bump();
+            let mut items = Vec::new();
+            loop {
+                s.skip_ws();
+                match s.peek() {
+                    Some(']') => {
+                        s.bump();
+                        return Ok(JVal::Vec(items));
+                    }
+                    None => return Err(s.err(None, "unterminated vector: missing ']'")),
+                    _ => items.push(jval(s)?),
+                }
+            }
+        }
+        Some('"') => {
+            s.bump();
+            let mut out = String::new();
+            loop {
+                match s.bump() {
+                    None => return Err(s.err(None, "unterminated string")),
+                    Some('"') => return Ok(JVal::Str(out)),
+                    Some('\\') => match s.bump() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        other => {
+                            return Err(s.err(None, format!("unsupported string escape {other:?}")))
+                        }
+                    },
+                    Some(c) => out.push(c),
+                }
+            }
+        }
+        Some(':') => {
+            s.bump();
+            let w = s.take_while(ident_char);
+            if w.is_empty() {
+                Err(s.err(None, "empty keyword after ':'"))
+            } else {
+                Ok(JVal::Kw(w.to_string()))
+            }
+        }
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let w = s.take_while(|c| c == '-' || c.is_ascii_digit());
+            w.parse::<i64>().map(JVal::Int).map_err(|_| s.err(None, format!("bad integer {w:?}")))
+        }
+        Some(c) if ident_char(c) => {
+            let w = s.take_while(ident_char);
+            match w {
+                "nil" | "null" => Ok(JVal::Nil),
+                "true" => Ok(JVal::Bool(true)),
+                "false" => Ok(JVal::Bool(false)),
+                _ => Ok(JVal::Kw(w.to_string())),
+            }
+        }
+        Some(c) => Err(s.err(None, format!("unexpected character {c:?}"))),
+        None => Err(s.err(None, "unexpected end of record")),
+    }
+}
+
+fn jval_to_value(line: usize, field: Option<&'static str>, v: &JVal) -> Result<Value, FormatError> {
+    match v {
+        JVal::Nil => Ok(Value::Unit),
+        JVal::Bool(b) => Ok(Value::Bool(*b)),
+        JVal::Int(n) => Ok(Value::Int(*n)),
+        JVal::Vec(items) => match items.as_slice() {
+            [JVal::Bool(b), JVal::Int(n)] => Ok(Value::Pair(*b, *n)),
+            _ => fail(line, field, format!("unsupported value {v} (expected nil, bool, int, or [bool int])")),
+        },
+        other => fail(line, field, format!("unsupported value {other} (expected nil, bool, int, or [bool int])")),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecordKind {
+    Invoke,
+    Ok,
+    Fail,
+    Info,
+}
+
+#[derive(Debug)]
+struct JepsenRecord {
+    process: u32,
+    kind: RecordKind,
+    f: Option<String>,
+    value: JVal,
+    key: Option<JVal>,
+}
+
+fn parse_record(line: usize, text: &str) -> Result<JepsenRecord, FormatError> {
+    let mut s = Scan::new(line, text);
+    s.skip_ws();
+    if s.bump() != Some('{') {
+        return Err(s.err(None, "expected '{' to open a record"));
+    }
+    let (mut process, mut ktype, mut f, mut value, mut key) = (None, None, None, None, None);
+    loop {
+        s.skip_ws();
+        match s.peek() {
+            Some('}') => {
+                s.bump();
+                break;
+            }
+            None => return Err(s.err(None, "unterminated record: missing '}'")),
+            _ => {}
+        }
+        let (name, quoted) = match s.peek() {
+            Some(':') => {
+                s.bump();
+                let w = s.take_while(ident_char);
+                if w.is_empty() {
+                    return Err(s.err(None, "empty field name after ':'"));
+                }
+                (w.to_string(), false)
+            }
+            Some('"') => match jval(&mut s)? {
+                JVal::Str(w) => (w, true),
+                _ => unreachable!("a '\"' token always parses to JVal::Str"),
+            },
+            _ => return Err(s.err(None, "expected a field name like :process or \"process\"")),
+        };
+        if quoted {
+            // JSON spelling: consume the ':' separator after a quoted name.
+            // After an EDN keyword name a following ':' starts the *value*
+            // keyword (`:type :invoke`), so it must stay.
+            s.skip_ws();
+            if s.peek() == Some(':') {
+                s.bump();
+            }
+        }
+        let v = jval(&mut s)?;
+        match name.as_str() {
+            "process" => process = Some(v),
+            "type" => ktype = Some(v),
+            "f" => f = Some(v),
+            "value" => value = Some(v),
+            "key" => key = Some(v),
+            _ => {} // tolerate :time, :index, and friends
+        }
+    }
+    s.skip_ws();
+    if s.peek().is_some() {
+        return Err(s.err(None, "trailing characters after record"));
+    }
+
+    let process = match process {
+        Some(JVal::Int(n)) if u32::try_from(n).is_ok() => n as u32,
+        Some(other) => {
+            return fail(line, Some(":process"), format!("expected a non-negative integer process id, found {other}"))
+        }
+        None => return fail(line, Some(":process"), "missing required field"),
+    };
+    let kind = match &ktype {
+        Some(JVal::Kw(w)) | Some(JVal::Str(w)) => match w.as_str() {
+            "invoke" => RecordKind::Invoke,
+            "ok" => RecordKind::Ok,
+            "fail" => RecordKind::Fail,
+            "info" => RecordKind::Info,
+            other => {
+                return fail(line, Some(":type"), format!("expected invoke, ok, fail, or info, found {other:?}"))
+            }
+        },
+        Some(other) => {
+            return fail(line, Some(":type"), format!("expected a keyword or string, found {other}"))
+        }
+        None => return fail(line, Some(":type"), "missing required field"),
+    };
+    let f = match f {
+        None => None,
+        Some(JVal::Kw(w)) | Some(JVal::Str(w)) => Some(w),
+        Some(other) => {
+            return fail(line, Some(":f"), format!("expected a keyword or string, found {other}"))
+        }
+    };
+    Ok(JepsenRecord { process, kind, f, value: value.unwrap_or(JVal::Nil), key })
+}
+
+/// One decoded jepsen record's effect on the history under construction.
+#[derive(Debug)]
+enum JStep {
+    /// A new invocation for the process.
+    Invoke(Action),
+    /// The matching response completing the process's pending operation.
+    Complete(Action),
+    /// `:fail` — the operation did not happen; retract its invocation.
+    Fail(ThreadId),
+    /// `:info` — outcome unknown; the invocation stays pending forever.
+    Info(ThreadId),
+}
+
+/// The per-process decode state shared by the batch parser and the
+/// streaming decoder: pending invocations, retired (crashed) processes,
+/// and the key-interning table.
+#[derive(Debug, Default)]
+struct JepsenState {
+    keys: KeyMap,
+    /// Open invocations: process, key, method, and the invocation
+    /// argument (kept to recognize etcd-style echoed write acks).
+    pending: Vec<(ThreadId, ObjectId, Method, Value)>,
+    retired: Vec<ThreadId>,
+}
+
+impl JepsenState {
+    fn step(&mut self, line: usize, text: &str) -> Result<JStep, FormatError> {
+        let rec = parse_record(line, text)?;
+        let t = ThreadId(rec.process);
+        match rec.kind {
+            RecordKind::Invoke => {
+                if self.retired.contains(&t) {
+                    return fail(line, Some(":process"), format!("process {} re-invoked after :info retired it", rec.process));
+                }
+                if self.pending.iter().any(|(p, _, _, _)| *p == t) {
+                    return fail(line, Some(":process"), format!("process {} already has a pending operation", rec.process));
+                }
+                let Some(name) = rec.f.as_deref() else {
+                    return fail(line, Some(":f"), "missing required field on :invoke");
+                };
+                let method = intern_method(line, name)?;
+                let object = match &rec.key {
+                    None => self.keys.int_key(line, Some(":key"), 0)?,
+                    Some(JVal::Int(n)) => self.keys.int_key(line, Some(":key"), *n)?,
+                    Some(JVal::Str(w)) | Some(JVal::Kw(w)) => self.keys.name_key(line, Some(":key"), w)?,
+                    Some(other) => {
+                        return fail(line, Some(":key"), format!("expected an integer or string key, found {other}"))
+                    }
+                };
+                let arg = if matches!(name, "read" | "get") {
+                    Value::Unit // etcd-style traces put the *observed* value here
+                } else {
+                    jval_to_value(line, Some(":value"), &rec.value)?
+                };
+                self.pending.push((t, object, method, arg));
+                Ok(JStep::Invoke(Action::invoke(t, object, method, arg)))
+            }
+            RecordKind::Ok => {
+                let Some(i) = self.pending.iter().position(|(p, _, _, _)| *p == t) else {
+                    return fail(line, Some(":process"), format!(":ok with no pending :invoke for process {}", rec.process));
+                };
+                let (_, object, method, arg) = self.pending.swap_remove(i);
+                // etcd-style harnesses ack a write/put with nil or by
+                // echoing the written value; both normalize to unit. A
+                // put with a genuinely different return value (a
+                // synchronous queue reporting true/false) keeps it.
+                let echo = matches!(rec.value, JVal::Nil)
+                    || jval_to_value(line, None, &rec.value).ok() == Some(arg);
+                let ret = if echo && matches!(method.0, "write" | "put") {
+                    Value::Unit
+                } else {
+                    jval_to_value(line, Some(":value"), &rec.value)?
+                };
+                Ok(JStep::Complete(Action::response(t, object, method, ret)))
+            }
+            RecordKind::Fail => {
+                if !self.pending.iter().any(|(p, _, _, _)| *p == t) {
+                    return fail(line, Some(":process"), format!(":fail with no pending :invoke for process {}", rec.process));
+                }
+                self.pending.retain(|(p, _, _, _)| *p != t);
+                Ok(JStep::Fail(t))
+            }
+            RecordKind::Info => {
+                if !self.pending.iter().any(|(p, _, _, _)| *p == t) {
+                    return fail(line, Some(":process"), format!(":info with no pending :invoke for process {}", rec.process));
+                }
+                self.pending.retain(|(p, _, _, _)| *p != t);
+                self.retired.push(t);
+                Ok(JStep::Info(t))
+            }
+        }
+    }
+}
+
+fn parse_jepsen(input: &str) -> Result<(Vec<Action>, Vec<usize>), FormatError> {
+    let mut state = JepsenState::default();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new();
+    // Index into `actions` of each process's open invocation.
+    let mut open: Vec<(ThreadId, usize)> = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = i + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() || text.starts_with(';') {
+            continue;
+        }
+        match state.step(line, text)? {
+            JStep::Invoke(a) => {
+                open.push((a.thread(), actions.len()));
+                actions.push(a);
+                lines.push(line);
+            }
+            JStep::Complete(a) => {
+                open.retain(|(t, _)| *t != a.thread());
+                actions.push(a);
+                lines.push(line);
+            }
+            JStep::Fail(t) => {
+                let idx = open
+                    .iter()
+                    .position(|(p, _)| *p == t)
+                    .expect("step() only yields Fail for a pending process");
+                let (_, at) = open.remove(idx);
+                actions.remove(at);
+                lines.remove(at);
+                for (_, j) in open.iter_mut() {
+                    if *j > at {
+                        *j -= 1;
+                    }
+                }
+            }
+            JStep::Info(t) => {
+                // The invocation stays in the history, pending forever.
+                open.retain(|(p, _)| *p != t);
+            }
+        }
+    }
+    Ok((actions, lines))
+}
+
+/// Serializes a history as jepsen records, one per action, preserving the
+/// exact interleaving (round-trips through [`parse_as`] with
+/// [`Format::Jepsen`] for histories whose write/put completions are unit
+/// and read/get arguments are unit — which every spec family here
+/// requires anyway).
+pub fn format_jepsen(history: &History) -> String {
+    let mut out = String::new();
+    for a in history.actions() {
+        let kind = if a.is_invoke() { "invoke" } else { "ok" };
+        let value = a.arg().or_else(|| a.ret()).expect("every action carries a value");
+        out.push_str(&format!(
+            "{{:process {}, :type :{}, :f :{}, :key {}, :value {}}}\n",
+            a.thread().0,
+            kind,
+            a.method(),
+            a.object().0,
+            jepsen_value(value),
+        ));
+    }
+    out
+}
+
+fn jepsen_value(v: Value) -> String {
+    match v {
+        Value::Unit => "nil".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Pair(b, n) => format!("[{b} {n}]"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kvlog
+// ---------------------------------------------------------------------------
+
+const KV_USAGE: &str = "expected: <start> <end|-> <client> put|get <key> [<value>]";
+
+/// One parsed kvlog line: the operation's stamps and its actions.
+#[derive(Debug)]
+struct KvLine {
+    start: u64,
+    end: Option<u64>,
+    inv: Action,
+    res: Option<Action>,
+}
+
+fn parse_kvlog_line(line: usize, text: &str, keys: &mut KeyMap) -> Result<KvLine, FormatError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    if !(5..=6).contains(&toks.len()) {
+        return fail(line, None, KV_USAGE);
+    }
+    let start: u64 = toks[0]
+        .parse()
+        .map_err(|_| FormatError { line, field: Some("start"), message: format!("bad invocation timestamp {:?}", toks[0]) })?;
+    let end: Option<u64> = match toks[1] {
+        "-" | "?" => None,
+        w => Some(w.parse().map_err(|_| FormatError {
+            line,
+            field: Some("end"),
+            message: format!("bad response timestamp {w:?} (use '-' for a pending operation)"),
+        })?),
+    };
+    if let Some(e) = end {
+        if e < start {
+            return fail(line, Some("end"), format!("response timestamp {e} precedes invocation timestamp {start}"));
+        }
+    }
+    let c = toks[2];
+    let client: u32 = c
+        .strip_prefix('c')
+        .or_else(|| c.strip_prefix('t'))
+        .unwrap_or(c)
+        .parse()
+        .map_err(|_| FormatError { line, field: Some("client"), message: format!("bad client id {c:?} (expected e.g. c0 or 0)") })?;
+    let t = ThreadId(client);
+    let is_write = match toks[3].to_ascii_lowercase().as_str() {
+        "put" | "write" | "set" => true,
+        "get" | "read" => false,
+        other => {
+            return fail(line, Some("op"), format!("unknown operation {other:?} (expected put or get)"))
+        }
+    };
+    let key_tok = toks[4];
+    let object = if let Ok(n) = key_tok.parse::<i64>() {
+        keys.int_key(line, Some("key"), n)?
+    } else if !key_tok.is_empty() && key_tok.chars().all(ident_char) {
+        keys.name_key(line, Some("key"), key_tok)?
+    } else {
+        return fail(line, Some("key"), format!("bad key {key_tok:?}"));
+    };
+    let val = toks.get(5).copied();
+    let (inv, res) = if is_write {
+        let Some(v) = val.and_then(|w| w.parse::<i64>().ok()) else {
+            return fail(line, Some("value"), "put needs an integer value");
+        };
+        let m = Method("write");
+        (Action::invoke(t, object, m, Value::Int(v)), end.map(|_| Action::response(t, object, m, Value::Unit)))
+    } else {
+        let m = Method("read");
+        let inv = Action::invoke(t, object, m, Value::Unit);
+        let res = match end {
+            None => None, // a value on a pending get is ignored: the outcome is unknown
+            Some(_) => {
+                let Some(v) = val.filter(|w| *w != "-" && *w != "?").and_then(|w| w.parse::<i64>().ok()) else {
+                    return fail(line, Some("value"), "completed get needs the returned integer value");
+                };
+                Some(Action::response(t, object, m, Value::Int(v)))
+            }
+        };
+        (inv, res)
+    };
+    Ok(KvLine { start, end, inv, res })
+}
+
+fn parse_kvlog(input: &str) -> Result<(Vec<Action>, Vec<usize>), FormatError> {
+    let mut keys = KeyMap::default();
+    // (ts, rank, seq) sort key: invocations (rank 0) before responses
+    // (rank 1) at equal stamps — closed intervals, touching endpoints
+    // overlap — then emission order for determinism.
+    let mut events: Vec<(u64, u8, usize, usize, Action)> = Vec::new();
+    let mut seq = 0usize;
+    for (i, raw) in input.lines().enumerate() {
+        let line = i + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() || text.starts_with(';') {
+            continue;
+        }
+        let kv = parse_kvlog_line(line, text, &mut keys)?;
+        events.push((kv.start, 0, seq, line, kv.inv));
+        seq += 1;
+        if let (Some(end), Some(res)) = (kv.end, kv.res) {
+            events.push((end, 1, seq, line, res));
+            seq += 1;
+        }
+    }
+    events.sort_by_key(|(ts, rank, seq, _, _)| (*ts, *rank, *seq));
+    let mut actions = Vec::with_capacity(events.len());
+    let mut lines = Vec::with_capacity(events.len());
+    for (_, _, _, line, action) in events {
+        actions.push(action);
+        lines.push(line);
+    }
+    Ok((actions, lines))
+}
+
+/// Serializes a register-shaped history (reads and writes only) as a
+/// kvlog, one operation per line, stamping events with their action
+/// indices so parsing reconstructs the exact interleaving.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] (with `line == 0`) when the history is
+/// ill-formed or contains operations kvlog cannot express: methods other
+/// than read/get/write/put, non-integer write arguments, non-unit write
+/// returns, or non-integer read returns.
+pub fn format_kvlog(history: &History) -> Result<String, FormatError> {
+    let spans = history
+        .try_spans()
+        .map_err(|e| FormatError { line: 0, field: None, message: format!("ill-formed history: {e}") })?;
+    let actions = history.actions();
+    let mut out = String::new();
+    for span in spans {
+        let inv = &actions[span.inv];
+        let end = match span.resp {
+            Some(r) => r.to_string(),
+            None => "-".to_string(),
+        };
+        let key = inv.object().0;
+        let client = inv.thread().0;
+        let line = match inv.method().0 {
+            "write" | "put" => {
+                let Some(Value::Int(v)) = inv.arg() else {
+                    return fail(0, None, format!("kvlog cannot express a put with argument {:?}", inv.arg()));
+                };
+                if let Some(r) = span.resp {
+                    if actions[r].ret() != Some(Value::Unit) {
+                        return fail(0, None, format!("kvlog cannot express a put returning {:?}", actions[r].ret()));
+                    }
+                }
+                format!("{} {} c{} put {} {}\n", span.inv, end, client, key, v)
+            }
+            "read" | "get" => {
+                let ret = match span.resp {
+                    None => "-".to_string(),
+                    Some(r) => match actions[r].ret() {
+                        Some(Value::Int(v)) => v.to_string(),
+                        other => {
+                            return fail(0, None, format!("kvlog cannot express a get returning {other:?}"))
+                        }
+                    },
+                };
+                format!("{} {} c{} get {} {}\n", span.inv, end, client, key, ret)
+            }
+            other => return fail(0, None, format!("kvlog cannot express method {other:?}")),
+        };
+        out.push_str(&line);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+/// One decoded effect of a wire line on a streaming checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireItem {
+    /// Push this action.
+    Action(Action),
+    /// Seal the thread's pending operation (`:fail`/`:info` records and
+    /// pending kvlog operations map here; the streaming checker's
+    /// timeout-admission explores both dropping and completing it).
+    Abandon(ThreadId),
+}
+
+/// An incremental decoder turning wire lines of any [`Format`] into
+/// [`WireItem`]s for a streaming checker. Construct with `None` to
+/// auto-detect from the first contentful line (the choice then latches).
+///
+/// Streaming caveats, by design:
+///
+/// - jepsen `:fail` cannot retract an already-pushed invocation, so both
+///   `:fail` and `:info` become [`WireItem::Abandon`] — a sound
+///   over-approximation of the batch semantics (the checker considers
+///   dropping the operation, which is what `:fail` asserts).
+/// - kvlog lines decode in arrival order; the batch parser's global
+///   timestamp sort is impossible online, so each line's invocation and
+///   response are emitted adjacently. This is stricter than batch order
+///   for overlapping operations — concurrent clients should stream
+///   interleaved lines.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    format: Option<Format>,
+    jepsen: JepsenState,
+    kv_keys: KeyMap,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder for `format`, or an auto-detecting one for `None`.
+    pub fn new(format: Option<Format>) -> Self {
+        StreamDecoder { format, jepsen: JepsenState::default(), kv_keys: KeyMap::default() }
+    }
+
+    /// The decoder's format, once known (auto mode latches on the first
+    /// contentful line).
+    pub fn format(&self) -> Option<Format> {
+        self.format
+    }
+
+    /// Decodes one wire line into its checker effects. Blank and comment
+    /// lines decode to no items. `line` is the 1-based wire line number
+    /// used in error anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line/field-anchored [`FormatError`] for malformed lines;
+    /// the decoder stays usable afterwards (the line had no effect).
+    pub fn decode_line(&mut self, line: usize, raw: &str) -> Result<Vec<WireItem>, FormatError> {
+        let text = strip_comment(raw).trim();
+        if text.is_empty() || text.starts_with(';') {
+            return Ok(Vec::new());
+        }
+        let format = *self.format.get_or_insert_with(|| sniff_line(text));
+        match format {
+            Format::Native => match text::parse_action_line(line, raw) {
+                Ok(Some(a)) => Ok(vec![WireItem::Action(a)]),
+                Ok(None) => Ok(Vec::new()),
+                Err(e) => Err(e.into()),
+            },
+            Format::Jepsen => match self.jepsen.step(line, text)? {
+                JStep::Invoke(a) | JStep::Complete(a) => Ok(vec![WireItem::Action(a)]),
+                JStep::Fail(t) | JStep::Info(t) => Ok(vec![WireItem::Abandon(t)]),
+            },
+            Format::KvLog => {
+                let kv = parse_kvlog_line(line, text, &mut self.kv_keys)?;
+                let t = kv.inv.thread();
+                let mut items = vec![WireItem::Action(kv.inv)];
+                match kv.res {
+                    Some(res) => items.push(WireItem::Action(res)),
+                    None => items.push(WireItem::Abandon(t)),
+                }
+                Ok(items)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_history;
+
+    const EDN_OK: &str = "\
+; an etcd-style register trace
+{:process 0, :type :invoke, :f :write, :value 1, :key 0}
+{:process 1, :type :invoke, :f :read, :value nil, :key 0}
+{:process 0, :type :ok, :f :write, :value 1, :key 0}
+{:process 1, :type :ok, :f :read, :value 1, :key 0}
+";
+
+    #[test]
+    fn jepsen_edn_basic() {
+        let h = parse_as(Format::Jepsen, EDN_OK).unwrap();
+        assert_eq!(h.len(), 4);
+        assert!(h.is_complete());
+        // write ack echoing the value is normalized to unit:
+        assert_eq!(h.actions()[2].ret(), Some(Value::Unit));
+        // read invoke is normalized to unit:
+        assert_eq!(h.actions()[1].arg(), Some(Value::Unit));
+        assert_eq!(h.actions()[3].ret(), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn jepsen_json_spelling() {
+        let input = "\
+{\"process\": 0, \"type\": \"invoke\", \"f\": \"write\", \"value\": 7}
+{\"process\": 0, \"type\": \"ok\", \"f\": \"write\", \"value\": 7}
+";
+        let h = parse_as(Format::Jepsen, input).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.actions()[0].arg(), Some(Value::Int(7)));
+        assert_eq!(h.actions()[1].ret(), Some(Value::Unit));
+    }
+
+    #[test]
+    fn jepsen_fail_retracts_invocation() {
+        let input = "\
+{:process 0, :type :invoke, :f :write, :value 1}
+{:process 1, :type :invoke, :f :write, :value 2}
+{:process 0, :type :fail, :f :write, :value 1}
+{:process 1, :type :ok, :f :write}
+";
+        let h = parse_as(Format::Jepsen, input).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.actions()[0].thread(), ThreadId(1));
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn jepsen_info_leaves_pending_and_retires() {
+        let input = "\
+{:process 0, :type :invoke, :f :write, :value 1}
+{:process 0, :type :info, :f :write}
+";
+        let h = parse_as(Format::Jepsen, input).unwrap();
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_complete());
+
+        let reuse = format!("{input}{{:process 0, :type :invoke, :f :write, :value 2}}\n");
+        let e = parse_as(Format::Jepsen, &reuse).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("retired"), "{e}");
+    }
+
+    #[test]
+    fn jepsen_nested_invoke_is_anchored() {
+        let input = "\
+{:process 0, :type :invoke, :f :write, :value 1}
+{:process 0, :type :invoke, :f :write, :value 2}
+";
+        let e = parse_as(Format::Jepsen, input).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.field, Some(":process"));
+    }
+
+    #[test]
+    fn jepsen_string_keys_intern_and_mixing_errors() {
+        let input = "\
+{:process 0, :type :invoke, :f :write, :value 1, :key \"x\"}
+{:process 0, :type :ok, :f :write}
+{:process 1, :type :invoke, :f :write, :value 2, :key \"y\"}
+{:process 1, :type :ok, :f :write}
+";
+        let h = parse_as(Format::Jepsen, input).unwrap();
+        assert_eq!(h.actions()[0].object(), ObjectId(0));
+        assert_eq!(h.actions()[2].object(), ObjectId(1));
+
+        let mixed = format!("{input}{{:process 2, :type :invoke, :f :write, :value 3, :key 5}}\n");
+        let e = parse_as(Format::Jepsen, &mixed).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("mix"), "{e}");
+    }
+
+    #[test]
+    fn jepsen_unknown_fields_tolerated() {
+        let input = "\
+{:process 0, :type :invoke, :f :write, :value 1, :time 1234, :index 0}
+{:process 0, :type :ok, :f :write, :value 1, :time 1299, :index 1}
+";
+        assert_eq!(parse_as(Format::Jepsen, input).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn jepsen_diagnostics_never_panic() {
+        for bad in [
+            "{",
+            "{}",
+            "{:process}",
+            "{:process 0}",
+            "{:process 0, :type :frob}",
+            "{:process :nemesis, :type :info}",
+            "{:process 0, :type :invoke}",
+            "{:process 0, :type :ok, :f :write}",
+            "{:process 0, :type :invoke, :f :write, :value \"str\"}",
+            "{:process 0, :type :invoke, :f :write, :value [1 2 3]}",
+            "{:process 0, :type :invoke, :f :write, :value 1} trailing",
+            "{:process 99999999999999999999, :type :invoke, :f :write}",
+        ] {
+            let e = parse_as(Format::Jepsen, bad).unwrap_err();
+            assert_eq!(e.line, 1, "input: {bad}");
+        }
+    }
+
+    const KVLOG_OK: &str = "\
+# ahorn H: write(1); then read():2 concurrent with write(2)
+0 1 c0 put x 1
+2 5 c1 get x 2
+3 6 c2 put x 2
+";
+
+    #[test]
+    fn kvlog_basic_orders_by_timestamp() {
+        let h = parse_as(Format::KvLog, KVLOG_OK).unwrap();
+        assert_eq!(h.len(), 6);
+        assert!(h.is_complete());
+        // write(1) completes before the read invokes:
+        assert!(h.actions()[0].is_invoke() && h.actions()[0].arg() == Some(Value::Int(1)));
+        assert!(h.actions()[1].is_response());
+        assert_eq!(h.actions()[2].thread(), ThreadId(1));
+    }
+
+    #[test]
+    fn kvlog_closed_intervals_touching_endpoints_overlap() {
+        // op A ends at 5, op B starts at 5: the invocation sorts first,
+        // so A and B are concurrent.
+        let input = "0 5 c0 put 0 1\n5 9 c1 get 0 1\n";
+        let h = parse_as(Format::KvLog, input).unwrap();
+        let spans = h.spans();
+        assert!(History::spans_concurrent(&spans[0], &spans[1]));
+    }
+
+    #[test]
+    fn kvlog_pending_and_aliases() {
+        let input = "0 - 0 write k1 7\n1 9 t1 read k1 0\n";
+        let h = parse_as(Format::KvLog, input).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_complete());
+        assert_eq!(h.actions()[0].object(), h.actions()[1].object());
+    }
+
+    #[test]
+    fn kvlog_diagnostics_are_anchored() {
+        for (bad, line, needle) in [
+            ("0 1 c0 put x\n", 1, "value"),
+            ("0 1 c0 get x\n", 1, "value"),
+            ("9 1 c0 put x 1\n", 1, "precedes"),
+            ("0 1 c0 frob x 1\n", 1, "operation"),
+            ("x 1 c0 put x 1\n", 1, "timestamp"),
+            ("0 1 cat put x 1\n", 1, "client"),
+            ("0 1 c0 put x 1 extra\n", 1, "expected"),
+            ("0 1 c0 put 3 1\n0 1 c1 put x 1\n", 2, "mix"),
+        ] {
+            let e = parse_as(Format::KvLog, bad).unwrap_err();
+            assert_eq!(e.line, line, "input: {bad:?} err: {e}");
+            assert!(e.to_string().contains(needle), "input: {bad:?} err: {e}");
+        }
+    }
+
+    #[test]
+    fn kvlog_overlapping_same_client_anchors_nested_invocation() {
+        let input = "0 9 c0 put x 1\n2 5 c0 get x 0\n";
+        let e = parse_as(Format::KvLog, input).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ill-formed"), "{e}");
+    }
+
+    #[test]
+    fn detect_three_ways() {
+        assert_eq!(detect(EDN_OK), Format::Jepsen);
+        assert_eq!(detect("# comment\n[\"json\"]\n"), Format::Jepsen);
+        assert_eq!(detect(KVLOG_OK), Format::KvLog);
+        assert_eq!(detect("# c\nt0 inv o0.write 1\n"), Format::Native);
+        assert_eq!(detect(""), Format::Native);
+        // a native line never has a leading integer token:
+        assert_eq!(detect("t0 inv o0.write 1\n"), Format::Native);
+    }
+
+    #[test]
+    fn parse_auto_reports_format() {
+        let (f, h) = parse_auto(KVLOG_OK).unwrap();
+        assert_eq!(f, Format::KvLog);
+        assert_eq!(h.len(), 6);
+    }
+
+    const NATIVE_SAMPLE: &str = "\
+t1 inv o0.exchange 3
+t2 inv o0.exchange 4
+t1 res o0.exchange (true,4)
+t2 res o0.exchange (true,3)
+t3 inv o0.write 5
+";
+
+    #[test]
+    fn jepsen_round_trip_preserves_history() {
+        let h = parse_history(NATIVE_SAMPLE).unwrap();
+        let text = format_jepsen(&h);
+        let h2 = parse_as(Format::Jepsen, &text).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn kvlog_round_trip_preserves_register_history() {
+        let h = parse_history(
+            "t0 inv o0.write 1\nt1 inv o1.read ()\nt0 res o0.write ()\nt1 res o1.read 0\nt2 inv o0.read ()\n",
+        )
+        .unwrap();
+        let text = format_kvlog(&h).unwrap();
+        let h2 = parse_as(Format::KvLog, &text).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn kvlog_rejects_unrepresentable_methods() {
+        let h = parse_history("t0 inv o0.exchange 3\nt0 res o0.exchange (false,3)\n").unwrap();
+        let e = format_kvlog(&h).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("exchange"), "{e}");
+    }
+
+    #[test]
+    fn native_errors_flow_through() {
+        let e = parse_as(Format::Native, "t0 inv o0.write 1\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn format_error_display() {
+        let e = FormatError { line: 3, field: Some(":process"), message: "nope".into() };
+        assert_eq!(e.to_string(), "line 3: field :process: nope");
+        let e = FormatError { line: 0, field: None, message: "nope".into() };
+        assert_eq!(e.to_string(), "nope");
+    }
+
+    #[test]
+    fn stream_decoder_native_and_auto() {
+        let mut d = StreamDecoder::new(None);
+        assert_eq!(d.format(), None);
+        assert!(d.decode_line(1, "# comment").unwrap().is_empty());
+        let items = d.decode_line(2, "t0 inv o0.write 1").unwrap();
+        assert_eq!(d.format(), Some(Format::Native));
+        assert_eq!(items.len(), 1);
+        // latched: a jepsen-looking line is now a native parse error
+        assert!(d.decode_line(3, "{:process 0, :type :invoke, :f :write}").is_err());
+    }
+
+    #[test]
+    fn stream_decoder_jepsen() {
+        let mut d = StreamDecoder::new(Some(Format::Jepsen));
+        let inv = d.decode_line(1, "{:process 0, :type :invoke, :f :write, :value 1}").unwrap();
+        assert!(matches!(inv.as_slice(), [WireItem::Action(a)] if a.is_invoke()));
+        let ok = d.decode_line(2, "{:process 0, :type :ok, :f :write}").unwrap();
+        assert!(matches!(ok.as_slice(), [WireItem::Action(a)] if a.is_response()));
+        d.decode_line(3, "{:process 1, :type :invoke, :f :read}").unwrap();
+        let info = d.decode_line(4, "{:process 1, :type :info, :f :read}").unwrap();
+        assert_eq!(info, vec![WireItem::Abandon(ThreadId(1))]);
+        // decoder survives a malformed line:
+        assert!(d.decode_line(5, "{:process oops").is_err());
+        let again = d.decode_line(6, "{:process 2, :type :invoke, :f :write, :value 2}").unwrap();
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn stream_decoder_kvlog() {
+        let mut d = StreamDecoder::new(Some(Format::KvLog));
+        let done = d.decode_line(1, "0 4 c0 put x 1").unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(matches!(&done[0], WireItem::Action(a) if a.is_invoke()));
+        assert!(matches!(&done[1], WireItem::Action(a) if a.is_response()));
+        let pend = d.decode_line(2, "5 - c1 get x").unwrap();
+        assert!(matches!(&pend[0], WireItem::Action(a) if a.is_invoke()));
+        assert_eq!(pend[1], WireItem::Abandon(ThreadId(1)));
+    }
+}

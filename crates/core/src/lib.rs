@@ -79,6 +79,7 @@ pub mod bitset;
 pub mod check;
 pub mod compose;
 pub mod engine;
+pub mod format;
 pub mod gen;
 pub mod history;
 pub mod ids;

@@ -72,7 +72,9 @@ fn parse_object(line: usize, s: &str) -> Result<ObjectId, ParseError> {
 
 /// Interns the method name. Method names are `&'static str`; parsing leaks
 /// each *distinct* name once, which is bounded by the client's vocabulary.
-fn parse_method(line: usize, s: &str) -> Result<Method, ParseError> {
+/// Shared with the foreign-format decoders in [`crate::format`], so every
+/// parser agrees on one interned vocabulary.
+pub(crate) fn parse_method(line: usize, s: &str) -> Result<Method, ParseError> {
     // Well-known names avoid leaking in the common case.
     const KNOWN: &[&str] =
         &["exchange", "push", "pop", "put", "take", "read", "write", "inc", "noop"];

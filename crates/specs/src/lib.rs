@@ -16,6 +16,8 @@
 //!   extended paper;
 //! - [`register::RegisterSpec`] / [`register::CounterSpec`] — classical
 //!   sequential baselines for checker calibration;
+//! - [`kv::KvMapSpec`] — a map of independent per-key registers, the spec
+//!   family for imported distributed-system traces (`cal_core::format`);
 //! - [`gen`] — random legal traces for tests and benchmarks.
 
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod elim_array;
 pub mod elim_stack;
 pub mod exchanger;
 pub mod gen;
+pub mod kv;
 pub mod register;
 pub mod snapshot;
 pub mod stack;

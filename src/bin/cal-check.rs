@@ -1,20 +1,24 @@
-//! `cal-check` — check a recorded history (in the `cal_core::text` line
-//! format) against one of the built-in specifications, or run a single
-//! seeded chaos workload against a live object and check the harvested
-//! history.
+//! `cal-check` — check a recorded history against one of the built-in
+//! specifications, or run a single seeded chaos workload against a live
+//! object and check the harvested history. Histories may be native
+//! (`cal_core::text`), porcupine/Jepsen-style records, or timestamped
+//! Put/Get logs (`cal_core::format`); the format is sniffed per input
+//! unless `--format` pins it.
 //!
 //! ```text
 //! Usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]
-//!                  [--deadline-ms <N>] [--threads <N>]
+//!                  [--format auto|native|jepsen|kvlog]
+//!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!                  [--stats] [--stats-json <PATH>] [--explain]
 //!        cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]
-//!                  [--deadline-ms <N>] [--threads <N>]
+//!                  [--format auto|native|jepsen|kvlog]
+//!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
 //!                  [--threads <N>] [--check-threads <N>] [--ops <N>]
 //!                  [--mode <M>] [--deadline-ms <N>]
 //!
 //!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
-//!            stack | failing-stack | register | counter      (sequential)
+//!            stack | failing-stack | register | counter | kv (sequential)
 //!            write-snapshot                                  (interval)
 //!   FILE     history file, or - for stdin
 //!   DIR      directory of history files, checked concurrently
@@ -23,6 +27,11 @@
 //!            dual-stack | sync-queue       (default exchanger)
 //!   M        file/batch mode: cal | seq | interval   (default cal)
 //!            chaos mode:      deterministic | stress (default deterministic)
+//!
+//! `--format` selects the input trace format (default `auto`: sniff each
+//! input, first contentful line wins). The `kv` spec — a map of
+//! independent per-key integer registers — is the natural spec for
+//! imported jepsen/kvlog traces and works in every `--mode`.
 //!
 //! `--mode` selects the checker all three of which run on the shared
 //! search kernel: `cal` (concurrency-aware linearizability; sequential
@@ -72,16 +81,18 @@ use cal::core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, V
 use cal::core::interval::{
     check_interval_par_with, check_interval_with, IntervalSpec, IntervalWitness, SeqAsInterval,
 };
+use cal::core::format::{self, Format};
 use cal::core::obs::{CountingSink, SearchReport};
 use cal::core::par::check_cal_par_with;
 use cal::core::seqlin::{check_linearizable_par_with, check_linearizable_with};
 use cal::core::spec::{CaSpec, SeqAsCa, SeqSpec};
-use cal::core::text::{format_trace, parse_history};
+use cal::core::text::format_trace;
 use cal::core::trace::CaTrace;
 use cal::core::{History, ObjectId};
 use cal::specs::dual_stack::DualStackSpec;
 use cal::specs::elim_array::ElimArraySpec;
 use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::kv::KvMapSpec;
 use cal::specs::register::{CounterSpec, RegisterSpec};
 use cal::specs::snapshot::WriteSnapshotSpec;
 use cal::specs::stack::StackSpec;
@@ -107,22 +118,26 @@ macro_rules! errln {
 fn usage() -> io::Result<ExitCode> {
     errln!(
         "usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]\n\
-         \x20                [--deadline-ms <N>] [--threads <N>]\n\
+         \x20                [--format auto|native|jepsen|kvlog]\n\
+         \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20                [--stats] [--stats-json <PATH>] [--explain]\n\
          \x20      cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]\n\
-         \x20                [--deadline-ms <N>] [--threads <N>]\n\
+         \x20                [--format auto|native|jepsen|kvlog]\n\
+         \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
          \x20                [--threads <N>] [--check-threads <N>] [--ops <N>] [--mode <M>]\n\
          \x20                [--deadline-ms <N>]\n\
          \n\
          SPEC:    exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack |\n\
-         \x20        register | counter | write-snapshot\n\
-         FILE:    history in the cal text format, or - for stdin\n\
+         \x20        register | counter | kv | write-snapshot\n\
+         FILE:    history file (native, jepsen, or kvlog format), or - for stdin\n\
          DIR:     directory of history files, checked concurrently\n\
          PROFILE: light | heavy | starvation\n\
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
          M:       cal | seq | interval (file/batch; default cal) — deterministic | stress (chaos)\n\
          \n\
+         --format       input trace format; auto (default) sniffs each input\n\
+         --max-nodes    search node budget; exhausting it is verdict `undecided` (exit 2)\n\
          --stats        print a one-line search summary to stderr (file mode)\n\
          --stats-json   write the SearchReport as JSON to PATH, or - for stdout (file mode)\n\
          --explain      print why the verdict was slow or undecided (file mode)\n\
@@ -169,6 +184,8 @@ fn try_main() -> io::Result<ExitCode> {
     let mut ops = None;
     let mut chaos_mode: Option<Mode> = None;
     let mut checker_mode: Option<CheckerMode> = None;
+    let mut trace_format: Option<Format> = None;
+    let mut max_nodes: Option<u64> = None;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut explain = false;
@@ -223,6 +240,21 @@ fn try_main() -> io::Result<ExitCode> {
                 },
                 None => return usage(),
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("auto") => trace_format = None,
+                Some(f) => match f.parse::<Format>() {
+                    Ok(f) => trace_format = Some(f),
+                    Err(e) => {
+                        let _ = errln!("cal-check: {e}");
+                        return usage();
+                    }
+                },
+                None => return usage(),
+            },
+            "--max-nodes" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n > 0 => max_nodes = Some(n),
+                _ => return usage(),
+            },
             "--stats" => stats = true,
             "--stats-json" => match it.next() {
                 Some(p) => stats_json = Some(p.clone()),
@@ -240,8 +272,9 @@ fn try_main() -> io::Result<ExitCode> {
         if spec_name.is_some() || file.is_some() || batch.is_some() || checker_mode.is_some() {
             return usage();
         }
-        if stats || explain || stats_json.is_some() {
-            return usage(); // stats flags are file-mode only
+        if stats || explain || stats_json.is_some() || trace_format.is_some() || max_nodes.is_some()
+        {
+            return usage(); // stats/format/budget flags are file-mode only
         }
         let mode = chaos_mode.unwrap_or(Mode::Deterministic);
         let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
@@ -280,7 +313,16 @@ fn try_main() -> io::Result<ExitCode> {
         if file.is_some() || stats || explain || stats_json.is_some() {
             return usage();
         }
-        return run_batch(&spec_name, mode, &dir, object, deadline, threads.unwrap_or(1));
+        return run_batch(
+            &spec_name,
+            mode,
+            trace_format,
+            &dir,
+            object,
+            deadline,
+            max_nodes,
+            threads.unwrap_or(1),
+        );
     }
 
     let Some(file) = file else {
@@ -293,9 +335,14 @@ fn try_main() -> io::Result<ExitCode> {
             return Ok(ExitCode::from(EXIT_ERROR));
         }
     };
-    let options = CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
+    let mut options =
+        CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
+    if let Some(n) = max_nodes {
+        options.max_nodes = n;
+    }
     let want_report = stats || explain || stats_json.is_some();
-    let (checked, report) = check_input(&spec_name, mode, &input, object, &options, want_report);
+    let (checked, report) =
+        check_input(&spec_name, mode, trace_format, &input, object, &options, want_report);
     if let Some(report) = &report {
         if stats {
             errln!("stats: {}", report.summary())?;
@@ -386,6 +433,7 @@ fn known_spec(name: &str) -> bool {
             | "failing-stack"
             | "register"
             | "counter"
+            | "kv"
             | "write-snapshot"
     )
 }
@@ -396,31 +444,36 @@ fn known_spec(name: &str) -> bool {
 fn spec_supports(name: &str, mode: CheckerMode) -> bool {
     match name {
         "exchanger" | "elim-array" | "sync-queue" | "dual-stack" => mode == CheckerMode::Cal,
-        "stack" | "failing-stack" | "register" | "counter" => true,
+        "stack" | "failing-stack" | "register" | "counter" | "kv" => true,
         "write-snapshot" => mode == CheckerMode::Interval,
         _ => false,
     }
 }
 
-/// Parses `input` and checks it against the named specification with the
-/// selected checker. With `want_report` a [`CountingSink`] rides along and
-/// the checker's [`SearchReport`] is returned next to the result (absent
-/// when parsing or the checker itself failed).
+/// Parses `input` (in the explicit format, or sniffed) and checks it
+/// against the named specification with the selected checker. With
+/// `want_report` a [`CountingSink`] rides along and the checker's
+/// [`SearchReport`] is returned next to the result (absent when parsing or
+/// the checker itself failed).
+///
+/// Parse and validation errors are line-anchored: `cal_core::format`
+/// tracks the source line of every action, so even well-formedness
+/// failures (nested invocation, mismatched response) name the offending
+/// input line.
 fn check_input(
     spec_name: &str,
     mode: CheckerMode,
+    trace_format: Option<Format>,
     input: &str,
     object: Option<ObjectId>,
     options: &CheckOptions,
     want_report: bool,
 ) -> (Checked, Option<SearchReport>) {
-    let history = match parse_history(input) {
+    let fmt = trace_format.unwrap_or_else(|| format::detect(input));
+    let history = match format::parse_as(fmt, input) {
         Ok(h) => h,
-        Err(e) => return (Checked::Error(format!("parse error: {e}")), None),
+        Err(e) => return (Checked::Error(format!("parse error ({fmt}): {e}")), None),
     };
-    if let Err(e) = history.validate() {
-        return (Checked::Error(format!("ill-formed history: {e}")), None);
-    }
     let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
     let sink = want_report.then(|| Arc::new(CountingSink::new()));
     let options = CheckOptions {
@@ -452,6 +505,7 @@ fn check_input(
                 "counter" => {
                     (run_ca(&history, &SeqAsCa::new(CounterSpec::new(object)), &options), LIN)
                 }
+                "kv" => (run_ca(&history, &SeqAsCa::new(KvMapSpec::new()), &options), LIN),
                 other => return (Checked::Error(format!("unknown spec {other:?}")), None),
             };
             render(result, adjective, format_trace, &sink, &options, start)
@@ -462,6 +516,7 @@ fn check_input(
                 "failing-stack" => run_seq(&history, &StackSpec::failing(object), &options),
                 "register" => run_seq(&history, &RegisterSpec::new(object), &options),
                 "counter" => run_seq(&history, &CounterSpec::new(object), &options),
+                "kv" => run_seq(&history, &KvMapSpec::new(), &options),
                 other => {
                     return (Checked::Error(format!("spec {other:?} is not sequential")), None)
                 }
@@ -489,6 +544,7 @@ fn check_input(
                 "counter" => {
                     run_interval(&history, &SeqAsInterval::new(CounterSpec::new(object)), &options)
                 }
+                "kv" => run_interval(&history, &SeqAsInterval::new(KvMapSpec::new()), &options),
                 other => {
                     return (
                         Checked::Error(format!("spec {other:?} has no interval reading")),
@@ -589,13 +645,18 @@ where
 
 /// Checks every regular file under `dir` against the named specification,
 /// spreading files across `threads` workers (each file is checked with a
-/// single-threaded search — the parallelism is across files).
+/// single-threaded search — the parallelism is across files). With
+/// `--format auto` each file is sniffed independently, so one directory
+/// may mix native, jepsen, and kvlog traces.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     spec_name: &str,
     mode: CheckerMode,
+    trace_format: Option<Format>,
     dir: &str,
     object: Option<ObjectId>,
     deadline: Option<Duration>,
+    max_nodes: Option<u64>,
     threads: usize,
 ) -> io::Result<ExitCode> {
     let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
@@ -614,7 +675,10 @@ fn run_batch(
         errln!("cal-check: no files in {dir}")?;
         return Ok(ExitCode::from(EXIT_ERROR));
     }
-    let options = CheckOptions { deadline, threads: 1, ..CheckOptions::default() };
+    let mut options = CheckOptions { deadline, threads: 1, ..CheckOptions::default() };
+    if let Some(n) = max_nodes {
+        options.max_nodes = n;
+    }
     let results: Mutex<Vec<Option<Checked>>> = Mutex::new((0..files.len()).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = threads.max(1).min(files.len());
@@ -624,7 +688,10 @@ fn run_batch(
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(path) = files.get(idx) else { break };
                 let checked = match std::fs::read_to_string(path) {
-                    Ok(input) => check_input(spec_name, mode, &input, object, &options, false).0,
+                    Ok(input) => {
+                        check_input(spec_name, mode, trace_format, &input, object, &options, false)
+                            .0
+                    }
                     Err(e) => Checked::Error(format!("cannot read: {e}")),
                 };
                 results.lock().unwrap()[idx] = Some(checked);
@@ -634,6 +701,7 @@ fn run_batch(
     let mut rejected = 0usize;
     let mut undecided = 0usize;
     let mut errors = 0usize;
+    let mut first_error: Option<String> = None;
     let results = results.into_inner().unwrap();
     for (path, checked) in files.iter().zip(results) {
         let name = path.display();
@@ -649,6 +717,9 @@ fn run_batch(
             }
             Checked::Error(e) => {
                 outln!("{name}: error — {e}")?;
+                if first_error.is_none() {
+                    first_error = Some(format!("{name}: {e}"));
+                }
                 errors += 1;
             }
         }
@@ -660,6 +731,11 @@ fn run_batch(
         undecided,
         errors
     )?;
+    if let Some(diag) = first_error {
+        // The full line/field-anchored diagnostic of the first failing
+        // input, repeated after the fold so it survives long batch output.
+        outln!("batch: first error: {diag}")?;
+    }
     Ok(if errors > 0 {
         ExitCode::from(EXIT_ERROR)
     } else if undecided > 0 {

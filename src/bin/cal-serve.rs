@@ -5,13 +5,17 @@
 //! continuously in the `--stats-json` wire format.
 //!
 //! ```text
-//! Usage: cal-serve <SPEC> [--object <N>] [--window <N>] [--checkpoint-every <N>]
-//!                  [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]
-//!                  [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]
-//!                  [--stats-json <PATH|->] [--stats-every <N>] [--quiet]
+//! Usage: cal-serve <SPEC> [--format <F>] [--object <N>] [--window <N>]
+//!                  [--checkpoint-every <N>] [--max-states <N>] [--max-nodes <N>]
+//!                  [--deadline-ms <N>] [--error-budget <N>] [--listen <ADDR:PORT>]
+//!                  [--ack] [--stats-json <PATH|->] [--stats-every <N>] [--quiet]
 //!
 //!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
-//!            stack | failing-stack | register | counter      (sequential)
+//!            stack | failing-stack | register | counter | kv  (sequential)
+//!
+//!   --format <F>            wire format: auto (default) | native | jepsen |
+//!                           kvlog — auto sniffs the first contentful line and
+//!                           latches
 //!
 //!   --window <N>            cap on open-or-undecided invocations buffered
 //!                           in the search window (default 4096, 0 = unbounded)
@@ -34,20 +38,36 @@
 //!
 //! ## Wire format
 //!
-//! One event per line, exactly the `cal_core::text` history format:
-//! `t<N> inv <object>.<method> <value>` / `t<N> res <object>.<method>
-//! <value>`. Blank lines and `#` comments are ignored. Two control lines
-//! ride along: `bye` ends the stream (TCP: closes the session cleanly)
-//! and `abandon t<N>` declares thread N's client dead, sealing its
-//! pending operation via the specification's timeout-admission
-//! completions at the next retirement boundary.
+//! One event per line in any [`cal::core::format`] format — the native
+//! `cal_core::text` history format (`t<N> inv <object>.<method> <value>`
+//! / `t<N> res <object>.<method> <value>`), Jepsen-style EDN/JSON records
+//! (`{:process 0, :type :invoke, :f :write, :value 1, :key 0}`), or
+//! timestamped kvlog lines (`<start> <end|-|?> <client> put|get <key>
+//! [<value>]`). `--format` pins the format; the default sniffs the first
+//! contentful line and latches. Decoding is incremental
+//! ([`cal::core::format::StreamDecoder`]): a Jepsen `:fail`/`:info`
+//! record and a kvlog line with no end timestamp abandon the thread's
+//! pending operation, which the checker then explains through the
+//! specification's timeout-admission completions. Malformed lines are
+//! quarantined against `--error-budget` with line-anchored diagnostics,
+//! whatever the format.
+//!
+//! Blank lines and `#` comments are ignored. Two control lines ride
+//! along: `bye` ends the stream (TCP: closes the session cleanly) and
+//! `abandon t<N>` declares thread N's client dead, sealing its pending
+//! operation via the specification's timeout-admission completions at
+//! the next retirement boundary.
 //!
 //! ## Backpressure and degradation
 //!
 //! When the window cap is hit and retirement cannot free space, TCP
 //! clients running with `--ack` are NAKed (`nak saturated`) and expected
-//! to retry — the event is not admitted, reads continue. Without an ack
-//! channel (stdin, or TCP without `--ack`) the daemon forces a
+//! to retry — the event is not admitted, reads continue. NAK-and-retry
+//! requires the retried line to decode cleanly a second time, so it is
+//! only offered on the stateless native format; Jepsen and kvlog lines
+//! (whose decode has already recorded the line's effect) resolve
+//! saturation server-side instead. Without an ack channel (stdin, or TCP
+//! without `--ack`), and on those stateful formats, the daemon forces a
 //! checkpoint, retries once, and then degrades explicitly: the verdict
 //! latches `undecided: window exceeded`, admitted events are kept, and
 //! the rest of the stream is drained without admission — bounded memory,
@@ -82,13 +102,14 @@ use cal::cli::{
     EXIT_REJECTED, EXIT_UNDECIDED, EXIT_USAGE,
 };
 use cal::core::check::CheckOptions;
+use cal::core::format::{Format, StreamDecoder, WireItem};
 use cal::core::spec::{CaSpec, SeqAsCa};
 use cal::core::stream::{Push, StreamChecker, StreamOptions, StreamVerdict, UndecidedWhy};
-use cal::core::text::parse_action_line;
 use cal::core::{ObjectId, ThreadId};
 use cal::specs::dual_stack::DualStackSpec;
 use cal::specs::elim_array::ElimArraySpec;
 use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::kv::KvMapSpec;
 use cal::specs::register::{CounterSpec, RegisterSpec};
 use cal::specs::stack::StackSpec;
 use cal::specs::sync_queue::SyncQueueSpec;
@@ -105,15 +126,17 @@ macro_rules! errln {
 
 fn usage() -> io::Result<ExitCode> {
     errln!(
-        "usage: cal-serve <SPEC> [--object <N>] [--window <N>] [--checkpoint-every <N>]\n\
-         \x20                [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]\n\
-         \x20                [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]\n\
+        "usage: cal-serve <SPEC> [--format auto|native|jepsen|kvlog] [--object <N>]\n\
+         \x20                [--window <N>] [--checkpoint-every <N>] [--max-states <N>]\n\
+         \x20                [--max-nodes <N>] [--deadline-ms <N>] [--error-budget <N>]\n\
+         \x20                [--listen <ADDR:PORT>] [--ack]\n\
          \x20                [--stats-json <PATH|->] [--stats-every <N>] [--quiet]\n\
          \n\
          SPEC: exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack |\n\
-         \x20     register | counter\n\
+         \x20     register | counter | kv\n\
          \n\
-         events on stdin (or per TCP client): the cal text format, one action per line;\n\
+         events on stdin (or per TCP client): one event per line in the native,\n\
+         jepsen, or kvlog format (--format auto sniffs the first line and latches);\n\
          control lines: 'bye' (end of stream), 'abandon t<N>' (client death)\n\
          \n\
          exit status: 0 consistent, 1 violation, 2 undecided, 3 input/checker error, 4 usage"
@@ -123,6 +146,8 @@ fn usage() -> io::Result<ExitCode> {
 
 /// Parsed command line.
 struct Cfg {
+    /// Pinned wire format; `None` sniffs the first contentful line.
+    format: Option<Format>,
     object: ObjectId,
     window: usize,
     checkpoint_every: usize,
@@ -152,6 +177,7 @@ fn try_main() -> io::Result<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_name: Option<String> = None;
     let mut cfg = Cfg {
+        format: None,
         object: ObjectId(0),
         window: 4096,
         checkpoint_every: 128,
@@ -168,6 +194,17 @@ fn try_main() -> io::Result<ExitCode> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "auto" => cfg.format = None,
+                Some(f) => match f.parse::<Format>() {
+                    Ok(fmt) => cfg.format = Some(fmt),
+                    Err(e) => {
+                        errln!("cal-serve: {e}")?;
+                        return usage();
+                    }
+                },
+                None => return usage(),
+            },
             "--object" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
                 Some(n) => cfg.object = ObjectId(n),
                 None => return usage(),
@@ -229,6 +266,7 @@ fn try_main() -> io::Result<ExitCode> {
         "failing-stack" => run(SeqAsCa::new(StackSpec::failing(o)), &cfg),
         "register" => run(SeqAsCa::new(RegisterSpec::new(o)), &cfg),
         "counter" => run(SeqAsCa::new(CounterSpec::new(o)), &cfg),
+        "kv" => run(SeqAsCa::new(KvMapSpec::new()), &cfg),
         other => {
             errln!("cal-serve: unknown spec {other:?}")?;
             usage()
@@ -252,9 +290,10 @@ where
         },
     };
     let checker = StreamChecker::new(spec, options);
+    let decoder = StreamDecoder::new(cfg.format);
     match &cfg.listen {
-        None => serve_stdin(checker, cfg),
-        Some(addr) => serve_tcp(checker, cfg, addr),
+        None => serve_stdin(checker, decoder, cfg),
+        Some(addr) => serve_tcp(checker, decoder, cfg, addr),
     }
 }
 
@@ -275,9 +314,24 @@ enum Reply {
     Bye,
 }
 
-/// Feeds one raw line to the checker. `line_no` is only for error
-/// messages.
-fn apply_line<S: CaSpec>(checker: &mut StreamChecker<S>, line_no: u64, raw: &str) -> Reply {
+/// Feeds one raw line to the checker: control lines first, then one
+/// decode (the decoder's state advances exactly once per line, whatever
+/// the format), then admission of each decoded item. `line_no` is only
+/// for error messages. `nak` says an ack channel exists for NAKing a
+/// saturated event back to the client; it only helps when retrying the
+/// line is sound — the native format, before the line has had any
+/// effect. Everywhere else saturation resolves in-line: force a
+/// checkpoint, retry the push once, then degrade explicitly. Threads
+/// seen invoking are appended to `invoked` (even when admission then
+/// fails) so TCP sessions can abandon them on disconnect.
+fn apply_line<S: CaSpec>(
+    checker: &mut StreamChecker<S>,
+    decoder: &mut StreamDecoder,
+    line_no: u64,
+    raw: &str,
+    nak: bool,
+    invoked: &mut Vec<ThreadId>,
+) -> Reply {
     let text = raw.trim();
     if text == "bye" {
         return Reply::Bye;
@@ -293,29 +347,57 @@ fn apply_line<S: CaSpec>(checker: &mut StreamChecker<S>, line_no: u64, raw: &str
             }
         }
     }
-    match parse_action_line(line_no as usize, raw) {
-        Ok(None) => Reply::Ignored,
-        Err(e) => Reply::Quarantined(e.to_string()),
-        Ok(Some(action)) => match checker.push(action) {
-            Push::Admitted => Reply::Admitted,
-            Push::Rejected(e) => Reply::Quarantined(e.to_string()),
-            Push::Saturated => Reply::Saturated,
-            Push::Refused => Reply::Refused,
-        },
+    let items = match decoder.decode_line(line_no as usize, raw) {
+        Ok(items) => items,
+        Err(e) => return Reply::Quarantined(e.to_string()),
+    };
+    if items.is_empty() {
+        return Reply::Ignored;
     }
-}
-
-/// Saturation policy when there is no ack channel to NAK over: force a
-/// checkpoint, retry once, then degrade explicitly.
-fn admit_or_degrade<S: CaSpec>(checker: &mut StreamChecker<S>, line_no: u64, raw: &str) -> Reply {
-    checker.checkpoint();
-    match apply_line(checker, line_no, raw) {
-        Reply::Saturated => {
-            checker.degrade();
-            Reply::Refused
+    // NAK-and-retry re-decodes the resent line, which is only sound when
+    // decoding is stateless (native) and this line has not yet touched
+    // the checker — a jepsen or kvlog line has already advanced the
+    // decoder and would not decode the same way twice.
+    let can_nak = nak && decoder.format() == Some(Format::Native);
+    let mut effect = false;
+    for item in items {
+        match item {
+            WireItem::Abandon(t) => {
+                checker.abandon_thread(t);
+                effect = true;
+            }
+            WireItem::Action(action) => {
+                if action.is_invoke() {
+                    invoked.push(action.thread());
+                }
+                match checker.push(action) {
+                    Push::Admitted => effect = true,
+                    Push::Rejected(e) => {
+                        return Reply::Quarantined(format!("line {line_no}: {e}"))
+                    }
+                    Push::Refused => return Reply::Refused,
+                    Push::Saturated => {
+                        if can_nak && !effect {
+                            return Reply::Saturated;
+                        }
+                        checker.checkpoint();
+                        match checker.push(action) {
+                            Push::Admitted => effect = true,
+                            Push::Rejected(e) => {
+                                return Reply::Quarantined(format!("line {line_no}: {e}"))
+                            }
+                            Push::Refused => return Reply::Refused,
+                            Push::Saturated => {
+                                checker.degrade();
+                                return Reply::Refused;
+                            }
+                        }
+                    }
+                }
+            }
         }
-        other => other,
     }
+    Reply::Admitted
 }
 
 /// Emits the report to the `--stats-json` target: `-` appends a line to
@@ -352,7 +434,11 @@ fn exit_for(verdict: &StreamVerdict, budget_exceeded: bool) -> ExitCode {
 /// The single-session mode: events arrive on stdin; backpressure means
 /// pausing reads (the pipe fills) and, if that cannot help, explicit
 /// degradation.
-fn serve_stdin<S: CaSpec>(mut checker: StreamChecker<S>, cfg: &Cfg) -> io::Result<ExitCode> {
+fn serve_stdin<S: CaSpec>(
+    mut checker: StreamChecker<S>,
+    mut decoder: StreamDecoder,
+    cfg: &Cfg,
+) -> io::Result<ExitCode> {
     let start = Instant::now();
     // A reader thread forwards lines over a channel so the main loop can
     // poll the shutdown flag: std's blocking read retries EINTR, so a
@@ -387,10 +473,8 @@ fn serve_stdin<S: CaSpec>(mut checker: StreamChecker<S>, cfg: &Cfg) -> io::Resul
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
         };
         lines += 1;
-        let mut reply = apply_line(&mut checker, lines, &line);
-        if matches!(reply, Reply::Saturated) {
-            reply = admit_or_degrade(&mut checker, lines, &line);
-        }
+        let mut invoked = Vec::new();
+        let reply = apply_line(&mut checker, &mut decoder, lines, &line, false, &mut invoked);
         match &reply {
             Reply::Bye => {
                 ack(cfg, &mut io::stdout(), "ok")?;
@@ -413,7 +497,9 @@ fn serve_stdin<S: CaSpec>(mut checker: StreamChecker<S>, cfg: &Cfg) -> io::Resul
                     break;
                 }
             }
-            Reply::Saturated => unreachable!("admit_or_degrade resolves saturation"),
+            Reply::Saturated => {
+                unreachable!("without an ack channel, saturation resolves in-line")
+            }
             Reply::Refused => {
                 ack(cfg, &mut io::stdout(), &format!("refused {}", checker.verdict()))?;
                 // A refused stream can only end one way; drain nothing.
@@ -457,6 +543,10 @@ fn ack(cfg: &Cfg, sink: &mut impl Write, text: &str) -> io::Result<()> {
 /// State shared between the TCP accept loop and the per-client threads.
 struct Shared<S: CaSpec> {
     checker: Mutex<StreamChecker<S>>,
+    /// One wire decoder for the whole stream, shared by every session.
+    /// Locked together with (and after) `checker` so a line's decode and
+    /// admission are atomic with respect to other clients.
+    decoder: Mutex<StreamDecoder>,
     /// Which session an event thread last invoked from, for disconnect
     /// handling.
     owners: Mutex<HashMap<ThreadId, u64>>,
@@ -474,7 +564,12 @@ struct Shared<S: CaSpec> {
 /// The multi-client mode: every connection is a session whose pending
 /// operations are abandoned if it disconnects; saturation NAKs the
 /// offending client (with `--ack`) instead of degrading the stream.
-fn serve_tcp<S>(checker: StreamChecker<S>, cfg: &Cfg, addr: &str) -> io::Result<ExitCode>
+fn serve_tcp<S>(
+    checker: StreamChecker<S>,
+    decoder: StreamDecoder,
+    cfg: &Cfg,
+    addr: &str,
+) -> io::Result<ExitCode>
 where
     S: CaSpec + Send + 'static,
     S::State: Send,
@@ -487,6 +582,7 @@ where
     io::stdout().flush()?;
     let shared = Arc::new(Shared {
         checker: Mutex::new(checker),
+        decoder: Mutex::new(decoder),
         owners: Mutex::new(HashMap::new()),
         conns: Mutex::new(Vec::new()),
         lines: Mutex::new(0),
@@ -574,24 +670,24 @@ fn client<S: CaSpec>(shared: Arc<Shared<S>>, cfg: CfgLite, stream: TcpStream, se
             Err(_) => break,
             Ok(_) => {}
         }
-        // Remember which threads this session drives *before* admission,
-        // so even a still-pending first invocation is abandoned on
-        // disconnect.
-        if let Ok(Some(action)) = parse_action_line(1, &line) {
-            if action.is_invoke() {
-                threads.insert(action.thread());
-                shared.owners.lock().insert(action.thread(), session);
-            }
-        }
         let line_no = {
             let mut lines = shared.lines.lock();
             *lines += 1;
             *lines
         };
+        let mut invoked = Vec::new();
         let reply = {
             let mut checker = shared.checker.lock();
-            apply_line(&mut checker, line_no, &line)
+            let mut decoder = shared.decoder.lock();
+            apply_line(&mut checker, &mut decoder, line_no, &line, cfg.ack, &mut invoked)
         };
+        // Remember which threads this session drives, admitted or not, so
+        // even a still-pending (or NAKed) first invocation is abandoned
+        // on disconnect.
+        for t in invoked {
+            threads.insert(t);
+            shared.owners.lock().insert(t, session);
+        }
         let closed = match &reply {
             Reply::Bye => {
                 let _ = ack_to(&cfg, &mut writer, "ok");
@@ -624,16 +720,13 @@ fn client<S: CaSpec>(shared: Arc<Shared<S>>, cfg: CfgLite, stream: TcpStream, se
                     false
                 }
             }
-            // With an ack channel, saturation is the client's problem:
-            // NAK and let it retry. Without one, degrade like stdin mode.
-            Reply::Saturated if cfg.ack => {
+            // Saturation only surfaces here when an ack channel exists
+            // and the retry is sound (native format, no effect yet): NAK
+            // and let the client retry. Every other case resolved inside
+            // apply_line.
+            Reply::Saturated => {
                 let _ = ack_to(&cfg, &mut writer, "nak saturated");
                 false
-            }
-            Reply::Saturated => {
-                let mut checker = shared.checker.lock();
-                let reply = admit_or_degrade(&mut checker, line_no, &line);
-                matches!(reply, Reply::Refused)
             }
             Reply::Refused => true,
         };

@@ -1,0 +1,185 @@
+//! End-to-end CLI coverage for foreign-format checking: the `cal-check`
+//! binary over `--format`, auto-detection, batch diagnostics and usage
+//! errors, and the `cal-serve` daemon quarantining malformed foreign
+//! lines against its error budget. Exit codes follow the audited
+//! contract: 0 accepted, 1 rejected, 2 undecided, 3 input error,
+//! 4 usage.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/foreign").join(name)
+}
+
+fn run_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cal-check"))
+        .args(args)
+        .output()
+        .expect("cal-check runs")
+}
+
+fn run_with_stdin(exe: &str, args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.take().unwrap().write_all(input.as_bytes()).expect("stdin accepts input");
+    child.wait_with_output().expect("binary exits")
+}
+
+/// The headline acceptance criterion: an etcd-style jepsen trace is
+/// accepted by the CAL checker when the format is given explicitly.
+#[test]
+fn explicit_jepsen_format_accepts_the_etcd_trace() {
+    let out = run_check(&[
+        "--format",
+        "jepsen",
+        "--mode",
+        "cal",
+        "kv",
+        corpus("etcd_register_ok.jepsen").to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Without `--format`, sniffing must land on jepsen and reach the same
+/// verdict.
+#[test]
+fn auto_detection_accepts_the_etcd_trace() {
+    let out = run_check(&[
+        "--mode",
+        "cal",
+        "kv",
+        corpus("etcd_register_ok.jepsen").to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violating_kvlog_trace_is_rejected() {
+    let out = run_check(&["kv", corpus("sequential_stale_get.kvlog").to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Malformed jepsen on stdin: exit 3 with a line-anchored diagnostic.
+#[test]
+fn malformed_jepsen_stdin_exits_3_with_line_anchor() {
+    let garbage = "{:process 0, :type :invoke, :f :write, :value 1}\n{:process 0, :type :ok, :f :wri\n";
+    let out = run_with_stdin(
+        env!("CARGO_BIN_EXE_cal-check"),
+        &["--format", "jepsen", "kv", "-"],
+        garbage,
+    );
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line "), "diagnostic must name the line: {stderr}");
+}
+
+#[test]
+fn unknown_format_value_is_a_usage_error() {
+    let out = run_check(&["--format", "xml", "kv", "-"]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Batch mode over the foreign corpus: the malformed fixtures force exit
+/// 3, and the fold repeats the first line-anchored diagnostic.
+#[test]
+fn batch_over_foreign_corpus_reports_line_anchored_first_error() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/foreign");
+    let out = run_check(&["kv", "--batch", dir.to_str().unwrap(), "--threads", "4"]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("batch: first error:"), "missing first-error fold: {stdout}");
+    let diag = stdout.lines().find(|l| l.starts_with("batch: first error:")).unwrap();
+    assert!(diag.contains("line "), "first error must be line-anchored: {diag}");
+}
+
+/// cal-serve quarantines malformed foreign lines and refuses the stream
+/// once the error budget is exhausted.
+#[test]
+fn serve_exhausts_error_budget_on_garbage_jepsen() {
+    let input = "{:process 0, :type :invoke, :f :write, :value 1, :key 0}\n\
+                 {:process 0, :type :oops, :f :write, :value 1, :key 0}\n\
+                 {:process 1, :type :ok, :f :write}\n\
+                 bye\n";
+    let out = run_with_stdin(
+        env!("CARGO_BIN_EXE_cal-serve"),
+        &["kv", "--error-budget", "1", "--quiet"],
+        input,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A consistent jepsen stream over stdin is accepted end to end.
+#[test]
+fn serve_accepts_a_consistent_jepsen_stream() {
+    let input = "{:process 0, :type :invoke, :f :write, :value 7, :key 0}\n\
+                 {:process 0, :type :ok, :f :write, :value 7, :key 0}\n\
+                 {:process 1, :type :invoke, :f :read, :value nil, :key 0}\n\
+                 {:process 1, :type :ok, :f :read, :value 7, :key 0}\n\
+                 bye\n";
+    let out = run_with_stdin(env!("CARGO_BIN_EXE_cal-serve"), &["kv"], input);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A consistent kvlog stream over stdin is accepted end to end with the
+/// format pinned explicitly.
+#[test]
+fn serve_accepts_a_consistent_kvlog_stream() {
+    let input = "0 1 c0 put x 7\n2 3 c1 get x 7\nbye\n";
+    let out = run_with_stdin(
+        env!("CARGO_BIN_EXE_cal-serve"),
+        &["kv", "--format", "kvlog"],
+        input,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,20 +1,31 @@
-//! Golden verdict corpus: every fixture under `tests/corpus/` carries a
-//! `# spec:` and `# expect:` header; this test parses each history, runs
-//! the sequential checker and the parallel checker at 1, 2 and 8
-//! threads, and asserts the verdict matches the recorded expectation
-//! (validating the witness whenever the verdict is CAL).
+//! Golden verdict corpus: every fixture under `tests/corpus/` (walked
+//! recursively — native `.hist` histories next to foreign `.jepsen` and
+//! `.kvlog` traces) carries a `# spec:` and `# expect:` header. For each
+//! fixture this test parses the history in its format, runs the
+//! sequential checker and the parallel checker at 1, 2 and 8 threads,
+//! and asserts the verdict matches the recorded expectation (validating
+//! the witness whenever the verdict is CAL). Fixtures whose spec the
+//! `cal-check` binary knows are additionally run through the binary in
+//! every supported `--mode`, pinning the documented exit code.
+//!
+//! Expectations: `cal` (accepted, exit 0), `not-cal` (rejected, exit 1),
+//! `undecided` (budget exhausted under the fixture's `# max-nodes:`,
+//! exit 2) and `error` (the file must fail to parse with a line-anchored
+//! diagnostic, exit 3).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::Command;
 
 use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
+use cal::core::format::{parse_as, Format};
 use cal::core::par::check_cal_par_with;
 use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
-use cal::core::text::parse_history;
 use cal::core::{History, ObjectId};
 use cal::specs::dual_stack::DualStackSpec;
 use cal::specs::elim_array::ElimArraySpec;
 use cal::specs::exchanger::ExchangerSpec;
+use cal::specs::kv::KvMapSpec;
 use cal::specs::register::{CounterSpec, RegisterSpec};
 use cal::specs::stack::StackSpec;
 use cal::specs::sync_queue::SyncQueueSpec;
@@ -26,29 +37,61 @@ const O1: ObjectId = ObjectId(1);
 enum Expect {
     Cal,
     NotCal,
+    Undecided,
+    Error,
+}
+
+impl Expect {
+    fn exit_code(self) -> i32 {
+        match self {
+            Expect::Cal => 0,
+            Expect::NotCal => 1,
+            Expect::Undecided => 2,
+            Expect::Error => 3,
+        }
+    }
 }
 
 struct Fixture {
     name: String,
+    path: PathBuf,
     spec: String,
     expect: Expect,
-    history: History,
+    format: Format,
+    max_nodes: Option<u64>,
+    /// Parsed history; `None` for `expect: error` fixtures (whose whole
+    /// point is that parsing fails).
+    history: Option<History>,
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|x| x == "hist" || x == "jepsen" || x == "kvlog") {
+            out.push(path);
+        }
+    }
 }
 
 fn load_corpus() -> Vec<Fixture> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths = Vec::new();
+    walk(&dir, &mut paths);
+    paths.sort();
     let mut fixtures = Vec::new();
-    let mut entries: Vec<_> = fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|x| x == "hist"))
-        .collect();
-    entries.sort();
-    for path in entries {
+    for path in paths {
         let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let format = match path.extension().unwrap().to_str().unwrap() {
+            "hist" => Format::Native,
+            "jepsen" => Format::Jepsen,
+            "kvlog" => Format::KvLog,
+            other => panic!("{name}: unmapped extension {other:?}"),
+        };
         let text = fs::read_to_string(&path).unwrap();
-        let mut spec = None;
-        let mut expect = None;
+        let (mut spec, mut expect, mut max_nodes) = (None, None, None);
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# spec:") {
                 spec = Some(rest.trim().to_string());
@@ -56,16 +99,39 @@ fn load_corpus() -> Vec<Fixture> {
                 expect = Some(match rest.trim() {
                     "cal" => Expect::Cal,
                     "not-cal" => Expect::NotCal,
+                    "undecided" => Expect::Undecided,
+                    "error" => Expect::Error,
                     other => panic!("{name}: unknown expectation {other:?}"),
                 });
+            } else if let Some(rest) = line.strip_prefix("# max-nodes:") {
+                max_nodes = Some(rest.trim().parse().unwrap_or_else(|e| {
+                    panic!("{name}: bad max-nodes header: {e}")
+                }));
             }
         }
-        let history =
-            parse_history(&text).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let expect = expect.unwrap_or_else(|| panic!("{name}: missing `# expect:` header"));
+        let history = match parse_as(format, &text) {
+            Ok(h) => {
+                assert_ne!(
+                    expect,
+                    Expect::Error,
+                    "{name}: expected a parse error, but the file parsed"
+                );
+                Some(h)
+            }
+            Err(e) => {
+                assert_eq!(expect, Expect::Error, "{name}: parse error: {e}");
+                assert!(e.line > 0, "{name}: parse diagnostic must be line-anchored: {e}");
+                None
+            }
+        };
         fixtures.push(Fixture {
             spec: spec.unwrap_or_else(|| panic!("{name}: missing `# spec:` header")),
-            expect: expect.unwrap_or_else(|| panic!("{name}: missing `# expect:` header")),
+            expect,
+            format,
+            max_nodes,
             name,
+            path,
             history,
         });
     }
@@ -78,24 +144,29 @@ where
     S: CaSpec + Sync,
     S::State: Send + Sync,
 {
+    let Some(history) = &fx.history else { return };
     let check = |label: &str, verdict: &Verdict| match (fx.expect, verdict) {
         (Expect::Cal, Verdict::Cal(w)) => {
             assert!(
-                witness_explains(&fx.history, spec, w),
+                witness_explains(history, spec, w),
                 "{}: {label} produced an invalid witness {w}",
                 fx.name
             );
         }
         (Expect::NotCal, Verdict::NotCal) => {}
+        (Expect::Undecided, Verdict::ResourcesExhausted) => {}
         (want, got) => panic!("{}: {label} returned {got:?}, expected {want:?}", fx.name),
     };
-    let options = CheckOptions::default();
-    let seq = check_cal_with(&fx.history, spec, &options)
+    let mut options = CheckOptions::default();
+    if let Some(n) = fx.max_nodes {
+        options.max_nodes = n;
+    }
+    let seq = check_cal_with(history, spec, &options)
         .unwrap_or_else(|e| panic!("{}: sequential checker errored: {e}", fx.name));
     check("sequential", &seq.verdict);
     for threads in [1usize, 2, 8] {
-        let par_options = CheckOptions { threads, ..CheckOptions::default() };
-        let par = check_cal_par_with(&fx.history, spec, &par_options)
+        let par_options = CheckOptions { threads, ..options.clone() };
+        let par = check_cal_par_with(history, spec, &par_options)
             .unwrap_or_else(|e| panic!("{}: parallel checker errored: {e}", fx.name));
         check(&format!("parallel({threads})"), &par.verdict);
     }
@@ -110,11 +181,30 @@ fn dispatch(fx: &Fixture) {
         "stack" => run_fixture(fx, &SeqAsCa::new(StackSpec::total(O))),
         "register" => run_fixture(fx, &SeqAsCa::new(RegisterSpec::new(O))),
         "counter" => run_fixture(fx, &SeqAsCa::new(CounterSpec::new(O))),
+        "kv" => run_fixture(fx, &SeqAsCa::new(KvMapSpec::new())),
         "two-exchangers" => run_fixture(
             fx,
             &PerObject::new(vec![(O, ExchangerSpec::new(O)), (O1, ExchangerSpec::new(O1))]),
         ),
         other => panic!("{}: no spec named {other:?}", fx.name),
+    }
+}
+
+/// The `--mode`s the `cal-check` binary supports for each spec name;
+/// empty for specs only the in-process harness knows.
+fn binary_modes(spec: &str) -> &'static [&'static str] {
+    match spec {
+        "exchanger" | "elim-array" | "sync-queue" | "dual-stack" => &["cal"],
+        "stack" | "register" | "counter" | "kv" => &["cal", "seq", "interval"],
+        _ => &[],
+    }
+}
+
+fn format_flag(format: Format) -> &'static str {
+    match format {
+        Format::Native => "native",
+        Format::Jepsen => "jepsen",
+        Format::KvLog => "kvlog",
     }
 }
 
@@ -131,6 +221,43 @@ fn corpus_verdicts_match_golden_expectations() {
     }
 }
 
+/// Every fixture with a binary-known spec lands on its documented exit
+/// code through `cal-check`, in every mode that spec supports, with the
+/// format given explicitly.
+#[test]
+fn corpus_exit_codes_match_through_the_binary() {
+    let exe = env!("CARGO_BIN_EXE_cal-check");
+    for fx in &load_corpus() {
+        for mode in binary_modes(&fx.spec) {
+            let mut cmd = Command::new(exe);
+            cmd.args(["--mode", mode, "--format", format_flag(fx.format)]);
+            if let Some(n) = fx.max_nodes {
+                cmd.args(["--max-nodes", &n.to_string()]);
+            }
+            let out = cmd
+                .arg(&fx.spec)
+                .arg(&fx.path)
+                .output()
+                .unwrap_or_else(|e| panic!("{}: cannot run cal-check: {e}", fx.name));
+            assert_eq!(
+                out.status.code(),
+                Some(fx.expect.exit_code()),
+                "{} --mode {mode}: stderr: {}",
+                fx.name,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            if fx.expect == Expect::Error {
+                let stderr = String::from_utf8_lossy(&out.stderr);
+                assert!(
+                    stderr.contains("line "),
+                    "{} --mode {mode}: error diagnostics must name the line: {stderr}",
+                    fx.name
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn corpus_covers_both_verdict_classes_per_spec_family() {
     // Guard against a corpus that only exercises one side of a spec:
@@ -139,4 +266,27 @@ fn corpus_covers_both_verdict_classes_per_spec_family() {
     let cal = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::Cal);
     let not = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::NotCal);
     assert!(cal && not, "exchanger fixtures must cover both verdicts");
+}
+
+/// The foreign corpus keeps its guaranteed coverage: at least a dozen
+/// verdict fixtures across both foreign formats, both verdict classes,
+/// plus malformed and budget-bounded entries.
+#[test]
+fn foreign_corpus_covers_formats_verdicts_and_failure_classes() {
+    let fixtures = load_corpus();
+    let foreign: Vec<_> = fixtures
+        .iter()
+        .filter(|f| f.path.parent().unwrap().file_name().unwrap() == "foreign")
+        .collect();
+    let verdicts = foreign
+        .iter()
+        .filter(|f| matches!(f.expect, Expect::Cal | Expect::NotCal | Expect::Undecided))
+        .count();
+    assert!(verdicts >= 12, "foreign corpus needs at least 12 verdict fixtures, has {verdicts}");
+    assert!(foreign.iter().any(|f| f.format == Format::Jepsen), "no jepsen fixture");
+    assert!(foreign.iter().any(|f| f.format == Format::KvLog), "no kvlog fixture");
+    assert!(foreign.iter().any(|f| f.expect == Expect::Cal), "no accepted foreign trace");
+    assert!(foreign.iter().any(|f| f.expect == Expect::NotCal), "no rejected foreign trace");
+    assert!(foreign.iter().any(|f| f.expect == Expect::Undecided), "no undecided foreign trace");
+    assert!(foreign.iter().any(|f| f.expect == Expect::Error), "no malformed foreign trace");
 }
