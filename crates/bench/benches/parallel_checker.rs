@@ -419,6 +419,10 @@ fn main() {
 
     let mut json = String::from("{\n  \"benchmark\": \"parallel_checker\",\n");
     json.push_str(&format!("  \"threads\": {THREADS},\n  \"host_cores\": {cores},\n"));
+    // A host with fewer cores than configured threads can only
+    // time-slice: wall-clock speedups below are then lower bounds, not
+    // measurements of parallel scaling.
+    json.push_str(&format!("  \"degraded\": {},\n", cores < THREADS));
     json.push_str("  \"series\": [\n");
     for (i, s) in series.iter().enumerate() {
         json.push_str(&format!(

@@ -172,9 +172,8 @@ impl RunConfig {
             max_nodes: self.max_nodes,
             memoize: true,
             deadline: self.deadline,
-            cancel: None,
             threads: self.check_threads,
-            sink: None,
+            ..CheckOptions::default()
         }
     }
 }

@@ -28,6 +28,7 @@ use crate::history::{History, HistoryError, Span};
 use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
+use crate::symmetry::SymClasses;
 use crate::trace::{CaElement, CaTrace};
 
 pub use crate::engine::{
@@ -214,6 +215,8 @@ pub(crate) struct CalDomain<'a, S: CaSpec> {
     spans: Vec<Span>,
     /// preds[i] = span indices that real-time-precede span i.
     preds: Vec<Vec<usize>>,
+    /// Interchangeability classes for symmetry-reduced memo keys.
+    sym: SymClasses,
 }
 
 impl<'a, S: CaSpec> CalDomain<'a, S> {
@@ -224,7 +227,8 @@ impl<'a, S: CaSpec> CalDomain<'a, S> {
     ) -> Result<Self, HistoryError> {
         let spans = history.try_spans()?;
         let preds = preds_of(&spans);
-        Ok(CalDomain { spec, history, spans, preds })
+        let sym = SymClasses::of(&spans);
+        Ok(CalDomain { spec, history, spans, preds, sym })
     }
 
     /// Grows `subset` over `minimal[from..]` and collects every non-empty
@@ -387,7 +391,8 @@ impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
         &self,
         node: &Self::Node,
         obs: &mut ExpandObs<'_, '_>,
-    ) -> Vec<(Self::Step, Self::Node)> {
+        out: &mut Vec<(Self::Step, Self::Node)>,
+    ) {
         let (matched, state) = node;
         // Minimal operations: unmatched, with every ≺H-predecessor matched.
         let minimal: Vec<usize> = (0..self.spans.len())
@@ -397,10 +402,15 @@ impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
             .collect();
         obs.on_frontier(minimal.len());
         let max_size = self.spec.get().max_element_size().max(1);
-        let mut out = Vec::new();
         let mut subset: Vec<usize> = Vec::with_capacity(max_size);
-        self.grow(&minimal, 0, max_size, &mut subset, matched, state, obs, &mut out);
-        out
+        self.grow(&minimal, 0, max_size, &mut subset, matched, state, obs, out);
+    }
+
+    fn canonical_key(&self, node: &Self::Node) -> Option<Self::Node> {
+        if self.sym.is_trivial() {
+            return None;
+        }
+        self.sym.canonical_bits(&node.0).map(|bits| (bits, node.1.clone()))
     }
 
     fn decompose(&self) -> Option<Vec<(ObjectId, Self)>> {

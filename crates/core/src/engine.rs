@@ -15,11 +15,19 @@
 //! - deadline / cancellation polling at one tick cadence
 //!   ([`CheckOptions::deadline`], [`CancelToken`]);
 //! - failed-state memoization, thread-private (`MemoTable`) or shared
-//!   and mutex-striped ([`ShardedMemo`]);
+//!   and lock-free ([`crate::fpmemo::FpMemo`]), optionally canonicalized
+//!   under operation symmetry ([`crate::symmetry`],
+//!   [`CheckOptions::symmetry`]);
 //! - [`crate::obs::StatsSink`] event emission;
 //! - the [`Verdict`] / [`InterruptReason`] outcome taxonomy;
-//! - the parallel driver: per-object decomposition and root-frontier
-//!   splitting ([`search_par`]).
+//! - the parallel driver: per-object decomposition and work-stealing
+//!   root-frontier splitting ([`search_par`], [`CheckOptions::stealing`]).
+//!
+//! The search itself is an *iterative* DFS over an arena of successor
+//! entries: one `Vec` per worker holds every `(step, node)` on the
+//! current path's frontiers, frames address it by index, and the witness
+//! is reconstructed from frame indices only on success — no per-node
+//! boxing, no per-descent step clones, and backtracking is a truncate.
 //!
 //! A checker plugs in by implementing [`SearchDomain`]: it names its
 //! search-node type (which doubles as the memo key — memo keys stay
@@ -39,8 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 
+use crate::fpmemo::FpMemo;
 use crate::history::HistoryError;
 use crate::ids::ObjectId;
 use crate::obs::StatsSink;
@@ -110,6 +120,22 @@ pub struct CheckOptions {
     /// [`crate::par::check_cal_par_with`] and the other `_par` entry
     /// points). The sequential entry points ignore it. Defaults to 1.
     pub threads: usize,
+    /// Work-stealing for the parallel frontier search: workers donate
+    /// untried subtrees from their shallowest frame to idle thieves, so
+    /// a skewed root frontier no longer leaves workers dying with their
+    /// branch. On by default; off reverts to static root-branch claiming
+    /// (the ablation benchmark measures the difference). The sequential
+    /// entry points ignore it.
+    pub stealing: bool,
+    /// Symmetry reduction ([`crate::symmetry`]): memo keys are
+    /// canonicalized under permutation of interchangeable operations
+    /// (same object/method/argument/return, identical real-time
+    /// constraints), collapsing the `C(n, k)` ways of matching `k` of
+    /// `n` clones onto one memo entry. On by default. Sound for
+    /// specifications that consume thread ids only through equality
+    /// tests *within* a candidate element (all in-tree specs); a spec
+    /// that discriminates on absolute thread ids must turn this off.
+    pub symmetry: bool,
     /// Observability sink the search reports events to
     /// ([`crate::obs::StatsSink`]). `None` (the default) disables
     /// observability entirely: each instrumentation point reduces to one
@@ -125,6 +151,8 @@ impl fmt::Debug for CheckOptions {
             .field("deadline", &self.deadline)
             .field("cancel", &self.cancel)
             .field("threads", &self.threads)
+            .field("stealing", &self.stealing)
+            .field("symmetry", &self.symmetry)
             .field("sink", &self.sink.as_ref().map(|_| "StatsSink"))
             .finish()
     }
@@ -155,6 +183,8 @@ impl Default for CheckOptions {
             deadline: None,
             cancel: None,
             threads: 1,
+            stealing: true,
+            symmetry: true,
             sink: None,
         }
     }
@@ -267,6 +297,9 @@ pub struct CheckStats {
     pub elements_tried: u64,
     /// Failed states pruned via the memo table.
     pub memo_hits: u64,
+    /// Subtrees stolen from another worker's deque (always 0 on the
+    /// sequential path and with [`CheckOptions::stealing`] off).
+    pub steals: u64,
 }
 
 impl std::ops::AddAssign for CheckStats {
@@ -274,6 +307,7 @@ impl std::ops::AddAssign for CheckStats {
         self.nodes += other.nodes;
         self.elements_tried += other.elements_tried;
         self.memo_hits += other.memo_hits;
+        self.steals += other.steals;
     }
 }
 
@@ -354,7 +388,12 @@ const POLL_INTERVAL_MASK: u64 = 255;
 /// Keys are domain search nodes; a key is inserted once the subtree below
 /// it has been exhaustively refuted, after which every worker prunes on
 /// it. Striping keeps the common case (distinct shards) contention-free
-/// without pulling in a lock-free map; see DESIGN.md for the rationale.
+/// without pulling in a lock-free map.
+///
+/// The parallel driver's hot path now uses the lock-free
+/// [`crate::fpmemo::FpMemo`] instead; this table remains as the simple,
+/// unbounded alternative (exact membership, no eviction) for callers
+/// that build their own drivers on the engine.
 pub struct ShardedMemo<K> {
     shards: Box<[Mutex<HashSet<K>>]>,
     mask: usize,
@@ -416,22 +455,24 @@ impl<K> fmt::Debug for ShardedMemo<K> {
 }
 
 /// The failed-state table behind a search: thread-private for the
-/// sequential driver, a reference to a shared sharded table for the
-/// parallel one (so cross-worker pruning compounds).
-pub(crate) enum MemoTable<'m, K: Eq + Hash> {
+/// sequential driver, a reference to a shared lock-free fingerprint
+/// table ([`FpMemo`]) for the parallel one (so cross-worker pruning
+/// compounds without lock contention).
+pub(crate) enum MemoTable<'m, K: Eq + Hash + Clone> {
     /// A plain private hash set.
     Local(HashSet<K>),
-    /// A shared mutex-striped table owned by the parallel driver.
-    Shared(&'m ShardedMemo<K>),
+    /// A shared lock-free fingerprint table owned by the parallel driver.
+    Shared(&'m FpMemo<K>),
 }
 
-impl<K: Eq + Hash> MemoTable<'_, K> {
-    /// The shard `key` lives in, for per-shard memo attribution: always 0
-    /// for the private table, the stripe index for the shared one.
+impl<K: Eq + Hash + Clone> MemoTable<'_, K> {
+    /// The shard bucket `key` lives in, for per-shard memo attribution:
+    /// always 0 for the private table, the fingerprint bucket for the
+    /// shared one.
     fn shard_of(&self, key: &K) -> usize {
         match self {
             MemoTable::Local(_) => 0,
-            MemoTable::Shared(memo) => memo.shard_index(key),
+            MemoTable::Shared(memo) => memo.bucket_of(key),
         }
     }
 
@@ -448,7 +489,7 @@ impl<K: Eq + Hash> MemoTable<'_, K> {
                 set.insert(key);
             }
             MemoTable::Shared(memo) => {
-                memo.insert(key);
+                memo.insert(&key);
             }
         }
     }
@@ -487,13 +528,36 @@ pub trait SearchDomain {
     fn is_goal(&self, node: &Self::Node) -> bool;
 
     /// Enumerates the successor steps of `node`, in the order the search
-    /// should try them. Domains call specification code *unguarded* here
-    /// — the engine wraps the whole call in `catch_unwind` and converts a
-    /// panic into [`CheckError::SpecPanicked`]. Long enumeration loops
-    /// should poll [`ExpandObs::should_stop`] and return early (with a
-    /// partial successor list) when it fires, and report candidate
-    /// transition attempts via [`ExpandObs::on_element_tried`].
-    fn expand(&self, node: &Self::Node, obs: &mut ExpandObs<'_, '_>) -> Vec<(Self::Step, Self::Node)>;
+    /// should try them, pushing each onto `out` (the engine's per-worker
+    /// successor arena — domains append and never otherwise touch it, so
+    /// one growing buffer serves the whole search with no per-expansion
+    /// allocation). Domains call specification code *unguarded* here —
+    /// the engine wraps the whole call in `catch_unwind`, converts a
+    /// panic into [`CheckError::SpecPanicked`] and discards whatever the
+    /// interrupted call pushed. Long enumeration loops should poll
+    /// [`ExpandObs::should_stop`] and return early (with a partial
+    /// successor list) when it fires, and report candidate transition
+    /// attempts via [`ExpandObs::on_element_tried`].
+    fn expand(
+        &self,
+        node: &Self::Node,
+        obs: &mut ExpandObs<'_, '_>,
+        out: &mut Vec<(Self::Step, Self::Node)>,
+    );
+
+    /// The symmetry-canonical memo key for `node`, or `None` when the
+    /// node is its own canonical form (the common case, kept
+    /// allocation-free). Only consulted when [`CheckOptions::symmetry`]
+    /// is on. The default — no domain symmetry — never canonicalizes.
+    ///
+    /// Implementations must guarantee that two nodes with the same
+    /// canonical key have equi-satisfiable residual search problems; see
+    /// [`crate::symmetry`] for the soundness argument the CAL and
+    /// linearizability domains rely on.
+    fn canonical_key(&self, node: &Self::Node) -> Option<Self::Node> {
+        let _ = node;
+        None
+    }
 
     /// Splits the problem into independent per-object subdomains, when
     /// the domain supports locality-based decomposition. `None` (the
@@ -665,73 +729,142 @@ impl fmt::Debug for ExpandObs<'_, '_> {
 struct Cx<'a, D: SearchDomain> {
     ctl: Ctl<'a>,
     failed: MemoTable<'a, D::Node>,
-    witness: Vec<D::Step>,
 }
 
 /// [`SearchDomain::expand`] behind `catch_unwind`: a panicking spec
-/// latches `panicked` and reads as a dead end.
+/// latches `panicked` and reads as a dead end. Successors are pushed
+/// onto `out`; a panic truncates `out` back to its pre-call length so
+/// the arena never carries half-built entries.
 fn expand_guarded<D: SearchDomain>(
     domain: &D,
     cx: &mut Cx<'_, D>,
     node: &D::Node,
-) -> Option<Vec<(D::Step, D::Node)>> {
+    out: &mut Vec<(D::Step, D::Node)>,
+) -> bool {
+    let len = out.len();
     let mut obs = ExpandObs { ctl: &mut cx.ctl };
-    match catch_unwind(AssertUnwindSafe(|| domain.expand(node, &mut obs))) {
-        Ok(succs) => Some(succs),
+    match catch_unwind(AssertUnwindSafe(|| domain.expand(node, &mut obs, out))) {
+        Ok(()) => true,
         Err(payload) => {
+            out.truncate(len);
             cx.ctl.panicked = Some(panic_message(payload));
-            None
+            false
         }
     }
 }
 
-/// The one backtracking search every checker shares.
-fn dfs<D: SearchDomain>(domain: &D, cx: &mut Cx<'_, D>, node: &D::Node) -> bool {
-    if domain.is_goal(node) {
-        return true;
-    }
-    if cx.ctl.should_stop() {
-        return false;
-    }
-    if !cx.ctl.charge_node() {
-        return false;
-    }
-    if cx.ctl.options.memoize {
-        if cx.failed.contains(node) {
-            cx.ctl.stats.memo_hits += 1;
-            if let Some(sink) = cx.ctl.sink {
-                sink.on_memo_hit(cx.failed.shard_of(node));
+/// Probes the memo table for `node` (under the symmetry-canonical key
+/// when enabled), counting the hit or miss. `true` means the node is a
+/// known refuted state and the search must prune.
+fn probe_memo<D: SearchDomain>(domain: &D, cx: &mut Cx<'_, D>, node: &D::Node) -> bool {
+    let canon;
+    let key: &D::Node = if cx.ctl.options.symmetry {
+        match domain.canonical_key(node) {
+            Some(c) => {
+                canon = c;
+                &canon
             }
-            return false;
+            None => node,
         }
+    } else {
+        node
+    };
+    if cx.failed.contains(key) {
+        cx.ctl.stats.memo_hits += 1;
         if let Some(sink) = cx.ctl.sink {
-            sink.on_memo_miss(cx.failed.shard_of(node));
+            sink.on_memo_hit(cx.failed.shard_of(key));
         }
-    }
-    let Some(succs) = expand_guarded(domain, cx, node) else { return false };
-    for (step, next) in succs {
-        if cx.ctl.should_stop() {
-            return false;
-        }
-        cx.witness.push(step);
-        if dfs(domain, cx, &next) {
-            return true;
-        }
-        cx.witness.pop();
-    }
-    // An interrupted or panicked subtree is not a *proven* failure — only
-    // record states whose expansion genuinely completed.
-    if cx.ctl.options.memoize
-        && cx.ctl.interrupted.is_none()
-        && cx.ctl.panicked.is_none()
-        && !cx.ctl.exhausted
-    {
+        true
+    } else {
         if let Some(sink) = cx.ctl.sink {
-            sink.on_memo_insert(cx.failed.shard_of(node));
+            sink.on_memo_miss(cx.failed.shard_of(key));
         }
-        cx.failed.insert(node.clone());
+        false
     }
-    false
+}
+
+/// Records `node` as refuted (under the symmetry-canonical key when
+/// enabled).
+fn insert_memo<D: SearchDomain>(domain: &D, cx: &mut Cx<'_, D>, node: &D::Node) {
+    let key: D::Node = if cx.ctl.options.symmetry {
+        domain.canonical_key(node).unwrap_or_else(|| node.clone())
+    } else {
+        node.clone()
+    };
+    if let Some(sink) = cx.ctl.sink {
+        sink.on_memo_insert(cx.failed.shard_of(&key));
+    }
+    cx.failed.insert(key);
+}
+
+/// One unit of work-stealing work: a subtree root plus the witness
+/// prefix (steps from the search root down to — and including — the
+/// step that produced `node`).
+struct Task<D: SearchDomain> {
+    node: D::Node,
+    prefix: Vec<D::Step>,
+}
+
+/// The stealing hooks a frontier worker threads into its tree search.
+struct StealSupport<'s, D: SearchDomain> {
+    /// Number of workers currently idle and hunting for work; polled
+    /// (relaxed) once per expansion, donation only happens when > 0.
+    hungry: &'s AtomicUsize,
+    /// Tasks created but not yet completed, for termination detection.
+    /// Incremented *before* a donated task is published.
+    outstanding: &'s AtomicUsize,
+    /// The donating worker's own deque; thieves steal from its other end.
+    worker: &'s Worker<Task<D>>,
+    /// The running task's witness prefix, cloned into donations.
+    prefix: &'s [D::Step],
+}
+
+/// One frame of the iterative DFS: a node being expanded and the arena
+/// range of its successors.
+struct Frame {
+    /// Arena index of the `(step, node)` entry this frame expands;
+    /// `None` for the root frame (whose node the caller owns).
+    node_idx: Option<usize>,
+    /// Start of this frame's successor range in the arena.
+    succ_start: usize,
+    /// One past the end of the range (shrinks when children are donated).
+    succ_end: usize,
+    /// Next successor to try (absolute arena index).
+    cursor: usize,
+    /// A child of this frame was donated to a thief: the subtree was not
+    /// fully explored *here*, so the frame's node must not be memoized
+    /// as refuted, and neither may any ancestor.
+    donated: bool,
+}
+
+/// Donates the shallowest spare subtree to an idle thief: the *last*
+/// untried child of the shallowest frame with at least two remaining
+/// (so the owner keeps local work), pushed onto the owner's own deque
+/// where thieves steal FIFO. Returns `false` when nothing is spare.
+fn try_donate<D: SearchDomain>(
+    frames: &mut [Frame],
+    succs: &[(D::Step, D::Node)],
+    sc: &StealSupport<'_, D>,
+) -> bool {
+    let Some(fi) = frames.iter().position(|f| f.succ_end - f.cursor >= 2) else {
+        return false;
+    };
+    let donated_idx = frames[fi].succ_end - 1;
+    // Witness prefix of the donated subtree: the running task's prefix,
+    // the steps taken down to frame `fi`'s node, then the donated step.
+    let mut prefix: Vec<D::Step> = Vec::with_capacity(sc.prefix.len() + fi + 2);
+    prefix.extend(sc.prefix.iter().cloned());
+    prefix.extend(frames[..=fi].iter().filter_map(|f| f.node_idx).map(|i| succs[i].0.clone()));
+    prefix.push(succs[donated_idx].0.clone());
+    let node = succs[donated_idx].1.clone();
+    frames[fi].succ_end = donated_idx;
+    frames[fi].donated = true;
+    // Publish only after the accounting increment: a thief may complete
+    // the task immediately, and its decrement must never race the count
+    // to zero while the task is in flight.
+    sc.outstanding.fetch_add(1, Ordering::SeqCst);
+    sc.worker.push(Task { node, prefix });
+    true
 }
 
 /// What one worker's search produced.
@@ -743,7 +876,126 @@ struct RunResult<T> {
     panicked: Option<String>,
 }
 
+/// The one backtracking search every checker shares, as an iterative
+/// DFS over a per-worker successor arena.
+///
+/// Check order per visited node faithfully mirrors the old recursive
+/// search: parent stop-poll → goal test → stop-poll → budget charge →
+/// memo probe → expansion. In particular a spent budget skips expansion
+/// but *not* sibling goal tests, and a frame is memo-inserted on pop
+/// only when its subtree genuinely completed (no interrupt, no panic,
+/// no exhaustion, no donated child).
+///
+/// Returns the witness steps *below* `root` on success.
+fn run_tree<D: SearchDomain>(
+    domain: &D,
+    cx: &mut Cx<'_, D>,
+    root: &D::Node,
+    steal: Option<&StealSupport<'_, D>>,
+) -> Option<Vec<D::Step>> {
+    if domain.is_goal(root) {
+        return Some(Vec::new());
+    }
+    if cx.ctl.should_stop() || !cx.ctl.charge_node() {
+        return None;
+    }
+    if cx.ctl.options.memoize && probe_memo(domain, cx, root) {
+        return None;
+    }
+    // The arena: every (step, node) on the current path's frontiers,
+    // contiguous per frame. Backtracking truncates; nothing is freed
+    // node-by-node.
+    let mut succs: Vec<(D::Step, D::Node)> = Vec::new();
+    // Scratch for one expansion, reused so domains never allocate a
+    // fresh successor Vec; `Vec::append` moves its contents into the
+    // arena and keeps the capacity.
+    let mut scratch: Vec<(D::Step, D::Node)> = Vec::new();
+    if !expand_guarded(domain, cx, root, &mut succs) {
+        return None;
+    }
+    let mut frames: Vec<Frame> = vec![Frame {
+        node_idx: None,
+        succ_start: 0,
+        succ_end: succs.len(),
+        cursor: 0,
+        donated: false,
+    }];
+    while !frames.is_empty() {
+        let fi = frames.len() - 1;
+        if frames[fi].cursor >= frames[fi].succ_end {
+            // Frame exhausted: memo-insert if proven, pop, reclaim the
+            // arena range.
+            let Frame { node_idx, succ_start, donated, .. } = frames[fi];
+            frames.pop();
+            if cx.ctl.options.memoize
+                && !donated
+                && cx.ctl.interrupted.is_none()
+                && cx.ctl.panicked.is_none()
+                && !cx.ctl.exhausted
+            {
+                match node_idx {
+                    Some(i) => {
+                        let (_, ref node) = succs[i];
+                        insert_memo(domain, cx, node);
+                    }
+                    None => insert_memo(domain, cx, root),
+                }
+            }
+            if donated {
+                if let Some(parent) = frames.last_mut() {
+                    parent.donated = true;
+                }
+            }
+            succs.truncate(succ_start);
+            continue;
+        }
+        // Feed idle thieves before descending further.
+        if let Some(sc) = steal {
+            if sc.hungry.load(Ordering::Relaxed) > 0 {
+                try_donate(&mut frames, &succs, sc);
+            }
+        }
+        // The parent loop's stop poll.
+        if cx.ctl.should_stop() {
+            return None;
+        }
+        let fi = frames.len() - 1;
+        let child = frames[fi].cursor;
+        frames[fi].cursor += 1;
+        // Visit the child, in the recursive call's exact order.
+        if domain.is_goal(&succs[child].1) {
+            let mut witness: Vec<D::Step> =
+                frames.iter().filter_map(|f| f.node_idx).map(|i| succs[i].0.clone()).collect();
+            witness.push(succs[child].0.clone());
+            return Some(witness);
+        }
+        if cx.ctl.should_stop() {
+            continue; // latched; the next parent poll unwinds
+        }
+        if !cx.ctl.charge_node() {
+            continue; // budget spent: no expansion, but siblings still get goal tests
+        }
+        if cx.ctl.options.memoize && probe_memo(domain, cx, &succs[child].1) {
+            continue;
+        }
+        if !expand_guarded(domain, cx, &succs[child].1, &mut scratch) {
+            continue; // panicked; the next parent poll unwinds
+        }
+        let succ_start = succs.len();
+        succs.append(&mut scratch);
+        frames.push(Frame {
+            node_idx: Some(child),
+            succ_start,
+            succ_end: succs.len(),
+            cursor: succ_start,
+            donated: false,
+        });
+    }
+    None
+}
+
 /// Runs one DFS from `root` to completion (or interruption).
+#[allow(clippy::too_many_arguments)]
 fn run_root<'m, D: SearchDomain>(
     domain: &D,
     options: &CheckOptions,
@@ -752,12 +1004,12 @@ fn run_root<'m, D: SearchDomain>(
     shared_nodes: Option<&'m AtomicU64>,
     stop: Option<&'m CancelToken>,
     start: Instant,
+    steal: Option<&StealSupport<'_, D>>,
 ) -> RunResult<D::Step> {
-    let mut cx: Cx<'_, D> =
-        Cx { ctl: Ctl::new(options, shared_nodes, stop, start), failed, witness: Vec::new() };
-    let found = dfs(domain, &mut cx, root);
+    let mut cx: Cx<'_, D> = Cx { ctl: Ctl::new(options, shared_nodes, stop, start), failed };
+    let witness = run_tree(domain, &mut cx, root, steal);
     RunResult {
-        witness: found.then(|| std::mem::take(&mut cx.witness)),
+        witness,
         stats: cx.ctl.stats,
         interrupted: cx.ctl.interrupted,
         exhausted: cx.ctl.exhausted,
@@ -791,6 +1043,7 @@ pub fn search<D: SearchDomain>(
         None,
         None,
         Instant::now(),
+        None,
     );
     finish_run(r)
 }
@@ -858,16 +1111,16 @@ pub fn enumerate_goals<D: SearchDomain>(
         if domain.is_goal(&node) {
             goals.push(node.clone());
         }
-        let succs = {
+        let mut succs = Vec::new();
+        {
             let mut obs = ExpandObs { ctl: &mut ctl };
-            match catch_unwind(AssertUnwindSafe(|| domain.expand(&node, &mut obs))) {
-                Ok(succs) => succs,
-                Err(payload) => {
-                    ctl.panicked = Some(panic_message(payload));
-                    break;
-                }
+            if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| domain.expand(&node, &mut obs, &mut succs)))
+            {
+                ctl.panicked = Some(panic_message(payload));
+                break;
             }
-        };
+        }
         for (_, next) in succs {
             if !visited.contains(&next) {
                 stack.push(next);
@@ -953,6 +1206,16 @@ where
 }
 
 /// Whole-problem search with the root frontier split across workers.
+///
+/// Root branches seed a shared [`Injector`]; each worker owns a
+/// work-stealing deque ([`Worker`]/[`Stealer`]) into which its running
+/// search donates untried subtrees whenever another worker goes idle
+/// (`hungry > 0`). Idle workers drain their own deque first (LIFO,
+/// depth-first locality), then the injector, then steal FIFO — the
+/// shallowest, largest subtrees — from peers. Termination is detected
+/// with an `outstanding` task counter; with
+/// [`CheckOptions::stealing`] off, no donations happen and workers
+/// simply drain the injector, reproducing the old static split.
 fn frontier_search<D>(
     domain: &D,
     options: &CheckOptions,
@@ -983,11 +1246,12 @@ where
     if let Some(sink) = sink {
         sink.on_node();
     }
-    let branches = {
+    let mut branches: Vec<(D::Step, D::Node)> = Vec::new();
+    {
         let mut obs = ExpandObs { ctl: &mut root_ctl };
-        catch_unwind(AssertUnwindSafe(|| domain.expand(&root, &mut obs)))
-            .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?
-    };
+        catch_unwind(AssertUnwindSafe(|| domain.expand(&root, &mut obs, &mut branches)))
+            .map_err(|p| CheckError::SpecPanicked(panic_message(p)))?;
+    }
     let root_stats = root_ctl.stats;
     if let Some(reason) = root_ctl.interrupted {
         return Ok(CheckOutcome { verdict: Verdict::Interrupted { reason }, stats: root_stats });
@@ -996,37 +1260,100 @@ where
         return Ok(CheckOutcome { verdict: Verdict::NotCal, stats: root_stats });
     }
 
-    let workers = options.threads.max(1).min(branches.len());
+    // With stealing, every requested worker is useful even when the root
+    // frontier is narrower than the thread count: idle workers steal
+    // donated subtrees. Without it, extra workers would only spin.
+    let stealing = options.stealing && options.threads > 1;
+    let workers = if stealing {
+        options.threads
+    } else {
+        options.threads.max(1).min(branches.len())
+    };
     if let Some(sink) = sink {
         sink.on_root_frontier(branches.len(), workers);
     }
-    let memo: ShardedMemo<D::Node> = ShardedMemo::for_threads(workers);
+    let memo: FpMemo<D::Node> = FpMemo::new();
     let nodes = AtomicU64::new(root_stats.nodes);
     let stop = CancelToken::new();
-    let next = AtomicUsize::new(0);
+    let injector: Injector<Task<D>> = Injector::new();
+    let outstanding = AtomicUsize::new(branches.len());
+    for (step, node) in branches {
+        injector.push(Task { node, prefix: vec![step] });
+    }
+    let hungry = AtomicUsize::new(0);
+    let deques: Vec<Worker<Task<D>>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task<D>>> = deques.iter().map(Worker::stealer).collect();
     let witness: Mutex<Option<Vec<D::Step>>> = Mutex::new(None);
     let panicked: Mutex<Option<String>> = Mutex::new(None);
 
     let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+        let handles: Vec<_> = deques
+            .into_iter()
+            .enumerate()
+            .map(|(wi, my)| {
+                let stealers = &stealers;
+                let injector = &injector;
+                let outstanding = &outstanding;
+                let hungry = &hungry;
+                let stop = &stop;
+                let witness = &witness;
+                let panicked = &panicked;
+                let memo = &memo;
+                let nodes = &nodes;
+                scope.spawn(move || {
                     let mut tally = Tally::default();
                     loop {
                         if stop.is_cancelled() {
                             break;
                         }
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((step, node)) = branches.get(idx) else { break };
+                        // Own donations first (deepest, warm caches),
+                        // then fresh root branches, then theft.
+                        let mut stolen = false;
+                        let task =
+                            my.pop().or_else(|| injector.steal().success()).or_else(|| {
+                                for (si, s) in stealers.iter().enumerate() {
+                                    if si == wi {
+                                        continue;
+                                    }
+                                    if let Steal::Success(t) = s.steal() {
+                                        stolen = true;
+                                        return Some(t);
+                                    }
+                                }
+                                None
+                            });
+                        let Some(task) = task else {
+                            if outstanding.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            hungry.fetch_add(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                            hungry.fetch_sub(1, Ordering::SeqCst);
+                            continue;
+                        };
+                        if stolen {
+                            tally.stats.steals += 1;
+                            if let Some(sink) = sink {
+                                sink.on_steal();
+                            }
+                        }
+                        let support = StealSupport {
+                            hungry,
+                            outstanding,
+                            worker: &my,
+                            prefix: &task.prefix,
+                        };
                         let mut r = run_root(
                             domain,
                             options,
-                            node,
-                            MemoTable::Shared(&memo),
-                            Some(&nodes),
-                            Some(&stop),
+                            &task.node,
+                            MemoTable::Shared(memo),
+                            Some(nodes),
+                            Some(stop),
                             start,
+                            stealing.then_some(&support),
                         );
+                        outstanding.fetch_sub(1, Ordering::SeqCst);
                         if let Some(msg) = r.panicked.take() {
                             tally.stats += r.stats;
                             let mut slot = panicked.lock();
@@ -1038,8 +1365,7 @@ where
                         }
                         if let Some(tail) = r.witness.take() {
                             tally.stats += r.stats;
-                            let mut full = Vec::with_capacity(tail.len() + 1);
-                            full.push(step.clone());
+                            let mut full = task.prefix;
                             full.extend(tail);
                             let mut slot = witness.lock();
                             if slot.is_none() {
@@ -1246,6 +1572,7 @@ fn check_part<D: SearchDomain>(
         Some(nodes),
         Some(stop),
         start,
+        None,
     );
     let mut tally = Tally::default();
     let panicked = r.panicked.take();
@@ -1327,8 +1654,7 @@ mod tests {
             *node == 0
         }
 
-        fn expand(&self, node: &u32, obs: &mut ExpandObs<'_, '_>) -> Vec<(u32, u32)> {
-            let mut out = Vec::new();
+        fn expand(&self, node: &u32, obs: &mut ExpandObs<'_, '_>, out: &mut Vec<(u32, u32)>) {
             obs.on_frontier(2);
             for d in [1u32, 2] {
                 if obs.should_stop() {
@@ -1339,7 +1665,6 @@ mod tests {
                     out.push((d, *node - d));
                 }
             }
-            out
         }
     }
 
@@ -1377,6 +1702,105 @@ mod tests {
         }
     }
 
+    /// A branching tree with no goal anywhere: every node below the root
+    /// has `width` children down to `depth`, all states distinct, so a
+    /// refutation must visit the whole tree. Exercises the donated-flag
+    /// memo suppression and termination counting under stealing.
+    ///
+    /// `stall_ms > 0` sleeps that long in every expansion of a node at
+    /// depth < 3. This is how the steal test stays deterministic on a
+    /// single-core host: a sleeping worker yields the core, so thief
+    /// threads are guaranteed to run (and raise the hungry flag) while
+    /// the donor still has untried subtrees to give away. Without it, a
+    /// release-mode worker can exhaust the whole tree inside its first
+    /// scheduler quantum, before any other thread exists to steal.
+    struct DeadTree {
+        width: u32,
+        depth: u32,
+        stall_ms: u64,
+    }
+
+    impl SearchDomain for DeadTree {
+        type Node = (u32, u64);
+        type Step = u32;
+
+        fn initial(&self) -> (u32, u64) {
+            (0, 0)
+        }
+
+        fn is_goal(&self, _: &(u32, u64)) -> bool {
+            false
+        }
+
+        fn expand(
+            &self,
+            node: &(u32, u64),
+            obs: &mut ExpandObs<'_, '_>,
+            out: &mut Vec<(u32, (u32, u64))>,
+        ) {
+            if node.0 >= self.depth {
+                return;
+            }
+            if self.stall_ms > 0 && node.0 < 3 {
+                std::thread::sleep(std::time::Duration::from_millis(self.stall_ms));
+            }
+            obs.on_frontier(self.width as usize);
+            for i in 0..self.width {
+                obs.on_element_tried();
+                out.push((i, (node.0 + 1, node.1 * u64::from(self.width) + u64::from(i) + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_off_matches_stealing_on() {
+        for n in [4u32, 9, 13] {
+            for threads in [2, 4] {
+                let on = CheckOptions { threads, ..CheckOptions::default() };
+                let off = CheckOptions { threads, stealing: false, ..CheckOptions::default() };
+                let a = search_par(&Countdown { n, dead_end: false }, &on).unwrap();
+                let b = search_par(&Countdown { n, dead_end: false }, &off).unwrap();
+                let wa = a.verdict.witness().expect("witness with stealing");
+                let wb = b.verdict.witness().expect("witness without stealing");
+                assert_eq!(wa.iter().sum::<u32>(), n, "threads={threads}");
+                assert_eq!(wb.iter().sum::<u32>(), n, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn refutation_under_stealing_matches_sequential() {
+        let tree = DeadTree { width: 3, depth: 6, stall_ms: 0 };
+        let seq = search(&tree, &CheckOptions::default()).unwrap();
+        assert_eq!(seq.verdict, Verdict::NotCal);
+        for threads in [2, 4, 8] {
+            let options = CheckOptions { threads, ..CheckOptions::default() };
+            let outcome = search_par(&tree, &options).unwrap();
+            assert_eq!(outcome.verdict, Verdict::NotCal, "threads={threads}");
+            // Distinct states everywhere: stealing must neither lose nor
+            // double-count subtrees, so the node total is exact.
+            assert_eq!(outcome.stats.nodes, seq.stats.nodes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn steals_are_counted_when_workers_outnumber_branches() {
+        // Three root branches, eight workers: at least five workers can
+        // only ever obtain work by stealing donated subtrees. The stall
+        // makes donors yield the core during shallow expansions, so the
+        // thieves run, raise the hungry flag, and steal — even on one
+        // core in release mode.
+        let options = CheckOptions { threads: 8, memoize: false, ..CheckOptions::default() };
+        let outcome =
+            search_par(&DeadTree { width: 3, depth: 6, stall_ms: 2 }, &options).unwrap();
+        assert_eq!(outcome.verdict, Verdict::NotCal);
+        assert!(
+            outcome.stats.steals > 0,
+            "expected at least one steal, stats: {:?}",
+            outcome.stats
+        );
+    }
+
     #[test]
     fn cancelled_token_interrupts() {
         let token = CancelToken::new();
@@ -1403,7 +1827,7 @@ mod tests {
             fn is_goal(&self, node: &u32) -> bool {
                 *node == 0
             }
-            fn expand(&self, _: &u32, _: &mut ExpandObs<'_, '_>) -> Vec<(u32, u32)> {
+            fn expand(&self, _: &u32, _: &mut ExpandObs<'_, '_>, _: &mut Vec<(u32, u32)>) {
                 panic!("domain bug")
             }
         }

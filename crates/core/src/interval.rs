@@ -545,7 +545,8 @@ impl<S: IntervalSpec> SearchDomain for IntervalDomain<'_, S> {
         &self,
         node: &Self::Node,
         obs: &mut ExpandObs<'_, '_>,
-    ) -> Vec<(Self::Step, Self::Node)> {
+        out: &mut Vec<(Self::Step, Self::Node)>,
+    ) {
         // Operations that may open here: neither done nor open, and every
         // ≺H-predecessor is already done (its interval closed earlier).
         let openable: Vec<usize> = (0..self.spans.len())
@@ -556,10 +557,8 @@ impl<S: IntervalSpec> SearchDomain for IntervalDomain<'_, S> {
         let max_new = self.spec.get().max_active().saturating_sub(node.open.len());
         // Enumerate opening subsets (including empty when something is
         // already open), then closing subsets (non-trivial points only).
-        let mut out = Vec::new();
         let mut opening: Vec<usize> = Vec::new();
-        self.enumerate_openings(&openable, 0, max_new, &mut opening, node, obs, &mut out);
-        out
+        self.enumerate_openings(&openable, 0, max_new, &mut opening, node, obs, out);
     }
 }
 

@@ -80,6 +80,7 @@ pub mod check;
 pub mod compose;
 pub mod engine;
 pub mod format;
+pub mod fpmemo;
 pub mod gen;
 pub mod history;
 pub mod ids;
@@ -90,6 +91,7 @@ pub mod par;
 pub mod seqlin;
 pub mod spec;
 pub mod stream;
+pub mod symmetry;
 pub mod text;
 pub mod trace;
 

@@ -70,10 +70,12 @@ use crate::ids::ObjectId;
 
 /// Number of shard buckets a [`CountingSink`] tracks memo traffic in.
 ///
-/// Shard indices reported by the search (which come from
-/// [`crate::par::ShardedMemo`], up to 512 stripes) are folded into this
-/// many buckets; the sequential checker's private memo always reports
-/// shard 0.
+/// Shard indices reported by the search come from the shared memo's
+/// key-hash bucketing (the lock-free [`crate::fpmemo::FpMemo`] reports
+/// `hash mod MEMO_SHARD_BUCKETS`; the mutex-striped
+/// [`crate::par::ShardedMemo`] reports its stripe index, up to 512,
+/// folded into this many buckets). The sequential checker's private memo
+/// always reports shard 0.
 pub const MEMO_SHARD_BUCKETS: usize = 64;
 
 /// How one object's subsearch ended under the per-object decomposition
@@ -155,6 +157,10 @@ pub trait StatsSink: Send + Sync {
         let _ = (branches, workers);
     }
 
+    /// A worker stole a subtree task from a peer's deque (work-stealing
+    /// path only; injector hand-offs of root branches are not steals).
+    fn on_steal(&self) {}
+
     /// The per-object decomposition started checking `object`.
     fn on_object_start(&self, object: ObjectId) {
         let _ = object;
@@ -211,6 +217,7 @@ pub struct CountingSink {
     shard_inserts: [AtomicU64; MEMO_SHARD_BUCKETS],
     root_branches: AtomicU64,
     root_workers: AtomicU64,
+    steals: AtomicU64,
     deadline_interrupts: AtomicU64,
     cancel_interrupts: AtomicU64,
     budget_exhaustions: AtomicU64,
@@ -232,6 +239,7 @@ impl Default for CountingSink {
             shard_inserts: std::array::from_fn(|_| AtomicU64::new(0)),
             root_branches: AtomicU64::new(0),
             root_workers: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             deadline_interrupts: AtomicU64::new(0),
             cancel_interrupts: AtomicU64::new(0),
             budget_exhaustions: AtomicU64::new(0),
@@ -293,6 +301,12 @@ impl CountingSink {
         self.root_branches.load(Ordering::Relaxed)
     }
 
+    /// Subtree tasks stolen from peer deques (0 when work-stealing did
+    /// not run or never fired).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
     /// Per-object subsearch rows recorded so far (decomposition path).
     pub fn object_reports(&self) -> Vec<ObjectReport> {
         self.objects.lock().clone()
@@ -337,6 +351,7 @@ impl CountingSink {
             frontier_mean: self.frontier_mean(),
             root_branches: self.root_branches(),
             root_workers: self.root_workers.load(Ordering::Relaxed),
+            steals: outcome.stats.steals,
             interrupted,
             exhausted: matches!(outcome.verdict, Verdict::ResourcesExhausted),
             objects: self.object_reports(),
@@ -393,6 +408,10 @@ impl StatsSink for CountingSink {
     fn on_root_frontier(&self, branches: usize, workers: usize) {
         self.root_branches.store(branches as u64, Ordering::Relaxed);
         self.root_workers.store(workers as u64, Ordering::Relaxed);
+    }
+
+    fn on_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
     }
 
     fn on_object_done(&self, object: ObjectId, wall: Duration, outcome: ObjectOutcome) {
@@ -457,6 +476,9 @@ pub struct SearchReport {
     pub root_branches: u64,
     /// Workers the root frontier was split across (0 if not run).
     pub root_workers: u64,
+    /// Subtree tasks stolen from peer deques by idle workers (from the
+    /// authoritative [`crate::check::CheckStats`]; 0 without stealing).
+    pub steals: u64,
     /// `Some("deadline-exceeded" | "cancelled")` when the search was
     /// interrupted.
     pub interrupted: Option<String>,
@@ -501,6 +523,7 @@ impl SearchReport {
         push_field(&mut out, "frontier_mean", &format!("{:.3}", self.frontier_mean));
         push_field(&mut out, "root_branches", &self.root_branches.to_string());
         push_field(&mut out, "root_workers", &self.root_workers.to_string());
+        push_field(&mut out, "steals", &self.steals.to_string());
         let objects: Vec<String> = self
             .objects
             .iter()
@@ -563,8 +586,8 @@ impl SearchReport {
         }
         if self.root_branches > 0 {
             lines.push(format!(
-                "parallel: {} root branches split over {} workers",
-                self.root_branches, self.root_workers
+                "parallel: {} root branches split over {} workers, {} subtree steal(s)",
+                self.root_branches, self.root_workers, self.steals
             ));
         }
         if !self.objects.is_empty() {
@@ -620,7 +643,7 @@ mod tests {
     fn sample_report(sink: &CountingSink, verdict: Verdict) -> SearchReport {
         let outcome = CheckOutcome {
             verdict,
-            stats: CheckStats { nodes: 7, elements_tried: 9, memo_hits: 2 },
+            stats: CheckStats { nodes: 7, elements_tried: 9, memo_hits: 2, steals: 0 },
         };
         sink.report(&outcome, &CheckOptions::default(), Duration::from_millis(5))
     }

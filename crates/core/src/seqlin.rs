@@ -25,6 +25,7 @@ use crate::history::{History, HistoryError, Span};
 use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{Invocation, SeqSpec};
+use crate::symmetry::SymClasses;
 use crate::trace::{CaElement, CaTrace};
 
 pub use crate::engine::{CheckError, CheckOptions, CheckOutcome, Verdict};
@@ -163,6 +164,8 @@ struct SeqDomain<'a, S: SeqSpec> {
     spans: Vec<Span>,
     /// preds[i] = span indices that real-time-precede span i.
     preds: Vec<Vec<usize>>,
+    /// Interchangeability classes for symmetry-reduced memo keys.
+    sym: SymClasses,
 }
 
 impl<'a, S: SeqSpec> SeqDomain<'a, S> {
@@ -175,7 +178,8 @@ impl<'a, S: SeqSpec> SeqDomain<'a, S> {
                     .collect()
             })
             .collect();
-        Ok(SeqDomain { spec, history, spans, preds })
+        let sym = SymClasses::of(&spans);
+        Ok(SeqDomain { spec, history, spans, preds, sym })
     }
 }
 
@@ -196,7 +200,8 @@ impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
         &self,
         node: &Self::Node,
         obs: &mut ExpandObs<'_, '_>,
-    ) -> Vec<(Self::Step, Self::Node)> {
+        out: &mut Vec<(Self::Step, Self::Node)>,
+    ) {
         let (matched, state) = node;
         let minimal: Vec<usize> = (0..self.spans.len())
             .filter(|&i| {
@@ -204,7 +209,6 @@ impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
             })
             .collect();
         obs.on_frontier(minimal.len());
-        let mut out = Vec::new();
         for &i in &minimal {
             let span = &self.spans[i];
             let candidates: Vec<Operation> = match span.operation() {
@@ -221,7 +225,7 @@ impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
             };
             for op in candidates {
                 if obs.should_stop() {
-                    return out;
+                    return;
                 }
                 obs.on_element_tried();
                 if let Some(next) = self.spec.get().apply(state, &op) {
@@ -231,7 +235,13 @@ impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
                 }
             }
         }
-        out
+    }
+
+    fn canonical_key(&self, node: &Self::Node) -> Option<Self::Node> {
+        if self.sym.is_trivial() {
+            return None;
+        }
+        self.sym.canonical_bits(&node.0).map(|bits| (bits, node.1.clone()))
     }
 
     fn decompose(&self) -> Option<Vec<(ObjectId, Self)>> {

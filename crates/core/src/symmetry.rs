@@ -1,0 +1,256 @@
+//! Symmetry reduction over interchangeable operations.
+//!
+//! Backtracking membership search explores one *matched set* of spans at
+//! a time. When a history contains several operations that are
+//! indistinguishable to the specification — same object, method,
+//! argument and return value, and the same real-time constraints — the
+//! search tree contains one isomorphic subtree per way of picking *which
+//! of them* is matched first. Memoization alone cannot collapse these:
+//! the matched bit-sets differ even though the residual search problems
+//! are identical.
+//!
+//! This module computes, once per history, the **interchangeability
+//! classes** of spans and provides a canonicalization of matched
+//! bit-sets under permutation within each class. The engine then keys
+//! its failed-state memo on the canonical form, so all `C(n, k)` ways of
+//! matching `k` ops out of an `n`-clone class share one memo entry.
+//!
+//! ## Soundness
+//!
+//! Two spans `i`, `j` are placed in one class only if:
+//!
+//! 1. they denote the same operation: equal object, method, argument,
+//!    completeness and return value;
+//! 2. they have identical real-time constraint sets: the same `≺H`
+//!    predecessors and the same successors.
+//!
+//! Swapping `i` and `j` in any matched set then maps every valid
+//! CA-trace extension to a valid one: the spec's transition relation
+//! sees operations only through [`crate::op::Operation`]-level data
+//! (condition 1 makes `i` and `j` identical there *except* the thread
+//! id), and the minimal-candidate frontier is determined by the
+//! real-time order (condition 2 makes it invariant).
+//!
+//! The one residual distinction is the **thread id**. Condition 2
+//! forces class members to be pairwise concurrent (a span never equals
+//! its own predecessor set plus itself), and a well-formed history
+//! interleaves no two concurrent spans on one thread — so class members
+//! always carry *distinct* thread ids, and a permutation within a class
+//! permutes threads injectively. Specifications in this crate consume
+//! thread ids only through *intra-element* equality tests (e.g. "an
+//! exchange pair must come from two distinct threads"), which injective
+//! renaming preserves. A spec that discriminated on absolute thread ids
+//! (or stored them in its state) would break this assumption, which is
+//! why the engine exposes the reduction behind
+//! [`CheckOptions::symmetry`](crate::engine::CheckOptions) rather than
+//! applying it unconditionally.
+
+use crate::bitset::BitSet;
+use crate::history::{History, Span};
+
+/// Interchangeability classes of a history's spans, precomputed once and
+/// shared read-only across search workers.
+///
+/// Only classes with at least two members are stored — singletons cannot
+/// be permuted and would cost a probe per memo operation for nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SymClasses {
+    /// Each class: the member span indices, ascending.
+    classes: Vec<Vec<usize>>,
+}
+
+impl SymClasses {
+    /// Computes the interchangeability classes of `spans`.
+    pub fn of(spans: &[Span]) -> Self {
+        let n = spans.len();
+        // preds[i] as a sorted Vec doubles as a set fingerprint; succs
+        // are implied by preds over a fixed span set *only* if we check
+        // them too (preds alone would let a "first" clone and "last"
+        // clone of a chain merge), so compute both.
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n).filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i])).collect()
+            })
+            .collect();
+        let succs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n).filter(|&j| j != i && History::spans_precede(&spans[i], &spans[j])).collect()
+            })
+            .collect();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        let mut assigned = vec![false; n];
+        for i in 0..n {
+            if assigned[i] {
+                continue;
+            }
+            let mut class = vec![i];
+            for j in (i + 1)..n {
+                if assigned[j] {
+                    continue;
+                }
+                if Self::interchangeable(&spans[i], &spans[j])
+                    && preds[i] == preds[j]
+                    && succs[i] == succs[j]
+                {
+                    class.push(j);
+                }
+            }
+            for &m in &class {
+                assigned[m] = true;
+            }
+            if class.len() >= 2 {
+                classes.push(class);
+            }
+        }
+        SymClasses { classes }
+    }
+
+    /// Same operation as far as any spec can tell (modulo thread id).
+    fn interchangeable(a: &Span, b: &Span) -> bool {
+        a.object == b.object && a.method == b.method && a.arg == b.arg && a.ret == b.ret
+        // `ret` equality covers completeness: both None (pending) or
+        // both Some(equal value).
+    }
+
+    /// True when no span is interchangeable with another: the reduction
+    /// is a no-op and callers can skip canonicalization entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Number of non-singleton classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when there are no non-singleton classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Canonicalizes a matched set under within-class permutation: for
+    /// each class, the *count* of matched members is preserved but the
+    /// specific members are normalized to the class's first `count`
+    /// (ascending). Returns `None` when `bits` is already canonical —
+    /// the common case on small frontiers, kept allocation-free.
+    pub fn canonical_bits(&self, bits: &BitSet) -> Option<BitSet> {
+        // First pass: detect non-canonical classes without allocating.
+        let mut dirty = false;
+        'scan: for class in &self.classes {
+            let mut expecting = true;
+            for &m in class {
+                let set = bits.contains(m);
+                if set && !expecting {
+                    // A gap before a set bit: not the prefix pattern.
+                    dirty = true;
+                    break 'scan;
+                }
+                if !set {
+                    expecting = false;
+                }
+            }
+        }
+        if !dirty {
+            return None;
+        }
+        let mut canon = bits.clone();
+        for class in &self.classes {
+            let count = class.iter().filter(|&&m| bits.contains(m)).count();
+            for (k, &m) in class.iter().enumerate() {
+                if k < count {
+                    canon.insert(m);
+                } else {
+                    canon.remove(m);
+                }
+            }
+        }
+        Some(canon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Method, ObjectId, ThreadId, Value};
+
+    fn span(inv: usize, resp: Option<usize>, thread: u32, arg: i64, ret: Option<Value>) -> Span {
+        Span {
+            inv,
+            resp,
+            thread: ThreadId(thread),
+            object: ObjectId(0),
+            method: Method("m"),
+            arg: Value::Int(arg),
+            ret,
+        }
+    }
+
+    #[test]
+    fn identical_concurrent_ops_form_one_class() {
+        // Three identical fully-concurrent ops + one different.
+        let spans = vec![
+            span(0, Some(10), 1, 5, Some(Value::Int(1))),
+            span(1, Some(11), 2, 5, Some(Value::Int(1))),
+            span(2, Some(12), 3, 5, Some(Value::Int(1))),
+            span(3, Some(13), 4, 9, Some(Value::Int(1))),
+        ];
+        let sym = SymClasses::of(&spans);
+        assert_eq!(sym.len(), 1);
+        assert_eq!(sym.classes[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn real_time_order_splits_classes() {
+        // Same op, but the second strictly follows the first.
+        let spans = vec![
+            span(0, Some(1), 1, 5, Some(Value::Int(1))),
+            span(2, Some(3), 1, 5, Some(Value::Int(1))),
+        ];
+        let sym = SymClasses::of(&spans);
+        assert!(sym.is_trivial(), "ordered clones are not interchangeable");
+    }
+
+    #[test]
+    fn canonicalization_normalizes_to_prefix() {
+        let spans = vec![
+            span(0, Some(10), 1, 5, Some(Value::Int(1))),
+            span(1, Some(11), 2, 5, Some(Value::Int(1))),
+            span(2, Some(12), 3, 5, Some(Value::Int(1))),
+        ];
+        let sym = SymClasses::of(&spans);
+        // {2} and {1} both canonicalize to {0}.
+        let mut b = BitSet::new(3);
+        b.insert(2);
+        let canon = sym.canonical_bits(&b).expect("non-canonical");
+        assert!(canon.contains(0) && !canon.contains(1) && !canon.contains(2));
+        let mut b1 = BitSet::new(3);
+        b1.insert(1);
+        assert_eq!(sym.canonical_bits(&b1), Some(canon.clone()));
+        // {0} is already canonical: zero-alloc fast path.
+        let mut b0 = BitSet::new(3);
+        b0.insert(0);
+        assert_eq!(sym.canonical_bits(&b0), None);
+        // {0,2} ≡ {0,1}.
+        let mut b02 = BitSet::new(3);
+        b02.insert(0);
+        b02.insert(2);
+        let c = sym.canonical_bits(&b02).expect("non-canonical");
+        assert!(c.contains(0) && c.contains(1) && !c.contains(2));
+        // Full set is canonical.
+        let mut all = BitSet::new(3);
+        for i in 0..3 {
+            all.insert(i);
+        }
+        assert_eq!(sym.canonical_bits(&all), None);
+    }
+
+    #[test]
+    fn pending_and_complete_do_not_mix() {
+        let spans = vec![
+            span(0, Some(10), 1, 5, Some(Value::Int(1))),
+            span(1, None, 2, 5, None),
+        ];
+        let sym = SymClasses::of(&spans);
+        assert!(sym.is_trivial());
+    }
+}

@@ -120,7 +120,7 @@ fn usage() -> io::Result<ExitCode> {
         "usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]\n\
          \x20                [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
-         \x20                [--stats] [--stats-json <PATH>] [--explain]\n\
+         \x20                [--no-symmetry] [--stats] [--stats-json <PATH>] [--explain]\n\
          \x20      cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]\n\
          \x20                [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
@@ -138,6 +138,7 @@ fn usage() -> io::Result<ExitCode> {
          \n\
          --format       input trace format; auto (default) sniffs each input\n\
          --max-nodes    search node budget; exhausting it is verdict `undecided` (exit 2)\n\
+         --no-symmetry  disable symmetry reduction over interchangeable ops (file mode)\n\
          --stats        print a one-line search summary to stderr (file mode)\n\
          --stats-json   write the SearchReport as JSON to PATH, or - for stdout (file mode)\n\
          --explain      print why the verdict was slow or undecided (file mode)\n\
@@ -186,6 +187,7 @@ fn try_main() -> io::Result<ExitCode> {
     let mut checker_mode: Option<CheckerMode> = None;
     let mut trace_format: Option<Format> = None;
     let mut max_nodes: Option<u64> = None;
+    let mut no_symmetry = false;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut explain = false;
@@ -255,6 +257,7 @@ fn try_main() -> io::Result<ExitCode> {
                 Some(n) if n > 0 => max_nodes = Some(n),
                 _ => return usage(),
             },
+            "--no-symmetry" => no_symmetry = true,
             "--stats" => stats = true,
             "--stats-json" => match it.next() {
                 Some(p) => stats_json = Some(p.clone()),
@@ -272,9 +275,14 @@ fn try_main() -> io::Result<ExitCode> {
         if spec_name.is_some() || file.is_some() || batch.is_some() || checker_mode.is_some() {
             return usage();
         }
-        if stats || explain || stats_json.is_some() || trace_format.is_some() || max_nodes.is_some()
+        if stats
+            || explain
+            || stats_json.is_some()
+            || trace_format.is_some()
+            || max_nodes.is_some()
+            || no_symmetry
         {
-            return usage(); // stats/format/budget flags are file-mode only
+            return usage(); // stats/format/budget/search flags are file-mode only
         }
         let mode = chaos_mode.unwrap_or(Mode::Deterministic);
         let mut config = RunConfig { seed, target, profile, mode, ..RunConfig::default() };
@@ -310,7 +318,7 @@ fn try_main() -> io::Result<ExitCode> {
     }
 
     if let Some(dir) = batch {
-        if file.is_some() || stats || explain || stats_json.is_some() {
+        if file.is_some() || stats || explain || stats_json.is_some() || no_symmetry {
             return usage();
         }
         return run_batch(
@@ -339,6 +347,9 @@ fn try_main() -> io::Result<ExitCode> {
         CheckOptions { deadline, threads: threads.unwrap_or(1), ..CheckOptions::default() };
     if let Some(n) = max_nodes {
         options.max_nodes = n;
+    }
+    if no_symmetry {
+        options.symmetry = false;
     }
     let want_report = stats || explain || stats_json.is_some();
     let (checked, report) =

@@ -10,6 +10,12 @@
 //!   (and therefore as safe as) real epoch reclamation.
 //! - [`queue`] — `SegQueue`, a linearizable MPMC FIFO (mutex-backed
 //!   here; the linearizability contract is what callers depend on).
+//! - [`deque`] — the Chase–Lev work-stealing deque surface
+//!   (`Worker`/`Stealer`/`Injector`/`Steal`): the owner pushes and pops
+//!   LIFO at one end while thieves steal FIFO at the other. Mutex-backed
+//!   here; what callers depend on is the ownership discipline (one
+//!   `Worker`, many `Stealer`s) and that every pushed item is popped or
+//!   stolen exactly once.
 
 pub mod epoch {
     //! Epoch-style memory reclamation (conservative global-quiescence
@@ -471,6 +477,243 @@ pub mod queue {
             assert_eq!(q.pop(), Some(2));
             assert_eq!(q.pop(), None);
             assert!(q.is_empty());
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques (the `crossbeam-deque` surface).
+    //!
+    //! The real implementation is the Chase–Lev deque: the owning worker
+    //! pushes and pops at the bottom without contention while thieves CAS
+    //! items off the top. This stand-in is mutex-backed but preserves the
+    //! contract callers depend on: LIFO for the owner (depth-first
+    //! locality), FIFO for thieves (steal the *shallowest* — largest —
+    //! subtree), and exactly-once delivery of every item.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The owner's end of a work-stealing deque: LIFO push/pop at the
+    /// bottom. Hand out [`Stealer`]s (via [`Worker::stealer`]) to other
+    /// threads; the `Worker` itself stays with one owner.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty LIFO deque.
+        pub fn new_lifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes `value` at the owner's (bottom) end.
+        pub fn push(&self, value: T) {
+            lock(&self.inner).push_back(value);
+        }
+
+        /// Pops from the owner's end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_back()
+        }
+
+        /// A handle thieves use to steal from the opposite end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// `true` if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Worker(len={})", self.len())
+        }
+    }
+
+    /// A thief's handle onto a [`Worker`]'s deque: steals FIFO from the
+    /// top, so thieves take the oldest (shallowest) work.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest item.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Number of queued items at the instant of the call.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// `true` if nothing was queued at the instant of the call.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Stealer(len={})", self.len())
+        }
+    }
+
+    /// A shared FIFO injector queue feeding a fleet of workers.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues `value` at the back.
+        pub fn push(&self, value: T) {
+            lock(&self.inner).push_back(value);
+        }
+
+        /// Attempts to take the oldest item.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.inner).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Injector(len={})", self.len())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+            assert_eq!(w.pop(), Some(3), "owner takes the newest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_feeds_in_order() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal().success(), Some("a"));
+            assert_eq!(inj.steal().success(), Some("b"));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn exactly_once_across_threads() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let total: usize = std::thread::scope(|scope| {
+                let thieves: Vec<_> = (0..4)
+                    .map(|_| {
+                        let s = w.stealer();
+                        scope.spawn(move || {
+                            let mut got = 0;
+                            while let Steal::Success(_) = s.steal() {
+                                got += 1;
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                thieves.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total + w.len(), 1000, "no item lost or duplicated");
+            // Whatever the thieves left behind is still poppable.
+            let mut rest = 0;
+            while w.pop().is_some() {
+                rest += 1;
+            }
+            assert_eq!(total + rest, 1000);
         }
     }
 }
