@@ -1,0 +1,117 @@
+//! Untyped syntax tree produced by the parser. Names are still strings
+//! here; validation resolves them into the compiled, index-based form in
+//! [`super::validate`]/[`super::eval`].
+
+use super::lex::Span;
+
+#[derive(Debug)]
+pub(crate) struct FileAst {
+    pub specs: Vec<SpecAst>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpecAst {
+    pub name: String,
+    pub name_span: Span,
+    pub items: Vec<ItemAst>,
+}
+
+#[derive(Debug)]
+pub(crate) enum ItemAst {
+    /// `kind seq;` / `kind ca;`
+    Kind { seq: bool, span: Span },
+    /// `element N;`
+    Element { cap: i64, span: Span },
+    /// `var name: ty = init;`
+    Var { name: String, ty: TyAst, init: Option<ExprAst>, span: Span },
+    /// `rule name(bindings) { when ...; effect ...; }`
+    Rule { name: String, bindings: Vec<BindingAst>, whens: Vec<ExprAst>, effects: Vec<EffectAst>, span: Span },
+    /// `complete method { ... }`
+    Complete { method: String, items: Vec<CompletionAst>, span: Span },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TyAst {
+    Int,
+    Bool,
+    List,
+}
+
+#[derive(Debug)]
+pub(crate) struct BindingAst {
+    /// Binding name, e.g. `a` in `rule swap(a: exchange, ...)`.
+    pub name: String,
+    /// Method the bound operation must invoke; defaults to the rule name.
+    pub method: Option<String>,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) struct EffectAst {
+    pub var: String,
+    pub value: ExprAst,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) enum CompletionAst {
+    /// `yield expr;`
+    Yield { value: ExprAst },
+    /// `yield a .. b;` (inclusive integer range)
+    YieldRange { lo: ExprAst, hi: ExprAst, span: Span },
+    /// `for peer method { ... }`
+    ForPeer { method: String, items: Vec<CompletionAst>, span: Span },
+}
+
+#[derive(Debug)]
+pub(crate) struct ExprAst {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpField {
+    Arg,
+    Ret,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Mul,
+    Rem,
+    Add,
+    Sub,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+#[derive(Debug)]
+pub(crate) enum ExprKind {
+    Unit,
+    Bool(bool),
+    Int(i64),
+    /// `(b, i)` pair literal.
+    Pair(Box<ExprAst>, Box<ExprAst>),
+    /// `[1, 2, 3]` list literal.
+    List(Vec<ExprAst>),
+    /// Bare name: state variable, `arg`, or a misused binding.
+    Name(String),
+    /// `name.arg` / `name.ret` (including `peer.arg`).
+    Field(String, OpField),
+    /// Builtin call, e.g. `top(items)`.
+    Call { name: String, name_span: Span, args: Vec<ExprAst> },
+    Unary(UnOp, Box<ExprAst>),
+    Binary(BinOp, Box<ExprAst>, Box<ExprAst>),
+}

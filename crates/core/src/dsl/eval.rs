@@ -1,0 +1,722 @@
+//! The interpreter: compiled expressions, runtime values, and the
+//! [`DslCaSpec`]/[`DslSeqSpec`] adapters that make a compiled
+//! [`SpecDef`] behave exactly like a hand-written [`CaSpec`]/[`SeqSpec`].
+//!
+//! Runtime evaluation is total and panic-free: every partial operation
+//! (ill-typed operand, `top` of an empty list, arithmetic overflow)
+//! evaluates to "no value", which makes the enclosing rule fail to match
+//! or the enclosing `yield` produce nothing — mirroring the `?`-based
+//! style of the hand-written Rust specs.
+
+use std::sync::Arc;
+
+use super::ast::{BinOp, UnOp};
+use super::validate::{CItem, RuleDef, SpecDef, SpecKind};
+use crate::ids::{ObjectId, Value};
+use crate::op::Operation;
+use crate::spec::{CaSpec, Invocation, SeqSpec};
+use crate::trace::CaElement;
+
+/// A runtime value of an interpreted spec: the [`Value`] domain plus
+/// integer lists for abstract state (stack/queue contents). This is the
+/// state-vector element of [`DslCaSpec`]; it is public only because
+/// `CaSpec::State` must be nameable by generic engine code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RtVal {
+    /// The unit value `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A `(bool, int)` pair, e.g. an exchange result.
+    Pair(bool, i64),
+    /// An integer list (abstract stack/queue contents). Not expressible
+    /// as a [`Value`]; lists live only in spec state.
+    List(Vec<i64>),
+}
+
+impl RtVal {
+    fn from_value(v: &Value) -> RtVal {
+        match *v {
+            Value::Unit => RtVal::Unit,
+            Value::Bool(b) => RtVal::Bool(b),
+            Value::Int(n) => RtVal::Int(n),
+            Value::Pair(b, n) => RtVal::Pair(b, n),
+        }
+    }
+
+    fn to_value(&self) -> Option<Value> {
+        match self {
+            RtVal::Unit => Some(Value::Unit),
+            RtVal::Bool(b) => Some(Value::Bool(*b)),
+            RtVal::Int(n) => Some(Value::Int(*n)),
+            RtVal::Pair(b, n) => Some(Value::Pair(*b, *n)),
+            RtVal::List(_) => None,
+        }
+    }
+}
+
+/// List/query builtins. Arity and argument types are checked at
+/// validation time ([`super::DiagCode::E206`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Builtin {
+    /// `top(list) -> int`: last (most recently pushed) element; fails on
+    /// an empty list.
+    Top,
+    /// `len(list) -> int`.
+    Len,
+    /// `empty(list) -> bool`.
+    Empty,
+    /// `push(list, int) -> list`: appends.
+    Push,
+    /// `drop(list) -> list`: removes the last element; fails on empty.
+    Drop,
+}
+
+/// A validated expression with every name resolved to an index.
+#[derive(Debug, Clone)]
+pub(crate) enum Expr {
+    Unit,
+    Bool(bool),
+    Int(i64),
+    Pair(Box<Expr>, Box<Expr>),
+    List(Vec<Expr>),
+    /// State variable, by slot.
+    Var(usize),
+    /// `b.arg` of the rule binding at this index.
+    OpArg(usize),
+    /// `b.ret` of the rule binding at this index.
+    OpRet(usize),
+    /// `arg` inside a `complete` block.
+    CompleteArg,
+    /// `peer.arg` inside a `for peer` block.
+    PeerArg,
+    Call(Builtin, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation context: what the resolved indices point at.
+pub(crate) struct Ctx<'a> {
+    pub vars: &'a [RtVal],
+    /// One operation per rule binding, in binding order.
+    pub ops: &'a [&'a Operation],
+    pub complete_arg: Option<&'a Value>,
+    pub peer_arg: Option<&'a Value>,
+}
+
+impl Ctx<'_> {
+    #[cfg(test)]
+    fn empty() -> Ctx<'static> {
+        Ctx { vars: &[], ops: &[], complete_arg: None, peer_arg: None }
+    }
+}
+
+/// Evaluates `expr`; `None` means "no value" (runtime type mismatch,
+/// overflow, or a partial builtin applied outside its domain).
+pub(crate) fn eval(expr: &Expr, ctx: &Ctx<'_>) -> Option<RtVal> {
+    match expr {
+        Expr::Unit => Some(RtVal::Unit),
+        Expr::Bool(b) => Some(RtVal::Bool(*b)),
+        Expr::Int(n) => Some(RtVal::Int(*n)),
+        Expr::Pair(a, b) => {
+            let RtVal::Bool(ok) = eval(a, ctx)? else { return None };
+            let RtVal::Int(v) = eval(b, ctx)? else { return None };
+            Some(RtVal::Pair(ok, v))
+        }
+        Expr::List(elems) => {
+            let mut out = Vec::with_capacity(elems.len());
+            for e in elems {
+                let RtVal::Int(v) = eval(e, ctx)? else { return None };
+                out.push(v);
+            }
+            Some(RtVal::List(out))
+        }
+        Expr::Var(i) => ctx.vars.get(*i).cloned(),
+        Expr::OpArg(i) => ctx.ops.get(*i).map(|op| RtVal::from_value(&op.arg)),
+        Expr::OpRet(i) => ctx.ops.get(*i).map(|op| RtVal::from_value(&op.ret)),
+        Expr::CompleteArg => ctx.complete_arg.map(RtVal::from_value),
+        Expr::PeerArg => ctx.peer_arg.map(RtVal::from_value),
+        Expr::Call(builtin, args) => match builtin {
+            Builtin::Top => {
+                let RtVal::List(xs) = eval(&args[0], ctx)? else { return None };
+                xs.last().map(|&v| RtVal::Int(v))
+            }
+            Builtin::Len => {
+                let RtVal::List(xs) = eval(&args[0], ctx)? else { return None };
+                Some(RtVal::Int(xs.len() as i64))
+            }
+            Builtin::Empty => {
+                let RtVal::List(xs) = eval(&args[0], ctx)? else { return None };
+                Some(RtVal::Bool(xs.is_empty()))
+            }
+            Builtin::Push => {
+                let RtVal::List(mut xs) = eval(&args[0], ctx)? else { return None };
+                let RtVal::Int(v) = eval(&args[1], ctx)? else { return None };
+                xs.push(v);
+                Some(RtVal::List(xs))
+            }
+            Builtin::Drop => {
+                let RtVal::List(mut xs) = eval(&args[0], ctx)? else { return None };
+                xs.pop()?;
+                Some(RtVal::List(xs))
+            }
+        },
+        Expr::Unary(op, e) => match (op, eval(e, ctx)?) {
+            (UnOp::Not, RtVal::Bool(b)) => Some(RtVal::Bool(!b)),
+            (UnOp::Neg, RtVal::Int(n)) => n.checked_neg().map(RtVal::Int),
+            _ => None,
+        },
+        Expr::Binary(op, a, b) => {
+            // `&&` and `||` short-circuit so guards like
+            // `!empty(items) && top(items) == x` are safe on empty lists.
+            match op {
+                BinOp::And => {
+                    let RtVal::Bool(l) = eval(a, ctx)? else { return None };
+                    if !l {
+                        return Some(RtVal::Bool(false));
+                    }
+                    let RtVal::Bool(r) = eval(b, ctx)? else { return None };
+                    return Some(RtVal::Bool(r));
+                }
+                BinOp::Or => {
+                    let RtVal::Bool(l) = eval(a, ctx)? else { return None };
+                    if l {
+                        return Some(RtVal::Bool(true));
+                    }
+                    let RtVal::Bool(r) = eval(b, ctx)? else { return None };
+                    return Some(RtVal::Bool(r));
+                }
+                _ => {}
+            }
+            let l = eval(a, ctx)?;
+            let r = eval(b, ctx)?;
+            match op {
+                // Equality is structural across the whole value domain:
+                // comparing different shapes yields `false`, not an error
+                // (mirrors `op.ret == Value::Int(n)` in hand-written specs).
+                BinOp::Eq => Some(RtVal::Bool(l == r)),
+                BinOp::Ne => Some(RtVal::Bool(l != r)),
+                _ => {
+                    let (RtVal::Int(x), RtVal::Int(y)) = (l, r) else { return None };
+                    match op {
+                        BinOp::Mul => x.checked_mul(y).map(RtVal::Int),
+                        BinOp::Rem => x.checked_rem(y).map(RtVal::Int),
+                        BinOp::Add => x.checked_add(y).map(RtVal::Int),
+                        BinOp::Sub => x.checked_sub(y).map(RtVal::Int),
+                        BinOp::Lt => Some(RtVal::Bool(x < y)),
+                        BinOp::Le => Some(RtVal::Bool(x <= y)),
+                        BinOp::Gt => Some(RtVal::Bool(x > y)),
+                        BinOp::Ge => Some(RtVal::Bool(x >= y)),
+                        BinOp::And | BinOp::Or | BinOp::Eq | BinOp::Ne => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- rule matching -------------------------------------------------------
+
+/// Tries `rule` against `ops` (one candidate assignment of bindings to
+/// operations per permutation; methods must line up). On the first
+/// assignment whose guards all hold, evaluates the effects against the
+/// pre-state and returns the successor state.
+fn try_rule(def: &SpecDef, rule: &RuleDef, vars: &[RtVal], ops: &[&Operation]) -> Option<Vec<RtVal>> {
+    let n = rule.methods.len();
+    debug_assert_eq!(n, ops.len());
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        let assigned: Vec<&Operation> = perm.iter().map(|&i| ops[i]).collect();
+        if assigned.iter().zip(&rule.methods).all(|(op, m)| op.method == *m) {
+            let ctx = Ctx { vars, ops: &assigned, complete_arg: None, peer_arg: None };
+            let holds = rule.guards.iter().all(|g| eval(g, &ctx) == Some(RtVal::Bool(true)));
+            if holds {
+                let mut next = vars.to_vec();
+                let mut news = Vec::with_capacity(rule.effects.len());
+                let mut ok = true;
+                for (slot, value) in &rule.effects {
+                    match eval(value, &ctx) {
+                        Some(v) if matches!(
+                            (&v, &def.vars[*slot].1),
+                            (RtVal::Int(_), super::ast::TyAst::Int)
+                                | (RtVal::Bool(_), super::ast::TyAst::Bool)
+                                | (RtVal::List(_), super::ast::TyAst::List)
+                        ) =>
+                        {
+                            news.push((*slot, v));
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    for (slot, v) in news {
+                        next[slot] = v;
+                    }
+                    return Some(next);
+                }
+            }
+        }
+        if !next_permutation(&mut perm) {
+            return None;
+        }
+    }
+}
+
+/// Advances `perm` to the next lexicographic permutation; `false` when
+/// exhausted. Element caps are ≤ 8, so this is at most 8! candidates and
+/// in practice (arity ≤ 2) one or two.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    let n = perm.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+fn step_ops(def: &SpecDef, vars: &[RtVal], ops: &[&Operation]) -> Option<Vec<RtVal>> {
+    if ops.len() > def.element_cap {
+        return None;
+    }
+    def.rules
+        .iter()
+        .filter(|r| r.methods.len() == ops.len())
+        .find_map(|r| try_rule(def, r, vars, ops))
+}
+
+fn completions(def: &SpecDef, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+    let Some(complete) = def.completes.iter().find(|c| c.method == inv.method) else {
+        return Vec::new();
+    };
+    let mut out: Vec<Value> = Vec::new();
+    let mut push = |v: Value, out: &mut Vec<Value>| {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    fn emit(
+        items: &[CItem],
+        inv: &Invocation,
+        peers: &[Invocation],
+        push: &mut dyn FnMut(Value, &mut Vec<Value>),
+        out: &mut Vec<Value>,
+    ) {
+        for item in items {
+            match item {
+                CItem::Yield(e) => {
+                    let ctx = Ctx {
+                        vars: &[],
+                        ops: &[],
+                        complete_arg: Some(&inv.arg),
+                        peer_arg: None,
+                    };
+                    if let Some(v) = eval(e, &ctx).and_then(|v| v.to_value()) {
+                        push(v, out);
+                    }
+                }
+                CItem::YieldRange(lo, hi) => {
+                    for v in *lo..=*hi {
+                        push(Value::Int(v), out);
+                    }
+                }
+                CItem::ForPeer(method, inner) => {
+                    for peer in peers.iter().filter(|p| p.method == *method) {
+                        for e in inner {
+                            let ctx = Ctx {
+                                vars: &[],
+                                ops: &[],
+                                complete_arg: Some(&inv.arg),
+                                peer_arg: Some(&peer.arg),
+                            };
+                            match e {
+                                CItem::Yield(expr) => {
+                                    if let Some(v) =
+                                        eval(expr, &ctx).and_then(|v| v.to_value())
+                                    {
+                                        push(v, out);
+                                    }
+                                }
+                                CItem::YieldRange(lo, hi) => {
+                                    for v in *lo..=*hi {
+                                        push(Value::Int(v), out);
+                                    }
+                                }
+                                // Parser rejects nested `for peer`.
+                                CItem::ForPeer(..) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    emit(&complete.items, inv, peers, &mut push, &mut out);
+    out
+}
+
+// ---- spec adapters -------------------------------------------------------
+
+impl SpecDef {
+    /// Instantiates the spec as a [`CaSpec`] over `object`. Works for
+    /// both kinds: a `kind seq` spec becomes the singleton-element
+    /// fragment, exactly like wrapping the Rust spec in
+    /// [`crate::spec::SeqAsCa`].
+    pub fn to_ca(self: &Arc<Self>, object: ObjectId) -> DslCaSpec {
+        DslCaSpec { def: Arc::clone(self), object }
+    }
+
+    /// Instantiates the spec as a [`SeqSpec`] over `object`; `None` for
+    /// `kind ca` specs, which have no sequential reading.
+    pub fn to_seq(self: &Arc<Self>, object: ObjectId) -> Option<DslSeqSpec> {
+        (self.kind == SpecKind::Seq).then(|| DslSeqSpec { def: Arc::clone(self), object })
+    }
+}
+
+/// An interpreted `.cal` spec instantiated for one object, as a
+/// [`CaSpec`]. Obtained from [`SpecDef::to_ca`]; cheap to clone (the
+/// compiled definition is shared behind an [`Arc`]).
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::dsl::parse_str;
+/// use cal_core::spec::CaSpec;
+/// use cal_core::{ObjectId, Method, ThreadId, Value, Operation};
+/// use cal_core::trace::CaElement;
+///
+/// let file = parse_str(
+///     "spec counter { kind seq; var n: int = 0; \
+///      rule inc(a) { when a.ret == n; effect n = n + 1; } \
+///      complete inc { yield 0 .. 16; } }",
+/// )
+/// .unwrap();
+/// let spec = file.get("counter").unwrap().to_ca(ObjectId(0));
+/// let op = |t: u32, n: i64| {
+///     Operation::new(ThreadId(t), ObjectId(0), Method("inc"), Value::Unit, Value::Int(n))
+/// };
+/// let s0 = spec.initial();
+/// let s1 = spec.step(&s0, &CaElement::singleton(op(1, 0))).expect("first inc returns 0");
+/// assert!(spec.step(&s1, &CaElement::singleton(op(2, 1))).is_some());
+/// assert!(spec.step(&s1, &CaElement::singleton(op(2, 0))).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DslCaSpec {
+    def: Arc<SpecDef>,
+    object: ObjectId,
+}
+
+impl DslCaSpec {
+    /// The specified object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The compiled definition this instance interprets.
+    pub fn def(&self) -> &Arc<SpecDef> {
+        &self.def
+    }
+}
+
+impl CaSpec for DslCaSpec {
+    type State = Vec<RtVal>;
+
+    fn initial(&self) -> Vec<RtVal> {
+        self.def.initial_state()
+    }
+
+    fn step(&self, state: &Vec<RtVal>, element: &CaElement) -> Option<Vec<RtVal>> {
+        if element.object() != self.object {
+            return None;
+        }
+        let ops: Vec<&Operation> = element.ops().iter().collect();
+        step_ops(&self.def, state, &ops)
+    }
+
+    fn max_element_size(&self) -> usize {
+        self.def.element_cap
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        if inv.object != self.object {
+            return Vec::new();
+        }
+        completions(&self.def, inv, &[])
+    }
+
+    fn completions_among(&self, inv: &Invocation, peers: &[Invocation]) -> Vec<Value> {
+        if inv.object != self.object {
+            return Vec::new();
+        }
+        completions(&self.def, inv, peers)
+    }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then(|| self.clone())
+    }
+}
+
+/// An interpreted `kind seq` spec instantiated for one object, as a
+/// [`SeqSpec`]. Obtained from [`SpecDef::to_seq`]; used by `--mode seq`
+/// and `--mode interval`, which require a sequential specification.
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::dsl::parse_str;
+/// use cal_core::spec::SeqSpec;
+/// use cal_core::{ObjectId, Method, ThreadId, Value, Operation};
+///
+/// let file = parse_str(
+///     "spec register { kind seq; var val: int = 0; \
+///      rule write(a) { when a.ret == unit; effect val = a.arg; } \
+///      rule read(a) { when a.ret == val; } \
+///      complete write { yield unit; } complete read { yield 0; } }",
+/// )
+/// .unwrap();
+/// let spec = file.get("register").unwrap().to_seq(ObjectId(0)).unwrap();
+/// let w = Operation::new(ThreadId(1), ObjectId(0), Method("write"), Value::Int(7), Value::Unit);
+/// let r = Operation::new(ThreadId(2), ObjectId(0), Method("read"), Value::Unit, Value::Int(7));
+/// assert!(spec.accepts(&[w, r]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DslSeqSpec {
+    def: Arc<SpecDef>,
+    object: ObjectId,
+}
+
+impl DslSeqSpec {
+    /// The specified object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The compiled definition this instance interprets.
+    pub fn def(&self) -> &Arc<SpecDef> {
+        &self.def
+    }
+}
+
+impl SeqSpec for DslSeqSpec {
+    type State = Vec<RtVal>;
+
+    fn initial(&self) -> Vec<RtVal> {
+        self.def.initial_state()
+    }
+
+    fn apply(&self, state: &Vec<RtVal>, op: &Operation) -> Option<Vec<RtVal>> {
+        if op.object != self.object {
+            return None;
+        }
+        step_ops(&self.def, state, &[op])
+    }
+
+    fn completions_of(&self, inv: &Invocation) -> Vec<Value> {
+        if inv.object != self.object {
+            return Vec::new();
+        }
+        completions(&self.def, inv, &[])
+    }
+
+    fn restrict(&self, object: ObjectId) -> Option<Self> {
+        (object == self.object).then(|| self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_str;
+    use super::*;
+    use crate::ids::{Method, ThreadId};
+
+    const O: ObjectId = ObjectId(0);
+
+    fn op(t: u32, m: &'static str, arg: Value, ret: Value) -> Operation {
+        Operation::new(ThreadId(t), O, Method(m), arg, ret)
+    }
+
+    #[test]
+    fn stack_rules_interpret_correctly() {
+        let file = parse_str(
+            "spec stack { kind seq; var items: list = []; \
+             rule push(a) { when a.ret == true; effect items = push(items, a.arg); } \
+             rule pop_top(a: pop) { when a.ret == (true, top(items)); effect items = drop(items); } \
+             rule pop_empty(a: pop) { when empty(items) && a.ret == (false, 0); } \
+             complete push { yield true; } complete pop { yield (false, 0); } }",
+        )
+        .unwrap();
+        let spec = file.get("stack").unwrap().to_seq(O).unwrap();
+        // LIFO discipline honoured:
+        assert!(spec.accepts(&[
+            op(1, "push", Value::Int(1), Value::Bool(true)),
+            op(1, "push", Value::Int(2), Value::Bool(true)),
+            op(2, "pop", Value::Unit, Value::Pair(true, 2)),
+            op(2, "pop", Value::Unit, Value::Pair(true, 1)),
+            op(2, "pop", Value::Unit, Value::Pair(false, 0)),
+        ]));
+        // FIFO order rejected:
+        assert!(!spec.accepts(&[
+            op(1, "push", Value::Int(1), Value::Bool(true)),
+            op(1, "push", Value::Int(2), Value::Bool(true)),
+            op(2, "pop", Value::Unit, Value::Pair(true, 1)),
+        ]));
+        // Empty-pop only when empty:
+        assert!(!spec.accepts(&[
+            op(1, "push", Value::Int(1), Value::Bool(true)),
+            op(2, "pop", Value::Unit, Value::Pair(false, 0)),
+        ]));
+    }
+
+    #[test]
+    fn exchanger_pairs_swap() {
+        let file = parse_str(
+            "spec exchanger { kind ca; element 2; \
+             rule fail(a: exchange) { when a.ret == (false, a.arg); } \
+             rule swap(a: exchange, b: exchange) { \
+               when a.ret == (true, b.arg) && b.ret == (true, a.arg); } \
+             complete exchange { yield (false, arg); \
+               for peer exchange { yield (true, peer.arg); } } }",
+        )
+        .unwrap();
+        let spec = file.get("exchanger").unwrap().to_ca(O);
+        let a = op(1, "exchange", Value::Int(3), Value::Pair(true, 4));
+        let b = op(2, "exchange", Value::Int(4), Value::Pair(true, 3));
+        let pair = CaElement::pair(a, b).unwrap();
+        assert!(spec.step(&spec.initial(), &pair).is_some());
+        // A mismatched swap is rejected:
+        let c = op(2, "exchange", Value::Int(4), Value::Pair(true, 9));
+        let bad = CaElement::pair(a, c).unwrap();
+        assert!(spec.step(&spec.initial(), &bad).is_none());
+        // Singleton failure accepted; singleton "success" rejected:
+        let f = op(1, "exchange", Value::Int(3), Value::Pair(false, 3));
+        assert!(spec.step(&spec.initial(), &CaElement::singleton(f)).is_some());
+        let s = op(1, "exchange", Value::Int(3), Value::Pair(true, 3));
+        assert!(spec.step(&spec.initial(), &CaElement::singleton(s)).is_none());
+    }
+
+    #[test]
+    fn exchanger_completions_use_peers() {
+        let file = parse_str(
+            "spec exchanger { kind ca; element 2; \
+             rule fail(a: exchange) { when a.ret == (false, a.arg); } \
+             complete exchange { yield (false, arg); \
+               for peer exchange { yield (true, peer.arg); } } }",
+        )
+        .unwrap();
+        let spec = file.get("exchanger").unwrap().to_ca(O);
+        let inv = Invocation::new(ThreadId(1), O, Method("exchange"), Value::Int(3));
+        assert_eq!(spec.completions_of(&inv), vec![Value::Pair(false, 3)]);
+        let peer = Invocation::new(ThreadId(2), O, Method("exchange"), Value::Int(4));
+        assert_eq!(
+            spec.completions_among(&inv, &[peer]),
+            vec![Value::Pair(false, 3), Value::Pair(true, 4)]
+        );
+    }
+
+    #[test]
+    fn wrong_object_rejected_and_restrict_matches_builtins() {
+        let file = parse_str(
+            "spec register { kind seq; var val: int = 0; \
+             rule write(a) { when a.ret == unit; effect val = a.arg; } \
+             rule read(a) { when a.ret == val; } \
+             complete write { yield unit; } complete read { yield 0; } }",
+        )
+        .unwrap();
+        let spec = file.get("register").unwrap().to_ca(ObjectId(7));
+        let w = Operation::new(
+            ThreadId(1),
+            ObjectId(0),
+            Method("write"),
+            Value::Int(1),
+            Value::Unit,
+        );
+        assert!(spec.step(&spec.initial(), &CaElement::singleton(w)).is_none());
+        assert!(spec.restrict(ObjectId(7)).is_some());
+        assert!(spec.restrict(ObjectId(0)).is_none());
+    }
+
+    #[test]
+    fn overflow_is_rejection_not_panic() {
+        let file = parse_str(
+            "spec c { kind seq; var n: int = 0; \
+             rule inc(a) { when a.ret == n; effect n = n + 1; } \
+             complete inc { yield 0 .. 4; } }",
+        )
+        .unwrap();
+        let spec = file.get("c").unwrap().to_seq(O).unwrap();
+        // Force the counter near i64::MAX via a state where n would
+        // overflow: the effect fails, so the op must not match.
+        let big = vec![RtVal::Int(i64::MAX)];
+        let op = op(1, "inc", Value::Unit, Value::Int(i64::MAX));
+        assert!(spec.apply(&big, &op).is_none());
+    }
+
+    #[test]
+    fn range_yield_is_inclusive() {
+        let file = parse_str(
+            "spec c { kind seq; var n: int = 0; \
+             rule inc(a) { when a.ret == n; effect n = n + 1; } \
+             complete inc { yield 0 .. 16; } }",
+        )
+        .unwrap();
+        let spec = file.get("c").unwrap().to_seq(O).unwrap();
+        let inv = Invocation::new(ThreadId(1), O, Method("inc"), Value::Unit);
+        assert_eq!(spec.completions_of(&inv).len(), 17);
+    }
+
+    #[test]
+    fn seq_kind_as_ca_rejects_wide_elements() {
+        let file = parse_str(
+            "spec register { kind seq; var val: int = 0; \
+             rule write(a) { when a.ret == unit; effect val = a.arg; } \
+             rule read(a) { when a.ret == val; } \
+             complete write { yield unit; } complete read { yield 0; } }",
+        )
+        .unwrap();
+        let spec = file.get("register").unwrap().to_ca(O);
+        let a = op(1, "write", Value::Int(1), Value::Unit);
+        let b = op(2, "write", Value::Int(2), Value::Unit);
+        let wide = CaElement::pair(a, b).unwrap();
+        assert!(spec.step(&spec.initial(), &wide).is_none());
+        assert_eq!(spec.max_element_size(), 1);
+    }
+
+    #[test]
+    fn ca_kind_has_no_seq_reading() {
+        let file = parse_str(
+            "spec e { kind ca; element 2; \
+             rule fail(a: exchange) { when a.ret == (false, a.arg); } \
+             complete exchange { yield (false, arg); } }",
+        )
+        .unwrap();
+        assert!(file.get("e").unwrap().to_seq(O).is_none());
+    }
+
+    #[test]
+    fn eval_never_panics_on_partial_builtins() {
+        let ctx = Ctx::empty();
+        let top_of_empty = Expr::Call(Builtin::Top, vec![Expr::List(vec![])]);
+        assert_eq!(eval(&top_of_empty, &ctx), None);
+        let drop_of_empty = Expr::Call(Builtin::Drop, vec![Expr::List(vec![])]);
+        assert_eq!(eval(&drop_of_empty, &ctx), None);
+        let rem_zero =
+            Expr::Binary(BinOp::Rem, Box::new(Expr::Int(5)), Box::new(Expr::Int(0)));
+        assert_eq!(eval(&rem_zero, &ctx), None);
+    }
+}

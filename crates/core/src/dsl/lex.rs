@@ -1,0 +1,375 @@
+//! Lexer for `.cal` source: a flat token stream with 1-based line/column
+//! spans. Emits `E001` (unexpected character) and `E002` (integer literal
+//! out of range); everything else is the parser's problem.
+
+use super::{DiagCode, Diagnostic};
+
+/// A source position, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    DotDot,
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl Tok {
+    /// How the token renders inside diagnostic messages.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::NotEq => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::AndAnd => "`&&`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::Eof => "end of file".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenizes `src`. The result always ends with a `Tok::Eof` carrying the
+/// position one past the final character, so the parser can anchor
+/// end-of-file diagnostics.
+pub(crate) fn lex(src: &str) -> Result<Vec<Spanned>, Diagnostic> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let span = Span { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                // Line comment (also lets golden-corpus fixtures carry
+                // `# expect-code:` headers without tripping the lexer).
+                while let Some(&ch) = chars.peek() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&ch) = chars.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(Diagnostic::new(
+                        DiagCode::E001,
+                        "unexpected character `/` (comments are `//` or `#`)",
+                        span.line,
+                        span.col,
+                    ));
+                }
+            }
+            '0'..='9' => {
+                let mut digits = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_digit() {
+                        digits.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match digits.parse::<i64>() {
+                    Ok(n) => out.push(Spanned { tok: Tok::Int(n), span }),
+                    Err(_) => {
+                        return Err(Diagnostic::new(
+                            DiagCode::E002,
+                            format!("integer literal `{digits}` does not fit in 64 bits"),
+                            span.line,
+                            span.col,
+                        ));
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut name = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        name.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(name), span });
+            }
+            _ => {
+                bump!();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '%' => Tok::Percent,
+                    '.' => {
+                        if two(&mut chars, '.') {
+                            col += 1;
+                            Tok::DotDot
+                        } else {
+                            Tok::Dot
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::EqEq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            col += 1;
+                            Tok::AndAnd
+                        } else {
+                            return Err(Diagnostic::new(
+                                DiagCode::E001,
+                                "unexpected character `&` (did you mean `&&`?)",
+                                span.line,
+                                span.col,
+                            ));
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            col += 1;
+                            Tok::OrOr
+                        } else {
+                            return Err(Diagnostic::new(
+                                DiagCode::E001,
+                                "unexpected character `|` (did you mean `||`?)",
+                                span.line,
+                                span.col,
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(Diagnostic::new(
+                            DiagCode::E001,
+                            format!("unexpected character `{other}`"),
+                            span.line,
+                            span.col,
+                        ));
+                    }
+                };
+                out.push(Spanned { tok, span });
+            }
+        }
+    }
+
+    out.push(Spanned { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            toks("spec s { a.ret == (true, 3); }"),
+            vec![
+                Tok::Ident("spec".into()),
+                Tok::Ident("s".into()),
+                Tok::LBrace,
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("ret".into()),
+                Tok::EqEq,
+                Tok::LParen,
+                Tok::Ident("true".into()),
+                Tok::Comma,
+                Tok::Int(3),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotdot_vs_dot() {
+        assert_eq!(toks("0 .. 16"), vec![Tok::Int(0), Tok::DotDot, Tok::Int(16), Tok::Eof]);
+        assert_eq!(toks("0..16"), vec![Tok::Int(0), Tok::DotDot, Tok::Int(16), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        assert_eq!(toks("// x\n# y\nfoo"), vec![Tok::Ident("foo".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn e001_unexpected_char() {
+        let d = lex("spec s @").unwrap_err();
+        assert_eq!(d.code, DiagCode::E001);
+        assert_eq!((d.line, d.col), (1, 8));
+    }
+
+    #[test]
+    fn e001_lone_ampersand() {
+        let d = lex("a & b").unwrap_err();
+        assert_eq!(d.code, DiagCode::E001);
+        assert!(d.message.contains("&&"));
+    }
+
+    #[test]
+    fn e002_overflow() {
+        let d = lex("99999999999999999999").unwrap_err();
+        assert_eq!(d.code, DiagCode::E002);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= != ! && ||"),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::NotEq,
+                Tok::Bang,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Eof,
+            ]
+        );
+    }
+}

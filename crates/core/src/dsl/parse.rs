@@ -1,0 +1,557 @@
+//! Recursive-descent parser over the token stream. Emits the `E1xx`
+//! family (`E101` unexpected token, `E102` unexpected end of file, `E103`
+//! unknown item, `E104` unknown spec kind, `E105` unknown type) plus the
+//! structurally-detected `E205` (a field other than `.arg`/`.ret`).
+
+use super::ast::*;
+use super::lex::{Span, Spanned, Tok};
+use super::{DiagCode, Diagnostic};
+
+pub(crate) fn parse(tokens: &[Spanned]) -> Result<FileAst, Diagnostic> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut specs = Vec::new();
+    while !p.at_eof() {
+        specs.push(p.spec()?);
+    }
+    Ok(FileAst { specs })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &'a Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> &'a Spanned {
+        let t = &self.tokens[self.pos];
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        let span = self.span();
+        Diagnostic::new(code, message, span.line, span.col)
+    }
+
+    /// `E101`, or `E102` when the surprise is the end of the file.
+    fn unexpected(&self, wanted: &str) -> Diagnostic {
+        if self.at_eof() {
+            self.err(DiagCode::E102, format!("expected {wanted}, found end of file"))
+        } else {
+            self.err(
+                DiagCode::E101,
+                format!("expected {wanted}, found {}", self.peek().describe()),
+            )
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, wanted: &str) -> Result<Span, Diagnostic> {
+        if self.peek() == tok {
+            Ok(self.bump().span)
+        } else {
+            Err(self.unexpected(wanted))
+        }
+    }
+
+    fn ident(&mut self, wanted: &str) -> Result<(String, Span), Diagnostic> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let span = self.span();
+                let s = s.clone();
+                self.bump();
+                Ok((s, span))
+            }
+            _ => Err(self.unexpected(wanted)),
+        }
+    }
+
+    /// Consumes a specific keyword (which lexes as an identifier).
+    fn keyword(&mut self, kw: &str) -> Result<Span, Diagnostic> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => Ok(self.bump().span),
+            _ => Err(self.unexpected(&format!("`{kw}`"))),
+        }
+    }
+
+    fn spec(&mut self) -> Result<SpecAst, Diagnostic> {
+        self.keyword("spec")?;
+        let (name, name_span) = self.ident("a specification name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        loop {
+            if matches!(self.peek(), Tok::RBrace) {
+                self.bump();
+                break;
+            }
+            if self.at_eof() {
+                return Err(self.unexpected("`}` closing the spec body"));
+            }
+            items.push(self.item()?);
+        }
+        Ok(SpecAst { name, name_span, items })
+    }
+
+    fn item(&mut self) -> Result<ItemAst, Diagnostic> {
+        let span = self.span();
+        let head = match self.peek() {
+            Tok::Ident(s) => s.clone(),
+            _ => return Err(self.unexpected("an item (`kind`, `element`, `var`, `rule` or `complete`)")),
+        };
+        match head.as_str() {
+            "kind" => {
+                self.bump();
+                let (k, kspan) = self.ident("`seq` or `ca`")?;
+                let seq = match k.as_str() {
+                    "seq" => true,
+                    "ca" => false,
+                    other => {
+                        return Err(Diagnostic::new(
+                            DiagCode::E104,
+                            format!("unknown spec kind `{other}`; expected `seq` or `ca`"),
+                            kspan.line,
+                            kspan.col,
+                        ));
+                    }
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(ItemAst::Kind { seq, span })
+            }
+            "element" => {
+                self.bump();
+                let cap = match self.peek() {
+                    Tok::Int(n) => {
+                        let n = *n;
+                        self.bump();
+                        n
+                    }
+                    _ => return Err(self.unexpected("an element size")),
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(ItemAst::Element { cap, span })
+            }
+            "var" => {
+                self.bump();
+                let (name, _) = self.ident("a variable name")?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let (tyname, tyspan) = self.ident("a type (`int`, `bool` or `list`)")?;
+                let ty = match tyname.as_str() {
+                    "int" => TyAst::Int,
+                    "bool" => TyAst::Bool,
+                    "list" => TyAst::List,
+                    other => {
+                        return Err(Diagnostic::new(
+                            DiagCode::E105,
+                            format!("unknown type `{other}`; expected `int`, `bool` or `list`"),
+                            tyspan.line,
+                            tyspan.col,
+                        ));
+                    }
+                };
+                let init = if matches!(self.peek(), Tok::Assign) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(ItemAst::Var { name, ty, init, span })
+            }
+            "rule" => {
+                self.bump();
+                let (name, _) = self.ident("a rule name")?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let mut bindings = Vec::new();
+                loop {
+                    let bspan = self.span();
+                    let (bname, _) = self.ident("a binding name")?;
+                    let method = if matches!(self.peek(), Tok::Colon) {
+                        self.bump();
+                        Some(self.ident("a method name")?.0)
+                    } else {
+                        None
+                    };
+                    bindings.push(BindingAst { name: bname, method, span: bspan });
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                self.expect(&Tok::LBrace, "`{`")?;
+                let mut whens = Vec::new();
+                let mut effects = Vec::new();
+                loop {
+                    match self.peek() {
+                        Tok::RBrace => {
+                            self.bump();
+                            break;
+                        }
+                        Tok::Ident(s) if s == "when" => {
+                            self.bump();
+                            whens.push(self.expr()?);
+                            self.expect(&Tok::Semi, "`;`")?;
+                        }
+                        Tok::Ident(s) if s == "effect" => {
+                            let espan = self.span();
+                            self.bump();
+                            let (var, _) = self.ident("a state variable name")?;
+                            self.expect(&Tok::Assign, "`=`")?;
+                            let value = self.expr()?;
+                            self.expect(&Tok::Semi, "`;`")?;
+                            effects.push(EffectAst { var, value, span: espan });
+                        }
+                        Tok::Ident(other) => {
+                            let other = other.clone();
+                            return Err(self.err(
+                                DiagCode::E103,
+                                format!("unknown item `{other}` in rule body; expected `when` or `effect`"),
+                            ));
+                        }
+                        _ => return Err(self.unexpected("`when`, `effect` or `}`")),
+                    }
+                }
+                Ok(ItemAst::Rule { name, bindings, whens, effects, span })
+            }
+            "complete" => {
+                self.bump();
+                let (method, _) = self.ident("a method name")?;
+                self.expect(&Tok::LBrace, "`{`")?;
+                let items = self.completion_items(false)?;
+                Ok(ItemAst::Complete { method, items, span })
+            }
+            other => Err(self.err(
+                DiagCode::E103,
+                format!(
+                    "unknown item `{other}` in spec body; expected `kind`, `element`, `var`, `rule` or `complete`"
+                ),
+            )),
+        }
+    }
+
+    /// Parses completion items up to and including the closing `}`.
+    fn completion_items(&mut self, in_peer: bool) -> Result<Vec<CompletionAst>, Diagnostic> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::RBrace => {
+                    self.bump();
+                    return Ok(items);
+                }
+                Tok::Ident(s) if s == "yield" => {
+                    let span = self.span();
+                    self.bump();
+                    let value = self.expr()?;
+                    if matches!(self.peek(), Tok::DotDot) {
+                        self.bump();
+                        let hi = self.expr()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        items.push(CompletionAst::YieldRange { lo: value, hi, span });
+                    } else {
+                        self.expect(&Tok::Semi, "`;`")?;
+                        items.push(CompletionAst::Yield { value });
+                    }
+                }
+                Tok::Ident(s) if s == "for" && !in_peer => {
+                    let span = self.span();
+                    self.bump();
+                    self.keyword("peer")?;
+                    let (method, _) = self.ident("a method name")?;
+                    self.expect(&Tok::LBrace, "`{`")?;
+                    let inner = self.completion_items(true)?;
+                    items.push(CompletionAst::ForPeer { method, items: inner, span });
+                }
+                Tok::Ident(other) => {
+                    let other = other.clone();
+                    let wanted =
+                        if in_peer { "`yield` (peer blocks do not nest)" } else { "`yield` or `for peer`" };
+                    return Err(self.err(
+                        DiagCode::E103,
+                        format!("unknown item `{other}` in completion body; expected {wanted}"),
+                    ));
+                }
+                _ => return Err(self.unexpected("`yield`, `for peer` or `}`")),
+            }
+        }
+    }
+
+    // ---- expressions: precedence climbing --------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Tok::OrOr) {
+            let span = lhs.span;
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = ExprAst { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Tok::AndAnd) {
+            let span = lhs.span;
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = ExprAst { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let span = lhs.span;
+        self.bump();
+        let rhs = self.add_expr()?;
+        // Comparisons do not chain (`a < b < c` is a syntax error), same
+        // as Rust.
+        Ok(ExprAst { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span })
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = lhs.span;
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = ExprAst { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let span = lhs.span;
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = ExprAst { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(ExprAst { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), span })
+            }
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(ExprAst { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), span })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<ExprAst, Diagnostic> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Int(n) => {
+                let n = *n;
+                self.bump();
+                Ok(ExprAst { kind: ExprKind::Int(n), span })
+            }
+            Tok::LParen => {
+                self.bump();
+                if matches!(self.peek(), Tok::RParen) {
+                    self.bump();
+                    return Ok(ExprAst { kind: ExprKind::Unit, span });
+                }
+                let first = self.expr()?;
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                    let second = self.expr()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(ExprAst { kind: ExprKind::Pair(Box::new(first), Box::new(second)), span })
+                } else {
+                    self.expect(&Tok::RParen, "`)` or `,`")?;
+                    Ok(first)
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !matches!(self.peek(), Tok::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(ExprAst { kind: ExprKind::List(elems), span })
+            }
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(ExprAst { kind: ExprKind::Bool(true), span }),
+                    "false" => return Ok(ExprAst { kind: ExprKind::Bool(false), span }),
+                    "unit" => return Ok(ExprAst { kind: ExprKind::Unit, span }),
+                    _ => {}
+                }
+                match self.peek() {
+                    Tok::Dot => {
+                        self.bump();
+                        let (field, fspan) = self.ident("`arg` or `ret`")?;
+                        let field = match field.as_str() {
+                            "arg" => OpField::Arg,
+                            "ret" => OpField::Ret,
+                            other => {
+                                return Err(Diagnostic::new(
+                                    DiagCode::E205,
+                                    format!(
+                                        "unknown operation field `{other}`; operations have `arg` and `ret`"
+                                    ),
+                                    fspan.line,
+                                    fspan.col,
+                                ));
+                            }
+                        };
+                        Ok(ExprAst { kind: ExprKind::Field(name, field), span })
+                    }
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if matches!(self.peek(), Tok::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "`)`")?;
+                        Ok(ExprAst { kind: ExprKind::Call { name, name_span: span, args }, span })
+                    }
+                    _ => Ok(ExprAst { kind: ExprKind::Name(name), span }),
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lex::lex;
+    use super::*;
+
+    fn parse_src(src: &str) -> Result<FileAst, Diagnostic> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_spec_parses() {
+        let f = parse_src("spec s { kind seq; }").unwrap();
+        assert_eq!(f.specs.len(), 1);
+        assert_eq!(f.specs[0].name, "s");
+    }
+
+    #[test]
+    fn e101_top_level_garbage() {
+        let d = parse_src("species s {}").unwrap_err();
+        assert_eq!(d.code, DiagCode::E101);
+        assert!(d.message.contains("`spec`"));
+    }
+
+    #[test]
+    fn e102_unclosed_body() {
+        let d = parse_src("spec s { kind seq;").unwrap_err();
+        assert_eq!(d.code, DiagCode::E102);
+    }
+
+    #[test]
+    fn e103_unknown_item() {
+        let d = parse_src("spec s { banana 3; }").unwrap_err();
+        assert_eq!(d.code, DiagCode::E103);
+        assert!(d.message.contains("banana"));
+    }
+
+    #[test]
+    fn e104_unknown_kind() {
+        let d = parse_src("spec s { kind quantum; }").unwrap_err();
+        assert_eq!(d.code, DiagCode::E104);
+    }
+
+    #[test]
+    fn e105_unknown_type() {
+        let d = parse_src("spec s { kind seq; var x: set; }").unwrap_err();
+        assert_eq!(d.code, DiagCode::E105);
+    }
+
+    #[test]
+    fn e205_unknown_field() {
+        let d = parse_src("spec s { kind seq; rule r(a) { when a.val == 3; } }").unwrap_err();
+        assert_eq!(d.code, DiagCode::E205);
+    }
+
+    #[test]
+    fn precedence_reads_naturally() {
+        // a.ret == n && b.ret == n + 1  parses as  (a.ret == n) && (b.ret == (n + 1))
+        let f = parse_src("spec s { kind seq; rule r(a, b) { when a.ret == n && b.ret == n + 1; } }")
+            .unwrap();
+        let ItemAst::Rule { whens, .. } = &f.specs[0].items[1] else { panic!() };
+        let ExprKind::Binary(BinOp::And, _, _) = &whens[0].kind else { panic!("expected && at top") };
+    }
+
+    #[test]
+    fn range_yield_parses() {
+        let f = parse_src("spec s { kind seq; complete inc { yield 0 .. 16; } }").unwrap();
+        let ItemAst::Complete { items, .. } = &f.specs[0].items[1] else { panic!() };
+        assert!(matches!(items[0], CompletionAst::YieldRange { .. }));
+    }
+
+    #[test]
+    fn empty_file_is_parseable() {
+        // "no specs" is E212, a validation error, not a parse error.
+        assert!(parse_src("").unwrap().specs.is_empty());
+    }
+}

@@ -78,6 +78,7 @@ pub mod agree;
 pub mod bitset;
 pub mod check;
 pub mod compose;
+pub mod dsl;
 pub mod engine;
 pub mod format;
 pub mod fpmemo;

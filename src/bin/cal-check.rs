@@ -6,11 +6,12 @@
 //! unless `--format` pins it.
 //!
 //! ```text
-//! Usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]
-//!                  [--format auto|native|jepsen|kvlog]
+//! Usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval]
+//!                  [--object <N>] [--format auto|native|jepsen|kvlog]
 //!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!                  [--stats] [--stats-json <PATH>] [--explain]
-//!        cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]
+//!        cal-check <SPEC> --batch <DIR> [--spec <FILE.cal>]
+//!                  [--mode cal|seq|interval] [--object <N>]
 //!                  [--format auto|native|jepsen|kvlog]
 //!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
@@ -32,6 +33,15 @@
 //! input, first contentful line wins). The `kv` spec — a map of
 //! independent per-key integer registers — is the natural spec for
 //! imported jepsen/kvlog traces and works in every `--mode`.
+//!
+//! `--spec <FILE.cal>` loads user-written specifications from a `.cal`
+//! file (see `docs/SPEC_DSL.md`) at runtime; a compile failure prints the
+//! diagnostic (code, message, line and column) and exits 3. Loaded spec
+//! names *shadow* the built-ins, so a file may deliberately redefine
+//! `register`. If the file defines exactly one spec, the positional SPEC
+//! may be omitted; with several, name one. Mode gating is as for the
+//! built-ins: `kind seq` specs check in every `--mode`, `kind ca` specs
+//! only under `--mode cal`.
 //!
 //! `--mode` selects the checker all three of which run on the shared
 //! search kernel: `cal` (concurrency-aware linearizability; sequential
@@ -78,6 +88,7 @@ use std::time::{Duration, Instant};
 use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
 use cal::chaos::Profile;
 use cal::core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, Verdict};
+use cal::core::dsl::{self, SpecDef};
 use cal::core::interval::{
     check_interval_par_with, check_interval_with, IntervalSpec, IntervalWitness, SeqAsInterval,
 };
@@ -117,11 +128,12 @@ macro_rules! errln {
 
 fn usage() -> io::Result<ExitCode> {
     errln!(
-        "usage: cal-check <SPEC> <FILE> [--mode cal|seq|interval] [--object <N>]\n\
-         \x20                [--format auto|native|jepsen|kvlog]\n\
+        "usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval]\n\
+         \x20                [--object <N>] [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20                [--no-symmetry] [--stats] [--stats-json <PATH>] [--explain]\n\
-         \x20      cal-check <SPEC> --batch <DIR> [--mode cal|seq|interval] [--object <N>]\n\
+         \x20      cal-check <SPEC> --batch <DIR> [--spec <FILE.cal>]\n\
+         \x20                [--mode cal|seq|interval] [--object <N>]\n\
          \x20                [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
@@ -136,6 +148,9 @@ fn usage() -> io::Result<ExitCode> {
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
          M:       cal | seq | interval (file/batch; default cal) — deterministic | stress (chaos)\n\
          \n\
+         --spec         load user specs from a .cal file (docs/SPEC_DSL.md); loaded\n\
+         \x20              names shadow built-ins, and with a single-spec file the\n\
+         \x20              positional SPEC may be omitted\n\
          --format       input trace format; auto (default) sniffs each input\n\
          --max-nodes    search node budget; exhausting it is verdict `undecided` (exit 2)\n\
          --no-symmetry  disable symmetry reduction over interchangeable ops (file mode)\n\
@@ -173,6 +188,7 @@ fn main() -> ExitCode {
 fn try_main() -> io::Result<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_name = None;
+    let mut spec_file: Option<String> = None;
     let mut file = None;
     let mut batch = None;
     let mut object = None;
@@ -208,6 +224,10 @@ fn try_main() -> io::Result<ExitCode> {
             },
             "--batch" => match it.next() {
                 Some(d) => batch = Some(d.clone()),
+                None => return usage(),
+            },
+            "--spec" => match it.next() {
+                Some(p) => spec_file = Some(p.clone()),
                 None => return usage(),
             },
             "--seed" => match it.next().and_then(|n| parse_seed(n)) {
@@ -272,7 +292,12 @@ fn try_main() -> io::Result<ExitCode> {
     }
 
     if let Some(profile) = chaos_profile {
-        if spec_name.is_some() || file.is_some() || batch.is_some() || checker_mode.is_some() {
+        if spec_name.is_some()
+            || spec_file.is_some()
+            || file.is_some()
+            || batch.is_some()
+            || checker_mode.is_some()
+        {
             return usage();
         }
         if stats
@@ -305,15 +330,71 @@ fn try_main() -> io::Result<ExitCode> {
     }
     let mode = checker_mode.unwrap_or(CheckerMode::Cal);
 
-    let Some(spec_name) = spec_name else {
-        return usage();
+    // Loading happens before any history is read, so a bad .cal file
+    // fails fast (exit 3) even when the input would come from stdin.
+    let loaded: Option<dsl::SpecFile> = match &spec_file {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    errln!("cal-check: cannot read {path}: {e}")?;
+                    return Ok(ExitCode::from(EXIT_ERROR));
+                }
+            };
+            match dsl::parse_str(&src) {
+                Ok(f) => Some(f),
+                Err(diag) => {
+                    errln!("cal-check: {path}: {diag}")?;
+                    return Ok(ExitCode::from(EXIT_ERROR));
+                }
+            }
+        }
+        None => None,
     };
-    if !known_spec(&spec_name) {
-        errln!("cal-check: unknown spec {spec_name:?}")?;
-        return usage();
+    // With --spec, a single positional that names no loaded spec is the
+    // input file — `cal-check --spec one.cal trace.hist` just works.
+    if let Some(sf) = &loaded {
+        if file.is_none() {
+            if let Some(name) = &spec_name {
+                if sf.get(name).is_none() {
+                    file = spec_name.take();
+                }
+            }
+        }
     }
-    if !spec_supports(&spec_name, mode) {
-        errln!("cal-check: spec {spec_name:?} is not checkable in this --mode")?;
+
+    let selected = match (&loaded, &spec_name) {
+        (Some(sf), Some(name)) => match sf.get(name) {
+            Some(def) => Selected::Loaded(Arc::clone(def)),
+            None if known_spec(name) => Selected::Builtin(name.clone()),
+            None => {
+                errln!("cal-check: unknown spec {name:?} (not in {} either)", spec_file.unwrap())?;
+                return usage();
+            }
+        },
+        (Some(sf), None) => match sf.specs() {
+            [only] => Selected::Loaded(Arc::clone(only)),
+            many => {
+                errln!(
+                    "cal-check: {} defines {} specs ({}); name one as the SPEC argument",
+                    spec_file.unwrap(),
+                    many.len(),
+                    sf.names().join(", ")
+                )?;
+                return usage();
+            }
+        },
+        (None, Some(name)) => {
+            if !known_spec(name) {
+                errln!("cal-check: unknown spec {name:?}")?;
+                return usage();
+            }
+            Selected::Builtin(name.clone())
+        }
+        (None, None) => return usage(),
+    };
+    if !selected.supports(mode) {
+        errln!("cal-check: spec {:?} is not checkable in this --mode", selected.name())?;
         return usage();
     }
 
@@ -322,7 +403,7 @@ fn try_main() -> io::Result<ExitCode> {
             return usage();
         }
         return run_batch(
-            &spec_name,
+            &selected,
             mode,
             trace_format,
             &dir,
@@ -353,7 +434,7 @@ fn try_main() -> io::Result<ExitCode> {
     }
     let want_report = stats || explain || stats_json.is_some();
     let (checked, report) =
-        check_input(&spec_name, mode, trace_format, &input, object, &options, want_report);
+        check_input(&selected, mode, trace_format, &input, object, &options, want_report);
     if let Some(report) = &report {
         if stats {
             errln!("stats: {}", report.summary())?;
@@ -433,6 +514,33 @@ enum Checked {
     Error(String),
 }
 
+/// The specification a file/batch invocation checks against: a built-in
+/// (by name) or a spec compiled from a `--spec` file. Loaded specs shadow
+/// built-ins on name collision.
+#[derive(Clone)]
+enum Selected {
+    Builtin(String),
+    Loaded(Arc<SpecDef>),
+}
+
+impl Selected {
+    fn name(&self) -> &str {
+        match self {
+            Selected::Builtin(name) => name,
+            Selected::Loaded(def) => def.name(),
+        }
+    }
+
+    /// Mode gating, uniform with the built-ins: sequential specs check
+    /// everywhere, concurrency-aware specs only under `--mode cal`.
+    fn supports(&self, mode: CheckerMode) -> bool {
+        match self {
+            Selected::Builtin(name) => spec_supports(name, mode),
+            Selected::Loaded(def) => def.is_sequential() || mode == CheckerMode::Cal,
+        }
+    }
+}
+
 fn known_spec(name: &str) -> bool {
     matches!(
         name,
@@ -472,7 +580,7 @@ fn spec_supports(name: &str, mode: CheckerMode) -> bool {
 /// failures (nested invocation, mismatched response) name the offending
 /// input line.
 fn check_input(
-    spec_name: &str,
+    selected: &Selected,
     mode: CheckerMode,
     trace_format: Option<Format>,
     input: &str,
@@ -497,7 +605,15 @@ fn check_input(
     const INT: &str = "interval-linearizable";
     match mode {
         CheckerMode::Cal => {
-            let (result, adjective) = match spec_name {
+            if let Selected::Loaded(def) = selected {
+                // A seq-kind spec lifted to singleton elements is checked
+                // for classical linearizability, same as SeqAsCa built-ins.
+                let adjective = if def.is_sequential() { LIN } else { CA };
+                let result = run_ca(&history, &def.to_ca(object), &options);
+                return render(result, adjective, format_trace, &sink, &options, start);
+            }
+            let Selected::Builtin(spec_name) = selected else { unreachable!() };
+            let (result, adjective) = match spec_name.as_str() {
                 "exchanger" => (run_ca(&history, &ExchangerSpec::new(object), &options), CA),
                 "elim-array" => (run_ca(&history, &ElimArraySpec::new(object), &options), CA),
                 "sync-queue" => (run_ca(&history, &SyncQueueSpec::new(object), &options), CA),
@@ -522,7 +638,20 @@ fn check_input(
             render(result, adjective, format_trace, &sink, &options, start)
         }
         CheckerMode::Seq => {
-            let result = match spec_name {
+            if let Selected::Loaded(def) = selected {
+                let result = match def.to_seq(object) {
+                    Some(spec) => run_seq(&history, &spec, &options),
+                    None => {
+                        return (
+                            Checked::Error(format!("spec {:?} is not sequential", def.name())),
+                            None,
+                        )
+                    }
+                };
+                return render(result, LIN, format_trace, &sink, &options, start);
+            }
+            let Selected::Builtin(spec_name) = selected else { unreachable!() };
+            let result = match spec_name.as_str() {
                 "stack" => run_seq(&history, &StackSpec::total(object), &options),
                 "failing-stack" => run_seq(&history, &StackSpec::failing(object), &options),
                 "register" => run_seq(&history, &RegisterSpec::new(object), &options),
@@ -535,7 +664,23 @@ fn check_input(
             render(result, LIN, format_trace, &sink, &options, start)
         }
         CheckerMode::Interval => {
-            let result = match spec_name {
+            if let Selected::Loaded(def) = selected {
+                let result = match def.to_seq(object) {
+                    Some(spec) => run_interval(&history, &SeqAsInterval::new(spec), &options),
+                    None => {
+                        return (
+                            Checked::Error(format!(
+                                "spec {:?} has no interval reading",
+                                def.name()
+                            )),
+                            None,
+                        )
+                    }
+                };
+                return render(result, INT, format_interval_witness, &sink, &options, start);
+            }
+            let Selected::Builtin(spec_name) = selected else { unreachable!() };
+            let result = match spec_name.as_str() {
                 "write-snapshot" => {
                     run_interval(&history, &WriteSnapshotSpec::new(object, 4), &options)
                 }
@@ -661,7 +806,7 @@ where
 /// may mix native, jepsen, and kvlog traces.
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
-    spec_name: &str,
+    selected: &Selected,
     mode: CheckerMode,
     trace_format: Option<Format>,
     dir: &str,
@@ -700,7 +845,7 @@ fn run_batch(
                 let Some(path) = files.get(idx) else { break };
                 let checked = match std::fs::read_to_string(path) {
                     Ok(input) => {
-                        check_input(spec_name, mode, trace_format, &input, object, &options, false)
+                        check_input(selected, mode, trace_format, &input, object, &options, false)
                             .0
                     }
                     Err(e) => Checked::Error(format!("cannot read: {e}")),

@@ -5,13 +5,20 @@
 //! continuously in the `--stats-json` wire format.
 //!
 //! ```text
-//! Usage: cal-serve <SPEC> [--format <F>] [--object <N>] [--window <N>]
-//!                  [--checkpoint-every <N>] [--max-states <N>] [--max-nodes <N>]
-//!                  [--deadline-ms <N>] [--error-budget <N>] [--listen <ADDR:PORT>]
-//!                  [--ack] [--stats-json <PATH|->] [--stats-every <N>] [--quiet]
+//! Usage: cal-serve <SPEC> [--spec <FILE.cal>] [--format <F>] [--object <N>]
+//!                  [--window <N>] [--checkpoint-every <N>] [--max-states <N>]
+//!                  [--max-nodes <N>] [--deadline-ms <N>] [--error-budget <N>]
+//!                  [--listen <ADDR:PORT>] [--ack] [--stats-json <PATH|->]
+//!                  [--stats-every <N>] [--quiet]
 //!
 //!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
 //!            stack | failing-stack | register | counter | kv  (sequential)
+//!
+//!   --spec <FILE.cal>       load user specs from a .cal file
+//!                           (docs/SPEC_DSL.md) — loaded names shadow the
+//!                           built-ins; with a single-spec file the
+//!                           positional SPEC may be omitted; a compile
+//!                           failure prints the diagnostic and exits 3
 //!
 //!   --format <F>            wire format: auto (default) | native | jepsen |
 //!                           kvlog — auto sniffs the first contentful line and
@@ -102,6 +109,7 @@ use cal::cli::{
     EXIT_REJECTED, EXIT_UNDECIDED, EXIT_USAGE,
 };
 use cal::core::check::CheckOptions;
+use cal::core::dsl;
 use cal::core::format::{Format, StreamDecoder, WireItem};
 use cal::core::spec::{CaSpec, SeqAsCa};
 use cal::core::stream::{Push, StreamChecker, StreamOptions, StreamVerdict, UndecidedWhy};
@@ -126,14 +134,17 @@ macro_rules! errln {
 
 fn usage() -> io::Result<ExitCode> {
     errln!(
-        "usage: cal-serve <SPEC> [--format auto|native|jepsen|kvlog] [--object <N>]\n\
-         \x20                [--window <N>] [--checkpoint-every <N>] [--max-states <N>]\n\
-         \x20                [--max-nodes <N>] [--deadline-ms <N>] [--error-budget <N>]\n\
-         \x20                [--listen <ADDR:PORT>] [--ack]\n\
+        "usage: cal-serve <SPEC> [--spec <FILE.cal>] [--format auto|native|jepsen|kvlog]\n\
+         \x20                [--object <N>] [--window <N>] [--checkpoint-every <N>]\n\
+         \x20                [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]\n\
+         \x20                [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]\n\
          \x20                [--stats-json <PATH|->] [--stats-every <N>] [--quiet]\n\
          \n\
          SPEC: exchanger | elim-array | sync-queue | dual-stack | stack | failing-stack |\n\
          \x20     register | counter | kv\n\
+         \n\
+         --spec loads user specs from a .cal file (docs/SPEC_DSL.md); loaded names\n\
+         shadow built-ins, and with a single-spec file SPEC may be omitted\n\
          \n\
          events on stdin (or per TCP client): one event per line in the native,\n\
          jepsen, or kvlog format (--format auto sniffs the first line and latches);\n\
@@ -176,6 +187,7 @@ fn main() -> ExitCode {
 fn try_main() -> io::Result<ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_name: Option<String> = None;
+    let mut spec_file: Option<String> = None;
     let mut cfg = Cfg {
         format: None,
         object: ObjectId(0),
@@ -237,6 +249,10 @@ fn try_main() -> io::Result<ExitCode> {
                 Some(addr) => cfg.listen = Some(addr.clone()),
                 None => return usage(),
             },
+            "--spec" => match it.next() {
+                Some(p) => spec_file = Some(p.clone()),
+                None => return usage(),
+            },
             "--ack" => cfg.ack = true,
             "--stats-json" => match it.next() {
                 Some(p) => cfg.stats_json = Some(p.clone()),
@@ -250,6 +266,44 @@ fn try_main() -> io::Result<ExitCode> {
             "-h" | "--help" => return usage(),
             _ if spec_name.is_none() => spec_name = Some(a.clone()),
             _ => return usage(),
+        }
+    }
+    // `--spec` loads and compiles before any event is read, so a bad
+    // .cal file fails fast with its diagnostic (exit 3). Loaded names
+    // shadow built-ins, same policy as cal-check.
+    if let Some(path) = &spec_file {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                errln!("cal-serve: cannot read {path}: {e}")?;
+                return Ok(ExitCode::from(EXIT_ERROR));
+            }
+        };
+        let loaded = match dsl::parse_str(&src) {
+            Ok(f) => f,
+            Err(diag) => {
+                errln!("cal-serve: {path}: {diag}")?;
+                return Ok(ExitCode::from(EXIT_ERROR));
+            }
+        };
+        let def = match (&spec_name, loaded.specs()) {
+            (Some(name), _) => match loaded.get(name) {
+                Some(def) => Some(Arc::clone(def)),
+                None => None, // fall through to the built-in dispatch
+            },
+            (None, [only]) => Some(Arc::clone(only)),
+            (None, many) => {
+                errln!(
+                    "cal-serve: {path} defines {} specs ({}); name one as the SPEC argument",
+                    many.len(),
+                    loaded.names().join(", ")
+                )?;
+                return usage();
+            }
+        };
+        if let Some(def) = def {
+            install_shutdown_handler();
+            return run(def.to_ca(cfg.object), &cfg);
         }
     }
     let Some(spec_name) = spec_name else {

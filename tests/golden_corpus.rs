@@ -12,12 +12,22 @@
 //! `undecided` (budget exhausted under the fixture's `# max-nodes:`,
 //! exit 2) and `error` (the file must fail to parse with a line-anchored
 //! diagnostic, exit 3).
+//!
+//! A second corpus under `tests/corpus/dsl/` holds malformed `.cal` spec
+//! files. Each carries `# expect-code:`, `# expect-line:`, `# expect-col:`
+//! and `# expect-message:` headers pinning the diagnostic the DSL
+//! front-end must produce, both through the library ([`dsl::parse_str`])
+//! and through `cal-check --spec` (exit 3, code and position on stderr).
+//! Finally, the shipped `specs/*.cal` programs are replayed over every
+//! history fixture their family owns and must land on the same exit code
+//! as the built-in Rust spec they mirror.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
+use cal::core::dsl;
 use cal::core::format::{parse_as, Format};
 use cal::core::par::check_cal_par_with;
 use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
@@ -266,6 +276,160 @@ fn corpus_covers_both_verdict_classes_per_spec_family() {
     let cal = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::Cal);
     let not = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::NotCal);
     assert!(cal && not, "exchanger fixtures must cover both verdicts");
+}
+
+/// A malformed-spec fixture from `tests/corpus/dsl/`: the `.cal` source
+/// plus the diagnostic it must produce.
+struct DslFixture {
+    name: String,
+    path: PathBuf,
+    text: String,
+    code: String,
+    line: u32,
+    col: u32,
+    message: String,
+}
+
+fn load_dsl_corpus() -> Vec<DslFixture> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/dsl");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cal"))
+        .collect();
+    paths.sort();
+    let mut fixtures = Vec::new();
+    for path in paths {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let header = |key: &str| -> Option<String> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("# {key}:")))
+                .map(|rest| rest.trim().to_string())
+        };
+        let required =
+            |key: &str| header(key).unwrap_or_else(|| panic!("{name}: missing `# {key}:` header"));
+        fixtures.push(DslFixture {
+            code: required("expect-code"),
+            line: required("expect-line").parse().unwrap(),
+            col: required("expect-col").parse().unwrap(),
+            message: required("expect-message"),
+            name,
+            path,
+            text,
+        });
+    }
+    fixtures
+}
+
+/// Every malformed `.cal` fixture fails compilation with exactly the
+/// pinned diagnostic code, position and message substring — and the
+/// corpus covers every diagnostic code the DSL defines, so no code can
+/// be added without a fixture demonstrating it.
+#[test]
+fn dsl_corpus_diagnostics_pin_code_and_position() {
+    let fixtures = load_dsl_corpus();
+    let mut covered = std::collections::HashSet::new();
+    for fx in &fixtures {
+        let diag = dsl::parse_str(&fx.text)
+            .err()
+            .unwrap_or_else(|| panic!("{}: expected a diagnostic, but the file compiled", fx.name));
+        assert_eq!(diag.code.as_str(), fx.code, "{}: wrong code: {diag}", fx.name);
+        assert_eq!((diag.line, diag.col), (fx.line, fx.col), "{}: wrong position: {diag}", fx.name);
+        assert!(
+            diag.message.contains(&fx.message),
+            "{}: message {:?} does not contain {:?}",
+            fx.name,
+            diag.message,
+            fx.message
+        );
+        covered.insert(fx.code.clone());
+    }
+    for code in dsl::DiagCode::ALL {
+        assert!(
+            covered.contains(code.as_str()),
+            "no tests/corpus/dsl/ fixture triggers {}",
+            code.as_str()
+        );
+    }
+}
+
+/// The same fixtures through the binary: `cal-check --spec bad.cal` must
+/// exit 3 before reading any input, printing the pinned code and position.
+#[test]
+fn dsl_corpus_diagnostics_through_the_binary() {
+    let exe = env!("CARGO_BIN_EXE_cal-check");
+    for fx in &load_dsl_corpus() {
+        let out = Command::new(exe)
+            .arg("--spec")
+            .arg(&fx.path)
+            .arg("-")
+            .stdin(std::process::Stdio::null())
+            .output()
+            .unwrap_or_else(|e| panic!("{}: cannot run cal-check: {e}", fx.name));
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{}: stderr: {}",
+            fx.name,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let want = format!("error[{}]", fx.code);
+        assert!(stderr.contains(&want), "{}: stderr lacks {want}: {stderr}", fx.name);
+        let pos = format!("(line {}, column {})", fx.line, fx.col);
+        assert!(stderr.contains(&pos), "{}: stderr lacks {pos}: {stderr}", fx.name);
+    }
+}
+
+/// The history-fixture spec names that have a shipped `.cal` counterpart:
+/// `(corpus spec, .cal file, DSL spec name)`.
+const SHIPPED_DSL: &[(&str, &str, &str)] = &[
+    ("exchanger", "specs/exchanger.cal", "exchanger"),
+    ("sync-queue", "specs/sync_queue.cal", "sync_queue"),
+    ("stack", "specs/stack.cal", "stack"),
+    ("register", "specs/register.cal", "register"),
+    ("counter", "specs/counter.cal", "counter"),
+];
+
+/// Replaying the verdict corpus through `cal-check --spec` with the
+/// shipped DSL programs lands on the same exit code as the built-in
+/// specs, in every mode the built-in supports (DSL seq specs support
+/// all three modes; DSL ca specs are cal-only, like their built-ins).
+#[test]
+fn dsl_specs_match_builtins_on_golden_corpus() {
+    let exe = env!("CARGO_BIN_EXE_cal-check");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut replayed = 0;
+    for fx in &load_corpus() {
+        let Some((_, cal_file, dsl_name)) =
+            SHIPPED_DSL.iter().find(|(spec, _, _)| *spec == fx.spec)
+        else {
+            continue;
+        };
+        for mode in binary_modes(&fx.spec) {
+            let mut cmd = Command::new(exe);
+            cmd.args(["--mode", mode, "--format", format_flag(fx.format)]);
+            cmd.arg("--spec").arg(root.join(cal_file));
+            if let Some(n) = fx.max_nodes {
+                cmd.args(["--max-nodes", &n.to_string()]);
+            }
+            let out = cmd
+                .arg(dsl_name)
+                .arg(&fx.path)
+                .output()
+                .unwrap_or_else(|e| panic!("{}: cannot run cal-check: {e}", fx.name));
+            assert_eq!(
+                out.status.code(),
+                Some(fx.expect.exit_code()),
+                "{} --mode {mode} via {cal_file}: stderr: {}",
+                fx.name,
+                String::from_utf8_lossy(&out.stderr)
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 15, "only {replayed} corpus runs were replayed through the DSL");
 }
 
 /// The foreign corpus keeps its guaranteed coverage: at least a dozen
