@@ -1,0 +1,188 @@
+//! Causal fault family: weak-memory perturbations of a recorded history,
+//! rendered as *annotated* kvlog wire text. Where [`crate::foreign_faults`]
+//! models a trace collector losing information (crashes, partitions),
+//! this family models the *machine* reordering it: the history's
+//! real-time order is relaxed into a store-buffering or out-of-order
+//! happens-before sub-order ([`cal_sim::weakmem`]), and the surviving
+//! cross-thread edges are emitted as explicit kvlog `hb` lines for the
+//! causal checking mode to consume.
+//!
+//! Soundness contract (pinned by the tests, the mirror of the
+//! foreign-fault one): relaxation only ever *removes* ordering
+//! constraints, so perturbing a consistent history yields a trace that
+//! is still causally consistent — in the batch checker and in the
+//! streaming checker's causal mode alike. The family can only ever turn
+//! a rejection into an acceptance (a genuine reordering witness), never
+//! the reverse.
+
+use cal_core::causal::{causal_order, check_causal};
+use cal_core::check::Verdict;
+use cal_core::format::{format_kvlog_annotated, FormatError};
+use cal_core::History;
+use cal_sim::weakmem::{relax, WeakMemProfile};
+
+/// Renders `history` as kvlog lines annotated with the happens-before
+/// edges that survive `profile`'s relaxation at `seed`. Pure: the same
+/// inputs produce the same trace, and the result always parses under
+/// [`cal_core::format::Format::KvLog`] with
+/// [`cal_core::format::parse_annotated`] surfacing the edges.
+///
+/// With zero surviving edges the annotation degenerates to the
+/// `hb session` directive — still *annotated* (causal mode must not fall
+/// back to real time), just maximally relaxed.
+///
+/// # Errors
+///
+/// Returns [`FormatError`] when the history cannot be expressed as
+/// kvlog (non-kv methods, exotic values) — the caller picked an
+/// unsuitable history, not a fault of the seed.
+pub fn perturb_causal(
+    profile: WeakMemProfile,
+    seed: u64,
+    history: &History,
+) -> Result<String, FormatError> {
+    let edges = relax(history, profile, seed);
+    format_kvlog_annotated(history, &edges)
+}
+
+/// `true` iff the perturbed trace's surviving order still explains the
+/// history: builds the causal order from the declared edges and runs the
+/// causal membership check. The soundness tests call this on histories
+/// known to be consistent in real time and require `true`.
+pub fn causally_consistent<S: cal_core::spec::CaSpec>(
+    history: &History,
+    spec: &S,
+    edges: &[(usize, usize)],
+) -> bool {
+    let hb = causal_order(history, edges).expect("relaxed edges are well-formed");
+    matches!(check_causal(history, spec, &hb), Ok(o) if matches!(o.verdict, Verdict::Cal(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::SplitMix64;
+    use crate::foreign_faults::replay_foreign;
+    use cal_core::check::is_cal;
+    use cal_core::format::{parse_annotated, Format};
+    use cal_core::spec::SeqAsCa;
+    use cal_core::stream::{StreamOptions, StreamVerdict};
+    use cal_core::{Action, History, ObjectId, ThreadId, Value};
+    use cal_specs::kv::KvMapSpec;
+    use cal_specs::vocab::{READ, WRITE};
+    use std::collections::HashMap;
+
+    /// A sequential (hence consistent) multi-client kv history with
+    /// disjoint put/get phases, timestamp-faithful when rendered as
+    /// kvlog.
+    fn consistent_kv_history(seed: u64) -> History {
+        let mut rng = SplitMix64::new(seed);
+        let mut state: HashMap<u32, i64> = HashMap::new();
+        let mut actions = Vec::new();
+        for _ in 0..16 {
+            let t = ThreadId(rng.index(3) as u32);
+            let k = rng.index(2) as u32;
+            let key = ObjectId(k);
+            if rng.chance(128) {
+                let v = rng.index(5) as i64;
+                actions.push(Action::invoke(t, key, WRITE, Value::Int(v)));
+                actions.push(Action::response(t, key, WRITE, Value::Unit));
+                state.insert(k, v);
+            } else {
+                let v = state.get(&k).copied().unwrap_or(0);
+                actions.push(Action::invoke(t, key, READ, Value::Unit));
+                actions.push(Action::response(t, key, READ, Value::Int(v)));
+            }
+        }
+        History::from_actions(actions)
+    }
+
+    /// The store-buffering anomaly: client 1 writes 1 and completes,
+    /// then client 2 reads 0. Rejected in real time, explained once the
+    /// write's visibility edge is relaxed away.
+    fn stale_read() -> History {
+        let k = ObjectId(0);
+        History::from_actions(vec![
+            Action::invoke(ThreadId(1), k, WRITE, Value::Int(1)),
+            Action::response(ThreadId(1), k, WRITE, Value::Unit),
+            Action::invoke(ThreadId(2), k, READ, Value::Unit),
+            Action::response(ThreadId(2), k, READ, Value::Int(0)),
+        ])
+    }
+
+    #[test]
+    fn perturbations_are_deterministic_and_parse() {
+        let h = consistent_kv_history(3);
+        for profile in WeakMemProfile::ALL {
+            let a = perturb_causal(profile, 41, &h).unwrap();
+            let b = perturb_causal(profile, 41, &h).unwrap();
+            assert_eq!(a, b, "{profile}");
+            let annotated = parse_annotated(Format::KvLog, &a)
+                .unwrap_or_else(|e| panic!("{profile}: perturbed trace must parse: {e}"));
+            assert!(
+                annotated.hb_edges.is_some(),
+                "{profile}: the trace must carry causality metadata"
+            );
+        }
+    }
+
+    /// Batch soundness: a consistent history stays causally consistent
+    /// under every profile and seed — relaxation never fabricates a
+    /// violation.
+    #[test]
+    fn relaxation_is_sound_in_batch() {
+        let spec = SeqAsCa::new(KvMapSpec::new());
+        for seed in 0..12u64 {
+            let h = consistent_kv_history(seed);
+            assert!(is_cal(&h, &spec).unwrap(), "seed {seed}: baseline must be consistent");
+            for profile in WeakMemProfile::ALL {
+                let wire = perturb_causal(profile, seed.wrapping_mul(43), &h).unwrap();
+                let annotated = parse_annotated(Format::KvLog, &wire).unwrap();
+                let edges = annotated.hb_edges.expect("annotated");
+                assert!(
+                    causally_consistent(&annotated.history, &spec, &edges),
+                    "{profile} seed {seed}: relaxation fabricated a violation:\n{wire}"
+                );
+            }
+        }
+    }
+
+    /// Streaming soundness: the same traces replayed through the
+    /// streaming checker in causal mode never yield a violation and
+    /// never quarantine a line.
+    #[test]
+    fn relaxation_is_sound_in_the_stream() {
+        for profile in WeakMemProfile::ALL {
+            for seed in 0..12u64 {
+                let h = consistent_kv_history(seed);
+                let wire = perturb_causal(profile, seed.wrapping_mul(47), &h).unwrap();
+                let (verdict, quarantined) = replay_foreign(
+                    SeqAsCa::new(KvMapSpec::new()),
+                    StreamOptions { causal: true, ..StreamOptions::default() },
+                    &wire,
+                );
+                assert_ne!(
+                    verdict,
+                    StreamVerdict::Violation,
+                    "{profile} seed {seed}:\n{wire}"
+                );
+                assert_eq!(quarantined, 0, "{profile} seed {seed}");
+            }
+        }
+    }
+
+    /// The family produces genuine reordering witnesses: the stale read
+    /// is rejected in real time, but some store-buffering seed drops the
+    /// write→read visibility edge and the causal check accepts.
+    #[test]
+    fn store_buffering_produces_a_reordering_witness() {
+        let h = stale_read();
+        let spec = SeqAsCa::new(KvMapSpec::new());
+        assert!(!is_cal(&h, &spec).unwrap(), "the stale read must be rejected in real time");
+        let explained = (0..16u64).any(|seed| {
+            let edges = relax(&h, WeakMemProfile::StoreBuffering, seed);
+            edges.is_empty() && causally_consistent(&h, &spec, &edges)
+        });
+        assert!(explained, "no seed in 0..16 relaxed the visibility edge");
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use cal_core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, CheckStats, Verdict};
+use cal_core::dsl::SpecDef;
 use cal_core::par::check_cal_par_with;
 use cal_core::spec::{CaSpec, SeqAsCa};
 use cal_core::{History, ObjectId, ThreadId};
@@ -147,6 +148,11 @@ pub struct RunConfig {
     /// Worker threads for the checker (not the workload); `> 1` routes the
     /// harvested history through the parallel checker.
     pub check_threads: usize,
+    /// A runtime-loaded `.cal` specification to check harvested histories
+    /// against instead of the target's built-in spec. The spec is
+    /// instantiated on the run's single object; compilation happens
+    /// before any run starts (the `chaos-soak` exit-3 contract).
+    pub spec: Option<Arc<SpecDef>>,
 }
 
 impl Default for RunConfig {
@@ -161,6 +167,7 @@ impl Default for RunConfig {
             deadline: Some(Duration::from_secs(2)),
             max_nodes: 2_000_000,
             check_threads: 1,
+            spec: None,
         }
     }
 }
@@ -440,7 +447,13 @@ pub fn run_once(config: &RunConfig) -> RunOutcome {
     }
 
     let history = target.history();
-    let verdict = match target.check(&history, config.check_options()) {
+    // A loaded `.cal` spec shadows the target's built-in one, same
+    // policy as `cal-check --spec`.
+    let result = match &config.spec {
+        Some(def) => dispatch(&history, &def.to_ca(OBJ), &config.check_options()),
+        None => target.check(&history, config.check_options()),
+    };
+    let verdict = match result {
         Ok(CheckOutcome { verdict: Verdict::Cal(_), stats }) => ChaosVerdict::Passed(stats),
         Ok(CheckOutcome { verdict: Verdict::NotCal, stats }) => ChaosVerdict::Violation(stats),
         Ok(CheckOutcome { verdict, stats }) => {
@@ -598,6 +611,48 @@ mod tests {
         let out = run_once(&cfg);
         assert!(out.verdict.class().is_none(), "stress run failed: {}", out.verdict);
         assert!(out.history.is_well_formed());
+    }
+
+    /// The shipped exchanger `.cal` file, compiled at test time — the
+    /// same source the soak binary loads with `--spec`.
+    fn loaded_exchanger() -> Arc<SpecDef> {
+        let file = cal_core::dsl::parse_str(include_str!("../../../specs/exchanger.cal"))
+            .expect("shipped spec must compile");
+        match file.specs() {
+            [only] => Arc::clone(only),
+            many => panic!("expected one spec, got {}", many.len()),
+        }
+    }
+
+    /// A loaded spec drives the check instead of the built-in: the
+    /// healthy exchanger still passes under the equivalent `.cal` spec.
+    #[test]
+    fn loaded_spec_checks_a_run() {
+        let cfg =
+            RunConfig { seed: 11, spec: Some(loaded_exchanger()), ..RunConfig::default() };
+        let out = run_once(&cfg);
+        assert!(out.verdict.class().is_none(), "unexpected failure: {}", out.verdict);
+    }
+
+    /// The loaded spec is really what the checker consults: it catches
+    /// the planted misdelivery bug just like the built-in spec does, and
+    /// the shrunk reproducer comes out of the same pipeline.
+    #[test]
+    fn loaded_spec_catches_the_planted_bug() {
+        let cfg = RunConfig {
+            seed: 1,
+            target: TargetKind::BuggyExchanger,
+            spec: Some(loaded_exchanger()),
+            ..RunConfig::default()
+        };
+        match soak(&cfg, Duration::from_secs(10)) {
+            SoakResult::Failed { report, .. } => {
+                assert_eq!(report.class, FailureClass::Violation);
+            }
+            SoakResult::Clean { runs } => {
+                panic!("planted bug survived {runs} soak runs under the loaded spec")
+            }
+        }
     }
 
     #[test]

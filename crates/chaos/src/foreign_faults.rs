@@ -161,6 +161,11 @@ pub fn replay_foreign<S: CaSpec>(
                 for item in items {
                     match item {
                         WireItem::Abandon(t) => checker.abandon_thread(t),
+                        WireItem::HbEdge { from, to } => {
+                            if checker.push_hb_edge(from, to) == Push::Refused {
+                                break 'stream;
+                            }
+                        }
                         WireItem::Action(action) => match checker.push(action) {
                             Push::Admitted => {}
                             Push::Rejected(_) => quarantined += 1,

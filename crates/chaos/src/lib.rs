@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod causal_faults;
 pub mod driver;
 pub mod faults;
 pub mod foreign_faults;

@@ -5,20 +5,25 @@
 //! that (i) each element `T_k` equals the operation set mapped onto it and
 //! (ii) the real-time order of `H` is respected: `i ≺H j ⟹ π(i) < π(j)`.
 //!
+//! The relation is order-parametric: [`agrees`] instantiates it with the
+//! real-time order `≺H` (Def. 5 exactly), while [`agrees_under`] takes any
+//! [`HbRelation`] — the causal checker's oracle substitutes a
+//! happens-before partial order without changing the matching search.
+//!
 //! The search proceeds element-by-element: element `k` must be matched by a
 //! set of yet-unmatched operations that (a) equals `T_k` as a set and
 //! (b) consists only of *minimal* operations — ones all of whose
-//! `≺H`-predecessors were matched to earlier elements. Because equal
+//! order-predecessors were matched to earlier elements. Because equal
 //! operations can appear at several history positions, the match is found
 //! by backtracking with memoization; minimality is tracked incrementally
 //! with predecessor counts, so the common case (few duplicate operations)
 //! runs in near-linear time after an `O(n²)` precomputation of the
-//! real-time order.
+//! order relation.
 
 use std::collections::{HashMap, HashSet};
 
 use crate::bitset::BitSet;
-use crate::history::{History, Span};
+use crate::history::{HbRelation, History, PartialHistory, Span};
 use crate::op::Operation;
 use crate::trace::CaTrace;
 
@@ -62,38 +67,43 @@ pub struct Agreement {
 /// assert!(agree::agrees(&h, &t).is_some());
 /// ```
 pub fn agrees(history: &History, trace: &CaTrace) -> Option<Agreement> {
+    let hb = HbRelation::real_time(&history.spans());
+    agrees_under(history, trace, &hb)
+}
+
+/// Like [`agrees`], but under an arbitrary happens-before relation built
+/// over this history's spans: condition (ii) becomes `i ≺hb j ⟹ π(i) <
+/// π(j)` and element membership requires pairwise hb-concurrency. With
+/// [`HbRelation::real_time`] this is exactly [`agrees`]; with a causal
+/// order it is the agreement oracle of `--mode causal`.
+///
+/// # Panics
+///
+/// Panics if `history` is not well-formed or not complete, or if `hb` was
+/// built over a different number of spans.
+pub fn agrees_under(history: &History, trace: &CaTrace, hb: &HbRelation) -> Option<Agreement> {
     let spans = history.spans();
     assert!(
         spans.iter().all(Span::is_complete),
         "⊑CAL is defined on complete histories only"
     );
+    assert_eq!(hb.len(), spans.len(), "hb relation built over a different history");
     if spans.len() != trace.total_ops() {
         // π must be total on operations and each element exactly matched,
         // so the operation counts must be equal.
         return None;
     }
     let n = spans.len();
-    // Precompute the real-time order: succs[i] = spans that i precedes;
-    // pending[i] = number of unmatched predecessors of i.
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut pending: Vec<usize> = vec![0; n];
-    for i in 0..n {
-        for j in 0..n {
-            if i != j && History::spans_precede(&spans[i], &spans[j]) {
-                succs[i].push(j);
-                pending[j] += 1;
-            }
-        }
-    }
+    // pending[i] = number of unmatched predecessors of i under hb.
+    let pending: Vec<usize> = (0..n).map(|i| hb.preds(i).len()).collect();
     // Positions of each concrete operation value.
     let mut by_op: HashMap<Operation, Vec<usize>> = HashMap::new();
     for (i, s) in spans.iter().enumerate() {
         by_op.entry(s.operation().expect("complete")).or_default().push(i);
     }
     let mut search = AgreeSearch {
-        spans: &spans,
+        hb,
         trace,
-        succs,
         pending,
         by_op,
         matched: BitSet::new(n.max(1)),
@@ -113,9 +123,8 @@ pub fn agrees_bool(history: &History, trace: &CaTrace) -> bool {
 }
 
 struct AgreeSearch<'a> {
-    spans: &'a [Span],
+    hb: &'a HbRelation,
     trace: &'a CaTrace,
-    succs: Vec<Vec<usize>>,
     pending: Vec<usize>,
     by_op: HashMap<Operation, Vec<usize>>,
     matched: BitSet,
@@ -126,7 +135,7 @@ struct AgreeSearch<'a> {
 impl AgreeSearch<'_> {
     fn element(&mut self, k: usize) -> bool {
         if k == self.trace.len() {
-            return self.matched.len() == self.spans.len();
+            return self.matched.len() == self.hb.len();
         }
         if self.failed.contains(&(k, self.matched.clone())) {
             return false;
@@ -152,8 +161,8 @@ impl AgreeSearch<'_> {
                 self.assignment[i] = k;
             }
             for &i in chosen.iter() {
-                for s in 0..self.succs[i].len() {
-                    let j = self.succs[i][s];
+                for s in 0..self.hb.succs(i).len() {
+                    let j = self.hb.succs(i)[s];
                     self.pending[j] -= 1;
                 }
             }
@@ -161,8 +170,8 @@ impl AgreeSearch<'_> {
                 return true;
             }
             for &i in chosen.iter() {
-                for s in 0..self.succs[i].len() {
-                    let j = self.succs[i][s];
+                for s in 0..self.hb.succs(i).len() {
+                    let j = self.hb.succs(i)[s];
                     self.pending[j] += 1;
                 }
             }
@@ -181,11 +190,8 @@ impl AgreeSearch<'_> {
             if self.matched.contains(i) || self.pending[i] != 0 || chosen.contains(&i) {
                 continue;
             }
-            // Members of one element must be pairwise concurrent.
-            if !chosen
-                .iter()
-                .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
-            {
+            // Members of one element must be pairwise concurrent under hb.
+            if !chosen.iter().all(|&j| self.hb.concurrent(i, j)) {
                 continue;
             }
             chosen.push(i);
@@ -359,6 +365,21 @@ mod tests {
         // And the other element order also works since all overlap:
         let t2 = CaTrace::from_elements(vec![CaElement::singleton(op(3, 7, false, 7)), swap12()]);
         assert!(agrees_bool(&h, &t2));
+    }
+
+    #[test]
+    fn causal_order_relaxes_agreement() {
+        // t1 finishes before t2 starts: `≺H` forbids them sharing an
+        // element, but a session-only causal order (no cross-thread
+        // edges) leaves them concurrent.
+        let h = History::from_actions(vec![inv(1, 3), res(1, true, 4), inv(2, 4), res(2, true, 3)]);
+        let t = CaTrace::from_elements(vec![swap12()]);
+        assert!(agrees(&h, &t).is_none());
+        let session = HbRelation::causal(&h.spans(), &[]).unwrap();
+        assert!(agrees_under(&h, &t, &session).is_some());
+        // An explicit hb edge t1-op -> t2-op restores the prohibition.
+        let edged = HbRelation::causal(&h.spans(), &[(0, 1)]).unwrap();
+        assert!(agrees_under(&h, &t, &edged).is_none());
     }
 
     #[test]

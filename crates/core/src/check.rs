@@ -24,7 +24,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::bitset::BitSet;
 use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
-use crate::history::{History, HistoryError, Span};
+use crate::history::{HbRelation, History, HistoryError, PartialHistory, Span};
 use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{CaSpec, Invocation};
@@ -137,6 +137,22 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
     if history.validate().is_err() || !spec.accepts(witness) {
         return false;
     }
+    match reconstruct_completion(history, witness) {
+        Some((completion, _kept)) => crate::agree::agrees(&completion, witness).is_some(),
+        None => false,
+    }
+}
+
+/// Reconstructs the completion of `history` implied by `witness` (see
+/// [`witness_explains`]): every complete operation must appear in the
+/// trace exactly once, a pending invocation may appear once completed,
+/// absent pending invocations are dropped. Returns the completion plus the
+/// surviving spans' original indices (ascending) so order relations built
+/// over the original spans can be restricted to the completion.
+pub(crate) fn reconstruct_completion(
+    history: &History,
+    witness: &CaTrace,
+) -> Option<(History, Vec<usize>)> {
     let spans = history.spans();
     // Multiset of witness operations, minus each complete operation.
     let mut counts: HashMap<Operation, i64> = HashMap::new();
@@ -147,7 +163,7 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
         let op = span.operation().expect("complete span has an operation");
         match counts.get_mut(&op) {
             Some(c) if *c > 0 => *c -= 1,
-            _ => return false, // a complete operation the trace does not explain
+            _ => return None, // a complete operation the trace does not explain
         }
     }
     // What remains must complete pending invocations, at most one per
@@ -164,11 +180,11 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
                         && s.method == op.method
                         && s.arg == op.arg
                 }) else {
-                    return false; // an op the history never invoked
+                    return None; // an op the history never invoked
                 };
                 completed_pending.push((span.inv, op));
             }
-            _ => return false, // duplicated beyond the one pending slot
+            _ => return None, // duplicated beyond the one pending slot
         }
     }
     // Build the completion: drop uncompleted pending invocations, append
@@ -192,7 +208,13 @@ pub fn witness_explains<S: CaSpec>(history: &History, spec: &S, witness: &CaTrac
         actions.push(op.response());
     }
     let completion = History::from_actions(actions);
-    crate::agree::agrees(&completion, witness).is_some()
+    let kept: Vec<usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_complete() || completed_invs.contains(&s.inv))
+        .map(|(i, _)| i)
+        .collect();
+    Some((completion, kept))
 }
 
 /// One step of a CAL witness: the CA-element extracted plus the span
@@ -213,22 +235,47 @@ pub(crate) struct CalDomain<'a, S: CaSpec> {
     spec: SpecRef<'a, S>,
     history: Cow<'a, History>,
     spans: Vec<Span>,
-    /// preds[i] = span indices that real-time-precede span i.
-    preds: Vec<Vec<usize>>,
-    /// Interchangeability classes for symmetry-reduced memo keys.
+    /// The happens-before relation the search runs over: real-time `≺H`
+    /// for CAL mode, a causal partial order for `--mode causal`.
+    hb: HbRelation,
+    /// Interchangeability classes for symmetry-reduced memo keys, built
+    /// from `hb`'s constraint sets.
     sym: SymClasses,
 }
 
 impl<'a, S: CaSpec> CalDomain<'a, S> {
-    /// Builds the domain, validating the history.
+    /// Builds the domain over the real-time order `≺H`, validating the
+    /// history.
     pub(crate) fn new(
         history: Cow<'a, History>,
         spec: SpecRef<'a, S>,
     ) -> Result<Self, HistoryError> {
         let spans = history.try_spans()?;
-        let preds = preds_of(&spans);
-        let sym = SymClasses::of(&spans);
-        Ok(CalDomain { spec, history, spans, preds, sym })
+        let hb = HbRelation::real_time(&spans);
+        Self::from_parts(history, spec, spans, hb)
+    }
+
+    /// Builds the domain over an explicit happens-before relation (the
+    /// causal checker's entry point). `hb` must have been built over this
+    /// history's spans.
+    pub(crate) fn with_order(
+        history: Cow<'a, History>,
+        spec: SpecRef<'a, S>,
+        hb: HbRelation,
+    ) -> Result<Self, HistoryError> {
+        let spans = history.try_spans()?;
+        debug_assert_eq!(hb.len(), spans.len(), "hb relation built over a different history");
+        Self::from_parts(history, spec, spans, hb)
+    }
+
+    fn from_parts(
+        history: Cow<'a, History>,
+        spec: SpecRef<'a, S>,
+        spans: Vec<Span>,
+        hb: HbRelation,
+    ) -> Result<Self, HistoryError> {
+        let sym = SymClasses::of_order(&spans, &hb);
+        Ok(CalDomain { spec, history, spans, hb, sym })
     }
 
     /// Grows `subset` over `minimal[from..]` and collects every non-empty
@@ -258,11 +305,8 @@ impl<'a, S: CaSpec> CalDomain<'a, S> {
                 if self.spans[i].object != self.spans[first].object {
                     continue;
                 }
-                // Pairwise concurrent with all members.
-                if !subset
-                    .iter()
-                    .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
-                {
+                // Pairwise concurrent (under hb) with all members.
+                if !subset.iter().all(|&j| self.hb.concurrent(i, j)) {
                     continue;
                 }
             }
@@ -361,17 +405,6 @@ impl<'a, S: CaSpec> CalDomain<'a, S> {
     }
 }
 
-/// Precomputes the real-time order: `preds[i]` = spans preceding span `i`.
-fn preds_of(spans: &[Span]) -> Vec<Vec<usize>> {
-    (0..spans.len())
-        .map(|i| {
-            (0..spans.len())
-                .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
-                .collect()
-        })
-        .collect()
-}
-
 impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
     type Node = (BitSet, S::State);
     type Step = CalStep;
@@ -394,10 +427,10 @@ impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
         out: &mut Vec<(Self::Step, Self::Node)>,
     ) {
         let (matched, state) = node;
-        // Minimal operations: unmatched, with every ≺H-predecessor matched.
+        // Minimal operations: unmatched, with every hb-predecessor matched.
         let minimal: Vec<usize> = (0..self.spans.len())
             .filter(|&i| {
-                !matched.contains(i) && self.preds[i].iter().all(|&j| matched.contains(j))
+                !matched.contains(i) && self.hb.preds(i).iter().all(|&j| matched.contains(j))
             })
             .collect();
         obs.on_frontier(minimal.len());
@@ -414,6 +447,14 @@ impl<S: CaSpec> SearchDomain for CalDomain<'_, S> {
     }
 
     fn decompose(&self) -> Option<Vec<(ObjectId, Self)>> {
+        // Per-object decomposition (and the `(maxinv, minresp)` witness
+        // merge below) is justified by real-time locality; under a causal
+        // partial order the cross-object session edges make objects
+        // non-independent, so the parallel driver falls back to
+        // root-frontier splitting.
+        if !self.hb.is_real_time() {
+            return None;
+        }
         let objects = self.history.objects();
         if objects.len() < 2 {
             return None;

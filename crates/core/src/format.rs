@@ -48,6 +48,24 @@
 //! equal stamps of the same rank are broken by line order, so the order
 //! is deterministic.
 //!
+//! ## kvlog causality metadata
+//!
+//! A kvlog may declare the happens-before partial order `--mode causal`
+//! checks against, using `hb` lines alongside the operation lines:
+//!
+//! - `hb <i> <j>` — operation `i` happens-before operation `j`, where
+//!   ids are 1-based positions of *operation lines* in file order
+//!   (comments and `hb` lines do not count). Forward references are
+//!   fine; ids out of range are errors anchored to the `hb` line.
+//! - `hb session` — marks the trace causality-annotated with no edges
+//!   beyond per-thread session order.
+//!
+//! Any `hb` line makes the trace *annotated*: [`parse_annotated`]
+//! returns the declared edges translated to span indices (session order
+//! itself is implicit — [`crate::history::HbRelation::causal`] always
+//! includes it). Plain [`parse_as`] accepts and ignores `hb` lines, so
+//! CAL mode reads annotated files unchanged.
+//!
 //! ```
 //! use cal_core::format::{parse_auto, Format};
 //! let (fmt, h) = parse_auto(
@@ -274,6 +292,42 @@ pub fn parse_auto(input: &str) -> Result<(Format, History), FormatError> {
     parse_as(format, input).map(|h| (format, h))
 }
 
+/// A parsed history together with any causality metadata the input
+/// declared (see the module docs on kvlog `hb` lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotated {
+    /// The parsed history.
+    pub history: History,
+    /// Declared happens-before edges as `(from, to)` span-index pairs,
+    /// `Some` iff the input carried causality metadata (even with zero
+    /// edges, as `hb session` declares). `None` means the trace is
+    /// unannotated and causal mode should fall back to the real-time
+    /// order.
+    pub hb_edges: Option<Vec<(usize, usize)>>,
+}
+
+/// Like [`parse_as`], but also surfaces declared causality metadata.
+/// Native and jepsen inputs never carry in-band metadata and always
+/// parse with `hb_edges: None` (jepsen session-order checking is a
+/// caller choice — build [`crate::history::HbRelation::causal`] with no
+/// edges over the parsed history).
+///
+/// # Errors
+///
+/// As [`parse_as`]; additionally anchors malformed or out-of-range `hb`
+/// declarations to their source line.
+pub fn parse_annotated(format: Format, input: &str) -> Result<Annotated, FormatError> {
+    match format {
+        Format::Native | Format::Jepsen => {
+            parse_as(format, input).map(|history| Annotated { history, hb_edges: None })
+        }
+        Format::KvLog => {
+            let (actions, lines, hb_edges) = parse_kvlog_full(input)?;
+            finish(actions, &lines).map(|history| Annotated { history, hb_edges })
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared plumbing
 // ---------------------------------------------------------------------------
@@ -317,6 +371,10 @@ fn sniff_line(text: &str) -> Format {
     let mut toks = text.split_whitespace();
     let (first, second) = (toks.next(), toks.next());
     let rest = toks.count();
+    if first == Some("hb") {
+        // kvlog causality metadata may lead the file (`hb session`).
+        return Format::KvLog;
+    }
     if let (Some(a), Some(b)) = (first, second) {
         let stampish = |t: &str| t == "-" || t == "?" || t.parse::<u64>().is_ok();
         if rest >= 3 && a.parse::<u64>().is_ok() && stampish(b) {
@@ -925,35 +983,105 @@ fn parse_kvlog_line(line: usize, text: &str, keys: &mut KeyMap) -> Result<KvLine
     Ok(KvLine { start, end, inv, res })
 }
 
+/// One parsed `hb` metadata line (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HbDecl {
+    /// `hb session` — annotated, no extra edges.
+    Session,
+    /// `hb <i> <j>` — 1-based operation-line ids, `i` happens-before `j`.
+    Edge(usize, usize),
+}
+
+const HB_USAGE: &str = "expected 'hb session' or 'hb <i> <j>' (1-based operation-line ids)";
+
+fn parse_hb_line(line: usize, text: &str) -> Result<HbDecl, FormatError> {
+    let toks: Vec<&str> = text.split_whitespace().collect();
+    match toks.as_slice() {
+        ["hb", "session"] => Ok(HbDecl::Session),
+        ["hb", a, b] => {
+            let id = |w: &str| -> Result<usize, FormatError> {
+                match w.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(n),
+                    _ => fail(line, Some("hb"), format!("bad operation id {w:?}: {HB_USAGE}")),
+                }
+            };
+            let (i, j) = (id(a)?, id(b)?);
+            if i == j {
+                return fail(line, Some("hb"), format!("self-edge: operation {i} cannot happen before itself"));
+            }
+            Ok(HbDecl::Edge(i, j))
+        }
+        _ => fail(line, Some("hb"), HB_USAGE),
+    }
+}
+
 fn parse_kvlog(input: &str) -> Result<(Vec<Action>, Vec<usize>), FormatError> {
+    let (actions, lines, _) = parse_kvlog_full(input)?;
+    Ok((actions, lines))
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_kvlog_full(
+    input: &str,
+) -> Result<(Vec<Action>, Vec<usize>, Option<Vec<(usize, usize)>>), FormatError> {
     let mut keys = KeyMap::default();
     // (ts, rank, seq) sort key: invocations (rank 0) before responses
     // (rank 1) at equal stamps — closed intervals, touching endpoints
-    // overlap — then emission order for determinism.
-    let mut events: Vec<(u64, u8, usize, usize, Action)> = Vec::new();
+    // overlap — then emission order for determinism. Invocation events
+    // carry their operation-line ordinal so declared `hb` edges can be
+    // translated to post-sort span indices.
+    let mut events: Vec<(u64, u8, usize, usize, Action, Option<usize>)> = Vec::new();
     let mut seq = 0usize;
+    let mut ops = 0usize;
+    let mut decls: Vec<(usize, HbDecl)> = Vec::new();
     for (i, raw) in input.lines().enumerate() {
         let line = i + 1;
         let text = strip_comment(raw).trim();
         if text.is_empty() || text.starts_with(';') {
             continue;
         }
+        if text.split_whitespace().next() == Some("hb") {
+            decls.push((line, parse_hb_line(line, text)?));
+            continue;
+        }
         let kv = parse_kvlog_line(line, text, &mut keys)?;
-        events.push((kv.start, 0, seq, line, kv.inv));
+        events.push((kv.start, 0, seq, line, kv.inv, Some(ops)));
+        ops += 1;
         seq += 1;
         if let (Some(end), Some(res)) = (kv.end, kv.res) {
-            events.push((end, 1, seq, line, res));
+            events.push((end, 1, seq, line, res, None));
             seq += 1;
         }
     }
-    events.sort_by_key(|(ts, rank, seq, _, _)| (*ts, *rank, *seq));
+    events.sort_by_key(|(ts, rank, seq, _, _, _)| (*ts, *rank, *seq));
     let mut actions = Vec::with_capacity(events.len());
     let mut lines = Vec::with_capacity(events.len());
-    for (_, _, _, line, action) in events {
+    // Operation-line ordinal → span index (invocation rank after the sort).
+    let mut span_of_op = vec![0usize; ops];
+    let mut span = 0usize;
+    for (_, _, _, line, action, op) in events {
+        if let Some(o) = op {
+            span_of_op[o] = span;
+            span += 1;
+        }
         actions.push(action);
         lines.push(line);
     }
-    Ok((actions, lines))
+    if decls.is_empty() {
+        return Ok((actions, lines, None));
+    }
+    let mut edges = Vec::new();
+    for (line, decl) in decls {
+        if let HbDecl::Edge(i, j) = decl {
+            for id in [i, j] {
+                if id > ops {
+                    return fail(line, Some("hb"), format!("operation id {id} out of range (the log has {ops} operations)"));
+                }
+            }
+            edges.push((span_of_op[i - 1], span_of_op[j - 1]));
+        }
+    }
+    Ok((actions, lines, Some(edges)))
 }
 
 /// Serializes a register-shaped history (reads and writes only) as a
@@ -1011,6 +1139,39 @@ pub fn format_kvlog(history: &History) -> Result<String, FormatError> {
     Ok(out)
 }
 
+/// Like [`format_kvlog`], appending causality metadata: one `hb <i> <j>`
+/// line per edge (span indices translated to 1-based operation-line
+/// ids), or a bare `hb session` directive when `edges` is empty — so the
+/// output always round-trips through [`parse_annotated`] as annotated.
+///
+/// # Errors
+///
+/// As [`format_kvlog`]; additionally rejects edges whose endpoints are
+/// out of range or equal.
+pub fn format_kvlog_annotated(
+    history: &History,
+    edges: &[(usize, usize)],
+) -> Result<String, FormatError> {
+    let mut out = format_kvlog(history)?;
+    let ops = history.spans().len();
+    if edges.is_empty() {
+        out.push_str("hb session\n");
+        return Ok(out);
+    }
+    for &(from, to) in edges {
+        if from >= ops || to >= ops {
+            return fail(0, None, format!("hb edge ({from}, {to}) out of range (the history has {ops} operations)"));
+        }
+        if from == to {
+            return fail(0, None, format!("hb self-edge on operation {from}"));
+        }
+        // format_kvlog emits one operation line per span, in span order,
+        // so span index k is operation-line id k + 1.
+        out.push_str(&format!("hb {} {}\n", from + 1, to + 1));
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Streaming
 // ---------------------------------------------------------------------------
@@ -1024,6 +1185,19 @@ pub enum WireItem {
     /// pending kvlog operations map here; the streaming checker's
     /// timeout-admission explores both dropping and completing it).
     Abandon(ThreadId),
+    /// A declared happens-before edge between two operations, as 0-based
+    /// arrival-order operation indices (kvlog `hb <i> <j>` lines; ids on
+    /// the wire are 1-based). Streaming kvlog decodes operations in
+    /// arrival order, so arrival index and span index coincide. Forward
+    /// references — `to` not yet decoded — are legal; the streaming
+    /// checker buffers them. A bare `hb session` directive decodes to no
+    /// items (causal mode is a checker-level switch when streaming).
+    HbEdge {
+        /// The operation that happens before `to`.
+        from: usize,
+        /// The operation that happens after `from`.
+        to: usize,
+    },
 }
 
 /// An incremental decoder turning wire lines of any [`Format`] into
@@ -1085,6 +1259,12 @@ impl StreamDecoder {
                 JStep::Fail(t) | JStep::Info(t) => Ok(vec![WireItem::Abandon(t)]),
             },
             Format::KvLog => {
+                if text.split_whitespace().next() == Some("hb") {
+                    return match parse_hb_line(line, text)? {
+                        HbDecl::Session => Ok(Vec::new()),
+                        HbDecl::Edge(i, j) => Ok(vec![WireItem::HbEdge { from: i - 1, to: j - 1 }]),
+                    };
+                }
                 let kv = parse_kvlog_line(line, text, &mut self.kv_keys)?;
                 let t = kv.inv.thread();
                 let mut items = vec![WireItem::Action(kv.inv)];
@@ -1380,6 +1560,85 @@ t3 inv o0.write 5
         assert!(d.decode_line(5, "{:process oops").is_err());
         let again = d.decode_line(6, "{:process 2, :type :invoke, :f :write, :value 2}").unwrap();
         assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn kvlog_hb_edges_map_to_span_indices() {
+        // Operation lines appear out of timestamp order: op 1 (file
+        // order) starts at t=4 and becomes span 1; op 2 starts at t=0
+        // and becomes span 0. The declared edge 1→2 must follow them.
+        let input = "\
+4 5 c0 put x 1
+0 1 c1 get x 0
+hb 1 2
+";
+        let a = parse_annotated(Format::KvLog, input).unwrap();
+        assert_eq!(a.history.len(), 4);
+        assert_eq!(a.hb_edges, Some(vec![(1, 0)]));
+        // plain parse_as accepts and ignores the metadata:
+        assert_eq!(parse_as(Format::KvLog, input).unwrap(), a.history);
+    }
+
+    #[test]
+    fn kvlog_hb_session_is_annotated_with_no_edges() {
+        let input = "hb session\n0 1 c0 put x 1\n";
+        let a = parse_annotated(Format::KvLog, input).unwrap();
+        assert_eq!(a.hb_edges, Some(vec![]));
+        assert_eq!(detect(input), Format::KvLog);
+
+        let plain = parse_annotated(Format::KvLog, "0 1 c0 put x 1\n").unwrap();
+        assert_eq!(plain.hb_edges, None);
+    }
+
+    #[test]
+    fn kvlog_hb_diagnostics_are_anchored() {
+        for (bad, line, needle) in [
+            ("hb\n0 1 c0 put x 1\n", 1, "expected"),
+            ("hb 1\n0 1 c0 put x 1\n", 1, "expected"),
+            ("hb one 2\n0 1 c0 put x 1\n", 1, "bad operation id"),
+            ("hb 0 2\n0 1 c0 put x 1\n", 1, "bad operation id"),
+            ("hb 1 1\n0 1 c0 put x 1\n", 1, "self-edge"),
+            ("0 1 c0 put x 1\nhb 1 2\n", 2, "out of range"),
+        ] {
+            let e = parse_annotated(Format::KvLog, bad).unwrap_err();
+            assert_eq!(e.line, line, "input: {bad:?} err: {e}");
+            assert!(e.to_string().contains(needle), "input: {bad:?} err: {e}");
+        }
+    }
+
+    #[test]
+    fn kvlog_annotated_round_trip() {
+        let h = parse_history("t0 inv o0.write 1\nt0 res o0.write ()\nt1 inv o0.read ()\nt1 res o0.read 0\n").unwrap();
+        let text = format_kvlog_annotated(&h, &[(0, 1)]).unwrap();
+        let a = parse_annotated(Format::KvLog, &text).unwrap();
+        assert_eq!(a.history, h);
+        assert_eq!(a.hb_edges, Some(vec![(0, 1)]));
+
+        let session = format_kvlog_annotated(&h, &[]).unwrap();
+        assert!(session.ends_with("hb session\n"));
+        let a = parse_annotated(Format::KvLog, &session).unwrap();
+        assert_eq!(a.hb_edges, Some(vec![]));
+
+        assert!(format_kvlog_annotated(&h, &[(0, 9)]).is_err());
+        assert!(format_kvlog_annotated(&h, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn jepsen_and_native_parse_annotated_as_unannotated() {
+        let a = parse_annotated(Format::Jepsen, EDN_OK).unwrap();
+        assert_eq!(a.hb_edges, None);
+        let a = parse_annotated(Format::Native, NATIVE_SAMPLE).unwrap();
+        assert_eq!(a.hb_edges, None);
+    }
+
+    #[test]
+    fn stream_decoder_kvlog_hb() {
+        let mut d = StreamDecoder::new(Some(Format::KvLog));
+        assert!(d.decode_line(1, "hb session").unwrap().is_empty());
+        d.decode_line(2, "0 1 c0 put x 1").unwrap();
+        let edge = d.decode_line(3, "hb 1 2").unwrap();
+        assert_eq!(edge, vec![WireItem::HbEdge { from: 0, to: 1 }]);
+        assert!(d.decode_line(4, "hb 1 1").is_err());
     }
 
     #[test]

@@ -442,6 +442,287 @@ impl fmt::Display for History {
     }
 }
 
+/// An order relation over the spans of one history — the *partial history*
+/// abstraction the checkers search under.
+///
+/// Every checker consults the ordering of a history only through this
+/// interface: which spans must precede which ([`precedes`]), which pairs
+/// may sit in one CA-element ([`concurrent`]), and the pred/succ constraint
+/// sets that drive minimal-operation enumeration and symmetry reduction.
+/// The classical real-time order `≺H` (Def. 3) is the total-order instance
+/// ([`HbRelation::real_time`]); weak-memory-plausible happens-before
+/// orders — session order plus explicit `hb` edges — are the genuinely
+/// partial instances ([`HbRelation::causal`]).
+///
+/// [`precedes`]: PartialHistory::precedes
+/// [`concurrent`]: PartialHistory::concurrent
+pub trait PartialHistory {
+    /// Number of spans the relation is defined over.
+    fn len(&self) -> usize;
+
+    /// Whether the relation is empty (no spans).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` iff span `i` happens-before span `j`. Irreflexive and
+    /// transitive by construction.
+    fn precedes(&self, i: usize, j: usize) -> bool;
+
+    /// `true` iff `i` and `j` are distinct and unordered — the pairs a
+    /// CA-element may contain.
+    fn concurrent(&self, i: usize, j: usize) -> bool {
+        i != j && !self.precedes(i, j) && !self.precedes(j, i)
+    }
+
+    /// The spans that happen-before span `i`, ascending.
+    fn preds(&self, i: usize) -> &[usize];
+
+    /// The spans that span `i` happens-before, ascending.
+    fn succs(&self, i: usize) -> &[usize];
+}
+
+/// A malformed happens-before declaration: edges that point outside the
+/// history, at an operation itself, or that (together with session order)
+/// form a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbError {
+    /// An edge endpoint is not a valid operation index.
+    EdgeOutOfRange {
+        /// Edge source (operation index).
+        from: usize,
+        /// Edge target (operation index).
+        to: usize,
+        /// Number of operations in the history.
+        len: usize,
+    },
+    /// An edge from an operation to itself.
+    SelfEdge {
+        /// The operation index.
+        op: usize,
+    },
+    /// Session order plus the declared edges admit no linear extension.
+    Cycle {
+        /// An operation on the cycle.
+        op: usize,
+    },
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbError::EdgeOutOfRange { from, to, len } => write!(
+                f,
+                "hb edge {from} -> {to} points outside the history ({len} operations)"
+            ),
+            HbError::SelfEdge { op } => write!(f, "hb edge from operation {op} to itself"),
+            HbError::Cycle { op } => write!(
+                f,
+                "happens-before cycle through operation {op} (session order plus declared edges)"
+            ),
+        }
+    }
+}
+
+impl Error for HbError {}
+
+/// A concrete happens-before relation over the spans of one history: the
+/// workhorse [`PartialHistory`] instance every checker threads through its
+/// search domain.
+///
+/// Internally the relation is transitively closed up front: `before[j]`
+/// is the full set of spans that happen-before `j`, so [`precedes`] is one
+/// bitset probe and the pred/succ lists the checkers iterate are
+/// precomputed.
+///
+/// [`precedes`]: PartialHistory::precedes
+///
+/// # Examples
+///
+/// ```
+/// use cal_core::history::{HbRelation, PartialHistory};
+/// use cal_core::{Action, History, Method, ObjectId, ThreadId, Value};
+/// let o = ObjectId(0);
+/// let m = Method("op");
+/// // t1's op completes before t2's begins: real-time orders them, but a
+/// // causal order with no cross-thread edges leaves them concurrent.
+/// let h = History::from_actions(vec![
+///     Action::invoke(ThreadId(1), o, m, Value::Unit),
+///     Action::response(ThreadId(1), o, m, Value::Unit),
+///     Action::invoke(ThreadId(2), o, m, Value::Unit),
+///     Action::response(ThreadId(2), o, m, Value::Unit),
+/// ]);
+/// let spans = h.spans();
+/// assert!(HbRelation::real_time(&spans).precedes(0, 1));
+/// assert!(HbRelation::causal(&spans, &[]).unwrap().concurrent(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbRelation {
+    /// `before[j]` = the set of spans `i` with `i ≺hb j` (closed).
+    before: Vec<crate::bitset::BitSet>,
+    /// Ascending pred lists, derived from `before`.
+    preds: Vec<Vec<usize>>,
+    /// Ascending succ lists, derived from `before`.
+    succs: Vec<Vec<usize>>,
+    /// Whether this is exactly the real-time order `≺H` of the spans it
+    /// was built from (lets consumers keep real-time-only fast paths such
+    /// as per-object decomposition).
+    real_time: bool,
+}
+
+impl HbRelation {
+    /// The real-time order `≺H` (Def. 3) of `spans`: the total-order
+    /// instance of [`PartialHistory`]. `a ≺H b` iff `a`'s response
+    /// precedes `b`'s invocation.
+    pub fn real_time(spans: &[Span]) -> Self {
+        let n = spans.len();
+        let mut before = vec![crate::bitset::BitSet::new(n.max(1)); n];
+        for (j, b) in spans.iter().enumerate() {
+            for (i, a) in spans.iter().enumerate() {
+                if i != j && History::spans_precede(a, b) {
+                    before[j].insert(i);
+                }
+            }
+        }
+        Self::finish(before, true)
+    }
+
+    /// A causal happens-before order: per-thread *session order* (each
+    /// thread's spans in invocation order) unioned with the declared
+    /// `edges` (pairs of span indices, source happens-before target),
+    /// transitively closed.
+    ///
+    /// This is the weak-memory reading of a trace: cross-thread real-time
+    /// ordering is *not* assumed — only program order and whatever
+    /// synchronization the trace explicitly declares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbError`] when an edge points outside the history, at an
+    /// operation itself, or when session order plus the edges contain a
+    /// cycle (no linear extension exists).
+    pub fn causal(spans: &[Span], edges: &[(usize, usize)]) -> Result<Self, HbError> {
+        let n = spans.len();
+        for &(from, to) in edges {
+            if from >= n || to >= n {
+                return Err(HbError::EdgeOutOfRange { from, to, len: n });
+            }
+            if from == to {
+                return Err(HbError::SelfEdge { op: from });
+            }
+        }
+        // Direct adjacency: session chains plus declared edges.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        let add = |adj: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, u: usize, v: usize| {
+            if !adj[u].contains(&v) {
+                adj[u].push(v);
+                indeg[v] += 1;
+            }
+        };
+        let mut last_of_thread: Vec<(ThreadId, usize)> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match last_of_thread.iter_mut().find(|(t, _)| *t == s.thread) {
+                Some(entry) => {
+                    add(&mut adj, &mut indeg, entry.1, i);
+                    entry.1 = i;
+                }
+                None => last_of_thread.push((s.thread, i)),
+            }
+        }
+        for &(from, to) in edges {
+            add(&mut adj, &mut indeg, from, to);
+        }
+        // Kahn topological order; closure accumulates along it.
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut before = vec![crate::bitset::BitSet::new(n.max(1)); n];
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            // Each node leaves the queue exactly once, so its successor
+            // list can be consumed rather than re-indexed.
+            let succs = std::mem::take(&mut adj[u]);
+            for v in succs {
+                // before[v] ∪= before[u] ∪ {u}
+                let add_set: Vec<usize> = before[u].iter().collect();
+                for i in add_set {
+                    before[v].insert(i);
+                }
+                before[v].insert(u);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            let op = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
+            return Err(HbError::Cycle { op });
+        }
+        Ok(Self::finish(before, false))
+    }
+
+    /// Whether this relation is exactly the real-time order of the spans
+    /// it was built from. Consumers use this to keep real-time-only fast
+    /// paths (per-object decomposition, `(maxinv, minresp)` witness
+    /// merging) without consulting span timestamps themselves.
+    pub fn is_real_time(&self) -> bool {
+        self.real_time
+    }
+
+    /// Restricts the relation to the spans in `keep` (ascending old
+    /// indices), renumbering to positions in `keep`. Ordering derived
+    /// transitively *through* a removed span is preserved — the closure
+    /// was computed before the restriction — which is what completion
+    /// (dropping pending invocations, Def. 2) requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains an index out of range.
+    pub fn restrict(&self, keep: &[usize]) -> HbRelation {
+        let m = keep.len();
+        let mut before = vec![crate::bitset::BitSet::new(m.max(1)); m];
+        for (new_j, &old_j) in keep.iter().enumerate() {
+            for (new_i, &old_i) in keep.iter().enumerate() {
+                if new_i != new_j && self.before[old_j].contains(old_i) {
+                    before[new_j].insert(new_i);
+                }
+            }
+        }
+        Self::finish(before, self.real_time)
+    }
+
+    fn finish(before: Vec<crate::bitset::BitSet>, real_time: bool) -> Self {
+        let n = before.len();
+        let preds: Vec<Vec<usize>> = before.iter().map(|b| b.iter().collect()).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, ps) in preds.iter().enumerate() {
+            for &i in ps {
+                succs[i].push(j);
+            }
+        }
+        HbRelation { before, preds, succs, real_time }
+    }
+}
+
+impl PartialHistory for HbRelation {
+    fn len(&self) -> usize {
+        self.before.len()
+    }
+
+    fn precedes(&self, i: usize, j: usize) -> bool {
+        j < self.before.len() && self.before[j].contains(i)
+    }
+
+    fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@ use std::hash::Hash;
 
 use crate::bitset::BitSet;
 use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
-use crate::history::{History, HistoryError, Span};
+use crate::history::{HbRelation, History, HistoryError, PartialHistory, Span};
 use crate::ids::Value;
 use crate::op::Operation;
 use crate::spec::{Invocation, SeqSpec};
@@ -359,21 +359,17 @@ struct IntervalNode<St> {
 struct IntervalDomain<'a, S: IntervalSpec> {
     spec: SpecRef<'a, S>,
     spans: Vec<Span>,
-    /// preds[i] = span indices that real-time-precede span i.
-    preds: Vec<Vec<usize>>,
+    /// The order the search runs over: always the real-time instance of
+    /// [`PartialHistory`] here — interval-linearizability is defined
+    /// against `≺H`.
+    hb: HbRelation,
 }
 
 impl<'a, S: IntervalSpec> IntervalDomain<'a, S> {
     fn new(history: Cow<'a, History>, spec: SpecRef<'a, S>) -> Result<Self, HistoryError> {
         let spans = history.try_spans()?;
-        let preds = (0..spans.len())
-            .map(|i| {
-                (0..spans.len())
-                    .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
-                    .collect()
-            })
-            .collect();
-        Ok(IntervalDomain { spec, spans, preds })
+        let hb = HbRelation::real_time(&spans);
+        Ok(IntervalDomain { spec, spans, hb })
     }
 
     /// Grows the opening subset over `openable[from..]` and collects every
@@ -403,13 +399,8 @@ impl<'a, S: IntervalSpec> IntervalDomain<'a, S> {
         for (k, &i) in openable.iter().enumerate().skip(from) {
             // New ops must be pairwise concurrent with the already-chosen
             // openings and with everything currently open.
-            let concurrent = opening
-                .iter()
-                .all(|&j| History::spans_concurrent(&self.spans[i], &self.spans[j]))
-                && node
-                    .open
-                    .iter()
-                    .all(|&(j, _)| History::spans_concurrent(&self.spans[i], &self.spans[j]));
+            let concurrent = opening.iter().all(|&j| self.hb.concurrent(i, j))
+                && node.open.iter().all(|&(j, _)| self.hb.concurrent(i, j));
             if !concurrent {
                 continue;
             }
@@ -551,7 +542,7 @@ impl<S: IntervalSpec> SearchDomain for IntervalDomain<'_, S> {
         // ≺H-predecessor is already done (its interval closed earlier).
         let openable: Vec<usize> = (0..self.spans.len())
             .filter(|&i| !node.done.contains(i) && node.open.iter().all(|&(j, _)| j != i))
-            .filter(|&i| self.preds[i].iter().all(|&j| node.done.contains(j)))
+            .filter(|&i| self.hb.preds(i).iter().all(|&j| node.done.contains(j)))
             .collect();
         obs.on_frontier(openable.len());
         let max_new = self.spec.get().max_active().saturating_sub(node.open.len());

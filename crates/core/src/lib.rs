@@ -76,6 +76,7 @@
 pub mod action;
 pub mod agree;
 pub mod bitset;
+pub mod causal;
 pub mod check;
 pub mod compose;
 pub mod dsl;

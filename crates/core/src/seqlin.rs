@@ -21,7 +21,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::bitset::BitSet;
 use crate::engine::{self, ExpandObs, SearchDomain, SpecRef};
-use crate::history::{History, HistoryError, Span};
+use crate::history::{HbRelation, History, HistoryError, PartialHistory, Span};
 use crate::ids::ObjectId;
 use crate::op::Operation;
 use crate::spec::{Invocation, SeqSpec};
@@ -162,8 +162,10 @@ struct SeqDomain<'a, S: SeqSpec> {
     spec: SpecRef<'a, S>,
     history: Cow<'a, History>,
     spans: Vec<Span>,
-    /// preds[i] = span indices that real-time-precede span i.
-    preds: Vec<Vec<usize>>,
+    /// The order the search runs over: always the real-time instance of
+    /// [`PartialHistory`] here — classical linearizability is defined
+    /// against `≺H` (causal relaxations go through `crate::causal`).
+    hb: HbRelation,
     /// Interchangeability classes for symmetry-reduced memo keys.
     sym: SymClasses,
 }
@@ -171,15 +173,9 @@ struct SeqDomain<'a, S: SeqSpec> {
 impl<'a, S: SeqSpec> SeqDomain<'a, S> {
     fn new(history: Cow<'a, History>, spec: SpecRef<'a, S>) -> Result<Self, HistoryError> {
         let spans = history.try_spans()?;
-        let preds = (0..spans.len())
-            .map(|i| {
-                (0..spans.len())
-                    .filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i]))
-                    .collect()
-            })
-            .collect();
-        let sym = SymClasses::of(&spans);
-        Ok(SeqDomain { spec, history, spans, preds, sym })
+        let hb = HbRelation::real_time(&spans);
+        let sym = SymClasses::of_order(&spans, &hb);
+        Ok(SeqDomain { spec, history, spans, hb, sym })
     }
 }
 
@@ -205,7 +201,7 @@ impl<S: SeqSpec> SearchDomain for SeqDomain<'_, S> {
         let (matched, state) = node;
         let minimal: Vec<usize> = (0..self.spans.len())
             .filter(|&i| {
-                !matched.contains(i) && self.preds[i].iter().all(|&j| matched.contains(j))
+                !matched.contains(i) && self.hb.preds(i).iter().all(|&j| matched.contains(j))
             })
             .collect();
         obs.on_frontier(minimal.len());

@@ -71,6 +71,38 @@
 //!   partner could have explained the op), so under pressure a
 //!   rendezvous spec may see a false violation — never a false
 //!   acceptance.
+//!
+//! ## Causal mode
+//!
+//! With [`StreamOptions::causal`] set, every window search runs over the
+//! causal happens-before order — per-thread session order plus edges
+//! declared via [`StreamChecker::push_hb_edge`] — instead of real time
+//! (see [`crate::causal`]). Two streaming-specific rules keep the
+//! retirement invariant sound under a partial order:
+//!
+//! - **Cuts must be hb-closed, not just time-closed**: a segment retires
+//!   only when every operation in it happens-before every operation
+//!   still in the window *and* every future operation of every
+//!   still-live thread (a future operation session-follows its thread's
+//!   last seen one, so the thread's last window operation stands proxy
+//!   for it). Time-closure alone would commit orders a partial order
+//!   does not impose. The rule makes the honest trade explicit:
+//!   unsynchronized multi-thread streams never advance the frontier —
+//!   causal checking of such streams is inherently unbounded, and the
+//!   window fills until backpressure — while streams whose declared
+//!   edges chain the threads together retire fluidly. A thread never
+//!   seen before the cut cannot be anticipated: its later operations
+//!   may cost a false violation, never a false acceptance (the factored
+//!   witness set only ever shrinks, matching the sealing caveat above).
+//!   [`StreamChecker::finish`] closes the stream — no operation follows,
+//!   so the future-operation half of the rule lapses, the residual
+//!   window retires against its own contents and declared edges alone,
+//!   and further events are refused.
+//! - **Late edges are quarantined**: an edge whose *target* is already
+//!   retired arrives after its segment was enumerated without it, so
+//!   neither verdict can be trusted going forward — the stream latches
+//!   `undecided: late happens-before edge` and refuses further events.
+//!   Declare edges no later than their target operation's response.
 
 use std::borrow::Cow;
 use std::fmt;
@@ -80,7 +112,7 @@ use std::time::Duration;
 use crate::action::Action;
 use crate::check::CalDomain;
 use crate::engine::{self, CheckOptions, CheckStats, InterruptReason, SpecRef, Verdict};
-use crate::history::{History, HistoryError};
+use crate::history::{HbRelation, History, HistoryError, PartialHistory, Span};
 use crate::ids::{ThreadId, Value};
 use crate::obs::push_field;
 use crate::op::Operation;
@@ -109,6 +141,12 @@ pub struct StreamOptions {
     /// Budget/deadline/sink for each per-checkpoint search and each
     /// retirement enumeration.
     pub check: CheckOptions,
+    /// Check against the causal happens-before order (session order plus
+    /// [`StreamChecker::push_hb_edge`] edges) instead of real time. See
+    /// the module docs' causal-mode rules. Off by default; when off,
+    /// declared edges are accepted but inert, matching the batch parsers'
+    /// treatment of annotated inputs in CAL mode.
+    pub causal: bool,
 }
 
 impl Default for StreamOptions {
@@ -118,6 +156,7 @@ impl Default for StreamOptions {
             checkpoint_every: 128,
             max_states: 64,
             check: CheckOptions::default(),
+            causal: false,
         }
     }
 }
@@ -152,6 +191,11 @@ pub enum UndecidedWhy {
     /// The specification panicked during a search; see
     /// [`StreamChecker::last_error`].
     CheckerError,
+    /// Causal mode: a declared happens-before edge arrived after its
+    /// target operation was retired. The retired prefix was enumerated
+    /// without the edge, so no further verdict can be trusted; this
+    /// latches (see the module docs).
+    LateHbEdge,
 }
 
 impl fmt::Display for UndecidedWhy {
@@ -161,6 +205,7 @@ impl fmt::Display for UndecidedWhy {
             UndecidedWhy::ResourcesExhausted => f.write_str("node budget exhausted"),
             UndecidedWhy::Interrupted(r) => write!(f, "interrupted ({r})"),
             UndecidedWhy::CheckerError => f.write_str("checker error"),
+            UndecidedWhy::LateHbEdge => f.write_str("late happens-before edge"),
         }
     }
 }
@@ -222,6 +267,13 @@ pub struct StreamStats {
     pub checkpoints: u64,
     /// Pending operations sealed because their client abandoned them.
     pub abandoned: u64,
+    /// Happens-before edges declared via
+    /// [`StreamChecker::push_hb_edge`] (counted whether or not causal
+    /// mode is on).
+    pub hb_edges: u64,
+    /// Declared edges quarantined because their target was already
+    /// retired ([`UndecidedWhy::LateHbEdge`]).
+    pub late_edges: u64,
     /// Accumulated search-kernel work across every checkpoint search and
     /// retirement enumeration.
     pub search: CheckStats,
@@ -264,6 +316,8 @@ impl StreamReport {
         push_field(&mut out, "retired_segments", &s.retired_segments.to_string());
         push_field(&mut out, "checkpoints", &s.checkpoints.to_string());
         push_field(&mut out, "abandoned", &s.abandoned.to_string());
+        push_field(&mut out, "hb_edges", &s.hb_edges.to_string());
+        push_field(&mut out, "late_edges", &s.late_edges.to_string());
         push_field(&mut out, "nodes", &s.search.nodes.to_string());
         push_field(&mut out, "elements_tried", &s.search.elements_tried.to_string());
         push_field(&mut out, "memo_hits", &s.search.memo_hits.to_string());
@@ -337,8 +391,26 @@ pub struct StreamChecker<S: CaSpec> {
     pending: Vec<(ThreadId, usize)>,
     /// Window indices of pending invocations whose client is gone.
     abandoned: Vec<usize>,
+    /// Causal mode: declared happens-before edges by *global operation
+    /// ordinal* (invocation admission order; the window's first
+    /// operation has ordinal `stats.retired_ops`). Edges whose source
+    /// is still in the future are held here until it arrives; fully
+    /// retired edges are pruned at each boundary.
+    edges: Vec<(u64, u64)>,
     violated: bool,
     degraded: bool,
+    /// Causal mode: a late edge was quarantined; latches like
+    /// degradation ([`UndecidedWhy::LateHbEdge`]).
+    stale: bool,
+    /// [`StreamChecker::finish`] ran: no further operation can arrive,
+    /// so causal-mode cuts stop anticipating future operations.
+    closed: bool,
+    /// Causal mode: each seen thread's most recent operation, as a
+    /// global ordinal — the proxy for the thread's future operations in
+    /// the hb-closure cut rule (see the module docs).
+    last_seen: Vec<(ThreadId, u64)>,
+    /// Global ordinal of the next admitted invocation.
+    op_seq: u64,
     /// Verdict of the last window evaluation (Consistent or a
     /// search-shaped Undecided); `violated`/`degraded` override it.
     last_eval: StreamVerdict,
@@ -370,8 +442,13 @@ impl<S: CaSpec> StreamChecker<S> {
             states,
             pending: Vec::new(),
             abandoned: Vec::new(),
+            edges: Vec::new(),
             violated: false,
             degraded: false,
+            stale: false,
+            closed: false,
+            last_seen: Vec::new(),
+            op_seq: 0,
             last_eval: StreamVerdict::Consistent,
             last_error: None,
             since_checkpoint: 0,
@@ -382,7 +459,9 @@ impl<S: CaSpec> StreamChecker<S> {
     /// Offers one event to the stream. See [`Push`] for the outcomes;
     /// only [`Push::Admitted`] consumes the event.
     pub fn push(&mut self, action: Action) -> Push {
-        if self.violated || self.degraded {
+        // A finished causal stream refused further events: `finish`
+        // retired its window on the premise that no operation follows.
+        if self.violated || self.degraded || self.stale || (self.opts.causal && self.closed) {
             self.stats.refused += 1;
             return Push::Refused;
         }
@@ -450,7 +529,14 @@ impl<S: CaSpec> StreamChecker<S> {
                 self.abandoned.retain(|&a| a != inv_at);
                 self.pending.swap_remove(p);
             }
-            None => self.pending.push((thread, at)),
+            None => {
+                self.pending.push((thread, at));
+                match self.last_seen.iter_mut().find(|(t, _)| *t == thread) {
+                    Some(entry) => entry.1 = self.op_seq,
+                    None => self.last_seen.push((thread, self.op_seq)),
+                }
+                self.op_seq += 1;
+            }
         }
         self.stats.events += 1;
         self.stats.window = self.window.len();
@@ -462,6 +548,44 @@ impl<S: CaSpec> StreamChecker<S> {
         Push::Admitted
     }
 
+    /// Declares a happens-before edge between two operations, as 0-based
+    /// *global operation ordinals* — the positions of their invocations
+    /// in admission order (exactly [`crate::format::WireItem::HbEdge`]'s
+    /// numbering). Either endpoint may still be in the future; the edge
+    /// is held until it arrives. Outside causal mode the edge is counted
+    /// but inert.
+    ///
+    /// Returns [`Push::Refused`] when the stream is closed, or when the
+    /// edge's target is already retired (the late-edge quarantine — see
+    /// the module docs; this latches [`UndecidedWhy::LateHbEdge`]).
+    /// Malformed edges (self-edges, cycles with session order) are
+    /// admitted here and surface as [`UndecidedWhy::CheckerError`] at the
+    /// next evaluation, keeping this call cheap.
+    pub fn push_hb_edge(&mut self, from: usize, to: usize) -> Push {
+        if self.violated || self.degraded || self.stale || (self.opts.causal && self.closed) {
+            self.stats.refused += 1;
+            return Push::Refused;
+        }
+        self.stats.hb_edges += 1;
+        if !self.opts.causal {
+            return Push::Admitted;
+        }
+        let (from, to) = (from as u64, to as u64);
+        if to < self.stats.retired_ops {
+            self.stats.late_edges += 1;
+            self.stale = true;
+            self.stats.refused += 1;
+            return Push::Refused;
+        }
+        if from >= self.stats.retired_ops {
+            self.edges.push((from, to));
+        }
+        // A retired source with a live target needs no bookkeeping: the
+        // factored witness already orders every retired element before
+        // the window, which is what the edge demands.
+        Push::Admitted
+    }
+
     /// Declares that `thread`'s client is gone. Its pending invocation
     /// (if any) rides in the window with exact batch pending-op
     /// semantics — droppable, or completable with the spec's proposed
@@ -470,7 +594,7 @@ impl<S: CaSpec> StreamChecker<S> {
     /// forced retirement boundary, committing it against events up to
     /// that boundary only.
     pub fn abandon_thread(&mut self, thread: ThreadId) {
-        if self.violated || self.degraded {
+        if self.violated || self.degraded || self.stale {
             return;
         }
         if let Some(&(_, at)) = self.pending.iter().find(|&&(t, _)| t == thread) {
@@ -504,7 +628,16 @@ impl<S: CaSpec> StreamChecker<S> {
     }
 
     /// Runs a final checkpoint and returns the stream's closing verdict.
+    ///
+    /// Closing the stream is a statement that no further operation will
+    /// arrive: in causal mode this lifts the future-operation half of
+    /// the hb-closure cut rule (see the module docs' causal-mode rules),
+    /// letting the residual window retire, and subsequent [`push`]es are
+    /// refused — they would invalidate that premise.
+    ///
+    /// [`push`]: StreamChecker::push
     pub fn finish(&mut self) -> StreamVerdict {
+        self.closed = true;
         self.checkpoint()
     }
 
@@ -513,6 +646,8 @@ impl<S: CaSpec> StreamChecker<S> {
     pub fn verdict(&self) -> StreamVerdict {
         if self.violated {
             StreamVerdict::Violation
+        } else if self.stale {
+            StreamVerdict::Undecided(UndecidedWhy::LateHbEdge)
         } else if self.degraded {
             StreamVerdict::Undecided(UndecidedWhy::WindowExceeded)
         } else {
@@ -542,7 +677,20 @@ impl<S: CaSpec> StreamChecker<S> {
     }
 
     /// The earliest closed boundary: the smallest `c > 0` such that every
-    /// operation invoked in `window[..c]` responds in `window[..c]`.
+    /// operation invoked in `window[..c]` responds in `window[..c]` and —
+    /// in causal mode — the cut is hb-closed (see the module docs):
+    ///
+    /// - no declared edge points from an operation at or past the cut
+    ///   back into `window[..c]`, and
+    /// - while the stream is open, every segment operation happens-before
+    ///   every operation still in the window *and* every future operation
+    ///   of every seen thread. A future operation session-follows its
+    ///   thread's last seen one, so that operation stands proxy for it; a
+    ///   proxy that already retired can never come to happen-after the
+    ///   segment, so no cut is possible until the thread speaks again.
+    ///   Once [`finish`] closes the stream the future half lapses — no
+    ///   operation follows — and cuts are constrained by the window's
+    ///   contents and declared edges alone.
     ///
     /// Abandoned invocations block a cut unless `force`: sealing one
     /// commits it against the segment's events only, and its rendezvous
@@ -552,9 +700,24 @@ impl<S: CaSpec> StreamChecker<S> {
     ///
     /// [`finish`]: StreamChecker::finish
     fn first_cut(&self, force: bool) -> Option<usize> {
+        let base = self.stats.retired_ops;
+        // Causal mode: the window's happens-before relation, consulted
+        // by the hb-closure rules below. A malformed declaration (cycle)
+        // blocks every cut here; `evaluate` surfaces the error.
+        let window_hb = if self.opts.causal && !self.window.is_empty() {
+            let spans = History::from_actions(self.window.clone()).spans();
+            match self.causal_relation(&spans) {
+                Ok(hb) => Some((hb, spans.len())),
+                Err(_) => return None,
+            }
+        } else {
+            None
+        };
         let mut depth = 0usize;
+        let mut ops = 0u64;
         for (i, a) in self.window.iter().enumerate() {
             if a.is_invoke() {
+                ops += 1;
                 if !(force && self.abandoned.contains(&i)) {
                     depth += 1;
                 }
@@ -564,6 +727,37 @@ impl<S: CaSpec> StreamChecker<S> {
                 depth = depth.saturating_sub(1);
             }
             if depth == 0 {
+                // hb-closure: an edge from a later (or not-yet-arrived)
+                // operation into the candidate segment forbids retiring
+                // it — keep scanning for a wider closed boundary.
+                let cut_g = base + ops;
+                if self.edges.iter().any(|&(f, t)| t < cut_g && f >= cut_g) {
+                    continue;
+                }
+                if let Some((hb, w_ops)) = &window_hb {
+                    let seg = ops as usize;
+                    // Every segment op must happen-before every op still
+                    // in the window past the cut...
+                    if !(0..seg).all(|s| (seg..*w_ops).all(|r| hb.precedes(s, r))) {
+                        continue;
+                    }
+                    // ...and, while the stream is open, before every
+                    // future op of every seen thread, via the thread's
+                    // last-op proxy. A failed proxy fails for every
+                    // boundary, present and wider; one already retired
+                    // can never come to happen-after the segment.
+                    if !self.closed {
+                        for &(_, l) in &self.last_seen {
+                            if l < base {
+                                return None;
+                            }
+                            let li = (l - base) as usize;
+                            if !(0..seg).all(|s| s == li || hb.precedes(s, li)) {
+                                return None;
+                            }
+                        }
+                    }
+                }
                 return Some(i + 1);
             }
         }
@@ -604,8 +798,53 @@ impl<S: CaSpec> StreamChecker<S> {
             for a in &mut self.abandoned {
                 *a -= cut;
             }
+            // Edges wholly behind the new base are satisfied by the
+            // enumeration that just consumed them; a retired source with
+            // a live target is satisfied by segment order (hb-closure
+            // rules out the reverse).
+            let base = self.stats.retired_ops;
+            self.edges.retain(|&(f, t)| f >= base && t >= base);
         }
         self.stats.window = self.window.len();
+    }
+
+    /// Causal mode: the happens-before relation of a window-prefix
+    /// segment — session order plus the declared edges falling inside it
+    /// (global ordinals rebased to segment span indices). Edges with a
+    /// not-yet-arrived endpoint constrain nothing inside the segment and
+    /// are excluded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::history::HbError`] for malformed declarations
+    /// (self-edges, cycles with session order); callers surface it as
+    /// [`UndecidedWhy::CheckerError`].
+    fn causal_relation(&self, spans: &[Span]) -> Result<HbRelation, crate::history::HbError> {
+        let base = self.stats.retired_ops;
+        let ops = spans.len() as u64;
+        let edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|&&(f, t)| f < base + ops && t < base + ops)
+            .map(|&(f, t)| ((f - base) as usize, (t - base) as usize))
+            .collect();
+        HbRelation::causal(spans, &edges)
+    }
+
+    /// The order every search over `segment` (a window prefix) runs
+    /// against: real time, or the causal relation in causal mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamChecker::causal_relation`]; infallible outside causal
+    /// mode.
+    fn segment_order(&self, segment: &History) -> Result<HbRelation, crate::history::HbError> {
+        let spans = segment.spans();
+        if self.opts.causal {
+            self.causal_relation(&spans)
+        } else {
+            Ok(HbRelation::real_time(&spans))
+        }
     }
 
     /// The exact end-state set of `window[..cut]` from the current
@@ -617,8 +856,18 @@ impl<S: CaSpec> StreamChecker<S> {
         // share an element with), so step the spec directly instead of
         // building a search domain. This is what makes a mostly-
         // sequential replay stream at millions of ops without search
-        // overhead.
-        if cut == 2 && self.window[0].is_invoke() && !self.window[1].is_invoke() {
+        // overhead. In causal mode the path is taken only when no
+        // declared edge touches the op (ordinal `retired_ops`), so a
+        // malformed declaration still reaches the relation builder.
+        let solo_op_untouched = || {
+            let o = self.stats.retired_ops;
+            self.edges.iter().all(|&(f, t)| f != o && t != o)
+        };
+        if cut == 2
+            && self.window[0].is_invoke()
+            && !self.window[1].is_invoke()
+            && (!self.opts.causal || solo_op_untouched())
+        {
             let (inv, res) = (self.window[0], self.window[1]);
             let op = Operation::new(
                 inv.thread(),
@@ -647,10 +896,21 @@ impl<S: CaSpec> StreamChecker<S> {
             return Some(next);
         }
         let segment = History::from_actions(self.window[..cut].to_vec());
+        let hb = match self.segment_order(&segment) {
+            Ok(hb) => hb,
+            Err(e) => {
+                self.last_error = Some(e.to_string());
+                return None;
+            }
+        };
         let mut next: Vec<S::State> = Vec::new();
         for q in &self.states {
             let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
-            let domain = match CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume)) {
+            let domain = match CalDomain::with_order(
+                Cow::Borrowed(&segment),
+                SpecRef::Owned(resume),
+                hb.clone(),
+            ) {
                 Ok(d) => d,
                 // Unreachable: admission keeps the window well-formed.
                 Err(_) => return None,
@@ -684,10 +944,22 @@ impl<S: CaSpec> StreamChecker<S> {
             return;
         }
         let segment = History::from_actions(self.window.clone());
+        let hb = match self.segment_order(&segment) {
+            Ok(hb) => hb,
+            Err(e) => {
+                self.last_error = Some(e.to_string());
+                self.last_eval = StreamVerdict::Undecided(UndecidedWhy::CheckerError);
+                return;
+            }
+        };
         let mut why: Option<UndecidedWhy> = None;
         for q in &self.states {
             let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
-            let domain = match CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume)) {
+            let domain = match CalDomain::with_order(
+                Cow::Borrowed(&segment),
+                SpecRef::Owned(resume),
+                hb.clone(),
+            ) {
                 Ok(d) => d,
                 Err(_) => return, // unreachable: the window is well-formed
             };
@@ -731,10 +1003,14 @@ impl<S: CaSpec> StreamChecker<S> {
             return Some(CaTrace::new());
         }
         let segment = History::from_actions(self.window.clone());
+        let hb = self.segment_order(&segment).ok()?;
         for q in &self.states {
             let resume = ResumeSpec { inner: &self.spec, start: q.clone() };
-            let Ok(domain) = CalDomain::new(Cow::Borrowed(&segment), SpecRef::Owned(resume))
-            else {
+            let Ok(domain) = CalDomain::with_order(
+                Cow::Borrowed(&segment),
+                SpecRef::Owned(resume),
+                hb.clone(),
+            ) else {
                 return None;
             };
             if let Ok(outcome) = engine::search(&domain, &self.opts.check) {
@@ -926,6 +1202,131 @@ mod tests {
             });
             feed(&mut c, text);
             assert_eq!(c.finish(), StreamVerdict::Consistent, "chunk {chunk}");
+        }
+    }
+
+    fn causal_reg_checker(opts: StreamOptions) -> StreamChecker<SeqAsCa<Reg>> {
+        StreamChecker::new(SeqAsCa::new(Reg), StreamOptions { causal: true, ..opts })
+    }
+
+    #[test]
+    fn causal_stream_accepts_a_session_reorderable_stale_read() {
+        // write completes in real time before the read starts, but the
+        // threads are causally unrelated: violation in real-time mode,
+        // consistent in causal mode.
+        let text = "t0 inv o0.write 1\nt0 res o0.write ()\nt1 inv o0.read ()\nt1 res o0.read 0\n";
+        let mut rt = reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut rt, text);
+        assert_eq!(rt.finish(), StreamVerdict::Violation);
+
+        let mut c = causal_reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut c, text);
+        assert_eq!(c.finish(), StreamVerdict::Consistent);
+    }
+
+    #[test]
+    fn declared_edge_restores_the_violation_and_blocks_early_retirement() {
+        let mut c = causal_reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\n");
+        // An edge from the (future) read back into the window: op 1 → op 0
+        // would be a cycle, so declare 0 → 1 (the write became visible).
+        assert_eq!(c.push_hb_edge(0, 1), Push::Admitted);
+        // The cut after the write is now hb-open in the *forward*
+        // direction only — retirement of op 0 alone is still sound and
+        // permitted; the reverse edge is what blocks.
+        feed(&mut c, "t1 inv o0.read ()\nt1 res o0.read 0\n");
+        assert_eq!(c.finish(), StreamVerdict::Violation);
+        assert_eq!(c.stats().hb_edges, 1);
+    }
+
+    #[test]
+    fn backward_edge_defers_retirement_until_hb_closed() {
+        let mut c = causal_reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\n");
+        // Declare that the (future) op 1 happens before op 0: the cut
+        // after op 0 is closed in time but not hb-closed.
+        assert_eq!(c.push_hb_edge(1, 0), Push::Admitted);
+        c.checkpoint();
+        assert_eq!(c.stats().retired_ops, 0, "backward edge must block the cut");
+        // Once op 1 (a read of 0, ordered before the write) arrives and
+        // completes, the two retire together, edge respected.
+        feed(&mut c, "t1 inv o0.read ()\nt1 res o0.read 0\n");
+        assert_eq!(c.finish(), StreamVerdict::Consistent);
+        assert_eq!(c.stats().retired_ops, 2);
+    }
+
+    #[test]
+    fn late_edge_into_retired_prefix_latches_undecided() {
+        let mut c = causal_reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\n");
+        c.checkpoint();
+        assert_eq!(c.stats().retired_ops, 1);
+        assert_eq!(c.push_hb_edge(5, 0), Push::Refused);
+        assert_eq!(c.verdict(), StreamVerdict::Undecided(UndecidedWhy::LateHbEdge));
+        assert_eq!(c.verdict().to_string(), "undecided: late happens-before edge");
+        assert_eq!(c.stats().late_edges, 1);
+        let next = Action::invoke(ThreadId(1), ObjectId(0), Method("read"), Value::Unit);
+        assert_eq!(c.push(next), Push::Refused);
+        assert_eq!(c.finish(), StreamVerdict::Undecided(UndecidedWhy::LateHbEdge));
+    }
+
+    #[test]
+    fn edges_are_inert_outside_causal_mode() {
+        let mut c = reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\n");
+        c.checkpoint();
+        // Would be a late edge in causal mode; without it, counted and
+        // ignored.
+        assert_eq!(c.push_hb_edge(5, 0), Push::Admitted);
+        assert_eq!(c.stats().hb_edges, 1);
+        assert_eq!(c.finish(), StreamVerdict::Consistent);
+    }
+
+    #[test]
+    fn cyclic_declaration_surfaces_as_checker_error() {
+        let mut c = causal_reg_checker(StreamOptions { checkpoint_every: 0, ..StreamOptions::default() });
+        // Same thread: session order gives 0 ≺ 1; declaring 1 → 0 closes
+        // a cycle.
+        feed(&mut c, "t0 inv o0.write 1\nt0 res o0.write ()\nt0 inv o0.write 2\nt0 res o0.write ()\n");
+        assert_eq!(c.push_hb_edge(1, 0), Push::Admitted);
+        assert_eq!(c.finish(), StreamVerdict::Undecided(UndecidedWhy::CheckerError));
+        assert!(c.last_error().unwrap().contains("cycle"), "{:?}", c.last_error());
+    }
+
+    #[test]
+    fn causal_stream_matches_batch_causal_on_retired_segments() {
+        // Declared edges chain the threads into w1 ≺ r1 ≺ w2 ≺ r2, so
+        // hb-closed cuts exist while the stream is still open and
+        // retirement happens mid-stream; the final verdict must match
+        // the batch causal checker on the whole history.
+        let text = "t0 inv o0.write 1\nt0 res o0.write ()\n\
+                    t1 inv o0.read ()\nt1 res o0.read 1\n\
+                    t0 inv o0.write 2\nt0 res o0.write ()\n\
+                    t2 inv o0.read ()\nt2 res o0.read 2\n";
+        let edges = [(0usize, 1usize), (1, 2), (2, 3)];
+        let history = parse_history(text).unwrap();
+        let hb = crate::causal::causal_order(&history, &edges).unwrap();
+        let batch = crate::causal::check_causal(&history, &SeqAsCa::new(Reg), &hb).unwrap();
+        assert!(batch.verdict.is_cal());
+        let actions = parse_history(text).unwrap().actions().to_vec();
+        for chunk in [1usize, 2, 4] {
+            let mut c = causal_reg_checker(StreamOptions {
+                checkpoint_every: chunk,
+                ..StreamOptions::default()
+            });
+            for (i, a) in actions.iter().enumerate() {
+                assert_eq!(c.push(*a), Push::Admitted, "chunk {chunk} action {i}");
+                // Declare each edge as its source op completes (i.e.
+                // never later than its target's response).
+                if i % 2 == 1 {
+                    if let Some(&(f, t)) = edges.iter().find(|&&(f, _)| f == i / 2) {
+                        assert_eq!(c.push_hb_edge(f, t), Push::Admitted);
+                    }
+                }
+            }
+            assert!(c.stats().retired_ops > 0, "chunk {chunk} should retire mid-stream");
+            assert_eq!(c.finish(), StreamVerdict::Consistent, "chunk {chunk}");
+            assert_eq!(c.stats().retired_ops, 4, "chunk {chunk}");
         }
     }
 

@@ -21,22 +21,33 @@
 //!
 //! 1. they denote the same operation: equal object, method, argument,
 //!    completeness and return value;
-//! 2. they have identical real-time constraint sets: the same `≺H`
-//!    predecessors and the same successors.
+//! 2. they have identical order constraint sets: the same predecessors
+//!    and the same successors under the happens-before relation the
+//!    search runs over ([`crate::history::PartialHistory`]).
 //!
 //! Swapping `i` and `j` in any matched set then maps every valid
 //! CA-trace extension to a valid one: the spec's transition relation
 //! sees operations only through [`crate::op::Operation`]-level data
 //! (condition 1 makes `i` and `j` identical there *except* the thread
 //! id), and the minimal-candidate frontier is determined by the
-//! real-time order (condition 2 makes it invariant).
+//! happens-before order (condition 2 makes it invariant).
+//!
+//! The argument is order-generic: the search consults the ordering only
+//! through pred sets (minimality) and pairwise concurrency (element
+//! membership), and both are invariant under a within-class swap by
+//! condition 2. It therefore holds unchanged when the relation is a
+//! causal partial order rather than `≺H` — which is why
+//! [`SymClasses::of_order`] takes the relation as a parameter instead
+//! of hard-coding `≺H`.
 //!
 //! The one residual distinction is the **thread id**. Condition 2
 //! forces class members to be pairwise concurrent (a span never equals
-//! its own predecessor set plus itself), and a well-formed history
-//! interleaves no two concurrent spans on one thread — so class members
-//! always carry *distinct* thread ids, and a permutation within a class
-//! permutes threads injectively. Specifications in this crate consume
+//! its own predecessor set plus itself), and no two concurrent spans
+//! share a thread under either relation family: a well-formed history
+//! interleaves no two real-time-concurrent spans on one thread, and a
+//! causal order contains per-thread session order by construction — so
+//! class members always carry *distinct* thread ids, and a permutation
+//! within a class permutes threads injectively. Specifications in this crate consume
 //! thread ids only through *intra-element* equality tests (e.g. "an
 //! exchange pair must come from two distinct threads"), which injective
 //! renaming preserves. A spec that discriminated on absolute thread ids
@@ -46,7 +57,7 @@
 //! applying it unconditionally.
 
 use crate::bitset::BitSet;
-use crate::history::{History, Span};
+use crate::history::{HbRelation, PartialHistory, Span};
 
 /// Interchangeability classes of a history's spans, precomputed once and
 /// shared read-only across search workers.
@@ -60,23 +71,23 @@ pub struct SymClasses {
 }
 
 impl SymClasses {
-    /// Computes the interchangeability classes of `spans`.
+    /// Computes the interchangeability classes of `spans` under the
+    /// real-time order `≺H`.
     pub fn of(spans: &[Span]) -> Self {
+        Self::of_order(spans, &HbRelation::real_time(spans))
+    }
+
+    /// Computes the interchangeability classes of `spans` under an
+    /// arbitrary happens-before relation: constraint sets (condition 2)
+    /// are the relation's pred/succ sets instead of `≺H`'s. See the
+    /// module docs for why the soundness argument carries over to partial
+    /// orders.
+    pub fn of_order(spans: &[Span], hb: &HbRelation) -> Self {
         let n = spans.len();
-        // preds[i] as a sorted Vec doubles as a set fingerprint; succs
+        // Pred sets as sorted slices double as set fingerprints; succs
         // are implied by preds over a fixed span set *only* if we check
         // them too (preds alone would let a "first" clone and "last"
-        // clone of a chain merge), so compute both.
-        let preds: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n).filter(|&j| j != i && History::spans_precede(&spans[j], &spans[i])).collect()
-            })
-            .collect();
-        let succs: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n).filter(|&j| j != i && History::spans_precede(&spans[i], &spans[j])).collect()
-            })
-            .collect();
+        // clone of a chain merge), so compare both.
         let mut classes: Vec<Vec<usize>> = Vec::new();
         let mut assigned = vec![false; n];
         for i in 0..n {
@@ -89,8 +100,8 @@ impl SymClasses {
                     continue;
                 }
                 if Self::interchangeable(&spans[i], &spans[j])
-                    && preds[i] == preds[j]
-                    && succs[i] == succs[j]
+                    && hb.preds(i) == hb.preds(j)
+                    && hb.succs(i) == hb.succs(j)
                 {
                     class.push(j);
                 }
@@ -242,6 +253,26 @@ mod tests {
             all.insert(i);
         }
         assert_eq!(sym.canonical_bits(&all), None);
+    }
+
+    #[test]
+    fn causal_order_reshapes_classes() {
+        // Two identical ops on distinct threads, strictly ordered in real
+        // time: `of` splits them, but a session-only causal order leaves
+        // them concurrent and merges them into one class.
+        let spans = vec![
+            span(0, Some(1), 1, 5, Some(Value::Int(1))),
+            span(2, Some(3), 2, 5, Some(Value::Int(1))),
+        ];
+        assert!(SymClasses::of(&spans).is_trivial());
+        let causal = HbRelation::causal(&spans, &[]).unwrap();
+        let sym = SymClasses::of_order(&spans, &causal);
+        assert_eq!(sym.len(), 1);
+        assert_eq!(sym.classes[0], vec![0, 1]);
+        // An explicit hb edge restores the ordering constraint and splits
+        // the class again.
+        let edged = HbRelation::causal(&spans, &[(0, 1)]).unwrap();
+        assert!(SymClasses::of_order(&spans, &edged).is_trivial());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! - [`sched`] — the exhaustive DFS [`sched::Explorer`] and random
 //!   sampler;
 //! - [`models`] — the exchanger (Fig. 1), failing and retrying stacks,
-//!   elimination array, elimination stack (Fig. 2) and synchronous queue.
+//!   elimination array, elimination stack (Fig. 2) and synchronous queue;
+//! - [`weakmem`] — seeded store-buffering / reordering relaxations of a
+//!   recorded history's real-time order into a weak-memory-plausible
+//!   happens-before sub-order, for the causal checking mode.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +25,7 @@
 pub mod model;
 pub mod models;
 pub mod sched;
+pub mod weakmem;
 
 pub use model::{Model, OpRequest, StepCtx, StepOutcome};
 pub use sched::{Execution, ExploreStats, Explorer, Transition, TransitionKind, Workload};

@@ -6,13 +6,14 @@
 //! unless `--format` pins it.
 //!
 //! ```text
-//! Usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval]
-//!                  [--object <N>] [--format auto|native|jepsen|kvlog]
+//! Usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval|causal]
+//!                  [--hb auto|session|real-time] [--object <N>]
+//!                  [--format auto|native|jepsen|kvlog]
 //!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!                  [--stats] [--stats-json <PATH>] [--explain]
 //!        cal-check <SPEC> --batch <DIR> [--spec <FILE.cal>]
-//!                  [--mode cal|seq|interval] [--object <N>]
-//!                  [--format auto|native|jepsen|kvlog]
+//!                  [--mode cal|seq|interval|causal] [--hb auto|session|real-time]
+//!                  [--object <N>] [--format auto|native|jepsen|kvlog]
 //!                  [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]
 //!        cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]
 //!                  [--threads <N>] [--check-threads <N>] [--ops <N>]
@@ -26,8 +27,8 @@
 //!   PROFILE  light | heavy | starvation
 //!   T        exchanger | buggy-exchanger | treiber-stack | elim-stack |
 //!            dual-stack | sync-queue       (default exchanger)
-//!   M        file/batch mode: cal | seq | interval   (default cal)
-//!            chaos mode:      deterministic | stress (default deterministic)
+//!   M        file/batch mode: cal | seq | interval | causal (default cal)
+//!            chaos mode:      deterministic | stress        (default deterministic)
 //!
 //! `--format` selects the input trace format (default `auto`: sniff each
 //! input, first contentful line wins). The `kv` spec — a map of
@@ -43,12 +44,23 @@
 //! built-ins: `kind seq` specs check in every `--mode`, `kind ca` specs
 //! only under `--mode cal`.
 //!
-//! `--mode` selects the checker all three of which run on the shared
-//! search kernel: `cal` (concurrency-aware linearizability; sequential
-//! specs are lifted to singleton elements), `seq` (classical
-//! linearizability; sequential specs only) or `interval`
-//! (interval-linearizability; sequential specs become singleton-interval
-//! specs, plus the interval-native `write-snapshot`).
+//! `--mode` selects the checker, all of which run on the shared search
+//! kernel: `cal` (concurrency-aware linearizability; sequential specs
+//! are lifted to singleton elements), `seq` (classical linearizability;
+//! sequential specs only), `interval` (interval-linearizability;
+//! sequential specs become singleton-interval specs, plus the
+//! interval-native `write-snapshot`), or `causal` (the CAL membership
+//! search constrained by a happens-before *partial* order instead of the
+//! real-time total order — the weak-memory reading of a trace).
+//!
+//! `--hb` picks causal mode's order source. `auto` (the default) uses
+//! the trace's declared causality metadata — kvlog `hb session` / `hb
+//! <i> <j>` lines — when present, and falls back to real time otherwise
+//! (so unannotated traces behave exactly as in `--mode cal`). `session`
+//! keeps only per-thread session order plus declared edges — the
+//! Jepsen-`:process` reading of any input. `real-time` forces the total
+//! order, making `causal` agree with `cal` on every input (the
+//! differential anchor the test-suite pins).
 //!
 //! In file mode `--threads` sets the checker's worker threads (the
 //! parallel driver engages above 1, in every mode); in batch mode it
@@ -87,8 +99,10 @@ use std::time::{Duration, Instant};
 
 use cal::chaos::driver::{run_once, ChaosVerdict, Mode, RunConfig, TargetKind};
 use cal::chaos::Profile;
+use cal::core::causal::{check_causal_par_with, check_causal_with};
 use cal::core::check::{check_cal_with, CheckError, CheckOptions, CheckOutcome, Verdict};
 use cal::core::dsl::{self, SpecDef};
+use cal::core::history::HbRelation;
 use cal::core::interval::{
     check_interval_par_with, check_interval_with, IntervalSpec, IntervalWitness, SeqAsInterval,
 };
@@ -128,13 +142,14 @@ macro_rules! errln {
 
 fn usage() -> io::Result<ExitCode> {
     errln!(
-        "usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval]\n\
-         \x20                [--object <N>] [--format auto|native|jepsen|kvlog]\n\
+        "usage: cal-check <SPEC> <FILE> [--spec <FILE.cal>] [--mode cal|seq|interval|causal]\n\
+         \x20                [--hb auto|session|real-time] [--object <N>]\n\
+         \x20                [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20                [--no-symmetry] [--stats] [--stats-json <PATH>] [--explain]\n\
          \x20      cal-check <SPEC> --batch <DIR> [--spec <FILE.cal>]\n\
-         \x20                [--mode cal|seq|interval] [--object <N>]\n\
-         \x20                [--format auto|native|jepsen|kvlog]\n\
+         \x20                [--mode cal|seq|interval|causal] [--hb auto|session|real-time]\n\
+         \x20                [--object <N>] [--format auto|native|jepsen|kvlog]\n\
          \x20                [--deadline-ms <N>] [--max-nodes <N>] [--threads <N>]\n\
          \x20      cal-check --chaos <PROFILE> [--seed <N>] [--target <T>]\n\
          \x20                [--threads <N>] [--check-threads <N>] [--ops <N>] [--mode <M>]\n\
@@ -146,11 +161,16 @@ fn usage() -> io::Result<ExitCode> {
          DIR:     directory of history files, checked concurrently\n\
          PROFILE: light | heavy | starvation\n\
          T:       exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue\n\
-         M:       cal | seq | interval (file/batch; default cal) — deterministic | stress (chaos)\n\
+         M:       cal | seq | interval | causal (file/batch; default cal)\n\
+         \x20        — deterministic | stress (chaos)\n\
          \n\
          --spec         load user specs from a .cal file (docs/SPEC_DSL.md); loaded\n\
          \x20              names shadow built-ins, and with a single-spec file the\n\
          \x20              positional SPEC may be omitted\n\
+         --hb           causal-mode order source (default auto): auto uses declared kvlog\n\
+         \x20              `hb` metadata when present and real time otherwise; session\n\
+         \x20              keeps only per-thread session order plus declared edges;\n\
+         \x20              real-time forces the total order (causal ≡ cal)\n\
          --format       input trace format; auto (default) sniffs each input\n\
          --max-nodes    search node budget; exhausting it is verdict `undecided` (exit 2)\n\
          --no-symmetry  disable symmetry reduction over interchangeable ops (file mode)\n\
@@ -163,13 +183,44 @@ fn usage() -> io::Result<ExitCode> {
     Ok(ExitCode::from(EXIT_USAGE))
 }
 
-/// Which checker a file/batch invocation runs. All three are thin domains
-/// over the same `cal_core::engine` search kernel.
+/// Which checker a file/batch invocation runs. All four are thin domains
+/// over the same `cal_core::engine` search kernel; `causal` is the CAL
+/// domain with the order relation swapped to happens-before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CheckerMode {
     Cal,
     Seq,
     Interval,
+    Causal,
+}
+
+/// How `--mode causal` derives the happens-before order from the input
+/// (`--hb`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum HbPolicy {
+    /// Annotated traces (kvlog `hb` lines) use their declared edges over
+    /// session order; unannotated traces fall back to the real-time
+    /// order, on which causal mode agrees with CAL mode by construction.
+    #[default]
+    Auto,
+    /// Session order only (plus any declared edges): the weak-memory
+    /// reading of any trace — for Jepsen inputs this is the `:process`
+    /// session-edge interpretation.
+    Session,
+    /// The real-time total order `≺H`; causal mode then agrees with CAL
+    /// mode on every input (the differential anchor).
+    RealTime,
+}
+
+impl HbPolicy {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(HbPolicy::Auto),
+            "session" => Some(HbPolicy::Session),
+            "real-time" => Some(HbPolicy::RealTime),
+            _ => None,
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -201,6 +252,7 @@ fn try_main() -> io::Result<ExitCode> {
     let mut ops = None;
     let mut chaos_mode: Option<Mode> = None;
     let mut checker_mode: Option<CheckerMode> = None;
+    let mut hb_policy: Option<HbPolicy> = None;
     let mut trace_format: Option<Format> = None;
     let mut max_nodes: Option<u64> = None;
     let mut no_symmetry = false;
@@ -256,10 +308,15 @@ fn try_main() -> io::Result<ExitCode> {
                 Some("cal") => checker_mode = Some(CheckerMode::Cal),
                 Some("seq") => checker_mode = Some(CheckerMode::Seq),
                 Some("interval") => checker_mode = Some(CheckerMode::Interval),
+                Some("causal") => checker_mode = Some(CheckerMode::Causal),
                 Some(m) => match Mode::parse(m) {
                     Some(m) => chaos_mode = Some(m),
                     None => return usage(),
                 },
+                None => return usage(),
+            },
+            "--hb" => match it.next().and_then(|p| HbPolicy::parse(p)) {
+                Some(p) => hb_policy = Some(p),
                 None => return usage(),
             },
             "--format" => match it.next().map(String::as_str) {
@@ -306,6 +363,7 @@ fn try_main() -> io::Result<ExitCode> {
             || trace_format.is_some()
             || max_nodes.is_some()
             || no_symmetry
+            || hb_policy.is_some()
         {
             return usage(); // stats/format/budget/search flags are file-mode only
         }
@@ -329,6 +387,10 @@ fn try_main() -> io::Result<ExitCode> {
         return usage(); // deterministic|stress make sense only with --chaos
     }
     let mode = checker_mode.unwrap_or(CheckerMode::Cal);
+    if hb_policy.is_some() && mode != CheckerMode::Causal {
+        return usage(); // --hb chooses the order source for --mode causal only
+    }
+    let hb_policy = hb_policy.unwrap_or_default();
 
     // Loading happens before any history is read, so a bad .cal file
     // fails fast (exit 3) even when the input would come from stdin.
@@ -405,6 +467,7 @@ fn try_main() -> io::Result<ExitCode> {
         return run_batch(
             &selected,
             mode,
+            hb_policy,
             trace_format,
             &dir,
             object,
@@ -434,7 +497,7 @@ fn try_main() -> io::Result<ExitCode> {
     }
     let want_report = stats || explain || stats_json.is_some();
     let (checked, report) =
-        check_input(&selected, mode, trace_format, &input, object, &options, want_report);
+        check_input(&selected, mode, hb_policy, trace_format, &input, object, &options, want_report);
     if let Some(report) = &report {
         if stats {
             errln!("stats: {}", report.summary())?;
@@ -532,11 +595,15 @@ impl Selected {
     }
 
     /// Mode gating, uniform with the built-ins: sequential specs check
-    /// everywhere, concurrency-aware specs only under `--mode cal`.
+    /// everywhere, concurrency-aware specs only under `--mode cal` or
+    /// `--mode causal` (the same membership search, weaker order).
     fn supports(&self, mode: CheckerMode) -> bool {
         match self {
             Selected::Builtin(name) => spec_supports(name, mode),
-            Selected::Loaded(def) => def.is_sequential() || mode == CheckerMode::Cal,
+            Selected::Loaded(def) => {
+                def.is_sequential()
+                    || matches!(mode, CheckerMode::Cal | CheckerMode::Causal)
+            }
         }
     }
 }
@@ -562,7 +629,9 @@ fn known_spec(name: &str) -> bool {
 /// elements / singleton intervals), `write-snapshot` is interval-native.
 fn spec_supports(name: &str, mode: CheckerMode) -> bool {
     match name {
-        "exchanger" | "elim-array" | "sync-queue" | "dual-stack" => mode == CheckerMode::Cal,
+        "exchanger" | "elim-array" | "sync-queue" | "dual-stack" => {
+            matches!(mode, CheckerMode::Cal | CheckerMode::Causal)
+        }
         "stack" | "failing-stack" | "register" | "counter" | "kv" => true,
         "write-snapshot" => mode == CheckerMode::Interval,
         _ => false,
@@ -579,9 +648,11 @@ fn spec_supports(name: &str, mode: CheckerMode) -> bool {
 /// tracks the source line of every action, so even well-formedness
 /// failures (nested invocation, mismatched response) name the offending
 /// input line.
+#[allow(clippy::too_many_arguments)]
 fn check_input(
     selected: &Selected,
     mode: CheckerMode,
+    hb_policy: HbPolicy,
     trace_format: Option<Format>,
     input: &str,
     object: Option<ObjectId>,
@@ -589,9 +660,18 @@ fn check_input(
     want_report: bool,
 ) -> (Checked, Option<SearchReport>) {
     let fmt = trace_format.unwrap_or_else(|| format::detect(input));
-    let history = match format::parse_as(fmt, input) {
-        Ok(h) => h,
-        Err(e) => return (Checked::Error(format!("parse error ({fmt}): {e}")), None),
+    // Causal mode parses with annotations so kvlog `hb` metadata reaches
+    // the order; the other modes ignore causality metadata by design.
+    let (history, hb_edges) = if mode == CheckerMode::Causal {
+        match format::parse_annotated(fmt, input) {
+            Ok(a) => (a.history, a.hb_edges),
+            Err(e) => return (Checked::Error(format!("parse error ({fmt}): {e}")), None),
+        }
+    } else {
+        match format::parse_as(fmt, input) {
+            Ok(h) => (h, None),
+            Err(e) => return (Checked::Error(format!("parse error ({fmt}): {e}")), None),
+        }
     };
     let object = object.or_else(|| history.objects().first().copied()).unwrap_or(ObjectId(0));
     let sink = want_report.then(|| Arc::new(CountingSink::new()));
@@ -603,6 +683,8 @@ fn check_input(
     const CA: &str = "concurrency-aware linearizable";
     const LIN: &str = "linearizable";
     const INT: &str = "interval-linearizable";
+    const CCA: &str = "causally concurrency-aware linearizable";
+    const CLIN: &str = "causally linearizable";
     match mode {
         CheckerMode::Cal => {
             if let Selected::Loaded(def) = selected {
@@ -710,6 +792,68 @@ fn check_input(
             };
             render(result, INT, format_interval_witness, &sink, &options, start)
         }
+        CheckerMode::Causal => {
+            let spans = match history.try_spans() {
+                Ok(s) => s,
+                Err(e) => return (Checked::Error(format!("ill-formed history: {e}")), None),
+            };
+            let hb = match hb_policy {
+                HbPolicy::RealTime => Ok(HbRelation::real_time(&spans)),
+                HbPolicy::Session => {
+                    HbRelation::causal(&spans, hb_edges.as_deref().unwrap_or(&[]))
+                }
+                HbPolicy::Auto => match &hb_edges {
+                    Some(edges) => HbRelation::causal(&spans, edges),
+                    None => Ok(HbRelation::real_time(&spans)),
+                },
+            };
+            let hb = match hb {
+                Ok(hb) => hb,
+                Err(e) => return (Checked::Error(format!("happens-before: {e}")), None),
+            };
+            if let Selected::Loaded(def) = selected {
+                let adjective = if def.is_sequential() { CLIN } else { CCA };
+                let result = run_causal(&history, &def.to_ca(object), &hb, &options);
+                return render(result, adjective, format_trace, &sink, &options, start);
+            }
+            let Selected::Builtin(spec_name) = selected else { unreachable!() };
+            let (result, adjective) = match spec_name.as_str() {
+                "exchanger" => {
+                    (run_causal(&history, &ExchangerSpec::new(object), &hb, &options), CCA)
+                }
+                "elim-array" => {
+                    (run_causal(&history, &ElimArraySpec::new(object), &hb, &options), CCA)
+                }
+                "sync-queue" => {
+                    (run_causal(&history, &SyncQueueSpec::new(object), &hb, &options), CCA)
+                }
+                "dual-stack" => (
+                    run_causal(&history, &DualStackSpec::with_timeouts(object), &hb, &options),
+                    CCA,
+                ),
+                "stack" => (
+                    run_causal(&history, &SeqAsCa::new(StackSpec::total(object)), &hb, &options),
+                    CLIN,
+                ),
+                "failing-stack" => (
+                    run_causal(&history, &SeqAsCa::new(StackSpec::failing(object)), &hb, &options),
+                    CLIN,
+                ),
+                "register" => (
+                    run_causal(&history, &SeqAsCa::new(RegisterSpec::new(object)), &hb, &options),
+                    CLIN,
+                ),
+                "counter" => (
+                    run_causal(&history, &SeqAsCa::new(CounterSpec::new(object)), &hb, &options),
+                    CLIN,
+                ),
+                "kv" => {
+                    (run_causal(&history, &SeqAsCa::new(KvMapSpec::new()), &hb, &options), CLIN)
+                }
+                other => return (Checked::Error(format!("unknown spec {other:?}")), None),
+            };
+            render(result, adjective, format_trace, &sink, &options, start)
+        }
     }
 }
 
@@ -765,6 +909,25 @@ where
     }
 }
 
+/// Like [`run_ca`] for the causal checker: the same membership search
+/// constrained by a happens-before order instead of `≺H`.
+fn run_causal<S>(
+    history: &History,
+    spec: &S,
+    hb: &HbRelation,
+    options: &CheckOptions,
+) -> Result<CheckOutcome, CheckError>
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    if options.threads > 1 {
+        check_causal_par_with(history, spec, hb, options)
+    } else {
+        check_causal_with(history, spec, hb, options)
+    }
+}
+
 /// Like [`run_ca`] for the classical linearizability checker.
 fn run_seq<S>(
     history: &History,
@@ -808,6 +971,7 @@ where
 fn run_batch(
     selected: &Selected,
     mode: CheckerMode,
+    hb_policy: HbPolicy,
     trace_format: Option<Format>,
     dir: &str,
     object: Option<ObjectId>,
@@ -845,8 +1009,17 @@ fn run_batch(
                 let Some(path) = files.get(idx) else { break };
                 let checked = match std::fs::read_to_string(path) {
                     Ok(input) => {
-                        check_input(selected, mode, trace_format, &input, object, &options, false)
-                            .0
+                        check_input(
+                            selected,
+                            mode,
+                            hb_policy,
+                            trace_format,
+                            &input,
+                            object,
+                            &options,
+                            false,
+                        )
+                        .0
                     }
                     Err(e) => Checked::Error(format!("cannot read: {e}")),
                 };

@@ -6,10 +6,10 @@
 //!
 //! ```text
 //! Usage: cal-serve <SPEC> [--spec <FILE.cal>] [--format <F>] [--object <N>]
-//!                  [--window <N>] [--checkpoint-every <N>] [--max-states <N>]
-//!                  [--max-nodes <N>] [--deadline-ms <N>] [--error-budget <N>]
-//!                  [--listen <ADDR:PORT>] [--ack] [--stats-json <PATH|->]
-//!                  [--stats-every <N>] [--quiet]
+//!                  [--causal] [--window <N>] [--checkpoint-every <N>]
+//!                  [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]
+//!                  [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]
+//!                  [--stats-json <PATH|->] [--stats-every <N>] [--quiet]
 //!
 //!   SPEC     exchanger | elim-array | sync-queue | dual-stack (concurrency-aware)
 //!            stack | failing-stack | register | counter | kv  (sequential)
@@ -23,6 +23,16 @@
 //!   --format <F>            wire format: auto (default) | native | jepsen |
 //!                           kvlog — auto sniffs the first contentful line and
 //!                           latches
+//!
+//!   --causal                check against the happens-before partial order
+//!                           instead of real time: kvlog `hb` lines (and the
+//!                           wire's `hb <i> <j>` / `hb session` events)
+//!                           constrain the window searches, and retirement
+//!                           cuts are hb-closed — a segment is only retired
+//!                           once no declared edge points back into it. An
+//!                           edge whose target is already retired latches
+//!                           `undecided: late happens-before edge`. Without
+//!                           the flag, edges are counted but inert.
 //!
 //!   --window <N>            cap on open-or-undecided invocations buffered
 //!                           in the search window (default 4096, 0 = unbounded)
@@ -135,7 +145,7 @@ macro_rules! errln {
 fn usage() -> io::Result<ExitCode> {
     errln!(
         "usage: cal-serve <SPEC> [--spec <FILE.cal>] [--format auto|native|jepsen|kvlog]\n\
-         \x20                [--object <N>] [--window <N>] [--checkpoint-every <N>]\n\
+         \x20                [--object <N>] [--causal] [--window <N>] [--checkpoint-every <N>]\n\
          \x20                [--max-states <N>] [--max-nodes <N>] [--deadline-ms <N>]\n\
          \x20                [--error-budget <N>] [--listen <ADDR:PORT>] [--ack]\n\
          \x20                [--stats-json <PATH|->] [--stats-every <N>] [--quiet]\n\
@@ -145,6 +155,8 @@ fn usage() -> io::Result<ExitCode> {
          \n\
          --spec loads user specs from a .cal file (docs/SPEC_DSL.md); loaded names\n\
          shadow built-ins, and with a single-spec file SPEC may be omitted\n\
+         --causal checks against happens-before instead of real time: declared kvlog\n\
+         `hb` edges constrain the search and retirement cuts are hb-closed\n\
          \n\
          events on stdin (or per TCP client): one event per line in the native,\n\
          jepsen, or kvlog format (--format auto sniffs the first line and latches);\n\
@@ -171,6 +183,9 @@ struct Cfg {
     stats_json: Option<String>,
     stats_every: u64,
     quiet: bool,
+    /// Causal mode: retirement cuts must be hb-closed and declared
+    /// `hb` edges constrain the window searches.
+    causal: bool,
 }
 
 fn main() -> ExitCode {
@@ -202,6 +217,7 @@ fn try_main() -> io::Result<ExitCode> {
         stats_json: None,
         stats_every: 0,
         quiet: false,
+        causal: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -263,6 +279,7 @@ fn try_main() -> io::Result<ExitCode> {
                 None => return usage(),
             },
             "--quiet" => cfg.quiet = true,
+            "--causal" => cfg.causal = true,
             "-h" | "--help" => return usage(),
             _ if spec_name.is_none() => spec_name = Some(a.clone()),
             _ => return usage(),
@@ -342,6 +359,7 @@ where
             deadline: cfg.deadline,
             ..CheckOptions::default()
         },
+        causal: cfg.causal,
     };
     let checker = StreamChecker::new(spec, options);
     let decoder = StreamDecoder::new(cfg.format);
@@ -420,6 +438,10 @@ fn apply_line<S: CaSpec>(
                 checker.abandon_thread(t);
                 effect = true;
             }
+            WireItem::HbEdge { from, to } => match checker.push_hb_edge(from, to) {
+                Push::Refused => return Reply::Refused,
+                _ => effect = true,
+            },
             WireItem::Action(action) => {
                 if action.is_invoke() {
                     invoked.push(action.thread());

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! Usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]
+//!                   [--spec <FILE.cal>] [--spec-name <NAME>]
 //!                   [--threads <N>] [--check-threads <N>] [--ops <N>]
 //!                   [--profile <P>] [--mode <M>] [--deadline-ms <N>]
 //!                   [--stats]
@@ -15,6 +16,14 @@
 //!
 //! `all` soaks every target except the deliberately broken
 //! buggy-exchanger, splitting the time budget evenly.
+//!
+//! `--spec <FILE.cal>` checks harvested histories against a runtime-loaded
+//! spec (docs/SPEC_DSL.md) instead of the target's built-in one, with the
+//! same compile-before-input contract as `cal-check`/`cal-serve`: the file
+//! compiles before any run starts, and a compile failure prints its
+//! diagnostic and exits 3. A multi-spec file needs `--spec-name` to pick
+//! one. Because the loaded spec replaces the per-target built-ins, `--spec`
+//! requires a single explicit `--target` (not `all`).
 //!
 //! `--threads` sizes the *workload*; `--check-threads` sizes the CAL
 //! checker run on each harvested history (> 1 engages the parallel
@@ -28,7 +37,8 @@
 //! Exit status (the contract shared with `cal-check` and `cal-serve`):
 //! 0 = every run passed (including a SIGINT/SIGTERM-interrupted soak,
 //! which flushes its per-target aggregates first), 1 = a failure was
-//! found (reproducer printed), 4 = usage error.
+//! found (reproducer printed), 3 = a `--spec` file that cannot be read
+//! or does not compile, 4 = usage error.
 //! ```
 //!
 //! Examples:
@@ -41,22 +51,30 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use cal::chaos::driver::{soak_interruptible, Mode, RunConfig, SoakResult, TargetKind};
 use cal::chaos::Profile;
 use cal::cli::{
-    install_shutdown_handler, parse_seed, shutdown_requested, EXIT_REJECTED, EXIT_USAGE,
+    install_shutdown_handler, parse_seed, shutdown_requested, EXIT_ERROR, EXIT_REJECTED,
+    EXIT_USAGE,
 };
 use cal::core::check::CheckStats;
+use cal::core::dsl;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chaos-soak [--seed <N>] [--secs <S>] [--target <T>|all]\n\
+         \x20                 [--spec <FILE.cal>] [--spec-name <NAME>]\n\
          \x20                 [--threads <N>] [--check-threads <N>] [--ops <N>]\n\
          \x20                 [--profile <P>] [--mode <M>] [--deadline-ms <N>] [--stats]\n\
          \n\
          T: exchanger | buggy-exchanger | treiber-stack | elim-stack | dual-stack | sync-queue | all\n\
          P: light | heavy | starvation\n\
          M: deterministic | stress\n\
+         --spec: check against a runtime-loaded .cal spec (docs/SPEC_DSL.md) instead of\n\
+         \x20       the target's built-in; compiled before any run, compile failure exits 3;\n\
+         \x20       requires a single explicit --target\n\
          --stats: periodic progress lines + per-target search-cost aggregate keyed by seed"
     );
     ExitCode::from(EXIT_USAGE)
@@ -111,6 +129,8 @@ fn main() -> ExitCode {
     let mut targets: Option<Vec<TargetKind>> = None; // None = all healthy targets
     let mut secs = 10u64;
     let mut stats = false;
+    let mut spec_file: Option<String> = None;
+    let mut spec_name: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -154,9 +174,66 @@ fn main() -> ExitCode {
                 Some(ms) => config.deadline = Some(Duration::from_millis(ms)),
                 None => return usage(),
             },
+            "--spec" => match it.next() {
+                Some(p) => spec_file = Some(p.clone()),
+                None => return usage(),
+            },
+            "--spec-name" => match it.next() {
+                Some(n) => spec_name = Some(n.clone()),
+                None => return usage(),
+            },
             "--stats" => stats = true,
             _ => return usage(),
         }
+    }
+
+    // `--spec` compiles before any run starts, so a bad .cal file fails
+    // fast with its diagnostic (exit 3) — the contract shared with
+    // `cal-check` and `cal-serve`. The loaded spec replaces the target's
+    // built-in, so it only makes sense against one explicit target.
+    if let Some(path) = &spec_file {
+        if targets.as_ref().is_none_or(|t| t.len() != 1) {
+            eprintln!("chaos-soak: --spec requires a single explicit --target");
+            return usage();
+        }
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("chaos-soak: cannot read {path}: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let loaded = match dsl::parse_str(&src) {
+            Ok(f) => f,
+            Err(diag) => {
+                eprintln!("chaos-soak: {path}: {diag}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let def = match (&spec_name, loaded.specs()) {
+            (Some(name), _) => match loaded.get(name) {
+                Some(def) => Arc::clone(def),
+                None => {
+                    eprintln!(
+                        "chaos-soak: {path} defines no spec {name:?} (has: {})",
+                        loaded.names().join(", ")
+                    );
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            },
+            (None, [only]) => Arc::clone(only),
+            (None, many) => {
+                eprintln!(
+                    "chaos-soak: {path} defines {} specs ({}); pick one with --spec-name",
+                    many.len(),
+                    loaded.names().join(", ")
+                );
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        config.spec = Some(def);
+    } else if spec_name.is_some() {
+        return usage(); // --spec-name is meaningless without --spec
     }
 
     // SIGINT/SIGTERM raise a flag checked between runs: an interrupted

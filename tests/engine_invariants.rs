@@ -11,8 +11,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cal::core::causal::{causal_order, check_causal_par_with, check_causal_with};
 use cal::core::check::{check_cal_with, CancelToken, CheckOptions, Verdict};
 use cal::core::fpmemo::FpMemo;
+use cal::core::history::HbRelation;
 use cal::core::par::check_cal_par_with;
 use cal::core::gen::interleave;
 use cal::core::interval::{check_interval_par_with, check_interval_with};
@@ -213,6 +215,44 @@ proptest! {
             &h,
             |o| check_cal_with(&h, &spec, o).expect("well-formed").verdict,
             |o| check_cal_par_with(&h, &spec, o).expect("well-formed").verdict,
+        );
+    }
+
+    #[test]
+    fn causal_verdict_invariant_across_engine_options(h in history_of(arb_exchange_op())) {
+        // A genuinely *partial* order — session order only — through the
+        // same matrix: the hb-constraint symmetry classes, the memo keyed
+        // on hb frontiers and root-frontier splitting (per-object
+        // decomposition is off under a partial order) must all be
+        // verdict-preserving.
+        let spec = ExchangerSpec::new(O);
+        let hb = causal_order(&h, &[]).expect("well-formed");
+        assert_matrix_invariant(
+            &h,
+            |o| check_causal_with(&h, &spec, &hb, o).expect("well-formed").verdict,
+            |o| check_causal_par_with(&h, &spec, &hb, o).expect("well-formed").verdict,
+        );
+    }
+
+    #[test]
+    fn causal_real_time_verdict_invariant_across_engine_options(h in history_of(arb_queue_op())) {
+        // The total-order instance through the matrix: causal mode on
+        // `≺H` is CAL, so on top of self-consistency the baseline must
+        // equal the CAL baseline (the differential anchor, ablated).
+        let spec = SyncQueueSpec::new(O);
+        let hb = HbRelation::real_time(&h.spans());
+        assert_matrix_invariant(
+            &h,
+            |o| check_causal_with(&h, &spec, &hb, o).expect("well-formed").verdict,
+            |o| check_causal_par_with(&h, &spec, &hb, o).expect("well-formed").verdict,
+        );
+        let cal = check_cal_with(&h, &spec, &CheckOptions::default()).expect("well-formed");
+        let causal = check_causal_with(&h, &spec, &hb, &CheckOptions::default())
+            .expect("well-formed");
+        prop_assert_eq!(
+            cal.verdict.is_cal(),
+            causal.verdict.is_cal(),
+            "causal-on-real-time diverged from CAL\nhistory:\n{}", h
         );
     }
 

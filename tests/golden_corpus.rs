@@ -13,6 +13,16 @@
 //! exit 2) and `error` (the file must fail to parse with a line-anchored
 //! diagnostic, exit 3).
 //!
+//! Fixtures under `tests/corpus/causal/` carry causality metadata
+//! (kvlog `hb` lines) and an optional `# expect-causal:` header: the
+//! `--mode causal` verdict when it differs from the CAL one. Every
+//! fixture with a binary-known spec — annotated or not — is also run
+//! through `cal-check --mode causal`; unannotated fixtures fall back to
+//! the real-time order and so double as the differential anchor (causal
+//! must equal CAL), while annotated ones pin genuine divergences, the
+//! flagship being a store-buffering reordering CAL rejects and causal
+//! mode explains.
+//!
 //! A second corpus under `tests/corpus/dsl/` holds malformed `.cal` spec
 //! files. Each carries `# expect-code:`, `# expect-line:`, `# expect-col:`
 //! and `# expect-message:` headers pinning the diagnostic the DSL
@@ -26,9 +36,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use cal::core::causal::{
+    causal_order, check_causal_par_with, check_causal_with, witness_explains_causal,
+};
 use cal::core::check::{check_cal_with, witness_explains, CheckOptions, Verdict};
 use cal::core::dsl;
-use cal::core::format::{parse_as, Format};
+use cal::core::format::{parse_annotated, Format};
+use cal::core::history::HbRelation;
 use cal::core::par::check_cal_par_with;
 use cal::core::spec::{CaSpec, PerObject, SeqAsCa};
 use cal::core::{History, ObjectId};
@@ -67,11 +81,26 @@ struct Fixture {
     path: PathBuf,
     spec: String,
     expect: Expect,
+    /// The `--mode causal` expectation when it differs from `expect`
+    /// (`# expect-causal:` header); divergence requires causality
+    /// metadata, since unannotated traces check under the real-time
+    /// order on which the modes agree by construction.
+    expect_causal: Option<Expect>,
     format: Format,
     max_nodes: Option<u64>,
     /// Parsed history; `None` for `expect: error` fixtures (whose whole
     /// point is that parsing fails).
     history: Option<History>,
+    /// Declared happens-before edges; `Some` iff the trace carries
+    /// causality metadata (kvlog `hb` lines).
+    hb_edges: Option<Vec<(usize, usize)>>,
+}
+
+impl Fixture {
+    /// The expected `--mode causal` verdict.
+    fn causal_expect(&self) -> Expect {
+        self.expect_causal.unwrap_or(self.expect)
+    }
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -101,18 +130,21 @@ fn load_corpus() -> Vec<Fixture> {
             other => panic!("{name}: unmapped extension {other:?}"),
         };
         let text = fs::read_to_string(&path).unwrap();
-        let (mut spec, mut expect, mut max_nodes) = (None, None, None);
+        let parse_expect = |rest: &str| match rest.trim() {
+            "cal" => Expect::Cal,
+            "not-cal" => Expect::NotCal,
+            "undecided" => Expect::Undecided,
+            "error" => Expect::Error,
+            other => panic!("{name}: unknown expectation {other:?}"),
+        };
+        let (mut spec, mut expect, mut expect_causal, mut max_nodes) = (None, None, None, None);
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# spec:") {
                 spec = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("# expect-causal:") {
+                expect_causal = Some(parse_expect(rest));
             } else if let Some(rest) = line.strip_prefix("# expect:") {
-                expect = Some(match rest.trim() {
-                    "cal" => Expect::Cal,
-                    "not-cal" => Expect::NotCal,
-                    "undecided" => Expect::Undecided,
-                    "error" => Expect::Error,
-                    other => panic!("{name}: unknown expectation {other:?}"),
-                });
+                expect = Some(parse_expect(rest));
             } else if let Some(rest) = line.strip_prefix("# max-nodes:") {
                 max_nodes = Some(rest.trim().parse().unwrap_or_else(|e| {
                     panic!("{name}: bad max-nodes header: {e}")
@@ -120,29 +152,38 @@ fn load_corpus() -> Vec<Fixture> {
             }
         }
         let expect = expect.unwrap_or_else(|| panic!("{name}: missing `# expect:` header"));
-        let history = match parse_as(format, &text) {
-            Ok(h) => {
+        let (history, hb_edges) = match parse_annotated(format, &text) {
+            Ok(a) => {
                 assert_ne!(
                     expect,
                     Expect::Error,
                     "{name}: expected a parse error, but the file parsed"
                 );
-                Some(h)
+                (Some(a.history), a.hb_edges)
             }
             Err(e) => {
                 assert_eq!(expect, Expect::Error, "{name}: parse error: {e}");
                 assert!(e.line > 0, "{name}: parse diagnostic must be line-anchored: {e}");
-                None
+                (None, None)
             }
         };
+        if expect_causal.is_some_and(|c| c != expect) {
+            assert!(
+                hb_edges.is_some(),
+                "{name}: a divergent `# expect-causal:` needs causality metadata — \
+                 unannotated traces check under real time, where the modes agree"
+            );
+        }
         fixtures.push(Fixture {
             spec: spec.unwrap_or_else(|| panic!("{name}: missing `# spec:` header")),
             expect,
+            expect_causal,
             format,
             max_nodes,
             name,
             path,
             history,
+            hb_edges,
         });
     }
     fixtures
@@ -182,17 +223,94 @@ where
     }
 }
 
-fn dispatch(fx: &Fixture) {
+/// Runs one fixture in causal mode: the happens-before order is the
+/// declared edges when the trace is annotated and the real-time order
+/// otherwise (the binary's `--hb auto` policy), and the expected verdict
+/// is [`Fixture::causal_expect`].
+fn run_causal_fixture<S>(fx: &Fixture, spec: &S)
+where
+    S: CaSpec + Sync,
+    S::State: Send + Sync,
+{
+    let Some(history) = &fx.history else { return };
+    let hb = match &fx.hb_edges {
+        Some(edges) => causal_order(history, edges)
+            .unwrap_or_else(|e| panic!("{}: declared edges must build: {e}", fx.name)),
+        None => HbRelation::real_time(&history.spans()),
+    };
+    let expect = fx.causal_expect();
+    let check = |label: &str, verdict: &Verdict| match (expect, verdict) {
+        (Expect::Cal, Verdict::Cal(w)) => {
+            assert!(
+                witness_explains_causal(history, spec, w, &hb),
+                "{}: {label} produced an invalid causal witness {w}",
+                fx.name
+            );
+        }
+        (Expect::NotCal, Verdict::NotCal) => {}
+        (Expect::Undecided, Verdict::ResourcesExhausted) => {}
+        (want, got) => panic!("{}: {label} returned {got:?}, expected {want:?}", fx.name),
+    };
+    let mut options = CheckOptions::default();
+    if let Some(n) = fx.max_nodes {
+        options.max_nodes = n;
+    }
+    let seq = check_causal_with(history, spec, &hb, &options)
+        .unwrap_or_else(|e| panic!("{}: sequential causal checker errored: {e}", fx.name));
+    check("causal sequential", &seq.verdict);
+    for threads in [2usize, 8] {
+        let par_options = CheckOptions { threads, ..options.clone() };
+        let par = check_causal_par_with(history, spec, &hb, &par_options)
+            .unwrap_or_else(|e| panic!("{}: parallel causal checker errored: {e}", fx.name));
+        check(&format!("causal parallel({threads})"), &par.verdict);
+    }
+}
+
+/// How a fixture is checked against its (generically typed) spec —
+/// implemented once for CAL mode and once for causal mode so the
+/// spec-name dispatch below is written a single time.
+trait FixtureRunner {
+    fn run<S>(&self, fx: &Fixture, spec: &S)
+    where
+        S: CaSpec + Sync,
+        S::State: Send + Sync;
+}
+
+struct CalRunner;
+
+impl FixtureRunner for CalRunner {
+    fn run<S>(&self, fx: &Fixture, spec: &S)
+    where
+        S: CaSpec + Sync,
+        S::State: Send + Sync,
+    {
+        run_fixture(fx, spec);
+    }
+}
+
+struct CausalRunner;
+
+impl FixtureRunner for CausalRunner {
+    fn run<S>(&self, fx: &Fixture, spec: &S)
+    where
+        S: CaSpec + Sync,
+        S::State: Send + Sync,
+    {
+        run_causal_fixture(fx, spec);
+    }
+}
+
+fn dispatch(fx: &Fixture, runner: &impl FixtureRunner) {
     match fx.spec.as_str() {
-        "exchanger" => run_fixture(fx, &ExchangerSpec::new(O)),
-        "elim-array" => run_fixture(fx, &ElimArraySpec::new(O)),
-        "sync-queue" => run_fixture(fx, &SyncQueueSpec::new(O)),
-        "dual-stack" => run_fixture(fx, &DualStackSpec::with_timeouts(O)),
-        "stack" => run_fixture(fx, &SeqAsCa::new(StackSpec::total(O))),
-        "register" => run_fixture(fx, &SeqAsCa::new(RegisterSpec::new(O))),
-        "counter" => run_fixture(fx, &SeqAsCa::new(CounterSpec::new(O))),
-        "kv" => run_fixture(fx, &SeqAsCa::new(KvMapSpec::new())),
-        "two-exchangers" => run_fixture(
+        "exchanger" => runner.run(fx, &ExchangerSpec::new(O)),
+        "elim-array" => runner.run(fx, &ElimArraySpec::new(O)),
+        "sync-queue" => runner.run(fx, &SyncQueueSpec::new(O)),
+        "dual-stack" => runner.run(fx, &DualStackSpec::with_timeouts(O)),
+        "stack" => runner.run(fx, &SeqAsCa::new(StackSpec::total(O))),
+        "register" => runner.run(fx, &SeqAsCa::new(RegisterSpec::new(O))),
+        "counter" => runner.run(fx, &SeqAsCa::new(CounterSpec::new(O))),
+        "kv" => runner.run(fx, &SeqAsCa::new(KvMapSpec::new())),
+        "two-exchangers" => runner.run(
             fx,
             &PerObject::new(vec![(O, ExchangerSpec::new(O)), (O1, ExchangerSpec::new(O1))]),
         ),
@@ -227,8 +345,32 @@ fn corpus_verdicts_match_golden_expectations() {
         fixtures.len()
     );
     for fx in &fixtures {
-        dispatch(fx);
+        dispatch(fx, &CalRunner);
     }
+}
+
+/// Every fixture again in causal mode: annotated traces check under
+/// their declared order against `# expect-causal:` (defaulting to
+/// `# expect:`), unannotated ones under real time — where the causal
+/// verdict must equal the CAL verdict, fixture by fixture.
+#[test]
+fn causal_corpus_verdicts_match_golden_expectations() {
+    let fixtures = load_corpus();
+    for fx in &fixtures {
+        dispatch(fx, &CausalRunner);
+    }
+    // The causal corpus must keep its divergence coverage: at least one
+    // reordering witness causal mode accepts and CAL mode rejects, and
+    // at least one annotated trace whose declared edges *restore* a
+    // rejection — relaxation is a choice, not a foregone conclusion.
+    let divergent = fixtures
+        .iter()
+        .any(|f| f.expect == Expect::NotCal && f.causal_expect() == Expect::Cal);
+    assert!(divergent, "no fixture diverges: causal-accepts vs CAL-rejects is the point");
+    let annotated_reject = fixtures.iter().any(|f| {
+        f.hb_edges.as_ref().is_some_and(|e| !e.is_empty()) && f.causal_expect() == Expect::NotCal
+    });
+    assert!(annotated_reject, "no annotated fixture keeps its rejection under declared edges");
 }
 
 /// Every fixture with a binary-known spec lands on its documented exit
@@ -276,6 +418,37 @@ fn corpus_covers_both_verdict_classes_per_spec_family() {
     let cal = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::Cal);
     let not = fixtures.iter().any(|f| f.spec == "exchanger" && f.expect == Expect::NotCal);
     assert!(cal && not, "exchanger fixtures must cover both verdicts");
+}
+
+/// The same fixtures through `cal-check --mode causal` (default
+/// `--hb auto`): annotated traces land on their `# expect-causal:` exit
+/// code, unannotated ones on the CAL exit code — the differential
+/// anchor, pinned end to end through the binary.
+#[test]
+fn corpus_exit_codes_match_in_causal_mode() {
+    let exe = env!("CARGO_BIN_EXE_cal-check");
+    for fx in &load_corpus() {
+        if binary_modes(&fx.spec).is_empty() {
+            continue;
+        }
+        let mut cmd = Command::new(exe);
+        cmd.args(["--mode", "causal", "--format", format_flag(fx.format)]);
+        if let Some(n) = fx.max_nodes {
+            cmd.args(["--max-nodes", &n.to_string()]);
+        }
+        let out = cmd
+            .arg(&fx.spec)
+            .arg(&fx.path)
+            .output()
+            .unwrap_or_else(|e| panic!("{}: cannot run cal-check: {e}", fx.name));
+        assert_eq!(
+            out.status.code(),
+            Some(fx.causal_expect().exit_code()),
+            "{} --mode causal: stderr: {}",
+            fx.name,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
 }
 
 /// A malformed-spec fixture from `tests/corpus/dsl/`: the `.cal` source
